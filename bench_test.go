@@ -1,0 +1,169 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation (DESIGN.md §4).  Each benchmark runs the corresponding
+// experiment at a reduced scale so the whole suite completes in minutes;
+// cmd/repro runs the same code at (near-)paper scale and EXPERIMENTS.md
+// records both sets of numbers.
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/clique"
+	"repro/internal/core"
+	"repro/internal/expt"
+	"repro/internal/graph"
+	"repro/internal/kose"
+	"repro/internal/simarch"
+)
+
+// benchKose runs the Kose RAM baseline, counting only.
+func benchKose(b *testing.B, g *graph.Graph) {
+	b.Helper()
+	kose.Enumerate(g, kose.Options{Reporter: clique.NewCounter()})
+}
+
+// benchCore runs the sequential Clique Enumerator, counting only.
+func benchCore(b *testing.B, g *graph.Graph) {
+	b.Helper()
+	if _, err := core.Enumerate(g, core.Options{Reporter: clique.NewCounter()}); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// benchCfg is the reduced-scale configuration shared by the benchmarks.
+var benchCfg = expt.Config{Scale: 0.55, Seed: 1, Reps: 2, Budget: 1 << 20}
+
+// BenchmarkMaxCliqueBounds regenerates the Section 3 maximum clique
+// sizes (paper: 17 / 110 / 28).
+func BenchmarkMaxCliqueBounds(b *testing.B) {
+	cfg := benchCfg
+	cfg.Scale = 0.3 // graph B's branch-and-bound dominates otherwise
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := expt.MaxCliqueBounds(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable1KoseRAM and BenchmarkTable1CliqueEnumerator time the two
+// sides of Table 1 separately (paper: 17,261 s vs 45 s, 383x); the
+// combined runner asserts equal outputs.
+func BenchmarkTable1KoseRAM(b *testing.B) {
+	g := expt.Build(expt.SpecA.Scale(benchCfg.Scale), benchCfg.Seed)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchKose(b, g)
+	}
+}
+
+func BenchmarkTable1CliqueEnumerator(b *testing.B) {
+	g := expt.Build(expt.SpecA.Scale(benchCfg.Scale), benchCfg.Seed)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchCore(b, g)
+	}
+}
+
+// BenchmarkTable1Combined runs the full Table 1 experiment, including the
+// output-equality check between the two algorithms.
+func BenchmarkTable1Combined(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := expt.Table1(benchCfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig5Scaling regenerates Figure 5: run time vs processor count
+// for the Init_K ladder on graph C (trace collection + 1..256-processor
+// simulation sweep).
+func BenchmarkFig5Scaling(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := expt.Fig5(benchCfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig6Speedup regenerates Figure 6 (absolute and relative
+// speedups to 64 processors, Init_K ∈ {3, ladder}).
+func BenchmarkFig6Speedup(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := expt.Fig6(benchCfg, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig7SpeedupVsSeqTime regenerates Figure 7 (256-processor
+// speedup grows with sequential run time; paper 22 -> 51).
+func BenchmarkFig7SpeedupVsSeqTime(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := expt.Fig7(benchCfg, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig8LoadBalance regenerates Figure 8 (per-processor busy-time
+// mean ± stddev with the load balancer; paper stddev <= 10%).
+func BenchmarkFig8LoadBalance(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := expt.Fig8(benchCfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig9MemoryProfile regenerates Figure 9 (per-level candidate
+// bytes across the full enumeration; paper peaks ~20 GB at k=13).
+func BenchmarkFig9MemoryProfile(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := expt.Fig9(benchCfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBlowupBudgetAbort regenerates the Section 3 graph-B anecdote
+// (607 GB + 404 GB, terminated): budget-bounded enumeration that must
+// abort.
+func BenchmarkBlowupBudgetAbort(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := expt.Blowup(benchCfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimulate256 isolates the simulated-Altix replay cost (one
+// 256-processor schedule over a collected trace).
+func BenchmarkSimulate256(b *testing.B) {
+	g := expt.Build(expt.SpecC.Scale(benchCfg.Scale), benchCfg.Seed)
+	tr, err := simarch.Collect(g, 2, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := simarch.DefaultAltix().TunedFor(float64(tr.TotalUnits))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := simarch.Simulate(tr, simarch.SimOptions{
+			Machine:    m,
+			Processors: 256,
+			Strategy:   simarch.Affinity,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,153 @@
+// Command cliquer runs the paper's full analysis pipeline on a graph:
+// maximum clique upper bound, then maximal clique enumeration over a size
+// range, sequentially or multithreaded.
+//
+// Usage:
+//
+//	cliquer [flags] <graph-file>
+//
+// The graph file is an edge list ("n m" header then "u v" lines) or
+// DIMACS (-dimacs).  Maximal cliques are printed one per line in
+// non-decreasing size order; use -count to suppress the listing.
+//
+// Example:
+//
+//	graphgen -spec C -scale 0.5 -out c.el
+//	cliquer -lo 5 -workers 4 c.el
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/clique"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/maxclique"
+	"repro/internal/ooc"
+	"repro/internal/parallel"
+)
+
+func main() {
+	lo := flag.Int("lo", 3, "smallest clique size to report (Init_K)")
+	hi := flag.Int("hi", 0, "largest clique size (0: compute maximum clique and use it)")
+	workers := flag.Int("workers", 1, "worker threads (1 = sequential)")
+	countOnly := flag.Bool("count", false, "print counts only, not the cliques")
+	dimacs := flag.Bool("dimacs", false, "input is DIMACS clique format")
+	recompute := flag.Bool("low-mem", false, "recompute common-neighbor bitmaps instead of storing them")
+	compress := flag.Bool("compress", false, "store common-neighbor bitmaps WAH-compressed")
+	oocDir := flag.String("ooc", "", "run the out-of-core enumerator, spilling levels to this directory")
+	budget := flag.Int64("budget", 0, "abort if resident candidate bytes exceed this (0 = unlimited)")
+	noBound := flag.Bool("no-bound", false, "skip the maximum clique upper-bound computation")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: cliquer [flags] <graph-file>")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	if err := run(flag.Arg(0), *lo, *hi, *workers, *countOnly, *dimacs,
+		*recompute, *compress, *oocDir, *budget, *noBound); err != nil {
+		fmt.Fprintf(os.Stderr, "cliquer: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(path string, lo, hi, workers int, countOnly, dimacs, recompute, compress bool,
+	oocDir string, budget int64, noBound bool) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	var g *graph.Graph
+	if dimacs {
+		g, err = graph.ReadDIMACS(f)
+	} else {
+		g, err = graph.ReadEdgeList(f)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Printf("graph: %d vertices, %d edges, density %.4f%%\n",
+		g.N(), g.M(), 100*g.Density())
+
+	if hi == 0 && !noBound {
+		start := time.Now()
+		omega := maxclique.Size(g)
+		fmt.Printf("maximum clique: %d (%.3fs)\n", omega, time.Since(start).Seconds())
+		hi = omega
+	}
+
+	counter := clique.NewCounter()
+	var report clique.Reporter = counter
+	if !countOnly {
+		report = clique.ReporterFunc(func(c clique.Clique) {
+			counter.Emit(c)
+			names := make([]string, len(c))
+			for i, v := range c {
+				names[i] = g.Name(v)
+			}
+			fmt.Println(strings.Join(names, " "))
+		})
+	}
+
+	start := time.Now()
+	if oocDir != "" {
+		// The out-of-core enumerator reports every maximal clique of
+		// size >= 3; apply the lower bound here.
+		filtered := clique.ReporterFunc(func(c clique.Clique) {
+			if len(c) >= lo {
+				report.Emit(c)
+			}
+		})
+		st, err := ooc.Enumerate(g, ooc.Options{
+			Dir:      oocDir,
+			Reporter: filtered,
+			MaxK:     hi,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("out-of-core: %d maximal cliques in [%d,%d] in %.3fs; %d bytes written, %d read, peak level file %d\n",
+			counter.Total, lo, hi, time.Since(start).Seconds(),
+			st.BytesWritten, st.BytesRead, st.PeakLevelFile)
+		return nil
+	}
+	if workers > 1 {
+		res, err := parallel.Enumerate(g, parallel.Options{
+			Workers:     workers,
+			Lo:          lo,
+			Hi:          hi,
+			RecomputeCN: recompute,
+			Strategy:    parallel.Affinity,
+			Reporter:    report,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("enumerated %d maximal cliques in [%d,%d] in %.3fs on %d workers (%d transfers)\n",
+			res.MaximalCliques, lo, hi, time.Since(start).Seconds(), workers, res.Transfers)
+		return nil
+	}
+	res, err := core.Enumerate(g, core.Options{
+		Lo:           lo,
+		Hi:           hi,
+		RecomputeCN:  recompute,
+		CompressCN:   compress,
+		MemoryBudget: budget,
+		Reporter:     report,
+	})
+	if res != nil && res.PeakBytes > 0 {
+		fmt.Printf("peak candidate memory (paper formula): %d bytes\n", res.PeakBytes)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Printf("enumerated %d maximal cliques in [%d,%d] in %.3fs\n",
+		res.MaximalCliques, lo, hi, time.Since(start).Seconds())
+	return nil
+}

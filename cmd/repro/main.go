@@ -1,0 +1,169 @@
+// Command repro regenerates every table and figure of the paper's
+// evaluation section (see DESIGN.md §4 and EXPERIMENTS.md).
+//
+// Usage:
+//
+//	repro [flags] <experiment>
+//
+// Experiments: maxclique, table1, fig5, fig6, fig7, fig8, fig9, blowup, all
+//
+// Flags:
+//
+//	-scale f   graph scale in (0,1]; 1 = the paper's exact sizes (default 0.85)
+//	-seed n    RNG seed (default 1)
+//	-reps n    repetitions for mean±stddev experiments (default 10)
+//	-budget n  byte budget for the blow-up experiment (default 1 GiB)
+//
+// The default scale 0.85 keeps the largest experiment (the Init_K=3
+// sweep of Figures 6-7) within workstation memory and minutes of run
+// time; -scale 1 reproduces the paper's exact graph sizes and needs
+// several GB of RAM and patience.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/expt"
+)
+
+func main() {
+	scale := flag.Float64("scale", 0.85, "graph scale in (0,1]; 1 = paper scale")
+	seed := flag.Int64("seed", 1, "RNG seed")
+	reps := flag.Int("reps", 10, "repetitions for mean±stddev experiments")
+	budget := flag.Int64("budget", 1<<30, "byte budget for the blow-up experiment")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: repro [flags] <maxclique|table1|fig5|fig6|fig7|fig8|fig9|blowup|ablate|all>")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	cfg := expt.Config{Scale: *scale, Seed: *seed, Reps: *reps, Budget: *budget}
+
+	if err := run(flag.Arg(0), cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "repro: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(name string, cfg expt.Config) error {
+	switch name {
+	case "maxclique":
+		t, err := expt.MaxCliqueBounds(cfg)
+		if t != nil {
+			_ = t.Fprint(os.Stdout)
+		}
+		return err
+	case "table1":
+		res, err := expt.Table1(cfg)
+		if err != nil {
+			return err
+		}
+		return res.Table.Fprint(os.Stdout)
+	case "fig5":
+		t, err := expt.Fig5(cfg)
+		if err != nil {
+			return err
+		}
+		return t.Fprint(os.Stdout)
+	case "fig6", "fig7":
+		fam, err := scalingFamily(cfg)
+		if err != nil {
+			return err
+		}
+		if name == "fig6" {
+			t, err := expt.Fig6(cfg, fam)
+			if err != nil {
+				return err
+			}
+			return t.Fprint(os.Stdout)
+		}
+		t, err := expt.Fig7(cfg, fam)
+		if err != nil {
+			return err
+		}
+		return t.Fprint(os.Stdout)
+	case "fig8":
+		t, err := expt.Fig8(cfg)
+		if err != nil {
+			return err
+		}
+		return t.Fprint(os.Stdout)
+	case "fig9":
+		t, err := expt.Fig9(cfg)
+		if err != nil {
+			return err
+		}
+		return t.Fprint(os.Stdout)
+	case "blowup":
+		res, err := expt.Blowup(cfg)
+		if err != nil {
+			return err
+		}
+		return res.Table.Fprint(os.Stdout)
+	case "ablate":
+		tables, err := expt.Ablations(cfg)
+		for _, t := range tables {
+			_ = t.Fprint(os.Stdout)
+		}
+		return err
+	case "all":
+		for _, sub := range []string{"maxclique", "table1", "fig5", "fig8", "fig9", "blowup"} {
+			fmt.Printf("--- %s ---\n", sub)
+			if err := run(sub, cfg); err != nil {
+				return fmt.Errorf("%s: %w", sub, err)
+			}
+		}
+		// Figures 6 and 7 share the expensive Init_K=3 trace; collect it once.
+		fam, err := scalingFamily(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println("--- fig6 ---")
+		t6, err := expt.Fig6(cfg, fam)
+		if err != nil {
+			return err
+		}
+		if err := t6.Fprint(os.Stdout); err != nil {
+			return err
+		}
+		fmt.Println("--- fig7 ---")
+		t7, err := expt.Fig7(cfg, fam)
+		if err != nil {
+			return err
+		}
+		return t7.Fprint(os.Stdout)
+	default:
+		return fmt.Errorf("unknown experiment %q", name)
+	}
+}
+
+// scalingFamily collects the shared Figure 6/7 traces once.
+func scalingFamily(cfg expt.Config) (*expt.Family, error) {
+	spec := expt.SpecC.Scale(scaleOf(cfg))
+	iks := []int{3, spec.Omega - 10, spec.Omega - 9, spec.Omega - 8}
+	for i := range iks {
+		if iks[i] < 3 {
+			iks[i] = 3
+		}
+	}
+	// Deduplicate (tiny scales clamp the ladder onto 3).
+	uniq := iks[:0]
+	seen := map[int]bool{}
+	for _, ik := range iks {
+		if !seen[ik] {
+			seen[ik] = true
+			uniq = append(uniq, ik)
+		}
+	}
+	return expt.CollectFamily(cfg, uniq)
+}
+
+func scaleOf(cfg expt.Config) float64 {
+	if cfg.Scale == 0 {
+		return 1
+	}
+	return cfg.Scale
+}

@@ -1,0 +1,86 @@
+// Coexpression reproduces the paper's primary application end to end at
+// demonstration scale: synthesize a microarray expression matrix with
+// planted co-expression modules (the stand-in for the Affymetrix U74Av2
+// mouse-brain data), normalize it, compute the pairwise Spearman rank
+// correlation matrix, threshold it into a relationship graph, and then
+// run the clique pipeline — maximum clique bound, then maximal clique
+// enumeration — to recover the modules as cliques.
+//
+// This is the workflow behind the paper's observation that "enumerating
+// maximal cliques defines pure functional units, each affected by a
+// unique combination of sources of co-variation".
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"repro/internal/clique"
+	"repro/internal/core"
+	"repro/internal/maxclique"
+	"repro/internal/microarray"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(42))
+
+	// 300 probe sets, 80 arrays; three co-expression modules, one of
+	// which responds only in half the conditions (a transitory
+	// association, the paper's motivating case for clique methods over
+	// clustering) and one containing two anti-correlated members.
+	const genes, conditions = 300, 80
+	modules := []microarray.ModuleSpec{
+		{Genes: seq(0, 12), Signal: 6},               // strong module
+		{Genes: seq(20, 8), Signal: 6, Terse: true},  // transitory module
+		{Genes: seq(40, 6), Signal: 6, Inverse: 2},   // with repressed genes
+	}
+	mat := microarray.Synthesize(rng, microarray.SyntheticConfig{
+		Genes:      genes,
+		Conditions: conditions,
+		Modules:    modules,
+	})
+	for i := 0; i < genes; i++ {
+		mat.Names = append(mat.Names, fmt.Sprintf("probe_%03d", i))
+	}
+	mat.Normalize()
+
+	// Threshold the rank-correlation matrix.  The paper picks thresholds
+	// producing target densities; do the same for ~0.2%.
+	target := genes * (genes - 1) / 2 * 2 / 1000
+	if target < 150 {
+		target = 150
+	}
+	th := microarray.ThresholdForEdgeCount(mat, microarray.SpearmanRank, target)
+	g := microarray.CorrelationGraph(mat, microarray.SpearmanRank, th)
+	fmt.Printf("correlation graph: %d vertices, %d edges (|rho| >= %.3f, density %.3f%%)\n",
+		g.N(), g.M(), th, 100*g.Density())
+
+	// Clique pipeline: bound, then enumerate.
+	omega := maxclique.Size(g)
+	fmt.Printf("maximum clique: %d (planted module size 12)\n", omega)
+
+	fmt.Println("maximal cliques of size >= 5:")
+	_, err := core.Enumerate(g, core.Options{
+		Lo: 5,
+		Hi: omega,
+		Reporter: clique.ReporterFunc(func(c clique.Clique) {
+			fmt.Printf("  size %2d:", len(c))
+			for _, v := range c {
+				fmt.Printf(" %s", g.Name(v))
+			}
+			fmt.Println()
+		}),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+}
+
+func seq(start, count int) []int {
+	out := make([]int, count)
+	for i := range out {
+		out[i] = start + i
+	}
+	return out
+}

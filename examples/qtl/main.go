@@ -1,0 +1,85 @@
+// QTL demonstrates the paper's quantitative-trait-loci workflow sketch:
+// in a genetic reference population, transcripts co-regulated by shared
+// polymorphic loci form highly connected sets in the trait-correlation
+// graph.  The paper reports finding "approximately 7-10 polymorphic loci
+// responsible for the regulation of a highly connected group of over
+// 1950 transcripts" with Lin7c the most highly connected vertex.
+//
+// Here: synthesize strain expression data where a few simulated loci
+// drive transcript modules, build the correlation graph, find the most
+// highly connected transcript, and decompose the graph into paracliques
+// (the dense-but-imperfect modules the paper extracts).
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"repro/internal/microarray"
+	"repro/internal/paraclique"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(11))
+
+	// 40 recombinant-inbred strains, 250 transcripts.  Three loci, each
+	// regulating a transcript module; the first two modules share
+	// transcripts (pleiotropy), mimicking trans-band structure.
+	const strains, transcripts = 40, 250
+	mods := []microarray.ModuleSpec{
+		{Genes: span(0, 30), Signal: 5},  // locus 1: large trans-band
+		{Genes: span(20, 20), Signal: 5}, // locus 2: overlaps locus 1's band
+		{Genes: span(60, 12), Signal: 5}, // locus 3
+	}
+	mat := microarray.Synthesize(rng, microarray.SyntheticConfig{
+		Genes:      transcripts,
+		Conditions: strains,
+		Modules:    mods,
+	})
+	mat.Names = make([]string, transcripts)
+	for i := range mat.Names {
+		mat.Names[i] = fmt.Sprintf("Tx%03d", i)
+	}
+	mat.Names[25] = "Lin7c" // inside both overlapping modules
+	mat.Normalize()
+
+	g := microarray.CorrelationGraph(mat, microarray.SpearmanRank, 0.55)
+	fmt.Printf("trait correlation graph: %d transcripts, %d edges\n", g.N(), g.M())
+
+	// Most highly connected transcript (the paper's Lin7c observation).
+	best, bestDeg := 0, -1
+	for v := 0; v < g.N(); v++ {
+		if d := g.Degree(v); d > bestDeg {
+			best, bestDeg = v, d
+		}
+	}
+	fmt.Printf("most connected transcript: %s (degree %d)\n", g.Name(best), bestDeg)
+
+	// Paraclique decomposition: the dense co-regulated groups.
+	ps := paraclique.Extract(g, paraclique.Options{Glom: 0.85, MinCliqueSize: 5})
+	if len(ps) == 0 {
+		log.Fatal("no paracliques found; lower the threshold")
+	}
+	fmt.Printf("paracliques (glom 0.85):\n")
+	for i, p := range ps {
+		fmt.Printf("  #%d: %d transcripts (core clique %d, density %.2f)\n",
+			i+1, len(p.Vertices), p.CoreSize, p.Density)
+	}
+
+	// Sanity: the loci count story — each paraclique maps to one or two
+	// driving loci in this synthetic population.
+	total := 0
+	for _, p := range ps {
+		total += len(p.Vertices)
+	}
+	fmt.Printf("transcripts covered by dense modules: %d of %d\n", total, g.N())
+}
+
+func span(start, count int) []int {
+	out := make([]int, count)
+	for i := range out {
+		out[i] = start + i
+	}
+	return out
+}

@@ -1,0 +1,138 @@
+// Package bk implements the two Bron–Kerbosch maximal-clique enumeration
+// baselines the paper builds on (its Section 2.2): Base BK, which extends
+// by candidates in presentation order, and Improved BK, which pivots on a
+// candidate with the most connections into CANDIDATES.  Both are the
+// recursive backtracking scheme over the three dynamic sets COMPSUB,
+// CANDIDATES and NOT; a node reports COMPSUB as a maximal clique when both
+// derived sets are empty.
+//
+// These serve as correctness oracles for the Clique Enumerator and as the
+// foundation of the k-clique seeder in package kclique.
+package bk
+
+import (
+	"repro/internal/bitset"
+	"repro/internal/clique"
+	"repro/internal/graph"
+)
+
+// Variant selects the vertex-selection strategy.
+type Variant int
+
+const (
+	// Base selects candidates in canonical (index) order — "Base BK".
+	Base Variant = iota
+	// Improved pivots on a highest-connectivity candidate and only
+	// branches on candidates outside the pivot's neighborhood —
+	// "Improved BK".
+	Improved
+)
+
+// Enumerate reports every maximal clique of g to r.  The emitted slice is
+// reused between calls; reporters must copy if they retain it.
+func Enumerate(g *graph.Graph, variant Variant, r clique.Reporter) {
+	n := g.N()
+	e := &enumerator{
+		g:       g,
+		variant: variant,
+		report:  r,
+		pool:    bitset.NewPool(n),
+		scratch: make([]int, 0, n),
+	}
+	candidates := bitset.New(n)
+	candidates.SetAll()
+	not := bitset.New(n)
+	e.extend(candidates, not)
+}
+
+type enumerator struct {
+	g       *graph.Graph
+	variant Variant
+	report  clique.Reporter
+	pool    *bitset.Pool
+	compsub clique.Clique
+	emitBuf clique.Clique
+	scratch []int
+}
+
+// extend is the EXTEND operator of Bron and Kerbosch: it consumes
+// candidates (destructively) and not (destructively), branching on each
+// selected vertex.
+func (e *enumerator) extend(candidates, not *bitset.Bitset) {
+	if candidates.None() {
+		// COMPSUB is a stack, not a sorted set: deeper branches may hold
+		// smaller indices, so canonicalize into a reusable buffer before
+		// emitting.  The empty COMPSUB (edgeless root) is not a clique.
+		if not.None() && len(e.compsub) > 0 {
+			e.emitBuf = append(e.emitBuf[:0], e.compsub...)
+			e.report.Emit(clique.Normalize(e.emitBuf))
+		}
+		return
+	}
+
+	// Branch set: all candidates for Base; candidates outside the pivot's
+	// neighborhood for Improved.
+	branch := e.scratch[:0]
+	if e.variant == Improved {
+		pivot := e.selectPivot(candidates, not)
+		pn := e.g.Neighbors(pivot)
+		candidates.ForEach(func(v int) bool {
+			if !pn.Test(v) {
+				branch = append(branch, v)
+			}
+			return true
+		})
+	} else {
+		branch = candidates.AppendIndices(branch)
+	}
+	// branch aliases e.scratch; recursion below reuses e.scratch, so copy.
+	branchCopy := append([]int(nil), branch...)
+
+	for _, v := range branchCopy {
+		if !candidates.Test(v) {
+			continue // consumed by an earlier iteration's move to NOT
+		}
+		nv := e.g.Neighbors(v)
+		newCand := e.pool.GetNoClear()
+		newCand.And(candidates, nv)
+		newNot := e.pool.GetNoClear()
+		newNot.And(not, nv)
+
+		e.compsub = append(e.compsub, v)
+		e.extend(newCand, newNot)
+		e.compsub = e.compsub[:len(e.compsub)-1]
+
+		e.pool.Put(newCand)
+		e.pool.Put(newNot)
+
+		candidates.Clear(v)
+		not.Set(v)
+	}
+}
+
+// selectPivot returns the vertex from CANDIDATES ∪ NOT with the most
+// neighbors inside CANDIDATES (Improved BK's "highest number of
+// connections to the remaining members of CANDIDATES"; taking the pivot
+// from either set is the standard strengthening).
+func (e *enumerator) selectPivot(candidates, not *bitset.Bitset) int {
+	best, bestDeg := -1, -1
+	consider := func(v int) bool {
+		d := e.g.Neighbors(v).AndCount(candidates)
+		if d > bestDeg {
+			best, bestDeg = v, d
+		}
+		return true
+	}
+	candidates.ForEach(consider)
+	not.ForEach(consider)
+	return best
+}
+
+// MaximalCliques is a convenience wrapper returning all maximal cliques,
+// sorted by size then lexicographically.
+func MaximalCliques(g *graph.Graph, variant Variant) []clique.Clique {
+	col := &clique.Collector{}
+	Enumerate(g, variant, col)
+	col.Sort()
+	return col.Cliques
+}

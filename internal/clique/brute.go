@@ -1,0 +1,69 @@
+package clique
+
+import (
+	"repro/internal/graph"
+)
+
+// BruteForceMaximal enumerates every maximal clique of g by testing all
+// 2^n vertex subsets.  It is the ground-truth oracle for the
+// cross-validation tests and must only be used for small graphs
+// (it panics above 24 vertices).
+func BruteForceMaximal(g *graph.Graph) []Clique {
+	n := g.N()
+	if n > 24 {
+		panic("clique: BruteForceMaximal limited to 24 vertices")
+	}
+	var out []Clique
+	var members []int
+	for mask := 1; mask < 1<<uint(n); mask++ {
+		members = members[:0]
+		for v := 0; v < n; v++ {
+			if mask&(1<<uint(v)) != 0 {
+				members = append(members, v)
+			}
+		}
+		if !g.IsClique(members) {
+			continue
+		}
+		if g.IsMaximalClique(members) {
+			out = append(out, append(Clique(nil), members...))
+		}
+	}
+	return out
+}
+
+// BruteForceKCliques enumerates every clique of exactly size k (maximal
+// or not) by subset testing; small graphs only.
+func BruteForceKCliques(g *graph.Graph, k int) []Clique {
+	n := g.N()
+	if n > 24 {
+		panic("clique: BruteForceKCliques limited to 24 vertices")
+	}
+	var out []Clique
+	var members []int
+	for mask := 1; mask < 1<<uint(n); mask++ {
+		members = members[:0]
+		for v := 0; v < n; v++ {
+			if mask&(1<<uint(v)) != 0 {
+				members = append(members, v)
+			}
+		}
+		if len(members) != k || !g.IsClique(members) {
+			continue
+		}
+		out = append(out, append(Clique(nil), members...))
+	}
+	return out
+}
+
+// BruteForceMaxCliqueSize returns the maximum clique size of g by subset
+// testing; small graphs only.
+func BruteForceMaxCliqueSize(g *graph.Graph) int {
+	best := 0
+	for _, c := range BruteForceMaximal(g) {
+		if len(c) > best {
+			best = len(c)
+		}
+	}
+	return best
+}

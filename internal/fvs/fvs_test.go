@@ -1,0 +1,172 @@
+package fvs
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+)
+
+// bruteMinFVS finds the true minimum FVS size by subset enumeration.
+func bruteMinFVS(g *graph.Graph) int {
+	n := g.N()
+	for size := 0; size <= n; size++ {
+		if subsetOfSize(g, size, 0, nil) {
+			return size
+		}
+	}
+	return n
+}
+
+func subsetOfSize(g *graph.Graph, size, from int, chosen []int) bool {
+	if len(chosen) == size {
+		return IsFeedbackVertexSet(g, chosen)
+	}
+	for v := from; v < g.N(); v++ {
+		if subsetOfSize(g, size, v+1, append(chosen, v)) {
+			return true
+		}
+	}
+	return false
+}
+
+func TestAcyclicGraphs(t *testing.T) {
+	// Trees and forests need no feedback vertices.
+	g := graph.New(7)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(1, 3)
+	g.AddEdge(4, 5)
+	if sol, ok := Decide(g, 0); !ok || len(sol) != 0 {
+		t.Errorf("forest: %v %v", sol, ok)
+	}
+	if got := Minimum(g); len(got) != 0 {
+		t.Errorf("Minimum on forest = %v", got)
+	}
+}
+
+func TestSingleCycle(t *testing.T) {
+	g := graph.New(5)
+	for i := 0; i < 5; i++ {
+		g.AddEdge(i, (i+1)%5)
+	}
+	if _, ok := Decide(g, 0); ok {
+		t.Error("C5 accepted with k=0")
+	}
+	sol, ok := Decide(g, 1)
+	if !ok || len(sol) != 1 {
+		t.Fatalf("C5: %v %v", sol, ok)
+	}
+	if !IsFeedbackVertexSet(g, sol) {
+		t.Error("returned set is not a FVS")
+	}
+}
+
+func TestTwoDisjointCycles(t *testing.T) {
+	g := graph.New(8)
+	for i := 0; i < 4; i++ {
+		g.AddEdge(i, (i+1)%4)
+		g.AddEdge(4+i, 4+(i+1)%4)
+	}
+	if _, ok := Decide(g, 1); ok {
+		t.Error("two disjoint cycles accepted with k=1")
+	}
+	sol, ok := Decide(g, 2)
+	if !ok || !IsFeedbackVertexSet(g, sol) {
+		t.Fatalf("k=2: %v %v", sol, ok)
+	}
+}
+
+func TestCompleteGraph(t *testing.T) {
+	// FVS(K_n) = n-2.
+	g := graph.New(6)
+	verts := []int{0, 1, 2, 3, 4, 5}
+	graph.PlantClique(g, verts)
+	got := Minimum(g)
+	if len(got) != 4 {
+		t.Errorf("FVS(K6) = %v, want size 4", got)
+	}
+	if !IsFeedbackVertexSet(g, got) {
+		t.Error("not a FVS")
+	}
+}
+
+func TestNegativeK(t *testing.T) {
+	if _, ok := Decide(graph.New(3), -1); ok {
+		t.Error("negative k accepted")
+	}
+}
+
+func TestMinimumAgainstBrute(t *testing.T) {
+	rng := rand.New(rand.NewSource(131))
+	for trial := 0; trial < 30; trial++ {
+		g := graph.RandomGNP(rng, 3+rng.Intn(8), 0.45)
+		want := bruteMinFVS(g)
+		got := Minimum(g)
+		if len(got) != want {
+			t.Fatalf("trial %d: |FVS| = %d, want %d (graph m=%d)",
+				trial, len(got), want, g.M())
+		}
+		if !IsFeedbackVertexSet(g, got) {
+			t.Fatalf("trial %d: %v is not a FVS", trial, got)
+		}
+	}
+}
+
+// Property: the solver's FVS is always valid and Decide is monotone in k.
+func TestQuickValidityAndMonotone(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := graph.RandomGNP(rng, 3+rng.Intn(9), 0.4)
+		min := Minimum(g)
+		if !IsFeedbackVertexSet(g, min) {
+			return false
+		}
+		if len(min) > 0 {
+			if _, ok := Decide(g, len(min)-1); ok {
+				return false
+			}
+		}
+		if _, ok := Decide(g, len(min)+1); !ok {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIsFeedbackVertexSet(t *testing.T) {
+	g := graph.New(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 0)
+	if IsFeedbackVertexSet(g, nil) {
+		t.Error("triangle acyclic without removals?")
+	}
+	if !IsFeedbackVertexSet(g, []int{0}) {
+		t.Error("removing one triangle vertex should break the cycle")
+	}
+}
+
+func TestPetersenGraph(t *testing.T) {
+	// The Petersen graph has feedback vertex number 3.
+	outer := [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 0}}
+	spokes := [][2]int{{0, 5}, {1, 6}, {2, 7}, {3, 8}, {4, 9}}
+	inner := [][2]int{{5, 7}, {7, 9}, {9, 6}, {6, 8}, {8, 5}}
+	g := graph.New(10)
+	for _, edges := range [][][2]int{outer, spokes, inner} {
+		for _, e := range edges {
+			g.AddEdge(e[0], e[1])
+		}
+	}
+	got := Minimum(g)
+	if len(got) != 3 {
+		t.Errorf("FVS(Petersen) = %v, want size 3", got)
+	}
+	if !IsFeedbackVertexSet(g, got) {
+		t.Error("not a FVS")
+	}
+}

@@ -1,0 +1,438 @@
+// Package graph provides the undirected-graph substrate for the clique
+// enumeration framework of Zhang et al. (SC 2005).
+//
+// Adjacency is stored as one dense bit string per vertex (package bitset),
+// exactly the "globally addressable bitmap memory index" of the paper:
+// the neighborhood row of vertex v is the bit string whose i-th bit is 1
+// iff (v,i) is an edge.  Common neighbors of a clique are then the AND of
+// the member rows, and every algorithm in the framework — the Clique
+// Enumerator itself, the Bron–Kerbosch baselines, the k-clique seeder and
+// the vertex-cover reductions — works over these rows.
+//
+// Vertices are dense integer indices [0, N()).  Self-loops are rejected.
+// Graphs are mutable during construction and treated as immutable by the
+// algorithm packages.
+package graph
+
+import (
+	"fmt"
+
+	"repro/internal/bitset"
+)
+
+// Graph is an undirected simple graph over vertices [0, n) with bitmap
+// adjacency rows.
+type Graph struct {
+	n     int
+	m     int
+	adj   []*bitset.Bitset
+	names []string // optional vertex labels (gene/probe-set IDs)
+}
+
+// New returns an edgeless graph on n vertices.
+func New(n int) *Graph {
+	if n < 0 {
+		panic("graph: negative vertex count")
+	}
+	g := &Graph{n: n, adj: make([]*bitset.Bitset, n)}
+	for i := range g.adj {
+		g.adj[i] = bitset.New(n)
+	}
+	return g
+}
+
+// N returns the number of vertices.
+func (g *Graph) N() int { return g.n }
+
+// M returns the number of edges.
+func (g *Graph) M() int { return g.m }
+
+// AddEdge inserts the undirected edge (u,v).  Inserting an existing edge
+// is a no-op; self-loops panic.
+func (g *Graph) AddEdge(u, v int) {
+	if u == v {
+		panic(fmt.Sprintf("graph: self-loop at %d", u))
+	}
+	if g.adj[u].Test(v) {
+		return
+	}
+	g.adj[u].Set(v)
+	g.adj[v].Set(u)
+	g.m++
+}
+
+// RemoveEdge deletes the undirected edge (u,v) if present.
+func (g *Graph) RemoveEdge(u, v int) {
+	if u == v || !g.adj[u].Test(v) {
+		return
+	}
+	g.adj[u].Clear(v)
+	g.adj[v].Clear(u)
+	g.m--
+}
+
+// HasEdge reports whether (u,v) is an edge.
+func (g *Graph) HasEdge(u, v int) bool {
+	if u == v {
+		return false
+	}
+	return g.adj[u].Test(v)
+}
+
+// Neighbors returns the adjacency bit string of v.  The returned set is
+// the graph's internal row: callers must not modify it.
+func (g *Graph) Neighbors(v int) *bitset.Bitset { return g.adj[v] }
+
+// Degree returns the number of neighbors of v.
+func (g *Graph) Degree(v int) int { return g.adj[v].Count() }
+
+// MaxDegree returns the largest vertex degree (0 for an empty graph).
+func (g *Graph) MaxDegree() int {
+	max := 0
+	for v := 0; v < g.n; v++ {
+		if d := g.Degree(v); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// Density returns m / (n choose 2), the edge density reported for the
+// paper's microarray graphs (e.g. 0.008%, 0.2%, 0.3%).
+func (g *Graph) Density() float64 {
+	if g.n < 2 {
+		return 0
+	}
+	return float64(g.m) / (float64(g.n) * float64(g.n-1) / 2)
+}
+
+// SetName attaches a label (e.g. a probe-set ID) to vertex v.
+func (g *Graph) SetName(v int, name string) {
+	if g.names == nil {
+		g.names = make([]string, g.n)
+	}
+	g.names[v] = name
+}
+
+// Name returns the label of v, or "v<index>" if none was set.
+func (g *Graph) Name(v int) string {
+	if g.names != nil && g.names[v] != "" {
+		return g.names[v]
+	}
+	return fmt.Sprintf("v%d", v)
+}
+
+// Edge is an undirected edge in canonical (U < V) order.
+type Edge struct{ U, V int }
+
+// Edges returns all edges in canonical order: sorted by U, then V, with
+// U < V.  This is the non-repeating canonical edge list the Kose-style
+// algorithms take as input.
+func (g *Graph) Edges() []Edge {
+	edges := make([]Edge, 0, g.m)
+	for u := 0; u < g.n; u++ {
+		g.adj[u].ForEach(func(v int) bool {
+			if v > u {
+				edges = append(edges, Edge{u, v})
+			}
+			return true
+		})
+	}
+	return edges
+}
+
+// ForEachEdge calls fn for every edge in canonical order.
+func (g *Graph) ForEachEdge(fn func(u, v int) bool) {
+	for u := 0; u < g.n; u++ {
+		stop := false
+		g.adj[u].ForEach(func(v int) bool {
+			if v > u {
+				if !fn(u, v) {
+					stop = true
+					return false
+				}
+			}
+			return true
+		})
+		if stop {
+			return
+		}
+	}
+}
+
+// Clone returns a deep copy of the graph.
+func (g *Graph) Clone() *Graph {
+	c := &Graph{n: g.n, m: g.m, adj: make([]*bitset.Bitset, g.n)}
+	for i := range g.adj {
+		c.adj[i] = g.adj[i].Clone()
+	}
+	if g.names != nil {
+		c.names = append([]string(nil), g.names...)
+	}
+	return c
+}
+
+// Complement returns the complement graph: (u,v) is an edge iff it is not
+// an edge of g.  Used by the FPT pipeline, which solves maximum clique as
+// vertex cover on the complement.
+func (g *Graph) Complement() *Graph {
+	c := New(g.n)
+	row := bitset.New(g.n)
+	for v := 0; v < g.n; v++ {
+		row.Not(g.adj[v])
+		row.Clear(v) // no self-loops
+		c.adj[v].CopyFrom(row)
+	}
+	// Recount edges once rather than per insertion.
+	m := 0
+	for v := 0; v < g.n; v++ {
+		m += c.adj[v].Count()
+	}
+	c.m = m / 2
+	return c
+}
+
+// InducedSubgraph returns the subgraph induced by the given vertices plus
+// the mapping from new indices to original vertex IDs.  Vertex order is
+// preserved (ascending original index), keeping canonical clique order
+// meaningful across the reduction.
+func (g *Graph) InducedSubgraph(vertices *bitset.Bitset) (*Graph, []int) {
+	if vertices.Len() != g.n {
+		panic("graph: vertex-set universe mismatch")
+	}
+	old2new := make([]int, g.n)
+	for i := range old2new {
+		old2new[i] = -1
+	}
+	newToOld := vertices.Indices()
+	for ni, ov := range newToOld {
+		old2new[ov] = ni
+	}
+	sub := New(len(newToOld))
+	if g.names != nil {
+		sub.names = make([]string, len(newToOld))
+	}
+	scratch := bitset.New(g.n)
+	for ni, ov := range newToOld {
+		if g.names != nil {
+			sub.names[ni] = g.names[ov]
+		}
+		scratch.And(g.adj[ov], vertices)
+		scratch.ForEach(func(ou int) bool {
+			nu := old2new[ou]
+			if nu > ni {
+				sub.AddEdge(ni, nu)
+			}
+			return true
+		})
+	}
+	return sub, newToOld
+}
+
+// IsClique reports whether every pair of the given vertices is adjacent.
+func (g *Graph) IsClique(vertices []int) bool {
+	for i := 0; i < len(vertices); i++ {
+		for j := i + 1; j < len(vertices); j++ {
+			if !g.HasEdge(vertices[i], vertices[j]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// CommonNeighbors computes the common-neighbor bit string of the given
+// clique into dst: bit i is 1 iff i is outside the clique and adjacent to
+// every member.  dst must be a bitset over [0, N()).  This is the paper's
+// defining bitmap operation (Figure 2).
+func (g *Graph) CommonNeighbors(dst *bitset.Bitset, clique []int) {
+	if len(clique) == 0 {
+		dst.SetAll()
+		return
+	}
+	dst.CopyFrom(g.adj[clique[0]])
+	for _, v := range clique[1:] {
+		dst.And(dst, g.adj[v])
+	}
+	// Adjacency rows never include the vertex itself, so members are
+	// already excluded from the result.
+}
+
+// IsMaximalClique reports whether the vertices form a clique with no
+// common neighbor (the bit-string test of Figure 2).
+func (g *Graph) IsMaximalClique(vertices []int) bool {
+	if !g.IsClique(vertices) {
+		return false
+	}
+	cn := bitset.New(g.n)
+	g.CommonNeighbors(cn, vertices)
+	return cn.None()
+}
+
+// KCorePeel iteratively removes vertices of degree < k and returns the
+// surviving vertex set.  The k-clique enumerator uses this with k-1:
+// vertices of degree < k-1 cannot belong to any k-clique (the paper's
+// preprocessing step, applied to a fixed point rather than a single pass).
+func (g *Graph) KCorePeel(k int) *bitset.Bitset {
+	alive := bitset.New(g.n)
+	alive.SetAll()
+	deg := make([]int, g.n)
+	queue := make([]int, 0, g.n)
+	for v := 0; v < g.n; v++ {
+		deg[v] = g.Degree(v)
+		if deg[v] < k {
+			queue = append(queue, v)
+			alive.Clear(v)
+		}
+	}
+	for len(queue) > 0 {
+		v := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		g.adj[v].ForEach(func(u int) bool {
+			if alive.Test(u) {
+				deg[u]--
+				if deg[u] < k {
+					alive.Clear(u)
+					queue = append(queue, u)
+				}
+			}
+			return true
+		})
+	}
+	return alive
+}
+
+// ConnectedComponents returns the vertex sets of the connected components,
+// largest first by vertex count.
+func (g *Graph) ConnectedComponents() []*bitset.Bitset {
+	seen := bitset.New(g.n)
+	var comps []*bitset.Bitset
+	stack := make([]int, 0, 64)
+	for s := 0; s < g.n; s++ {
+		if seen.Test(s) {
+			continue
+		}
+		comp := bitset.New(g.n)
+		stack = append(stack[:0], s)
+		seen.Set(s)
+		comp.Set(s)
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			g.adj[v].ForEach(func(u int) bool {
+				if !seen.Test(u) {
+					seen.Set(u)
+					comp.Set(u)
+					stack = append(stack, u)
+				}
+				return true
+			})
+		}
+		comps = append(comps, comp)
+	}
+	// Insertion sort by descending size; component counts are small.
+	for i := 1; i < len(comps); i++ {
+		for j := i; j > 0 && comps[j].Count() > comps[j-1].Count(); j-- {
+			comps[j], comps[j-1] = comps[j-1], comps[j]
+		}
+	}
+	return comps
+}
+
+// DegeneracyOrder returns a vertex ordering produced by repeatedly
+// removing a minimum-degree vertex, along with the graph's degeneracy.
+// Several bounding heuristics (greedy clique, coloring) consume it.
+func (g *Graph) DegeneracyOrder() (order []int, degeneracy int) {
+	n := g.n
+	deg := make([]int, n)
+	removed := make([]bool, n)
+	for v := 0; v < n; v++ {
+		deg[v] = g.Degree(v)
+	}
+	// Bucket queue over degrees.
+	maxDeg := g.MaxDegree()
+	buckets := make([][]int, maxDeg+1)
+	for v := 0; v < n; v++ {
+		buckets[deg[v]] = append(buckets[deg[v]], v)
+	}
+	order = make([]int, 0, n)
+	cur := 0
+	for len(order) < n {
+		if cur > maxDeg {
+			break
+		}
+		if len(buckets[cur]) == 0 {
+			cur++
+			continue
+		}
+		v := buckets[cur][len(buckets[cur])-1]
+		buckets[cur] = buckets[cur][:len(buckets[cur])-1]
+		if removed[v] || deg[v] != cur {
+			continue // stale bucket entry
+		}
+		removed[v] = true
+		order = append(order, v)
+		if cur > degeneracy {
+			degeneracy = cur
+		}
+		g.adj[v].ForEach(func(u int) bool {
+			if !removed[u] {
+				deg[u]--
+				buckets[deg[u]] = append(buckets[deg[u]], u)
+				if deg[u] < cur {
+					cur = deg[u]
+				}
+			}
+			return true
+		})
+	}
+	return order, degeneracy
+}
+
+// GreedyCliqueLowerBound grows a clique greedily along the reverse
+// degeneracy order and returns its vertices.  It is a fast lower bound for
+// the maximum-clique solvers.
+func (g *Graph) GreedyCliqueLowerBound() []int {
+	order, _ := g.DegeneracyOrder()
+	best := []int{}
+	cand := bitset.New(g.n)
+	for i := len(order) - 1; i >= 0; i-- {
+		v := order[i]
+		clique := []int{v}
+		cand.CopyFrom(g.adj[v])
+		for {
+			// Pick the candidate with most connections into cand.
+			bestU, bestDeg := -1, -1
+			cand.ForEach(func(u int) bool {
+				d := g.adj[u].AndCount(cand)
+				if d > bestDeg {
+					bestU, bestDeg = u, d
+				}
+				return true
+			})
+			if bestU < 0 {
+				break
+			}
+			clique = append(clique, bestU)
+			cand.And(cand, g.adj[bestU])
+		}
+		if len(clique) > len(best) {
+			best = clique
+		}
+		// Trying every start is quadratic; a handful of starts from the
+		// high-coreness end is enough for a bound.
+		if len(order)-i >= 8 {
+			break
+		}
+	}
+	sortInts(best)
+	return best
+}
+
+func sortInts(a []int) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}

@@ -1,0 +1,164 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// This file implements the two interchange formats the tools speak:
+//
+//   - a plain edge list ("el" format): first line "n m", then one "u v"
+//     pair per line, 0-based, in any order; '#' starts a comment.
+//   - DIMACS clique format: "c" comments, "p edge N M" header, "e u v"
+//     lines, 1-based, as used by the clique/vertex-cover community the
+//     paper's FPT work comes from.
+
+// WriteEdgeList writes g in edge-list format.
+func WriteEdgeList(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "%d %d\n", g.N(), g.M()); err != nil {
+		return err
+	}
+	var err error
+	g.ForEachEdge(func(u, v int) bool {
+		_, err = fmt.Fprintf(bw, "%d %d\n", u, v)
+		return err == nil
+	})
+	if err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// ReadEdgeList parses edge-list format.
+func ReadEdgeList(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	var g *Graph
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if g == nil {
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("edge list line %d: want \"n m\" header, got %q", line, text)
+			}
+			n, err := strconv.Atoi(fields[0])
+			if err != nil {
+				return nil, fmt.Errorf("edge list line %d: bad n: %v", line, err)
+			}
+			if n < 0 {
+				return nil, fmt.Errorf("edge list line %d: negative n", line)
+			}
+			g = New(n)
+			continue
+		}
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("edge list line %d: want \"u v\", got %q", line, text)
+		}
+		u, err := strconv.Atoi(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("edge list line %d: bad u: %v", line, err)
+		}
+		v, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("edge list line %d: bad v: %v", line, err)
+		}
+		if u < 0 || u >= g.N() || v < 0 || v >= g.N() {
+			return nil, fmt.Errorf("edge list line %d: vertex out of range [0,%d)", line, g.N())
+		}
+		if u == v {
+			return nil, fmt.Errorf("edge list line %d: self-loop at %d", line, u)
+		}
+		g.AddEdge(u, v)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if g == nil {
+		return nil, fmt.Errorf("edge list: empty input")
+	}
+	return g, nil
+}
+
+// WriteDIMACS writes g in DIMACS clique format (1-based).
+func WriteDIMACS(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "p edge %d %d\n", g.N(), g.M()); err != nil {
+		return err
+	}
+	var err error
+	g.ForEachEdge(func(u, v int) bool {
+		_, err = fmt.Fprintf(bw, "e %d %d\n", u+1, v+1)
+		return err == nil
+	})
+	if err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// ReadDIMACS parses DIMACS clique format.
+func ReadDIMACS(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	var g *Graph
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		switch text[0] {
+		case 'c':
+			continue
+		case 'p':
+			fields := strings.Fields(text)
+			if len(fields) < 4 || fields[1] != "edge" {
+				return nil, fmt.Errorf("dimacs line %d: bad problem line %q", line, text)
+			}
+			n, err := strconv.Atoi(fields[2])
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("dimacs line %d: bad vertex count", line)
+			}
+			g = New(n)
+		case 'e':
+			if g == nil {
+				return nil, fmt.Errorf("dimacs line %d: edge before problem line", line)
+			}
+			fields := strings.Fields(text)
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("dimacs line %d: bad edge line %q", line, text)
+			}
+			u, err := strconv.Atoi(fields[1])
+			if err != nil {
+				return nil, fmt.Errorf("dimacs line %d: bad u", line)
+			}
+			v, err := strconv.Atoi(fields[2])
+			if err != nil {
+				return nil, fmt.Errorf("dimacs line %d: bad v", line)
+			}
+			if u < 1 || u > g.N() || v < 1 || v > g.N() || u == v {
+				return nil, fmt.Errorf("dimacs line %d: bad edge (%d,%d)", line, u, v)
+			}
+			g.AddEdge(u-1, v-1)
+		default:
+			return nil, fmt.Errorf("dimacs line %d: unknown record %q", line, text)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if g == nil {
+		return nil, fmt.Errorf("dimacs: no problem line")
+	}
+	return g, nil
+}

@@ -1,0 +1,44 @@
+package graph
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+// failWriter injects a write failure after a byte budget, exercising the
+// error paths of the graph writers.
+type failWriter struct{ n int }
+
+var errInjected = errors.New("injected write failure")
+
+func (f *failWriter) Write(p []byte) (int, error) {
+	if f.n <= 0 {
+		return 0, errInjected
+	}
+	if len(p) > f.n {
+		p = p[:f.n]
+	}
+	f.n -= len(p)
+	return len(p), nil
+}
+
+func TestWriteEdgeListPropagatesErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	g := RandomGNM(rng, 200, 2000)
+	for _, budget := range []int{0, 2, 50, 4096} {
+		if err := WriteEdgeList(&failWriter{n: budget}, g); err == nil {
+			t.Errorf("budget %d: write failure swallowed", budget)
+		}
+	}
+}
+
+func TestWriteDIMACSPropagatesErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	g := RandomGNM(rng, 200, 2000)
+	for _, budget := range []int{0, 5, 100, 4096} {
+		if err := WriteDIMACS(&failWriter{n: budget}, g); err == nil {
+			t.Errorf("budget %d: write failure swallowed", budget)
+		}
+	}
+}

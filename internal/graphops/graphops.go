@@ -1,0 +1,148 @@
+// Package graphops implements the Boolean graph queries the paper
+// proposes for cleaning noisy protein-interaction data: "queries
+// consisting of Boolean graph operations (e.g., graph intersection and
+// at-least-k-of-n over multiple graphs) can be used to refine the data"
+// (Section 1).  Each input graph records one experimental assay (e.g. a
+// yeast two-hybrid screen) over the same vertex universe; intersection
+// keeps interactions observed by every assay, at-least-k-of-n keeps those
+// replicated in at least k assays, suppressing false positives.
+//
+// All operations work row-wise on the bitmap adjacency substrate, so an
+// n-graph query costs n bitset passes per vertex.
+package graphops
+
+import (
+	"fmt"
+
+	"repro/internal/bitset"
+	"repro/internal/graph"
+)
+
+// mustSameOrder verifies all graphs share a vertex universe.
+func mustSameOrder(gs []*graph.Graph) int {
+	if len(gs) == 0 {
+		panic("graphops: no graphs")
+	}
+	n := gs[0].N()
+	for i, g := range gs[1:] {
+		if g.N() != n {
+			panic(fmt.Sprintf("graphops: graph %d has %d vertices, want %d", i+1, g.N(), n))
+		}
+	}
+	return n
+}
+
+// Intersection returns the graph whose edges appear in every input.
+func Intersection(gs ...*graph.Graph) *graph.Graph {
+	n := mustSameOrder(gs)
+	out := graph.New(n)
+	row := bitset.New(n)
+	for v := 0; v < n; v++ {
+		row.CopyFrom(gs[0].Neighbors(v))
+		for _, g := range gs[1:] {
+			row.And(row, g.Neighbors(v))
+		}
+		row.ForEach(func(u int) bool {
+			if u > v {
+				out.AddEdge(v, u)
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// Union returns the graph whose edges appear in any input.
+func Union(gs ...*graph.Graph) *graph.Graph {
+	n := mustSameOrder(gs)
+	out := graph.New(n)
+	row := bitset.New(n)
+	for v := 0; v < n; v++ {
+		row.CopyFrom(gs[0].Neighbors(v))
+		for _, g := range gs[1:] {
+			row.Or(row, g.Neighbors(v))
+		}
+		row.ForEach(func(u int) bool {
+			if u > v {
+				out.AddEdge(v, u)
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// Difference returns the edges of a that are not edges of b.
+func Difference(a, b *graph.Graph) *graph.Graph {
+	n := mustSameOrder([]*graph.Graph{a, b})
+	out := graph.New(n)
+	row := bitset.New(n)
+	for v := 0; v < n; v++ {
+		row.AndNot(a.Neighbors(v), b.Neighbors(v))
+		row.ForEach(func(u int) bool {
+			if u > v {
+				out.AddEdge(v, u)
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// AtLeastKOfN returns the graph whose edges appear in at least k of the
+// inputs — the paper's replication filter.  k must be in [1, len(gs)].
+func AtLeastKOfN(k int, gs ...*graph.Graph) *graph.Graph {
+	n := mustSameOrder(gs)
+	if k < 1 || k > len(gs) {
+		panic(fmt.Sprintf("graphops: k=%d with %d graphs", k, len(gs)))
+	}
+	out := graph.New(n)
+	// Per-row bit-sliced counter: count[b] holds bit b of the per-edge
+	// tally, so n graphs cost O(n log n) word operations per row instead
+	// of per-edge loops.
+	width := 1
+	for (1 << width) <= len(gs) {
+		width++
+	}
+	count := make([]*bitset.Bitset, width)
+	for i := range count {
+		count[i] = bitset.New(n)
+	}
+	carry := bitset.New(n)
+	tmp := bitset.New(n)
+	reach := bitset.New(n)
+	for v := 0; v < n; v++ {
+		for i := range count {
+			count[i].ClearAll()
+		}
+		for _, g := range gs {
+			// Ripple-carry add of the row into the counter.
+			carry.CopyFrom(g.Neighbors(v))
+			for b := 0; b < width && carry.Any(); b++ {
+				tmp.And(count[b], carry)      // new carry
+				count[b].Xor(count[b], carry) // sum bit
+				carry.CopyFrom(tmp)
+			}
+		}
+		// reach = set of u with tally >= k.
+		reach.ClearAll()
+		for tally := k; tally <= len(gs); tally++ {
+			tmp.SetAll()
+			for b := 0; b < width; b++ {
+				if tally&(1<<b) != 0 {
+					tmp.And(tmp, count[b])
+				} else {
+					tmp.AndNot(tmp, count[b])
+				}
+			}
+			reach.Or(reach, tmp)
+		}
+		reach.ForEach(func(u int) bool {
+			if u > v {
+				out.AddEdge(v, u)
+			}
+			return true
+		})
+	}
+	return out
+}

@@ -1,0 +1,233 @@
+// Package kclique implements the paper's "k-clique enumerator"
+// (Section 2.2): a modification of Base Bron–Kerbosch that enumerates
+// every clique of exactly size k — maximal and non-maximal — in canonical
+// order.  Maximal k-cliques are reported as results; non-maximal ones are
+// the seed candidates handed to the Clique Enumerator (package core),
+// which continues the enumeration upward from size k.
+//
+// The two modifications over Base BK are exactly the paper's: (1) when
+// |COMPSUB| reaches k, classify by whether NEW_CANDIDATES and NEW_NOT are
+// both empty and return instead of recursing; (2) prune any node where
+// |COMPSUB| + |CANDIDATES| < k.  Preprocessing removes vertices that
+// cannot be in any k-clique — the paper eliminates vertices of degree
+// < k-1; we run that rule to its fixed point ((k-1)-core peeling), which
+// is strictly stronger and never excludes a k-clique vertex.
+//
+// Because Base BK selects candidates in index order, COMPSUB is strictly
+// increasing along every search path.  Consequently all k-cliques sharing
+// a (k-1)-vertex prefix are visited consecutively, from a single search
+// node whose CANDIDATES ∪ NOT is precisely the common-neighbor set of the
+// prefix — which is exactly the sub-list layout (shared prefix, prefix
+// common-neighbor bitmap, tail array) the Clique Enumerator consumes, so
+// seeding requires no regrouping pass.
+package kclique
+
+import (
+	"repro/internal/bitset"
+	"repro/internal/clique"
+	"repro/internal/graph"
+)
+
+// Group is one sub-list-shaped batch of k-cliques: all share Prefix (k-1
+// vertices, canonical order), and each tail vertex extends it to a
+// k-clique.  PrefixCN is the common-neighbor bitmap of Prefix over the
+// ORIGINAL graph's vertex universe.  MaximalTails lists tails whose
+// k-clique is maximal; CandidateTails lists the rest (the Clique
+// Enumerator's seed candidates).  All tails exceed Prefix's last vertex
+// and are increasing.
+//
+// Callers must treat every field as borrowed: the enumerator reuses the
+// backing storage between Group deliveries.
+type Group struct {
+	Prefix         []int
+	PrefixCN       *bitset.Bitset
+	MaximalTails   []int
+	CandidateTails []int
+}
+
+// Options configures Enumerate.
+type Options struct {
+	// K is the clique size to enumerate; must be >= 2.
+	K int
+	// OnGroup, if non-nil, receives each non-empty group of k-cliques.
+	OnGroup func(g Group)
+	// SkipPeel disables the (k-1)-core preprocessing (for tests and
+	// ablation benchmarks).
+	SkipPeel bool
+}
+
+// Stats reports counters from one enumeration run.
+type Stats struct {
+	Maximal      int64 // maximal k-cliques found
+	Candidates   int64 // non-maximal k-cliques found
+	Groups       int64 // groups delivered
+	PeeledAway   int   // vertices removed by preprocessing
+	SearchNodes  int64 // EXTEND invocations
+	BoundaryCuts int64 // nodes pruned by |COMPSUB|+|CANDIDATES| < k
+}
+
+// Enumerate finds every k-clique of g and reports them through
+// opts.OnGroup.  It returns run statistics.
+func Enumerate(g *graph.Graph, opts Options) Stats {
+	if opts.K < 2 {
+		panic("kclique: K must be >= 2")
+	}
+	var st Stats
+
+	work := g
+	var newToOld []int
+	if !opts.SkipPeel {
+		alive := g.KCorePeel(opts.K - 1)
+		if alive.Count() < g.N() {
+			work, newToOld = g.InducedSubgraph(alive)
+			st.PeeledAway = g.N() - work.N()
+		}
+	}
+	if work.N() < opts.K {
+		return st
+	}
+
+	e := &searcher{
+		g:        work,
+		orig:     g,
+		newToOld: newToOld,
+		k:        opts.K,
+		onGroup:  opts.OnGroup,
+		st:       &st,
+		pool:     bitset.NewPool(work.N()),
+		prefix:   make([]int, 0, opts.K),
+	}
+	cand := bitset.New(work.N())
+	cand.SetAll()
+	not := bitset.New(work.N())
+	e.extend(cand, not)
+	return st
+}
+
+type searcher struct {
+	g        *graph.Graph // peeled working graph
+	orig     *graph.Graph // original graph (for PrefixCN universes)
+	newToOld []int        // nil when no peeling happened
+	k        int
+	onGroup  func(Group)
+	st       *Stats
+	pool     *bitset.Pool
+
+	prefix    []int // COMPSUB, strictly increasing
+	prefixOut []int // prefix translated to original IDs
+	maxTails  []int
+	candTails []int
+	cnScratch *bitset.Bitset // original-universe CN, lazily allocated
+}
+
+func (e *searcher) toOld(v int) int {
+	if e.newToOld == nil {
+		return v
+	}
+	return e.newToOld[v]
+}
+
+func (e *searcher) extend(cand, not *bitset.Bitset) {
+	e.st.SearchNodes++
+	// Boundary condition: not enough vertices left to reach size k.
+	if len(e.prefix)+cand.Count() < e.k {
+		e.st.BoundaryCuts++
+		return
+	}
+	if len(e.prefix) == e.k-1 {
+		e.emitGroup(cand, not)
+		return
+	}
+
+	branch := cand.Indices()
+	for _, v := range branch {
+		nv := e.g.Neighbors(v)
+		newCand := e.pool.GetNoClear()
+		newCand.And(cand, nv)
+		newNot := e.pool.GetNoClear()
+		newNot.And(not, nv)
+
+		e.prefix = append(e.prefix, v)
+		e.extend(newCand, newNot)
+		e.prefix = e.prefix[:len(e.prefix)-1]
+
+		e.pool.Put(newCand)
+		e.pool.Put(newNot)
+
+		cand.Clear(v)
+		not.Set(v)
+	}
+}
+
+// emitGroup classifies every k-clique prefix+t for tails t in cand and
+// delivers one Group.  cand ∪ not is the common-neighbor set of the
+// prefix in the working graph; it is translated to the original vertex
+// universe for the PrefixCN field.
+func (e *searcher) emitGroup(cand, not *bitset.Bitset) {
+	e.maxTails = e.maxTails[:0]
+	e.candTails = e.candTails[:0]
+
+	tails := cand.Indices() // increasing, all > prefix max
+	if len(tails) == 0 {
+		return
+	}
+	for _, t := range tails {
+		nt := e.g.Neighbors(t)
+		// The k-clique prefix+t is maximal iff no vertex is adjacent to
+		// all of prefix and to t: (cand ∪ not) ∩ N(t) = ∅.  Checking the
+		// two halves separately avoids materializing the union.
+		if cand.IntersectsWith(nt) || not.IntersectsWith(nt) {
+			e.candTails = append(e.candTails, e.toOld(t))
+		} else {
+			e.maxTails = append(e.maxTails, e.toOld(t))
+		}
+	}
+	e.st.Maximal += int64(len(e.maxTails))
+	e.st.Candidates += int64(len(e.candTails))
+	e.st.Groups++
+
+	if e.onGroup == nil {
+		return
+	}
+	// Translate the prefix and its CN to original vertex IDs.
+	e.prefixOut = e.prefixOut[:0]
+	for _, v := range e.prefix {
+		e.prefixOut = append(e.prefixOut, e.toOld(v))
+	}
+	if e.cnScratch == nil {
+		e.cnScratch = bitset.New(e.orig.N())
+	}
+	cn := e.cnScratch
+	if e.newToOld == nil {
+		cn.Or(cand, not)
+	} else {
+		cn.ClearAll()
+		cand.ForEach(func(v int) bool { cn.Set(e.newToOld[v]); return true })
+		not.ForEach(func(v int) bool { cn.Set(e.newToOld[v]); return true })
+	}
+	e.onGroup(Group{
+		Prefix:         e.prefixOut,
+		PrefixCN:       cn,
+		MaximalTails:   e.maxTails,
+		CandidateTails: e.candTails,
+	})
+}
+
+// All returns every k-clique of g, split into maximal and non-maximal,
+// each in canonical order.  Convenience for tests and small runs.
+func All(g *graph.Graph, k int) (maximal, candidates []clique.Clique) {
+	Enumerate(g, Options{
+		K: k,
+		OnGroup: func(gr Group) {
+			for _, t := range gr.MaximalTails {
+				c := append(clique.Clique(nil), gr.Prefix...)
+				maximal = append(maximal, append(c, t))
+			}
+			for _, t := range gr.CandidateTails {
+				c := append(clique.Clique(nil), gr.Prefix...)
+				candidates = append(candidates, append(c, t))
+			}
+		},
+	})
+	return maximal, candidates
+}

@@ -1,0 +1,213 @@
+package kclique
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/bitset"
+	"repro/internal/clique"
+	"repro/internal/graph"
+)
+
+func collectAll(g *graph.Graph, k int) (maximal, cands []clique.Clique) {
+	return All(g, k)
+}
+
+func TestKTooSmallPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("K=1 did not panic")
+		}
+	}()
+	Enumerate(graph.New(3), Options{K: 1})
+}
+
+func TestTriangleLevels(t *testing.T) {
+	g := graph.New(4)
+	graph.PlantClique(g, []int{0, 1, 2})
+	g.AddEdge(2, 3)
+
+	// k=2: edges {0,1},{0,2},{1,2},{2,3}; only {2,3} is maximal.
+	max2, cand2 := collectAll(g, 2)
+	if len(max2) != 1 || max2[0].Key() != "2,3" {
+		t.Errorf("maximal 2-cliques = %v", max2)
+	}
+	if len(cand2) != 3 {
+		t.Errorf("candidate 2-cliques = %v", cand2)
+	}
+
+	// k=3: only {0,1,2}, maximal.
+	max3, cand3 := collectAll(g, 3)
+	if len(max3) != 1 || max3[0].Key() != "0,1,2" {
+		t.Errorf("maximal 3-cliques = %v", max3)
+	}
+	if len(cand3) != 0 {
+		t.Errorf("candidate 3-cliques = %v", cand3)
+	}
+
+	// k=4: none.
+	max4, cand4 := collectAll(g, 4)
+	if len(max4)+len(cand4) != 0 {
+		t.Errorf("4-cliques = %v %v", max4, cand4)
+	}
+}
+
+func TestAgainstBruteForceRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 40; trial++ {
+		n := 3 + rng.Intn(12)
+		g := graph.RandomGNP(rng, n, 0.5)
+		for k := 2; k <= 5; k++ {
+			maximal, cands := collectAll(g, k)
+			all := append(append([]clique.Clique{}, maximal...), cands...)
+			want := clique.BruteForceKCliques(g, k)
+			if ok, diff := clique.SameSets(all, want); !ok {
+				t.Fatalf("trial %d k=%d: %s", trial, k, diff)
+			}
+			// Maximality split must match the definition.
+			for _, c := range maximal {
+				if !g.IsMaximalClique(c) {
+					t.Fatalf("trial %d k=%d: %v flagged maximal", trial, k, c)
+				}
+			}
+			for _, c := range cands {
+				if g.IsMaximalClique(c) {
+					t.Fatalf("trial %d k=%d: %v flagged candidate", trial, k, c)
+				}
+			}
+		}
+	}
+}
+
+func TestCanonicalOrderAndUniqueness(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	g := graph.PlantedGraph(rng, 40, []graph.PlantedCliqueSpec{{Size: 7}}, 60)
+	var all []clique.Clique
+	Enumerate(g, Options{K: 3, OnGroup: func(gr Group) {
+		for _, t := range gr.CandidateTails {
+			all = append(all, append(append(clique.Clique{}, gr.Prefix...), t))
+		}
+		for _, t := range gr.MaximalTails {
+			all = append(all, append(append(clique.Clique{}, gr.Prefix...), t))
+		}
+	}})
+	seen := map[string]bool{}
+	for _, c := range all {
+		if !c.Canonical() {
+			t.Fatalf("non-canonical %v", c)
+		}
+		if seen[c.Key()] {
+			t.Fatalf("duplicate %v", c)
+		}
+		seen[c.Key()] = true
+	}
+}
+
+func TestGroupPrefixCN(t *testing.T) {
+	// PrefixCN must equal the common-neighbor set of the prefix in the
+	// ORIGINAL graph, even when peeling reindexed the working graph.
+	rng := rand.New(rand.NewSource(33))
+	g := graph.PlantedGraph(rng, 30, []graph.PlantedCliqueSpec{{Size: 6}}, 25)
+	want := bitset.New(g.N())
+	checked := 0
+	Enumerate(g, Options{K: 4, OnGroup: func(gr Group) {
+		g.CommonNeighbors(want, gr.Prefix)
+		if !gr.PrefixCN.Equal(want) {
+			t.Fatalf("prefix %v: CN mismatch\n got %v\nwant %v",
+				gr.Prefix, gr.PrefixCN, want)
+		}
+		checked++
+	}})
+	if checked == 0 {
+		t.Fatal("no groups delivered")
+	}
+}
+
+func TestPeelingStatsAndEquivalence(t *testing.T) {
+	// A graph with a big low-degree fringe: peeling must remove it and
+	// results must be unchanged.
+	g := graph.New(30)
+	graph.PlantClique(g, []int{0, 1, 2, 3, 4})
+	for i := 5; i < 30; i++ {
+		g.AddEdge(i, (i+1)%30)
+	}
+	stPeel := Enumerate(g, Options{K: 4})
+	stNoPeel := Enumerate(g, Options{K: 4, SkipPeel: true})
+	if stPeel.PeeledAway == 0 {
+		t.Error("peeling removed nothing")
+	}
+	if stPeel.Maximal != stNoPeel.Maximal || stPeel.Candidates != stNoPeel.Candidates {
+		t.Errorf("peel changed results: %+v vs %+v", stPeel, stNoPeel)
+	}
+	if stPeel.SearchNodes >= stNoPeel.SearchNodes {
+		t.Errorf("peeling did not shrink the search: %d >= %d",
+			stPeel.SearchNodes, stNoPeel.SearchNodes)
+	}
+}
+
+func TestBoundaryCutFiresOnSparseGraph(t *testing.T) {
+	// Disable peeling so that underfilled branches reach the boundary
+	// condition |COMPSUB| + |CANDIDATES| < k.
+	g := graph.New(8)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 3)
+	st := Enumerate(g, Options{K: 3, SkipPeel: true})
+	if st.BoundaryCuts == 0 {
+		t.Error("boundary condition never fired on a path graph")
+	}
+	if st.Maximal != 0 && st.Candidates != 0 {
+		t.Errorf("path graph has no 3-cliques: %+v", st)
+	}
+}
+
+func TestTooFewVerticesAfterPeel(t *testing.T) {
+	g := graph.New(3)
+	g.AddEdge(0, 1)
+	st := Enumerate(g, Options{K: 3})
+	if st.Maximal+st.Candidates != 0 {
+		t.Errorf("no 3-cliques exist: %+v", st)
+	}
+}
+
+func TestStatsCounts(t *testing.T) {
+	rng := rand.New(rand.NewSource(34))
+	g := graph.RandomGNP(rng, 14, 0.6)
+	var maximal, cands int64
+	st := Enumerate(g, Options{K: 3, OnGroup: func(gr Group) {
+		maximal += int64(len(gr.MaximalTails))
+		cands += int64(len(gr.CandidateTails))
+	}})
+	if st.Maximal != maximal || st.Candidates != cands {
+		t.Errorf("stats %+v disagree with delivered %d/%d", st, maximal, cands)
+	}
+	if st.Groups == 0 || st.SearchNodes == 0 {
+		t.Errorf("counters not populated: %+v", st)
+	}
+}
+
+func TestLargePlantedClique(t *testing.T) {
+	// Seeding scenario from the paper: Init_K below the max clique size.
+	rng := rand.New(rand.NewSource(35))
+	g := graph.PlantedGraph(rng, 120, []graph.PlantedCliqueSpec{{Size: 12}}, 150)
+	st := Enumerate(g, Options{K: 10})
+	// Every 10-subset of the planted 12-clique is a candidate 10-clique:
+	// C(12,10) = 66 of them, none maximal (all extend to the 12-clique).
+	if st.Candidates < 66 {
+		t.Errorf("candidates = %d, want >= 66", st.Candidates)
+	}
+	if st.Maximal != 0 {
+		// Background edges could in principle create maximal 10-cliques,
+		// but at this density they cannot.
+		t.Errorf("maximal 10-cliques = %d, want 0", st.Maximal)
+	}
+}
+
+func BenchmarkSeedK10Planted(b *testing.B) {
+	rng := rand.New(rand.NewSource(36))
+	g := graph.PlantedGraph(rng, 500, []graph.PlantedCliqueSpec{{Size: 14}}, 900)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Enumerate(g, Options{K: 10, OnGroup: func(Group) {}})
+	}
+}

@@ -1,0 +1,154 @@
+package kose
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/clique"
+	"repro/internal/graph"
+)
+
+// bruteMaximal3Plus returns brute-force maximal cliques of size >= 3,
+// matching Kose's reporting range.
+func bruteMaximal3Plus(g *graph.Graph) []clique.Clique {
+	var out []clique.Clique
+	for _, c := range clique.BruteForceMaximal(g) {
+		if len(c) >= 3 {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+func TestTriangle(t *testing.T) {
+	g := graph.New(3)
+	graph.PlantClique(g, []int{0, 1, 2})
+	for _, fast := range []bool{false, true} {
+		got := MaximalCliques(g, fast)
+		if len(got) != 1 || got[0].Key() != "0,1,2" {
+			t.Errorf("fast=%v: triangle -> %v", fast, got)
+		}
+	}
+}
+
+func TestEdgeOnlyGraphReportsNothing(t *testing.T) {
+	// Maximal cliques of size 2 are outside the reporting range.
+	g := graph.New(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(2, 3)
+	st := Enumerate(g, Options{})
+	if st.Maximal != 0 {
+		t.Errorf("Maximal = %d, want 0", st.Maximal)
+	}
+}
+
+func TestAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 30; trial++ {
+		n := 3 + rng.Intn(12)
+		g := graph.RandomGNP(rng, n, 0.55)
+		want := bruteMaximal3Plus(g)
+		for _, fast := range []bool{false, true} {
+			got := MaximalCliques(g, fast)
+			if ok, diff := clique.SameSets(got, want); !ok {
+				t.Fatalf("trial %d fast=%v: %s", trial, fast, diff)
+			}
+			if err := clique.Validate(g, got, 3, 0); err != nil {
+				t.Fatalf("trial %d fast=%v: %v", trial, fast, err)
+			}
+		}
+	}
+}
+
+func TestFastAndFaithfulAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	g := graph.PlantedGraph(rng, 35, []graph.PlantedCliqueSpec{
+		{Size: 7}, {Size: 5, Overlap: 2},
+	}, 50)
+	slow := MaximalCliques(g, false)
+	fast := MaximalCliques(g, true)
+	if ok, diff := clique.SameSets(slow, fast); !ok {
+		t.Fatalf("containment strategies disagree: %s", diff)
+	}
+}
+
+func TestNonDecreasingOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	g := graph.PlantedGraph(rng, 30, []graph.PlantedCliqueSpec{
+		{Size: 6}, {Size: 4, Overlap: 1},
+	}, 30)
+	lastSize := 0
+	Enumerate(g, Options{Reporter: clique.ReporterFunc(func(c clique.Clique) {
+		if len(c) < lastSize {
+			t.Fatalf("size order violated: %d after %d", len(c), lastSize)
+		}
+		lastSize = len(c)
+	})})
+}
+
+func TestStatsTrackMemoryHunger(t *testing.T) {
+	// On a planted 9-clique, Kose must hold all C(9,k) cliques at each
+	// level: peak M[4]+M[5] = 126+126 = 252.
+	g := graph.New(9)
+	graph.PlantClique(g, []int{0, 1, 2, 3, 4, 5, 6, 7, 8})
+	st := Enumerate(g, Options{})
+	if st.PeakCliques != 252 {
+		t.Errorf("PeakCliques = %d, want 252", st.PeakCliques)
+	}
+	// Peak bytes: 126*4*4 + 126*5*4 = 4536.
+	if st.PeakBytes != 4536 {
+		t.Errorf("PeakBytes = %d, want 4536", st.PeakBytes)
+	}
+	if st.ContainChecks == 0 {
+		t.Error("no containment checks recorded")
+	}
+	// Level sizes must be the binomials C(9,k).
+	want := []int64{36, 84, 126, 126, 84, 36, 9, 1, 0}
+	if len(st.LevelCliques) != len(want) {
+		t.Fatalf("LevelCliques = %v", st.LevelCliques)
+	}
+	for i := range want {
+		if st.LevelCliques[i] != want[i] {
+			t.Fatalf("LevelCliques = %v, want %v", st.LevelCliques, want)
+		}
+	}
+}
+
+func TestMaxKStopsEarly(t *testing.T) {
+	g := graph.New(9)
+	graph.PlantClique(g, []int{0, 1, 2, 3, 4, 5, 6, 7, 8})
+	st := Enumerate(g, Options{MaxK: 4})
+	// Levels 2, 3, 4 generated; generation stops at MaxK.
+	if len(st.LevelCliques) != 3 {
+		t.Errorf("LevelCliques = %v, want 3 levels", st.LevelCliques)
+	}
+}
+
+func TestIsSubset(t *testing.T) {
+	cases := []struct {
+		c, d []uint32
+		want bool
+	}{
+		{[]uint32{1, 2}, []uint32{1, 2, 3}, true},
+		{[]uint32{1, 3}, []uint32{1, 2, 3}, true},
+		{[]uint32{2, 3}, []uint32{1, 2, 3}, true},
+		{[]uint32{1, 4}, []uint32{1, 2, 3}, false},
+		{[]uint32{4, 5}, []uint32{1, 2, 3}, false},
+		{[]uint32{1, 2, 3}, []uint32{1, 2, 3, 4}, true},
+		{[]uint32{1, 2, 4}, []uint32{1, 2, 3, 4}, true},
+	}
+	for _, tc := range cases {
+		if got := isSubset(tc.c, tc.d); got != tc.want {
+			t.Errorf("isSubset(%v,%v) = %v", tc.c, tc.d, got)
+		}
+	}
+}
+
+func BenchmarkKoseFaithfulPlanted10(b *testing.B) {
+	rng := rand.New(rand.NewSource(44))
+	g := graph.PlantedGraph(rng, 100, []graph.PlantedCliqueSpec{{Size: 10}}, 120)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Enumerate(g, Options{})
+	}
+}

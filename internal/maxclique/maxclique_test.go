@@ -1,0 +1,135 @@
+package maxclique
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/clique"
+	"repro/internal/graph"
+	"repro/internal/vc"
+)
+
+func TestTrivialGraphs(t *testing.T) {
+	if c := Find(graph.New(0)); len(c) != 0 {
+		t.Errorf("empty graph: %v", c)
+	}
+	if c := Find(graph.New(3)); len(c) != 1 {
+		t.Errorf("edgeless: %v (one vertex is a 1-clique)", c)
+	}
+	g := graph.New(2)
+	g.AddEdge(0, 1)
+	if c := Find(g); len(c) != 2 {
+		t.Errorf("K2: %v", c)
+	}
+}
+
+func TestCompleteGraph(t *testing.T) {
+	g := graph.New(10)
+	verts := make([]int, 10)
+	for i := range verts {
+		verts[i] = i
+	}
+	graph.PlantClique(g, verts)
+	c := Find(g)
+	if len(c) != 10 {
+		t.Errorf("K10: %v", c)
+	}
+}
+
+func TestAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	for trial := 0; trial < 50; trial++ {
+		g := graph.RandomGNP(rng, 3+rng.Intn(14), []float64{0.3, 0.5, 0.8}[trial%3])
+		c := Find(g)
+		if !g.IsClique(c) {
+			t.Fatalf("trial %d: %v not a clique", trial, c)
+		}
+		if want := clique.BruteForceMaxCliqueSize(g); len(c) != want {
+			t.Fatalf("trial %d: ω = %d, want %d", trial, len(c), want)
+		}
+	}
+}
+
+func TestAgreesWithVCRoute(t *testing.T) {
+	rng := rand.New(rand.NewSource(92))
+	for trial := 0; trial < 20; trial++ {
+		g := graph.RandomGNP(rng, 3+rng.Intn(12), 0.5)
+		bb := Find(g)
+		viaVC := vc.MaxCliqueViaVC(g)
+		if len(bb) != len(viaVC) {
+			t.Fatalf("trial %d: BB ω=%d, VC ω=%d", trial, len(bb), len(viaVC))
+		}
+	}
+}
+
+func TestPlantedCliqueRecovered(t *testing.T) {
+	rng := rand.New(rand.NewSource(93))
+	g := graph.PlantedGraph(rng, 400, []graph.PlantedCliqueSpec{{Size: 20}}, 800)
+	c, st := FindStats(g)
+	if len(c) != 20 {
+		t.Fatalf("planted ω=20, found %d", len(c))
+	}
+	if !g.IsClique(c) {
+		t.Fatal("result not a clique")
+	}
+	if st.Nodes == 0 {
+		t.Error("no nodes recorded")
+	}
+}
+
+func TestMoonMoser(t *testing.T) {
+	// K_{3,3,3}: ω = 3 despite 27 maximal cliques.
+	g := graph.New(9)
+	for u := 0; u < 9; u++ {
+		for v := u + 1; v < 9; v++ {
+			if u/3 != v/3 {
+				g.AddEdge(u, v)
+			}
+		}
+	}
+	if got := Size(g); got != 3 {
+		t.Errorf("Moon-Moser ω = %d, want 3", got)
+	}
+}
+
+func TestResultCanonical(t *testing.T) {
+	rng := rand.New(rand.NewSource(94))
+	g := graph.RandomGNP(rng, 15, 0.6)
+	c := Find(g)
+	for i := 1; i < len(c); i++ {
+		if c[i] <= c[i-1] {
+			t.Fatalf("result not canonical: %v", c)
+		}
+	}
+}
+
+// Property: ω is monotone under edge addition.
+func TestQuickMonotoneUnderEdgeAddition(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := graph.RandomGNP(rng, 4+rng.Intn(10), 0.3)
+		before := Size(g)
+		// Add a random non-edge if one exists.
+		for tries := 0; tries < 50; tries++ {
+			u, v := rng.Intn(g.N()), rng.Intn(g.N())
+			if u != v && !g.HasEdge(u, v) {
+				g.AddEdge(u, v)
+				break
+			}
+		}
+		return Size(g) >= before
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkFindPlanted20(b *testing.B) {
+	rng := rand.New(rand.NewSource(95))
+	g := graph.PlantedGraph(rng, 400, []graph.PlantedCliqueSpec{{Size: 20}}, 800)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Find(g)
+	}
+}

@@ -1,0 +1,319 @@
+// Package ooc implements an out-of-core, level-wise maximal clique
+// enumerator: the approach the paper used *before* moving to large
+// shared-memory machines.  Section 1: "To deal with such large memory
+// requirements we have previously developed an out-of-core algorithm
+// based on the recursive branching procedure suggested by Kose et al ...
+// the algorithm could not finish after one week of execution ...
+// Intensive disk I/O access has been the major bottleneck."
+//
+// Levels live on disk: the file of canonical k-cliques is streamed
+// through memory one prefix run at a time, tail pairs are joined into
+// (k+1)-cliques written to the next level file, and the bitmap
+// common-neighbor test decides maximality as in package core.  Only one
+// prefix run (at most n cliques) is resident at a time, so memory stays
+// O(n) regardless of how many cliques a level holds — the I/O volume is
+// what explodes instead, and the Stats expose exactly that, which is the
+// comparison the in-core/out-of-core ablation benchmark draws.
+package ooc
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"repro/internal/bitset"
+	"repro/internal/clique"
+	"repro/internal/graph"
+)
+
+// Options configures Enumerate.
+type Options struct {
+	// Dir is the spill directory (required); level files are created and
+	// deleted inside it.
+	Dir string
+	// Reporter receives maximal cliques (size >= 3, non-decreasing).
+	Reporter clique.Reporter
+	// MaxK stops after generating cliques of size MaxK (0 = run out).
+	MaxK int
+	// MaxLevelBytes aborts when a level file would exceed this size
+	// (0 = unlimited): the out-of-core analogue of the paper's one-week
+	// cutoff.
+	MaxLevelBytes int64
+}
+
+// Stats reports the run's I/O behavior.
+type Stats struct {
+	Maximal       int64
+	BytesWritten  int64
+	BytesRead     int64
+	PeakLevelFile int64 // largest level file in bytes
+	Levels        int
+	Aborted       bool
+}
+
+// ErrSpillBudget is returned when MaxLevelBytes is exceeded.
+var ErrSpillBudget = fmt.Errorf("ooc: spill budget exceeded")
+
+// levelWriter writes fixed-width k-clique records through a counting
+// buffered writer.
+type levelWriter struct {
+	f       *os.File
+	bw      *bufio.Writer
+	k       int
+	written int64
+	count   int64
+}
+
+func newLevelWriter(dir string, k int) (*levelWriter, error) {
+	f, err := os.CreateTemp(dir, fmt.Sprintf("level-%d-*.cliques", k))
+	if err != nil {
+		return nil, err
+	}
+	return &levelWriter{f: f, bw: bufio.NewWriterSize(f, 1<<20), k: k}, nil
+}
+
+func (w *levelWriter) write(c []uint32) error {
+	var buf [4]byte
+	for _, v := range c {
+		binary.LittleEndian.PutUint32(buf[:], v)
+		if _, err := w.bw.Write(buf[:]); err != nil {
+			return err
+		}
+	}
+	w.written += int64(4 * len(c))
+	w.count++
+	return nil
+}
+
+// finish flushes and reopens the file for reading.
+func (w *levelWriter) finish() (*levelReader, error) {
+	if err := w.bw.Flush(); err != nil {
+		return nil, err
+	}
+	if _, err := w.f.Seek(0, io.SeekStart); err != nil {
+		return nil, err
+	}
+	return &levelReader{
+		f:     w.f,
+		br:    bufio.NewReaderSize(w.f, 1<<20),
+		k:     w.k,
+		count: w.count,
+		bytes: w.written,
+	}, nil
+}
+
+// levelReader streams fixed-width k-clique records.
+type levelReader struct {
+	f     *os.File
+	br    *bufio.Reader
+	k     int
+	count int64
+	bytes int64
+	read  int64
+}
+
+// next reads one clique into dst (len k), reporting io.EOF at the end.
+func (r *levelReader) next(dst []uint32) error {
+	var buf [4]byte
+	for i := 0; i < r.k; i++ {
+		if _, err := io.ReadFull(r.br, buf[:]); err != nil {
+			if i == 0 && err == io.EOF {
+				return io.EOF
+			}
+			return fmt.Errorf("ooc: truncated level file: %w", err)
+		}
+		dst[i] = binary.LittleEndian.Uint32(buf[:])
+	}
+	r.read += int64(4 * r.k)
+	return nil
+}
+
+func (r *levelReader) close() error {
+	name := r.f.Name()
+	if err := r.f.Close(); err != nil {
+		return err
+	}
+	return os.Remove(name)
+}
+
+// Enumerate runs the out-of-core enumeration and returns its statistics.
+func Enumerate(g *graph.Graph, opts Options) (Stats, error) {
+	var st Stats
+	if opts.Dir == "" {
+		return st, fmt.Errorf("ooc: Dir is required")
+	}
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return st, err
+	}
+	dir, err := os.MkdirTemp(opts.Dir, "ooc-run-*")
+	if err != nil {
+		return st, err
+	}
+	defer os.RemoveAll(dir)
+
+	// Level 2: spill all edges in canonical order.
+	w, err := newLevelWriter(dir, 2)
+	if err != nil {
+		return st, err
+	}
+	writeErr := error(nil)
+	g.ForEachEdge(func(u, v int) bool {
+		writeErr = w.write([]uint32{uint32(u), uint32(v)})
+		return writeErr == nil
+	})
+	if writeErr != nil {
+		return st, writeErr
+	}
+	st.BytesWritten += w.written
+
+	cur, err := w.finish()
+	if err != nil {
+		return st, err
+	}
+
+	cn := bitset.New(g.N())
+	cnNext := bitset.New(g.N())
+	emitBuf := make(clique.Clique, 0, 16)
+	for cur.count > 0 {
+		if opts.MaxK > 0 && cur.k >= opts.MaxK {
+			break
+		}
+		st.Levels++
+		if cur.bytes > st.PeakLevelFile {
+			st.PeakLevelFile = cur.bytes
+		}
+		next, nst, err := generateLevel(g, dir, cur, cn, cnNext, emitBuf, opts, &st)
+		st.BytesRead += cur.read
+		if cerr := cur.close(); cerr != nil && err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return st, err
+		}
+		st.BytesWritten += nst
+		cur = next
+	}
+	st.BytesRead += cur.read
+	if err := cur.close(); err != nil {
+		return st, err
+	}
+	return st, nil
+}
+
+// generateLevel streams one level file, joining prefix runs into the next
+// level and reporting maximal (k+1)-cliques.
+func generateLevel(g *graph.Graph, dir string, cur *levelReader,
+	cn, cnNext *bitset.Bitset, emitBuf clique.Clique,
+	opts Options, st *Stats) (*levelReader, int64, error) {
+
+	w, err := newLevelWriter(dir, cur.k+1)
+	if err != nil {
+		return nil, 0, err
+	}
+	fail := func(err error) (*levelReader, int64, error) {
+		name := w.f.Name()
+		w.f.Close()
+		os.Remove(name)
+		return nil, 0, err
+	}
+
+	// run holds the current prefix run: cliques sharing the first k-1
+	// vertices.  At most n tails, so memory stays O(n).
+	k := cur.k
+	prefix := make([]uint32, k-1)
+	var tails []uint32
+	rec := make([]uint32, k)
+
+	flush := func() error {
+		if len(tails) == 0 {
+			return nil
+		}
+		// CN of the shared prefix (k-1 ANDs over adjacency rows; for
+		// k=2 the "prefix" is one vertex).
+		g.CommonNeighbors(cn, toInts(prefix))
+		for i := 0; i < len(tails)-1; i++ {
+			v := int(tails[i])
+			nv := g.Neighbors(v)
+			cnNext.And(cn, nv)
+			for j := i + 1; j < len(tails); j++ {
+				u := int(tails[j])
+				if !nv.Test(u) {
+					continue
+				}
+				if cnNext.IntersectsWith(g.Neighbors(u)) {
+					// Non-maximal: spill as a next-level candidate.
+					rec2 := append(append(append([]uint32{}, prefix...), tails[i]), tails[j])
+					if err := w.write(rec2); err != nil {
+						return err
+					}
+					if opts.MaxLevelBytes > 0 && w.written > opts.MaxLevelBytes {
+						st.Aborted = true
+						return ErrSpillBudget
+					}
+				} else if k+1 >= 3 {
+					st.Maximal++
+					if opts.Reporter != nil {
+						emitBuf = emitBuf[:0]
+						for _, p := range prefix {
+							emitBuf = append(emitBuf, int(p))
+						}
+						emitBuf = append(emitBuf, v, u)
+						opts.Reporter.Emit(emitBuf)
+					}
+				}
+			}
+		}
+		tails = tails[:0]
+		return nil
+	}
+
+	for {
+		err := cur.next(rec)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return fail(err)
+		}
+		if len(tails) > 0 && !equalPrefix(prefix, rec[:k-1]) {
+			if err := flush(); err != nil {
+				return fail(err)
+			}
+		}
+		copy(prefix, rec[:k-1])
+		tails = append(tails, rec[k-1])
+	}
+	if err := flush(); err != nil {
+		return fail(err)
+	}
+
+	written := w.written
+	next, err := w.finish()
+	if err != nil {
+		return nil, 0, err
+	}
+	return next, written, nil
+}
+
+func equalPrefix(a, b []uint32) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func toInts(vs []uint32) []int {
+	out := make([]int, len(vs))
+	for i, v := range vs {
+		out[i] = int(v)
+	}
+	return out
+}
+
+// SpillPath returns a default spill directory under the OS temp dir.
+func SpillPath() string { return filepath.Join(os.TempDir(), "repro-ooc") }

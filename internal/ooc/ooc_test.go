@@ -1,0 +1,150 @@
+package ooc
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/clique"
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+func run(t *testing.T, g *graph.Graph, opts Options) (*clique.Collector, Stats) {
+	t.Helper()
+	col := &clique.Collector{}
+	opts.Dir = t.TempDir()
+	opts.Reporter = col
+	st, err := Enumerate(g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return col, st
+}
+
+func TestMatchesInCoreOnRandomGraphs(t *testing.T) {
+	rng := rand.New(rand.NewSource(121))
+	for trial := 0; trial < 20; trial++ {
+		g := graph.RandomGNP(rng, 4+rng.Intn(14), 0.5)
+		inCore := &clique.Collector{}
+		if _, err := core.Enumerate(g, core.Options{Reporter: inCore}); err != nil {
+			t.Fatal(err)
+		}
+		outOfCore, _ := run(t, g, Options{})
+		if ok, diff := clique.SameSets(inCore.Cliques, outOfCore.Cliques); !ok {
+			t.Fatalf("trial %d: %s", trial, diff)
+		}
+	}
+}
+
+func TestMatchesInCoreOnPlanted(t *testing.T) {
+	rng := rand.New(rand.NewSource(122))
+	g := graph.PlantedGraph(rng, 80, []graph.PlantedCliqueSpec{
+		{Size: 9}, {Size: 6, Overlap: 3},
+	}, 150)
+	inCore := &clique.Collector{}
+	if _, err := core.Enumerate(g, core.Options{Reporter: inCore}); err != nil {
+		t.Fatal(err)
+	}
+	outOfCore, st := run(t, g, Options{})
+	if ok, diff := clique.SameSets(inCore.Cliques, outOfCore.Cliques); !ok {
+		t.Fatal(diff)
+	}
+	if st.Maximal != int64(len(inCore.Cliques)) {
+		t.Errorf("Maximal = %d, want %d", st.Maximal, len(inCore.Cliques))
+	}
+	if st.BytesWritten == 0 || st.BytesRead == 0 {
+		t.Errorf("I/O accounting empty: %+v", st)
+	}
+	if st.PeakLevelFile == 0 || st.Levels == 0 {
+		t.Errorf("level accounting empty: %+v", st)
+	}
+}
+
+func TestNonDecreasingOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(123))
+	g := graph.PlantedGraph(rng, 40, []graph.PlantedCliqueSpec{
+		{Size: 7}, {Size: 5, Overlap: 2},
+	}, 60)
+	lastSize := 0
+	col := clique.ReporterFunc(func(c clique.Clique) {
+		if len(c) < lastSize {
+			t.Fatalf("size order violated: %d after %d", len(c), lastSize)
+		}
+		lastSize = len(c)
+	})
+	if _, err := Enumerate(g, Options{Dir: t.TempDir(), Reporter: col}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIOVolumeExceedsInCorePeak(t *testing.T) {
+	// The out-of-core design's defining property: total bytes moved
+	// through disk dwarf the in-core peak residency — the paper's
+	// "intensive disk I/O access has been the major bottleneck".
+	rng := rand.New(rand.NewSource(124))
+	g := graph.PlantedGraph(rng, 100, []graph.PlantedCliqueSpec{{Size: 11}}, 200)
+	inCore, err := core.Enumerate(g, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, st := run(t, g, Options{})
+	if st.BytesWritten+st.BytesRead <= inCore.PeakBytes {
+		t.Errorf("I/O %d bytes did not exceed in-core peak %d",
+			st.BytesWritten+st.BytesRead, inCore.PeakBytes)
+	}
+}
+
+func TestSpillBudgetAborts(t *testing.T) {
+	rng := rand.New(rand.NewSource(125))
+	g := graph.PlantedGraph(rng, 60, []graph.PlantedCliqueSpec{{Size: 10}}, 100)
+	st, err := Enumerate(g, Options{Dir: t.TempDir(), MaxLevelBytes: 256})
+	if !errors.Is(err, ErrSpillBudget) {
+		t.Fatalf("err = %v, want ErrSpillBudget", err)
+	}
+	if !st.Aborted {
+		t.Error("Aborted flag not set")
+	}
+}
+
+func TestMaxKStopsEarly(t *testing.T) {
+	g := graph.New(9)
+	graph.PlantClique(g, []int{0, 1, 2, 3, 4, 5, 6, 7, 8})
+	col := &clique.Collector{}
+	st, err := Enumerate(g, Options{Dir: t.TempDir(), Reporter: col, MaxK: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Levels != 2 {
+		t.Errorf("levels = %d, want 2 (k=2 and k=3 processed)", st.Levels)
+	}
+	// Inside K9 nothing of size 3..4 is maximal.
+	if len(col.Cliques) != 0 {
+		t.Errorf("cliques = %v", col.Cliques)
+	}
+}
+
+func TestDirRequired(t *testing.T) {
+	if _, err := Enumerate(graph.New(2), Options{}); err == nil {
+		t.Fatal("missing Dir accepted")
+	}
+}
+
+func TestEmptyGraph(t *testing.T) {
+	col, st := run(t, graph.New(5), Options{})
+	if len(col.Cliques) != 0 || st.Maximal != 0 {
+		t.Error("edgeless graph produced cliques")
+	}
+}
+
+func BenchmarkOutOfCorePlanted10(b *testing.B) {
+	rng := rand.New(rand.NewSource(126))
+	g := graph.PlantedGraph(rng, 150, []graph.PlantedCliqueSpec{{Size: 10}}, 250)
+	dir := b.TempDir()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Enumerate(g, Options{Dir: dir}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,240 @@
+// Package parallel is the multithreaded Clique Enumerator: the paper's
+// level-synchronous execution scheme running on real OS threads
+// (goroutines), coordinated by the centralized dynamic load balancer of
+// package sched.
+//
+// Each level, the task scheduler assigns the candidate sub-lists to
+// worker threads; workers generate (k+1)-cliques from their sub-lists
+// completely independently (sub-list joins never interact — the paper's
+// key parallelism property), then synchronize at a barrier where the
+// scheduler collects results and loads and decides transfers for the next
+// level.  Two assignment strategies are provided:
+//
+//   - Contiguous: re-partition every level into load-balanced contiguous
+//     chunks.  Keeps the canonical output order and is the best balance,
+//     at the cost of ignoring memory affinity entirely.
+//   - Affinity: every thread keeps the sub-lists it created, and the
+//     scheduler transfers work from heavy to light threads only when the
+//     imbalance exceeds the threshold policy — the paper's strategy,
+//     minimizing remote-memory traffic on ccNUMA machines.
+package parallel
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/bitset"
+	"repro/internal/clique"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/sched"
+)
+
+// Strategy selects the per-level assignment policy.
+type Strategy int
+
+const (
+	// Contiguous re-chunks each level evenly by estimated load.
+	Contiguous Strategy = iota
+	// Affinity keeps creator ownership and applies threshold transfers.
+	Affinity
+)
+
+// Options configures Enumerate.
+type Options struct {
+	// Workers is the number of worker threads; must be >= 1.
+	Workers int
+	// Lo, Hi, RecomputeCN, CompressCN as in core.Options.
+	Lo, Hi      int
+	RecomputeCN bool
+	CompressCN  bool
+	// Strategy selects the assignment policy (default Contiguous).
+	Strategy Strategy
+	// Policy tunes Affinity-mode transfers.
+	Policy sched.Policy
+	// Reporter receives maximal cliques.  Delivery is level-ordered
+	// (non-decreasing clique size); with the Contiguous strategy it is
+	// additionally in full canonical order.  May be nil.
+	Reporter clique.Reporter
+	// OnLevel observes per-level scheduling statistics.
+	OnLevel func(LevelStats)
+}
+
+// LevelStats describes one parallel level step.
+type LevelStats struct {
+	FromK      int
+	Sublists   int
+	Transfers  int       // sub-lists moved by the load balancer
+	WorkerBusy []float64 // seconds of generation work per worker
+	WorkerCost []int64   // abstract cost units per worker
+	Maximal    int64
+}
+
+// Result summarizes a parallel run.
+type Result struct {
+	MaximalCliques int64
+	MaxCliqueSize  int
+	Levels         []LevelStats
+	WorkerBusy     []float64 // total busy seconds per worker
+	Transfers      int
+	Elapsed        time.Duration
+}
+
+// Enumerate runs the multithreaded Clique Enumerator.
+func Enumerate(g *graph.Graph, opts Options) (*Result, error) {
+	if opts.Workers < 1 {
+		return nil, fmt.Errorf("parallel: %d workers", opts.Workers)
+	}
+	if opts.Lo == 0 {
+		opts.Lo = 2
+	}
+	if opts.Hi != 0 && opts.Hi < opts.Lo {
+		return nil, fmt.Errorf("parallel: Hi %d < Lo %d", opts.Hi, opts.Lo)
+	}
+	if opts.RecomputeCN && opts.CompressCN {
+		return nil, fmt.Errorf("parallel: RecomputeCN and CompressCN are mutually exclusive")
+	}
+	mode := core.CNStore
+	switch {
+	case opts.RecomputeCN:
+		mode = core.CNRecompute
+	case opts.CompressCN:
+		mode = core.CNCompress
+	}
+	start := time.Now()
+	res := &Result{WorkerBusy: make([]float64, opts.Workers)}
+
+	// Seed-phase reporter: counts and forwards maximal Lo-cliques.
+	seedCount := func(c clique.Clique) {
+		res.MaximalCliques++
+		if len(c) > res.MaxCliqueSize {
+			res.MaxCliqueSize = len(c)
+		}
+		if opts.Reporter != nil {
+			opts.Reporter.Emit(c)
+		}
+	}
+
+	// Seeding is sequential (it is a negligible fraction of the run for
+	// the paper's workloads; Figure 5 measures the level loop).
+	var lvl *core.Level
+	var homes []int32 // creator worker per sub-list; nil => worker 0
+	if opts.Lo <= 2 {
+		lvl = core.SeedFromEdgesMode(g, mode)
+	} else {
+		var err error
+		lvl, _, err = core.SeedFromKMode(g, opts.Lo, mode,
+			clique.ReporterFunc(seedCount))
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	pool := bitset.NewPool(g.N())
+	workers := make([]*worker, opts.Workers)
+	for w := range workers {
+		workers[w] = &worker{
+			builder: core.NewBuilderMode(g, mode, pool),
+		}
+	}
+
+	words := int64((g.N() + 63) / 64)
+	for len(lvl.Sub) > 0 && (opts.Hi == 0 || lvl.K+1 <= opts.Hi) {
+		loads := make([]int64, len(lvl.Sub))
+		for i, s := range lvl.Sub {
+			loads[i] = estimateLoad(s, words)
+		}
+
+		var assign sched.Assignment
+		transfers := 0
+		if opts.Strategy == Affinity && homes != nil {
+			assign = sched.ByHome(homes, opts.Workers)
+			transfers = len(opts.Policy.Rebalance(assign, loads))
+		} else {
+			assign = sched.BalancedContiguous(loads, opts.Workers)
+		}
+
+		// Workers generate independently; the scheduler's barrier is the
+		// WaitGroup.
+		var wg sync.WaitGroup
+		for w := 0; w < opts.Workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				workers[w].run(lvl, assign[w], opts.Reporter != nil)
+			}(w)
+		}
+		wg.Wait()
+
+		// Collect: merge next-level fragments and emissions in worker
+		// order, record loads and stats, decide next homes.
+		st := LevelStats{
+			FromK:      lvl.K,
+			Sublists:   len(lvl.Sub),
+			Transfers:  transfers,
+			WorkerBusy: make([]float64, opts.Workers),
+			WorkerCost: make([]int64, opts.Workers),
+		}
+		next := &core.Level{K: lvl.K + 1}
+		homes = homes[:0]
+		for w, wk := range workers {
+			st.WorkerBusy[w] = wk.busy.Seconds()
+			st.WorkerCost[w] = wk.builder.Cost.Units()
+			st.Maximal += wk.builder.Maximal
+			res.WorkerBusy[w] += wk.busy.Seconds()
+			if opts.Reporter != nil {
+				for _, c := range wk.emitted {
+					opts.Reporter.Emit(c)
+				}
+			}
+			next.Sub = append(next.Sub, wk.builder.Next...)
+			for range wk.builder.Next {
+				homes = append(homes, int32(w))
+			}
+		}
+		res.MaximalCliques += st.Maximal
+		if st.Maximal > 0 && lvl.K+1 > res.MaxCliqueSize {
+			res.MaxCliqueSize = lvl.K + 1
+		}
+		res.Transfers += transfers
+		res.Levels = append(res.Levels, st)
+		if opts.OnLevel != nil {
+			opts.OnLevel(st)
+		}
+		lvl = next
+	}
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+// estimateLoad predicts the generation cost of a sub-list before running
+// it: the pairwise tail joins plus the per-extension bitmap AND work.
+func estimateLoad(s *core.SubList, words int64) int64 {
+	t := int64(len(s.Tails))
+	return t*(t-1)/2 + (t-1)*words
+}
+
+type worker struct {
+	builder *core.Builder
+	emitted []clique.Clique
+	busy    time.Duration
+}
+
+// run processes the assigned sub-list indices of the level, buffering any
+// emissions for ordered delivery after the barrier.
+func (wk *worker) run(lvl *core.Level, items []int, collect bool) {
+	wk.builder.Reset()
+	wk.emitted = wk.emitted[:0]
+	var rep clique.Reporter
+	if collect {
+		rep = clique.ReporterFunc(func(c clique.Clique) {
+			wk.emitted = append(wk.emitted, append(clique.Clique(nil), c...))
+		})
+	}
+	start := time.Now()
+	for _, i := range items {
+		wk.builder.ProcessSubList(lvl.Sub[i], rep)
+	}
+	wk.busy = time.Since(start)
+}

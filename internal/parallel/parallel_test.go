@@ -1,0 +1,219 @@
+package parallel
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/clique"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/sched"
+)
+
+func testGraph(seed int64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	return graph.PlantedGraph(rng, 60, []graph.PlantedCliqueSpec{
+		{Size: 9}, {Size: 6, Overlap: 3}, {Size: 5, Overlap: 2},
+	}, 120)
+}
+
+func sequentialCliques(t *testing.T, g *graph.Graph, lo, hi int) []clique.Clique {
+	t.Helper()
+	col := &clique.Collector{}
+	if _, err := core.Enumerate(g, core.Options{Lo: lo, Hi: hi, Reporter: col}); err != nil {
+		t.Fatal(err)
+	}
+	return col.Cliques
+}
+
+func TestMatchesSequentialAcrossWorkerCounts(t *testing.T) {
+	g := testGraph(61)
+	want := sequentialCliques(t, g, 2, 0)
+	for _, workers := range []int{1, 2, 3, 4, 7} {
+		for _, strategy := range []Strategy{Contiguous, Affinity} {
+			col := &clique.Collector{}
+			res, err := Enumerate(g, Options{
+				Workers:  workers,
+				Strategy: strategy,
+				Reporter: col,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ok, diff := clique.SameSets(col.Cliques, want); !ok {
+				t.Fatalf("workers=%d strategy=%d: %s", workers, strategy, diff)
+			}
+			if res.MaximalCliques != int64(len(want)) {
+				t.Errorf("workers=%d strategy=%d: count %d, want %d",
+					workers, strategy, res.MaximalCliques, len(want))
+			}
+		}
+	}
+}
+
+func TestCountsWithoutReporter(t *testing.T) {
+	g := testGraph(62)
+	want := sequentialCliques(t, g, 2, 0)
+	res, err := Enumerate(g, Options{Workers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MaximalCliques != int64(len(want)) {
+		t.Errorf("count %d, want %d", res.MaximalCliques, len(want))
+	}
+	maxSize := 0
+	for _, c := range want {
+		if len(c) > maxSize {
+			maxSize = len(c)
+		}
+	}
+	if res.MaxCliqueSize != maxSize {
+		t.Errorf("MaxCliqueSize = %d, want %d", res.MaxCliqueSize, maxSize)
+	}
+}
+
+func TestSeededParallelMatchesSequential(t *testing.T) {
+	g := testGraph(63)
+	for _, initK := range []int{4, 6, 8} {
+		want := sequentialCliques(t, g, initK, 0)
+		col := &clique.Collector{}
+		_, err := Enumerate(g, Options{
+			Workers: 4, Lo: initK, Strategy: Affinity, Reporter: col,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok, diff := clique.SameSets(col.Cliques, want); !ok {
+			t.Fatalf("Init_K=%d: %s", initK, diff)
+		}
+	}
+}
+
+func TestUpperBoundHonored(t *testing.T) {
+	g := testGraph(64)
+	want := sequentialCliques(t, g, 2, 6)
+	col := &clique.Collector{}
+	if _, err := Enumerate(g, Options{Workers: 3, Hi: 6, Reporter: col}); err != nil {
+		t.Fatal(err)
+	}
+	if ok, diff := clique.SameSets(col.Cliques, want); !ok {
+		t.Fatalf("Hi=6: %s", diff)
+	}
+}
+
+func TestContiguousPreservesCanonicalOrder(t *testing.T) {
+	g := testGraph(65)
+	var got []clique.Clique
+	_, err := Enumerate(g, Options{
+		Workers:  4,
+		Strategy: Contiguous,
+		Reporter: clique.ReporterFunc(func(c clique.Clique) {
+			got = append(got, append(clique.Clique(nil), c...))
+		}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(got); i++ {
+		if clique.Compare(got[i-1], got[i]) >= 0 {
+			t.Fatalf("order violated at %d: %v then %v", i, got[i-1], got[i])
+		}
+	}
+}
+
+func TestAffinityNonDecreasingSizes(t *testing.T) {
+	g := testGraph(66)
+	lastSize := 0
+	_, err := Enumerate(g, Options{
+		Workers:  4,
+		Strategy: Affinity,
+		Reporter: clique.ReporterFunc(func(c clique.Clique) {
+			if len(c) < lastSize {
+				t.Fatalf("size order violated: %d after %d", len(c), lastSize)
+			}
+			lastSize = len(c)
+		}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecomputeCNParallel(t *testing.T) {
+	g := testGraph(67)
+	want := sequentialCliques(t, g, 2, 0)
+	col := &clique.Collector{}
+	if _, err := Enumerate(g, Options{Workers: 2, RecomputeCN: true, Reporter: col}); err != nil {
+		t.Fatal(err)
+	}
+	if ok, diff := clique.SameSets(col.Cliques, want); !ok {
+		t.Fatalf("recompute mode: %s", diff)
+	}
+}
+
+func TestLevelStatsPopulated(t *testing.T) {
+	g := testGraph(68)
+	var levels []LevelStats
+	res, err := Enumerate(g, Options{
+		Workers: 3,
+		OnLevel: func(st LevelStats) { levels = append(levels, st) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(levels) != len(res.Levels) {
+		t.Fatalf("OnLevel fired %d times, %d levels recorded", len(levels), len(res.Levels))
+	}
+	var total int64
+	for _, st := range levels {
+		if len(st.WorkerBusy) != 3 || len(st.WorkerCost) != 3 {
+			t.Fatalf("per-worker stats missing: %+v", st)
+		}
+		total += st.Maximal
+	}
+	if total != res.MaximalCliques {
+		t.Errorf("level maximal sum %d != result %d", total, res.MaximalCliques)
+	}
+	if len(res.WorkerBusy) != 3 {
+		t.Errorf("WorkerBusy = %v", res.WorkerBusy)
+	}
+}
+
+func TestAffinityTransfersHappenUnderSkew(t *testing.T) {
+	// A graph with one giant clique and scattered noise gives one worker
+	// a dominating sub-list chain; the threshold balancer must transfer.
+	rng := rand.New(rand.NewSource(69))
+	g := graph.PlantedGraph(rng, 80, []graph.PlantedCliqueSpec{{Size: 12}}, 60)
+	res, err := Enumerate(g, Options{
+		Workers:  4,
+		Strategy: Affinity,
+		Policy:   sched.Policy{RelTolerance: 0.05},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Transfers == 0 {
+		t.Error("no transfers on a skewed workload")
+	}
+}
+
+func TestInvalidOptions(t *testing.T) {
+	g := graph.New(3)
+	if _, err := Enumerate(g, Options{Workers: 0}); err == nil {
+		t.Error("0 workers accepted")
+	}
+	if _, err := Enumerate(g, Options{Workers: 1, Lo: 5, Hi: 4}); err == nil {
+		t.Error("Hi < Lo accepted")
+	}
+}
+
+func BenchmarkParallel2Workers(b *testing.B) {
+	rng := rand.New(rand.NewSource(70))
+	g := graph.PlantedGraph(rng, 300, []graph.PlantedCliqueSpec{{Size: 14}}, 700)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Enumerate(g, Options{Workers: 2}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,233 @@
+package pathways
+
+import (
+	"math/big"
+	"testing"
+)
+
+// linearChain: ->(R0) A ->(R1) B ->(R2) out.  One mode: R0+R1+R2.
+func linearChain() *Network {
+	net := &Network{Metabolites: []string{"A", "B"}}
+	net.AddReaction("in", false, map[int]int64{0: 1})
+	net.AddReaction("AtoB", false, map[int]int64{0: -1, 1: 1})
+	net.AddReaction("out", false, map[int]int64{1: -1})
+	return net
+}
+
+// diamond: in->A; A->B; A->C; B->D; C->D; D->out.  Two modes.
+func diamond() *Network {
+	net := &Network{Metabolites: []string{"A", "B", "C", "D"}}
+	net.AddReaction("in", false, map[int]int64{0: 1})
+	net.AddReaction("AB", false, map[int]int64{0: -1, 1: 1})
+	net.AddReaction("AC", false, map[int]int64{0: -1, 2: 1})
+	net.AddReaction("BD", false, map[int]int64{1: -1, 3: 1})
+	net.AddReaction("CD", false, map[int]int64{2: -1, 3: 1})
+	net.AddReaction("out", false, map[int]int64{3: -1})
+	return net
+}
+
+func modes(t *testing.T, net *Network) []Mode {
+	t.Helper()
+	ms, err := ElementaryModes(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, m := range ms {
+		if err := Verify(net, m); err != nil {
+			t.Fatalf("mode %d (%v) invalid: %v", i, m, err)
+		}
+	}
+	return ms
+}
+
+func TestLinearChain(t *testing.T) {
+	ms := modes(t, linearChain())
+	if len(ms) != 1 {
+		t.Fatalf("modes = %v, want 1", ms)
+	}
+	for _, f := range ms[0].Flux {
+		if f.Cmp(big.NewInt(1)) != 0 {
+			t.Errorf("chain mode = %v, want all ones", ms[0])
+		}
+	}
+}
+
+func TestDiamondTwoModes(t *testing.T) {
+	ms := modes(t, diamond())
+	if len(ms) != 2 {
+		t.Fatalf("found %d modes, want 2: %v", len(ms), ms)
+	}
+	// One mode uses AB+BD, the other AC+CD; both use in and out.
+	usesB, usesC := false, false
+	for _, m := range ms {
+		if m.Flux[1].Sign() != 0 && m.Flux[3].Sign() != 0 {
+			usesB = true
+		}
+		if m.Flux[2].Sign() != 0 && m.Flux[4].Sign() != 0 {
+			usesC = true
+		}
+		if m.Flux[0].Sign() == 0 || m.Flux[5].Sign() == 0 {
+			t.Errorf("mode %v skips exchange fluxes", m)
+		}
+	}
+	if !usesB || !usesC {
+		t.Errorf("branches not both covered: %v", ms)
+	}
+}
+
+func TestStoichiometryCoefficients(t *testing.T) {
+	// in -> A; 2A -> B (R1); B -> out.  Mode must carry flux 2 on "in".
+	net := &Network{Metabolites: []string{"A", "B"}}
+	net.AddReaction("in", false, map[int]int64{0: 1})
+	net.AddReaction("2AtoB", false, map[int]int64{0: -2, 1: 1})
+	net.AddReaction("out", false, map[int]int64{1: -1})
+	ms := modes(t, net)
+	if len(ms) != 1 {
+		t.Fatalf("modes = %v", ms)
+	}
+	m := ms[0]
+	if m.Flux[0].Cmp(big.NewInt(2)) != 0 ||
+		m.Flux[1].Cmp(big.NewInt(1)) != 0 ||
+		m.Flux[2].Cmp(big.NewInt(1)) != 0 {
+		t.Errorf("mode = %v, want 2,1,1", m)
+	}
+}
+
+func TestReversibleReactionOrientation(t *testing.T) {
+	// in -> A; A <-> B; B -> out.  One forward mode; the reversible
+	// reaction's backward direction cannot appear alone.
+	net := &Network{Metabolites: []string{"A", "B"}}
+	net.AddReaction("in", false, map[int]int64{0: 1})
+	net.AddReaction("AB", true, map[int]int64{0: -1, 1: 1})
+	net.AddReaction("out", false, map[int]int64{1: -1})
+	ms := modes(t, net)
+	if len(ms) != 1 {
+		t.Fatalf("modes = %v, want 1", ms)
+	}
+	if ms[0].Flux[1].Sign() != 1 {
+		t.Errorf("reversible reaction should run forward: %v", ms[0])
+	}
+}
+
+func TestFullyReversibleCycleDeduplicated(t *testing.T) {
+	// A <-> B (R0), B <-> C (R1), C <-> A (R2): one internal cycle mode
+	// (not two orientations), with equal magnitudes.
+	net := &Network{Metabolites: []string{"A", "B", "C"}}
+	net.AddReaction("AB", true, map[int]int64{0: -1, 1: 1})
+	net.AddReaction("BC", true, map[int]int64{1: -1, 2: 1})
+	net.AddReaction("CA", true, map[int]int64{2: -1, 0: 1})
+	ms := modes(t, net)
+	if len(ms) != 1 {
+		t.Fatalf("cycle modes = %v, want exactly 1 after orientation dedup", ms)
+	}
+	if ms[0].Flux[0].Sign() <= 0 {
+		t.Errorf("canonical orientation should lead positive: %v", ms[0])
+	}
+}
+
+func TestSupportMinimality(t *testing.T) {
+	// Elementarity: no mode's support may strictly contain another's.
+	for _, net := range []*Network{linearChain(), diamond(), schusterExample()} {
+		ms := modes(t, net)
+		for i := range ms {
+			for j := range ms {
+				if i == j {
+					continue
+				}
+				si, sj := ms[i].Support(), ms[j].Support()
+				if len(si) < len(sj) && subset(si, sj) {
+					t.Errorf("mode %v support inside %v", ms[i], ms[j])
+				}
+			}
+		}
+	}
+}
+
+func subset(a, b []int) bool {
+	bm := map[int]bool{}
+	for _, x := range b {
+		bm[x] = true
+	}
+	for _, x := range a {
+		if !bm[x] {
+			return false
+		}
+	}
+	return true
+}
+
+// schusterExample is a small branched network with a reversible internal
+// reaction, exercising split-merge and multiple branch modes at once.
+func schusterExample() *Network {
+	net := &Network{Metabolites: []string{"A", "B", "C"}}
+	net.AddReaction("in", false, map[int]int64{0: 1})     // -> A
+	net.AddReaction("AB", true, map[int]int64{0: -1, 1: 1})  // A <-> B
+	net.AddReaction("AC", false, map[int]int64{0: -1, 2: 1}) // A -> C
+	net.AddReaction("BC", false, map[int]int64{1: -1, 2: 1}) // B -> C
+	net.AddReaction("out", false, map[int]int64{2: -1})      // C ->
+	return net
+}
+
+func TestSchusterExample(t *testing.T) {
+	ms := modes(t, schusterExample())
+	// Two production routes: in,AB,BC,out and in,AC,out.
+	if len(ms) != 2 {
+		t.Fatalf("found %d modes: %v", len(ms), ms)
+	}
+}
+
+func TestEmptyAndErrorCases(t *testing.T) {
+	ms, err := ElementaryModes(&Network{})
+	if err != nil || ms != nil {
+		t.Errorf("empty network: %v, %v", ms, err)
+	}
+	bad := &Network{Metabolites: []string{"A"}}
+	bad.AddReaction("r", false, map[int]int64{7: 1})
+	if _, err := ElementaryModes(bad); err == nil {
+		t.Error("out-of-range metabolite accepted")
+	}
+}
+
+func TestVerifyRejectsBadModes(t *testing.T) {
+	net := linearChain()
+	wrong := Mode{Flux: []*big.Int{big.NewInt(1), big.NewInt(2), big.NewInt(1)}}
+	if err := Verify(net, wrong); err == nil {
+		t.Error("unbalanced mode accepted")
+	}
+	short := Mode{Flux: []*big.Int{big.NewInt(1)}}
+	if err := Verify(net, short); err == nil {
+		t.Error("wrong-length mode accepted")
+	}
+	neg := Mode{Flux: []*big.Int{big.NewInt(-1), big.NewInt(-1), big.NewInt(-1)}}
+	if err := Verify(net, neg); err == nil {
+		t.Error("negative irreversible flux accepted")
+	}
+}
+
+func TestModeString(t *testing.T) {
+	m := Mode{Flux: []*big.Int{big.NewInt(2), big.NewInt(0), big.NewInt(-1)}}
+	if got := m.String(); got != "2 R0 - R2" {
+		t.Errorf("String = %q", got)
+	}
+	zero := Mode{Flux: []*big.Int{big.NewInt(0)}}
+	if zero.String() != "0" {
+		t.Errorf("zero String = %q", zero.String())
+	}
+}
+
+func TestGrowingNetworkModeCount(t *testing.T) {
+	// k parallel branches from A to B: k modes, matching the
+	// combinatorial growth the paper describes for extreme pathways.
+	for k := 1; k <= 6; k++ {
+		net := &Network{Metabolites: []string{"A", "B"}}
+		net.AddReaction("in", false, map[int]int64{0: 1})
+		for b := 0; b < k; b++ {
+			net.AddReaction("branch", false, map[int]int64{0: -1, 1: 1})
+		}
+		net.AddReaction("out", false, map[int]int64{1: -1})
+		ms := modes(t, net)
+		if len(ms) != k {
+			t.Errorf("k=%d branches: %d modes", k, len(ms))
+		}
+	}
+}

@@ -1,0 +1,242 @@
+package sched
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBalancedContiguousBasics(t *testing.T) {
+	loads := []int64{10, 10, 10, 10}
+	a := BalancedContiguous(loads, 2)
+	if a.Workers() != 2 || a.Items() != 4 {
+		t.Fatalf("assignment %v", a)
+	}
+	totals := a.Totals(loads)
+	if totals[0] != 20 || totals[1] != 20 {
+		t.Errorf("totals %v", totals)
+	}
+	// Contiguity: worker 0 gets a prefix.
+	if a[0][0] != 0 || a[0][len(a[0])-1] != len(a[0])-1 {
+		t.Errorf("chunk 0 not contiguous: %v", a[0])
+	}
+}
+
+func TestBalancedContiguousSkew(t *testing.T) {
+	// One huge item: it should own a chunk alone (as far as possible).
+	loads := []int64{1, 1, 100, 1, 1}
+	a := BalancedContiguous(loads, 3)
+	totals := a.Totals(loads)
+	max := int64(0)
+	for _, v := range totals {
+		if v > max {
+			max = v
+		}
+	}
+	if max > 102 {
+		t.Errorf("makespan %d too high: %v", max, a)
+	}
+	if a.Items() != 5 {
+		t.Errorf("lost items: %v", a)
+	}
+}
+
+func TestBalancedContiguousEdgeCases(t *testing.T) {
+	if a := BalancedContiguous(nil, 3); a.Items() != 0 || a.Workers() != 3 {
+		t.Errorf("empty loads: %v", a)
+	}
+	// More workers than items.
+	a := BalancedContiguous([]int64{5, 5}, 8)
+	if a.Items() != 2 {
+		t.Errorf("items lost: %v", a)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("0 workers did not panic")
+		}
+	}()
+	BalancedContiguous([]int64{1}, 0)
+}
+
+func TestByHome(t *testing.T) {
+	homes := []int32{0, 1, 1, 0, 2}
+	a := ByHome(homes, 3)
+	if len(a[0]) != 2 || len(a[1]) != 2 || len(a[2]) != 1 {
+		t.Errorf("ByHome = %v", a)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range home did not panic")
+		}
+	}()
+	ByHome([]int32{5}, 3)
+}
+
+func TestRebalanceMovesFromHeavyToLight(t *testing.T) {
+	loads := []int64{50, 50, 50, 50, 1, 1}
+	a := Assignment{{0, 1, 2, 3}, {4, 5}}
+	moves := Policy{}.Rebalance(a, loads)
+	if len(moves) == 0 {
+		t.Fatal("no transfers on a 200-vs-2 imbalance")
+	}
+	totals := a.Totals(loads)
+	gap := totals[0] - totals[1]
+	if gap < 0 {
+		gap = -gap
+	}
+	if gap > 60 {
+		t.Errorf("still imbalanced after rebalance: %v", totals)
+	}
+	for _, m := range moves {
+		if m.From != 0 || m.To != 1 {
+			t.Errorf("unexpected move %+v", m)
+		}
+	}
+	if a.Items() != 6 {
+		t.Errorf("items lost: %v", a)
+	}
+}
+
+func TestRebalanceRespectsThreshold(t *testing.T) {
+	// 8% imbalance is inside the default 10% tolerance: no transfers.
+	loads := []int64{54, 50}
+	a := Assignment{{0}, {1}}
+	if moves := (Policy{}).Rebalance(a, loads); len(moves) != 0 {
+		t.Errorf("transfers within tolerance: %v", moves)
+	}
+	// Tight policy forces the transfer decision (but a single item per
+	// worker cannot improve, so still no move).
+	if moves := (Policy{RelTolerance: 0.001}).Rebalance(a, loads); len(moves) != 0 {
+		t.Errorf("impossible transfer attempted: %v", moves)
+	}
+}
+
+func TestRebalanceAbsFloor(t *testing.T) {
+	loads := []int64{5, 3, 1}
+	a := Assignment{{0, 1}, {2}}
+	if moves := (Policy{AbsFloor: 100}).Rebalance(a, loads); len(moves) != 0 {
+		t.Errorf("transfers below AbsFloor: %v", moves)
+	}
+}
+
+func TestRebalanceSingleWorker(t *testing.T) {
+	a := Assignment{{0, 1}}
+	if moves := (Policy{}).Rebalance(a, []int64{1, 2}); moves != nil {
+		t.Errorf("single worker rebalanced: %v", moves)
+	}
+}
+
+// Property: rebalancing never loses items, never duplicates them, and
+// never increases the makespan.
+func TestQuickRebalanceInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(60)
+		p := 1 + rng.Intn(8)
+		loads := make([]int64, n)
+		for i := range loads {
+			loads[i] = int64(1 + rng.Intn(1000))
+		}
+		homes := make([]int32, n)
+		for i := range homes {
+			homes[i] = int32(rng.Intn(p))
+		}
+		a := ByHome(homes, p)
+		before := a.Totals(loads)
+		maxBefore := int64(0)
+		for _, v := range before {
+			if v > maxBefore {
+				maxBefore = v
+			}
+		}
+		Policy{}.Rebalance(a, loads)
+
+		// No loss, no duplication.
+		seen := make(map[int]bool, n)
+		for _, ids := range a {
+			for _, i := range ids {
+				if seen[i] {
+					return false
+				}
+				seen[i] = true
+			}
+		}
+		if len(seen) != n {
+			return false
+		}
+		after := a.Totals(loads)
+		maxAfter := int64(0)
+		for _, v := range after {
+			if v > maxAfter {
+				maxAfter = v
+			}
+		}
+		return maxAfter <= maxBefore
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: BalancedContiguous chunks are contiguous, cover all items,
+// and achieve makespan within max-item + mean of optimal.
+func TestQuickContiguousCoverage(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(80)
+		p := 1 + rng.Intn(10)
+		loads := make([]int64, n)
+		var total, maxItem int64
+		for i := range loads {
+			loads[i] = int64(1 + rng.Intn(500))
+			total += loads[i]
+			if loads[i] > maxItem {
+				maxItem = loads[i]
+			}
+		}
+		a := BalancedContiguous(loads, p)
+		next := 0
+		for _, ids := range a {
+			for _, i := range ids {
+				if i != next {
+					return false
+				}
+				next++
+			}
+		}
+		if next != n {
+			return false
+		}
+		if n == 0 {
+			return true
+		}
+		totals := a.Totals(loads)
+		var makespan int64
+		for _, v := range totals {
+			if v > makespan {
+				makespan = v
+			}
+		}
+		ideal := total / int64(p)
+		return makespan <= ideal+maxItem+ideal/int64(p)+1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	st := Summarize([]float64{10, 12, 8, 10})
+	if st.Mean != 10 || st.Min != 8 || st.Max != 12 {
+		t.Errorf("stats %+v", st)
+	}
+	if st.StdDev < 1.6 || st.StdDev > 1.7 {
+		t.Errorf("stddev %g", st.StdDev)
+	}
+	if imb := st.Imbalance(); imb != 0.2 {
+		t.Errorf("imbalance %g", imb)
+	}
+	if Summarize(nil).Imbalance() != 0 {
+		t.Error("empty imbalance != 0")
+	}
+}

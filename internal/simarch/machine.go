@@ -1,0 +1,223 @@
+package simarch
+
+import (
+	"fmt"
+
+	"repro/internal/sched"
+)
+
+// Machine models the overheads of a level-synchronous run on a ccNUMA
+// shared-memory machine.  Work itself comes from the trace; the machine
+// contributes only what the host cannot exhibit: many processors, barrier
+// and scheduling latency, and remote-memory penalties.
+type Machine struct {
+	// RemotePenalty multiplies the processing cost of a sub-list that the
+	// load balancer moved away from the thread that created it (the
+	// paper: a thread "working on loads transferred from other threads
+	// has to access the remote memory over that processor").
+	RemotePenalty float64
+	// BarrierUnits is the fixed synchronization cost per level.
+	BarrierUnits float64
+	// CollectPerProc is the scheduler's per-processor cost per level
+	// (collecting results from P workers, signalling restarts).
+	CollectPerProc float64
+	// ContentionPerProcSq is the interconnect-contention cost per level,
+	// charged as this coefficient times P²: the term that makes very
+	// high processor counts counterproductive on small workloads — the
+	// paper's "dominated by network and synchronization latency".
+	ContentionPerProcSq float64
+	// CollectPerSublist is the scheduler's serial per-sub-list handling
+	// cost per level (load accounting and redistribution bookkeeping).
+	CollectPerSublist float64
+	// UnitsPerSecond converts cost units to seconds.  Zero means
+	// calibrate from the trace's measured execution rate.
+	UnitsPerSecond float64
+}
+
+// ReferenceUnits is the workload size (total trace units) the
+// DefaultAltix overhead constants were tuned for: the paper's largest
+// graph-C run (Init_K = 3, 1,948 sequential seconds).  TunedFor rescales
+// the fixed overheads to other workload sizes.
+const ReferenceUnits = 5e10
+
+// DefaultAltix returns the machine model used throughout the experiment
+// harness.  The overhead constants were fitted at ReferenceUnits so the
+// paper-scale graph-C workloads reproduce the published scaling shape:
+// near-linear speedup through 64 processors (relative speedup ≈ 1.8 per
+// doubling), continued gains at 128, degradation at 256 that is mild for
+// the largest workload and severe for the smallest, and 256-processor
+// absolute speedups growing with sequential run time (Figure 7's 22 → 51
+// trend).
+func DefaultAltix() Machine {
+	return Machine{
+		RemotePenalty:       1.75,
+		BarrierUnits:        2e6,
+		CollectPerProc:      2e4,
+		ContentionPerProcSq: 300,
+		CollectPerSublist:   0.25,
+		UnitsPerSecond:      0, // calibrate from the trace by default
+	}
+}
+
+// Scaled returns a copy of the machine with its fixed overheads (barrier,
+// per-processor and contention costs) multiplied by f.  Experiments that
+// run at a reduced workload scale use f = W_scaled / W_reference so that
+// the ratio of overhead to work — and therefore the shape of the speedup
+// curves — is preserved (dimensionless scaling).
+func (m Machine) Scaled(f float64) Machine {
+	m.BarrierUnits *= f
+	m.CollectPerProc *= f
+	m.ContentionPerProcSq *= f
+	return m
+}
+
+// TunedFor returns the machine with fixed overheads rescaled from
+// ReferenceUnits to a workload of totalUnits, preserving curve shape
+// across experiment scales.  The experiment harness calls this once per
+// experiment family with the largest trace in the family, so that
+// smaller workloads within the family still see proportionally larger
+// overheads (the effect Figure 7 measures).
+func (m Machine) TunedFor(totalUnits float64) Machine {
+	if totalUnits <= 0 {
+		return m
+	}
+	return m.Scaled(totalUnits / ReferenceUnits)
+}
+
+// SimOptions configures a Simulate run.
+type SimOptions struct {
+	Machine Machine
+	// Processors is the simulated processor count P >= 1.
+	Processors int
+	// Strategy/Policy mirror package parallel: Affinity with the
+	// threshold policy is the paper's scheduler; Contiguous is the
+	// rebalance-everything ablation.
+	Strategy Strategy
+	Policy   sched.Policy
+}
+
+// Strategy selects the simulated assignment policy.
+type Strategy int
+
+const (
+	// Affinity keeps sub-lists with their creators and applies threshold
+	// transfers (the paper's scheduler).
+	Affinity Strategy = iota
+	// Contiguous re-chunks every level by load, ignoring affinity.
+	Contiguous
+)
+
+// LevelResult is the simulated outcome of one level.
+type LevelResult struct {
+	K         int
+	Makespan  float64 // busy makespan + overheads, units
+	MaxBusy   float64 // slowest worker's busy units
+	Overhead  float64 // barrier + collect units
+	Transfers int
+}
+
+// Result is a complete simulated run.
+type Result struct {
+	Processors     int
+	Seconds        float64
+	Units          float64
+	SeedUnits      float64
+	PerWorkerUnits []float64 // busy units per processor, summed over levels
+	Transfers      int
+	Levels         []LevelResult
+}
+
+// PerWorkerSeconds converts per-processor busy units to seconds with the
+// same calibration used for the total.
+func (r *Result) PerWorkerSeconds(unitsPerSecond float64) []float64 {
+	out := make([]float64, len(r.PerWorkerUnits))
+	for i, u := range r.PerWorkerUnits {
+		out[i] = u / unitsPerSecond
+	}
+	return out
+}
+
+// Simulate replays the trace on P simulated processors and returns the
+// modelled run time and load distribution.
+func Simulate(tr *Trace, opts SimOptions) (*Result, error) {
+	p := opts.Processors
+	if p < 1 {
+		return nil, fmt.Errorf("simarch: %d processors", p)
+	}
+	ups := opts.Machine.UnitsPerSecond
+	if ups <= 0 {
+		ups = tr.UnitsPerSecond()
+	}
+	res := &Result{
+		Processors:     p,
+		PerWorkerUnits: make([]float64, p),
+	}
+
+	// The seed phase parallelizes like the level loop (the search-tree
+	// branches of the k-clique enumerator are independent); charge it as
+	// perfectly divisible work plus one barrier.
+	res.SeedUnits = float64(tr.SeedUnits)/float64(p) + opts.Machine.BarrierUnits
+	total := res.SeedUnits
+
+	var executor []int32 // executor of each sub-list in the previous level
+	for li := range tr.Levels {
+		lt := &tr.Levels[li]
+		n := len(lt.Costs)
+
+		var assign sched.Assignment
+		transfers := 0
+		remote := make(map[int]bool)
+		if opts.Strategy == Affinity && lt.Parents != nil && executor != nil {
+			homes := make([]int32, n)
+			for i, parent := range lt.Parents {
+				homes[i] = executor[parent]
+			}
+			assign = sched.ByHome(homes, p)
+			moves := opts.Policy.Rebalance(assign, lt.Costs)
+			transfers = len(moves)
+			for _, mv := range moves {
+				remote[mv.Item] = true
+			}
+		} else {
+			assign = sched.BalancedContiguous(lt.Costs, p)
+		}
+
+		// Busy time per worker, with the NUMA penalty on moved work.
+		busy := make([]float64, p)
+		executor = make([]int32, n)
+		for w, items := range assign {
+			for _, i := range items {
+				c := float64(lt.Costs[i])
+				if remote[i] {
+					c *= opts.Machine.RemotePenalty
+				}
+				busy[w] += c
+				executor[i] = int32(w)
+			}
+		}
+		maxBusy := 0.0
+		for w, bz := range busy {
+			res.PerWorkerUnits[w] += bz
+			if bz > maxBusy {
+				maxBusy = bz
+			}
+		}
+		overhead := opts.Machine.BarrierUnits +
+			opts.Machine.CollectPerProc*float64(p) +
+			opts.Machine.ContentionPerProcSq*float64(p)*float64(p) +
+			opts.Machine.CollectPerSublist*float64(n)
+		lr := LevelResult{
+			K:         lt.K,
+			MaxBusy:   maxBusy,
+			Overhead:  overhead,
+			Makespan:  maxBusy + overhead,
+			Transfers: transfers,
+		}
+		res.Levels = append(res.Levels, lr)
+		res.Transfers += transfers
+		total += lr.Makespan
+	}
+	res.Units = total
+	res.Seconds = total / ups
+	return res, nil
+}

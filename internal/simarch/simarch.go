@@ -1,0 +1,160 @@
+// Package simarch simulates the paper's evaluation platform — an SGI
+// Altix 3700 with 256 processors sharing 2 TB of ccNUMA memory — so that
+// the scaling experiments of Figures 5–8 can be regenerated on any host.
+//
+// The simulation is replay-based, not synthetic: Collect runs the real
+// Clique Enumerator once, instrumented, and records the exact work (in
+// abstract cost units: bitmap-AND words, pair checks, maximality probes)
+// of every sub-list at every level, together with the sub-list parentage
+// needed to model memory affinity.  Simulate then replays the level-
+// synchronous schedule for any processor count P: sub-lists are assigned
+// by the same centralized load balancer the real backend uses (package
+// sched), transferred sub-lists pay a remote-memory penalty, and every
+// level ends with a barrier plus scheduler collect/redistribute costs.
+// Per-level makespans add up to the simulated run time; per-processor
+// busy times feed the load-balance statistics of Figure 8.
+//
+// Because the cost trace comes from a real execution of the real
+// algorithm, the simulated curves inherit the true work distribution —
+// the skew between sub-lists, the level profile, the shrinking
+// parallelism near the top of the clique ladder — and the machine model
+// contributes only the overheads (synchronization, scheduling, NUMA),
+// which is exactly the part of the paper's platform we cannot reproduce
+// physically.  See DESIGN.md §2.
+package simarch
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/bitset"
+	"repro/internal/clique"
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+// LevelTrace records one level of the instrumented run.
+type LevelTrace struct {
+	K        int     // clique size of the candidates processed
+	Costs    []int64 // per-sub-list processing cost, in units
+	Parents  []int32 // index of each sub-list's parent in the previous level; -1 at the seed level
+	Maximal  int64   // maximal (K+1)-cliques emitted by this level
+	Sublists int     // len(Costs)
+	Cliques  int64   // M[K] consumed
+	Bytes    int64   // paper-formula bytes of the level
+}
+
+// Trace is a complete instrumented run.
+type Trace struct {
+	Levels         []LevelTrace
+	SeedUnits      int64 // estimated cost of building the seed level
+	TotalUnits     int64 // Σ level costs (excluding seed)
+	WallSeconds    float64
+	MaximalCliques int64
+	MaxCliqueSize  int
+	N              int // graph order (for reporting)
+}
+
+// UnitsPerSecond returns the measured execution rate of the instrumented
+// host, used as the default seconds calibration.
+func (t *Trace) UnitsPerSecond() float64 {
+	if t.WallSeconds <= 0 {
+		return 1
+	}
+	return float64(t.TotalUnits+t.SeedUnits) / t.WallSeconds
+}
+
+// Collect runs the Clique Enumerator sequentially with instrumentation
+// and returns the cost trace.  lo/hi follow core.Options semantics.
+func Collect(g *graph.Graph, lo, hi int) (*Trace, error) {
+	return CollectMode(g, lo, hi, false)
+}
+
+// CollectMode is Collect with an explicit memory mode: recompute=true
+// runs the enumerator in its low-memory variant (prefix common-neighbor
+// bitmaps rebuilt instead of stored), which is how the largest paper-
+// scale traces (Init_K = 3 on graph C) fit on hosts far below 2 TB.  The
+// recorded costs then include the extra AND work of that mode, exactly as
+// a real machine running it would.
+func CollectMode(g *graph.Graph, lo, hi int, recompute bool) (*Trace, error) {
+	if lo == 0 {
+		lo = 2
+	}
+	if lo < 2 {
+		return nil, fmt.Errorf("simarch: lo %d < 2", lo)
+	}
+	if hi != 0 && hi < lo {
+		return nil, fmt.Errorf("simarch: hi %d < lo %d", hi, lo)
+	}
+	start := time.Now()
+	tr := &Trace{N: g.N()}
+
+	counter := clique.ReporterFunc(func(c clique.Clique) {
+		tr.MaximalCliques++
+		if len(c) > tr.MaxCliqueSize {
+			tr.MaxCliqueSize = len(c)
+		}
+	})
+
+	var lvl *core.Level
+	if lo <= 2 {
+		lvl = core.SeedFromEdges(g, !recompute)
+		tr.SeedUnits = int64(g.M()) // one pass over the edge list
+	} else {
+		var err error
+		lvl, tr.SeedUnits, err = seedFromKInstrumented(g, lo, !recompute, counter)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	pool := bitset.NewPool(g.N())
+	b := core.NewBuilder(g, !recompute, pool)
+	var parents []int32 // parents of the CURRENT level's sub-lists
+	for len(lvl.Sub) > 0 && (hi == 0 || lvl.K+1 <= hi) {
+		lt := LevelTrace{
+			K:        lvl.K,
+			Costs:    make([]int64, len(lvl.Sub)),
+			Parents:  parents,
+			Sublists: len(lvl.Sub),
+			Cliques:  lvl.Cliques(),
+			Bytes:    lvl.Bytes(g.N()),
+		}
+		b.Reset()
+		var nextParents []int32
+		for i, s := range lvl.Sub {
+			beforeUnits := b.Cost.Units()
+			beforeNext := len(b.Next)
+			b.ProcessSubList(s, counter)
+			cost := b.Cost.Units() - beforeUnits
+			if cost < 1 {
+				cost = 1
+			}
+			lt.Costs[i] = cost
+			for range b.Next[beforeNext:] {
+				nextParents = append(nextParents, int32(i))
+			}
+		}
+		lt.Maximal = b.Maximal
+		for _, c := range lt.Costs {
+			tr.TotalUnits += c
+		}
+		tr.Levels = append(tr.Levels, lt)
+		lvl = &core.Level{K: lvl.K + 1, Sub: b.Next}
+		parents = nextParents
+	}
+	tr.WallSeconds = time.Since(start).Seconds()
+	return tr, nil
+}
+
+// seedFromKInstrumented wraps core.SeedFromK and estimates the seeding
+// cost in the same units as level processing: one word-pass per search
+// node of the k-clique enumerator.
+func seedFromKInstrumented(g *graph.Graph, lo int, storeCN bool, r clique.Reporter) (*core.Level, int64, error) {
+	lvl, st, err := core.SeedFromK(g, lo, storeCN, r)
+	if err != nil {
+		return nil, 0, err
+	}
+	words := int64((g.N() + 63) / 64)
+	return lvl, st.SearchNodes * words, nil
+}

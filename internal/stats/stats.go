@@ -1,0 +1,151 @@
+// Package stats provides the small statistical kernels used by the
+// microarray preprocessing pipeline (rank transforms, Pearson and Spearman
+// correlation) and by the experiment harness (means and standard
+// deviations over repeated runs, as in the paper's 10-repetition
+// methodology).
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// StdDev returns the sample standard deviation (n-1 denominator) of xs,
+// or 0 when fewer than two samples are given.
+func StdDev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	s := 0.0
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(xs)-1))
+}
+
+// MinMax returns the smallest and largest values of xs.  It panics on an
+// empty slice.
+func MinMax(xs []float64) (min, max float64) {
+	if len(xs) == 0 {
+		panic("stats: MinMax of empty slice")
+	}
+	min, max = xs[0], xs[0]
+	for _, x := range xs[1:] {
+		if x < min {
+			min = x
+		}
+		if x > max {
+			max = x
+		}
+	}
+	return min, max
+}
+
+// Pearson returns the Pearson product-moment correlation of two
+// equal-length samples.  It returns 0 when either sample has zero
+// variance.  Panics on length mismatch or empty input.
+func Pearson(xs, ys []float64) float64 {
+	if len(xs) != len(ys) {
+		panic("stats: Pearson length mismatch")
+	}
+	if len(xs) == 0 {
+		panic("stats: Pearson of empty samples")
+	}
+	mx, my := Mean(xs), Mean(ys)
+	var sxy, sxx, syy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0
+	}
+	return sxy / math.Sqrt(sxx*syy)
+}
+
+// Ranks returns the fractional ranks of xs (average rank for ties),
+// 1-based, as used by the Spearman rank coefficient.
+func Ranks(xs []float64) []float64 {
+	n := len(xs)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return xs[idx[a]] < xs[idx[b]] })
+	ranks := make([]float64, n)
+	for i := 0; i < n; {
+		j := i
+		for j+1 < n && xs[idx[j+1]] == xs[idx[i]] {
+			j++
+		}
+		// Average rank over the tie block [i, j].
+		avg := (float64(i+1) + float64(j+1)) / 2
+		for k := i; k <= j; k++ {
+			ranks[idx[k]] = avg
+		}
+		i = j + 1
+	}
+	return ranks
+}
+
+// Spearman returns the Spearman rank correlation coefficient: the Pearson
+// correlation of the fractional ranks.  The paper's preprocessing computes
+// "pairwise rank coefficient" matrices from normalized expression data;
+// this is that kernel.
+func Spearman(xs, ys []float64) float64 {
+	return Pearson(Ranks(xs), Ranks(ys))
+}
+
+// Quantile returns the q-th quantile (0 <= q <= 1) of xs using linear
+// interpolation between order statistics.  Panics on empty input.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Quantile of empty slice")
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(pos)
+	frac := pos - float64(lo)
+	if lo+1 >= len(sorted) {
+		return sorted[lo]
+	}
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}
+
+// ZNormalize returns xs shifted and scaled to zero mean and unit sample
+// standard deviation.  A zero-variance sample is returned as all zeros.
+func ZNormalize(xs []float64) []float64 {
+	out := make([]float64, len(xs))
+	m := Mean(xs)
+	sd := StdDev(xs)
+	if sd == 0 {
+		return out
+	}
+	for i, x := range xs {
+		out[i] = (x - m) / sd
+	}
+	return out
+}

@@ -1,0 +1,212 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func approx(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Error("Mean(nil) != 0")
+	}
+	if got := Mean([]float64{1, 2, 3, 4}); got != 2.5 {
+		t.Errorf("Mean = %g", got)
+	}
+}
+
+func TestStdDev(t *testing.T) {
+	if StdDev([]float64{5}) != 0 {
+		t.Error("StdDev of singleton != 0")
+	}
+	if got := StdDev([]float64{2, 4, 4, 4, 5, 5, 7, 9}); !approx(got, 2.138, 0.001) {
+		t.Errorf("StdDev = %g", got)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	min, max := MinMax([]float64{3, -1, 7, 2})
+	if min != -1 || max != 7 {
+		t.Errorf("MinMax = %g,%g", min, max)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MinMax(nil) did not panic")
+		}
+	}()
+	MinMax(nil)
+}
+
+func TestPearsonPerfect(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	ys := []float64{2, 4, 6, 8, 10}
+	if got := Pearson(xs, ys); !approx(got, 1, 1e-12) {
+		t.Errorf("Pearson = %g, want 1", got)
+	}
+	neg := []float64{10, 8, 6, 4, 2}
+	if got := Pearson(xs, neg); !approx(got, -1, 1e-12) {
+		t.Errorf("Pearson = %g, want -1", got)
+	}
+}
+
+func TestPearsonZeroVariance(t *testing.T) {
+	if got := Pearson([]float64{1, 1, 1}, []float64{1, 2, 3}); got != 0 {
+		t.Errorf("Pearson with constant sample = %g, want 0", got)
+	}
+}
+
+func TestPearsonPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"mismatch": func() { Pearson([]float64{1}, []float64{1, 2}) },
+		"empty":    func() { Pearson(nil, nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestRanksNoTies(t *testing.T) {
+	got := Ranks([]float64{30, 10, 20})
+	want := []float64{3, 1, 2}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Ranks = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestRanksTies(t *testing.T) {
+	got := Ranks([]float64{1, 2, 2, 3})
+	want := []float64{1, 2.5, 2.5, 4}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Ranks = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestSpearmanMonotone(t *testing.T) {
+	// Any strictly monotone transform has Spearman exactly 1.
+	xs := []float64{1, 2, 3, 4, 5, 6}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = math.Exp(x)
+	}
+	if got := Spearman(xs, ys); !approx(got, 1, 1e-12) {
+		t.Errorf("Spearman = %g, want 1", got)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	cases := []struct{ q, want float64 }{
+		{0, 1}, {1, 5}, {0.5, 3}, {0.25, 2}, {-1, 1}, {2, 5},
+	}
+	for _, c := range cases {
+		if got := Quantile(xs, c.q); !approx(got, c.want, 1e-12) {
+			t.Errorf("Quantile(%g) = %g, want %g", c.q, got, c.want)
+		}
+	}
+	// Interpolation between order statistics.
+	if got := Quantile([]float64{0, 10}, 0.75); !approx(got, 7.5, 1e-12) {
+		t.Errorf("Quantile interp = %g", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Quantile(nil) did not panic")
+		}
+	}()
+	Quantile(nil, 0.5)
+}
+
+func TestZNormalize(t *testing.T) {
+	out := ZNormalize([]float64{1, 2, 3, 4, 5})
+	if !approx(Mean(out), 0, 1e-12) {
+		t.Errorf("normalized mean = %g", Mean(out))
+	}
+	if !approx(StdDev(out), 1, 1e-12) {
+		t.Errorf("normalized sd = %g", StdDev(out))
+	}
+	flat := ZNormalize([]float64{7, 7, 7})
+	for _, v := range flat {
+		if v != 0 {
+			t.Errorf("flat normalize = %v", flat)
+		}
+	}
+}
+
+// Property: Pearson is symmetric and bounded in [-1, 1].
+func TestQuickPearsonBounds(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(50)
+		xs := make([]float64, n)
+		ys := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.NormFloat64()
+			ys[i] = rng.NormFloat64()
+		}
+		r1 := Pearson(xs, ys)
+		r2 := Pearson(ys, xs)
+		return approx(r1, r2, 1e-12) && r1 >= -1-1e-12 && r1 <= 1+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Spearman is invariant under strictly increasing transforms.
+func TestQuickSpearmanInvariance(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(30)
+		xs := make([]float64, n)
+		ys := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.NormFloat64()
+			ys[i] = rng.NormFloat64()
+		}
+		txs := make([]float64, n)
+		for i, x := range xs {
+			txs[i] = x*x*x + 2*x // strictly increasing
+		}
+		return approx(Spearman(xs, ys), Spearman(txs, ys), 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: ranks are a permutation of 1..n when values are distinct.
+func TestQuickRanksPermutation(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(40)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = float64(i) + rng.Float64()*0.5 // distinct
+		}
+		rng.Shuffle(n, func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+		seen := make([]bool, n+1)
+		for _, r := range Ranks(xs) {
+			ri := int(r)
+			if float64(ri) != r || ri < 1 || ri > n || seen[ri] {
+				return false
+			}
+			seen[ri] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,85 @@
+// Package repro is a Go reproduction of "Genome-Scale Computational
+// Approaches to Memory-Intensive Applications in Systems Biology"
+// (Zhang, Abu-Khzam, Baldwin, Chesler, Langston, Samatova; SC|05).
+//
+// The primary contribution is the Clique Enumerator: exact enumeration of
+// all maximal cliques of an undirected graph in non-decreasing order of
+// size, over a bitmap (bit-string) adjacency substrate, bounded below by
+// a k-clique seeder and above by an exact maximum-clique computation, and
+// parallelized level-synchronously with centralized dynamic load
+// balancing.  This package is the stable facade over the implementation
+// packages; see README.md for the architecture map and DESIGN.md for the
+// paper-to-module inventory.
+package repro
+
+import (
+	"repro/internal/clique"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/maxclique"
+	"repro/internal/parallel"
+	"repro/internal/paraclique"
+)
+
+// Graph is an undirected simple graph with bitmap adjacency rows.
+type Graph = graph.Graph
+
+// Clique is a set of vertices in canonical (increasing) order.  Cliques
+// passed to visitors are borrowed: copy before retaining.
+type Clique = clique.Clique
+
+// NewGraph returns an edgeless graph on n vertices; add edges with
+// g.AddEdge(u, v).
+func NewGraph(n int) *Graph { return graph.New(n) }
+
+// MaxClique returns a maximum clique of g (exact, branch-and-bound with
+// greedy-coloring bounds).
+func MaxClique(g *Graph) []int { return maxclique.Find(g) }
+
+// MaxCliqueSize returns ω(g).
+func MaxCliqueSize(g *Graph) int { return maxclique.Size(g) }
+
+// EnumerateMaximalCliques reports every maximal clique of g with size in
+// [lo, hi] to visit, in non-decreasing order of size (hi = 0 means
+// unbounded above).  It returns the number of maximal cliques reported.
+func EnumerateMaximalCliques(g *Graph, lo, hi int, visit func(Clique)) (int64, error) {
+	var rep clique.Reporter
+	if visit != nil {
+		rep = clique.ReporterFunc(visit)
+	}
+	res, err := core.Enumerate(g, core.Options{Lo: lo, Hi: hi, Reporter: rep})
+	if err != nil {
+		return 0, err
+	}
+	return res.MaximalCliques, nil
+}
+
+// EnumerateParallel is EnumerateMaximalCliques on the multithreaded
+// backend with the paper's affinity-plus-threshold load balancer.
+// Output remains grouped by size (non-decreasing).
+func EnumerateParallel(g *Graph, workers, lo, hi int, visit func(Clique)) (int64, error) {
+	var rep clique.Reporter
+	if visit != nil {
+		rep = clique.ReporterFunc(visit)
+	}
+	res, err := parallel.Enumerate(g, parallel.Options{
+		Workers:  workers,
+		Lo:       lo,
+		Hi:       hi,
+		Strategy: parallel.Affinity,
+		Reporter: rep,
+	})
+	if err != nil {
+		return 0, err
+	}
+	return res.MaximalCliques, nil
+}
+
+// Paraclique is a dense near-clique module.
+type Paraclique = paraclique.Paraclique
+
+// Paracliques decomposes g into paracliques with the given proportional
+// glom factor (0 < glom <= 1).
+func Paracliques(g *Graph, glom float64) []Paraclique {
+	return paraclique.Extract(g, paraclique.Options{Glom: glom})
+}
