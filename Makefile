@@ -1,0 +1,41 @@
+GO ?= go
+
+.PHONY: all build fmt fmt-fix vet test race bench ci
+
+all: build
+
+build:
+	$(GO) build ./...
+
+# Fails if any file needs reformatting (CI gate); use fmt-fix to apply.
+fmt:
+	@out=$$(gofmt -l .); \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+fmt-fix:
+	gofmt -w .
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Race-detect the concurrency-heavy packages (full -race ./... is run
+# in CI nightly-style via `make race-all` if ever needed).
+race:
+	$(GO) test -race ./internal/parallel ./internal/sched ./internal/core ./internal/kclique ./internal/bitset
+
+race-all:
+	$(GO) test -race ./...
+
+# Short benchmark sweep: the streaming-vs-barrier comparison plus the
+# paper-table regenerators, kept brief for CI.
+bench:
+	$(GO) test -run xxx -bench 'EnumerateStreaming|EnumerateBarrier|SeedFromK' -benchtime 5x .
+
+check: fmt vet test
+
+ci: fmt vet build test race bench

@@ -6,6 +6,7 @@
 package repro
 
 import (
+	"math/rand"
 	"testing"
 
 	"repro/internal/clique"
@@ -13,6 +14,7 @@ import (
 	"repro/internal/expt"
 	"repro/internal/graph"
 	"repro/internal/kose"
+	"repro/internal/parallel"
 	"repro/internal/simarch"
 )
 
@@ -141,6 +143,98 @@ func BenchmarkBlowupBudgetAbort(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := expt.Blowup(benchCfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// skewedGraph is the streaming-vs-barrier benchmark workload: a few
+// planted modules of very different sizes over sparse background noise,
+// giving the skewed degree distribution (and skewed sub-list costs) on
+// which one static assignment per level straggles.
+func skewedGraph() *graph.Graph {
+	rng := rand.New(rand.NewSource(41))
+	return graph.PlantedGraph(rng, 500, []graph.PlantedCliqueSpec{
+		{Size: 17}, {Size: 13, Overlap: 4}, {Size: 10}, {Size: 8, Overlap: 2},
+	}, 1200)
+}
+
+// uniformGraph is the control workload: near-uniform degrees, where the
+// static per-level split is already close to optimal and streaming should
+// merely match it.
+func uniformGraph() *graph.Graph {
+	rng := rand.New(rand.NewSource(42))
+	return graph.RandomGNP(rng, 340, 0.12)
+}
+
+// benchEnumerate runs one parallel backend over g with the Affinity
+// strategy (the paper's) and validates the count against b.N-invariant
+// expectations implicitly via error checks.
+func benchEnumerate(b *testing.B, g *graph.Graph, workers int,
+	enumerate func(*graph.Graph, parallel.Options) (*parallel.Result, error)) {
+	b.Helper()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := enumerate(g, parallel.Options{
+			Workers:  workers,
+			Strategy: parallel.Affinity,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEnumerateStreamingSkewed / BenchmarkEnumerateBarrierSkewed
+// compare the persistent streaming worker pool against the retained
+// bulk-synchronous (one static assignment + barrier per level)
+// implementation on the skewed workload, at the worker counts the
+// acceptance gate names.
+func BenchmarkEnumerateStreamingSkewed4(b *testing.B) {
+	benchEnumerate(b, skewedGraph(), 4, parallel.Enumerate)
+}
+
+func BenchmarkEnumerateBarrierSkewed4(b *testing.B) {
+	benchEnumerate(b, skewedGraph(), 4, parallel.EnumerateBarrier)
+}
+
+func BenchmarkEnumerateStreamingSkewed8(b *testing.B) {
+	benchEnumerate(b, skewedGraph(), 8, parallel.Enumerate)
+}
+
+func BenchmarkEnumerateBarrierSkewed8(b *testing.B) {
+	benchEnumerate(b, skewedGraph(), 8, parallel.EnumerateBarrier)
+}
+
+// Uniform control: streaming must at least match the barrier here.
+func BenchmarkEnumerateStreamingUniform4(b *testing.B) {
+	benchEnumerate(b, uniformGraph(), 4, parallel.Enumerate)
+}
+
+func BenchmarkEnumerateBarrierUniform4(b *testing.B) {
+	benchEnumerate(b, uniformGraph(), 4, parallel.EnumerateBarrier)
+}
+
+// BenchmarkSeedFromKParallel isolates the Lo >= 3 seed phase that used to
+// serialize parallel runs: sequential k-clique seeding vs the sharded
+// parallel seeder.
+func BenchmarkSeedFromKSequential(b *testing.B) {
+	g := skewedGraph()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := core.SeedFromK(g, 5, true, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSeedFromKParallel4(b *testing.B) {
+	g := skewedGraph()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, _, err := core.SeedFromKParallel(g, 5, core.CNStore, 4, nil); err != nil {
 			b.Fatal(err)
 		}
 	}

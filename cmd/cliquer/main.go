@@ -10,10 +10,15 @@
 // DIMACS (-dimacs).  Maximal cliques are printed one per line in
 // non-decreasing size order; use -count to suppress the listing.
 //
+// Parallel runs (-workers > 1) use the persistent streaming worker pool;
+// -strategy selects the dispatch policy (affinity or contiguous),
+// -barrier switches to the bulk-synchronous reference backend, and
+// -stats streams per-level scheduling statistics to stderr.
+//
 // Example:
 //
 //	graphgen -spec C -scale 0.5 -out c.el
-//	cliquer -lo 5 -workers 4 c.el
+//	cliquer -lo 5 -workers 4 -strategy affinity -stats c.el
 package main
 
 import (
@@ -29,12 +34,16 @@ import (
 	"repro/internal/maxclique"
 	"repro/internal/ooc"
 	"repro/internal/parallel"
+	"repro/internal/sched"
 )
 
 func main() {
 	lo := flag.Int("lo", 3, "smallest clique size to report (Init_K)")
 	hi := flag.Int("hi", 0, "largest clique size (0: compute maximum clique and use it)")
 	workers := flag.Int("workers", 1, "worker threads (1 = sequential)")
+	strategy := flag.String("strategy", "affinity", "parallel dispatch strategy: affinity or contiguous")
+	barrier := flag.Bool("barrier", false, "use the bulk-synchronous reference backend instead of the streaming pool")
+	stats := flag.Bool("stats", false, "print live per-level scheduling statistics (parallel runs)")
 	countOnly := flag.Bool("count", false, "print counts only, not the cliques")
 	dimacs := flag.Bool("dimacs", false, "input is DIMACS clique format")
 	recompute := flag.Bool("low-mem", false, "recompute common-neighbor bitmaps instead of storing them")
@@ -49,15 +58,30 @@ func main() {
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
-	if err := run(flag.Arg(0), *lo, *hi, *workers, *countOnly, *dimacs,
-		*recompute, *compress, *oocDir, *budget, *noBound); err != nil {
+	if err := run(flag.Arg(0), *lo, *hi, *workers, *strategy, *barrier, *stats,
+		*countOnly, *dimacs, *recompute, *compress, *oocDir, *budget, *noBound); err != nil {
 		fmt.Fprintf(os.Stderr, "cliquer: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(path string, lo, hi, workers int, countOnly, dimacs, recompute, compress bool,
+func parseStrategy(s string) (parallel.Strategy, error) {
+	switch s {
+	case "affinity":
+		return parallel.Affinity, nil
+	case "contiguous":
+		return parallel.Contiguous, nil
+	}
+	return 0, fmt.Errorf("unknown -strategy %q (want affinity or contiguous)", s)
+}
+
+func run(path string, lo, hi, workers int, strategyName string, barrier, stats,
+	countOnly, dimacs, recompute, compress bool,
 	oocDir string, budget int64, noBound bool) error {
+	strategy, err := parseStrategy(strategyName)
+	if err != nil {
+		return err
+	}
 	f, err := os.Open(path)
 	if err != nil {
 		return err
@@ -118,29 +142,57 @@ func run(path string, lo, hi, workers int, countOnly, dimacs, recompute, compres
 		return nil
 	}
 	if workers > 1 {
-		res, err := parallel.Enumerate(g, parallel.Options{
+		popts := parallel.Options{
 			Workers:     workers,
 			Lo:          lo,
 			Hi:          hi,
 			RecomputeCN: recompute,
-			Strategy:    parallel.Affinity,
+			CompressCN:  compress,
+			Strategy:    strategy,
 			Reporter:    report,
-		})
+		}
+		if stats {
+			popts.OnLevel = func(st parallel.LevelStats) {
+				busy := sched.Summarize(st.WorkerBusy)
+				fmt.Fprintf(os.Stderr,
+					"level %2d->%2d: %6d sub-lists %4d chunks %5d transfers %7d maximal  busy %.4fs mean, %.1f%% imbalance\n",
+					st.FromK, st.FromK+1, st.Sublists, st.Chunks, st.Transfers,
+					st.Maximal, busy.Mean, 100*busy.Imbalance())
+			}
+		}
+		backend, enumerate := "streaming", parallel.Enumerate
+		if barrier {
+			backend, enumerate = "barrier", parallel.EnumerateBarrier
+		}
+		res, err := enumerate(g, popts)
 		if err != nil {
 			return err
 		}
-		fmt.Printf("enumerated %d maximal cliques in [%d,%d] in %.3fs on %d workers (%d transfers)\n",
-			res.MaximalCliques, lo, hi, time.Since(start).Seconds(), workers, res.Transfers)
+		fmt.Printf("enumerated %d maximal cliques in [%d,%d] in %.3fs on %d workers (%s %s, %d transfers)\n",
+			res.MaximalCliques, lo, hi, time.Since(start).Seconds(), workers,
+			backend, strategyName, res.Transfers)
 		return nil
 	}
-	res, err := core.Enumerate(g, core.Options{
+	if barrier {
+		fmt.Fprintln(os.Stderr, "cliquer: ignoring -barrier: sequential run (use -workers > 1)")
+	}
+	copts := core.Options{
 		Lo:           lo,
 		Hi:           hi,
 		RecomputeCN:  recompute,
 		CompressCN:   compress,
 		MemoryBudget: budget,
 		Reporter:     report,
-	})
+	}
+	if stats {
+		copts.OnLevel = func(st core.LevelStats) {
+			fmt.Fprintf(os.Stderr,
+				"level %2d->%2d: %6d sub-lists %8d cliques %7d maximal %6d dropped  %d resident bytes\n",
+				st.FromK, st.FromK+1, st.Sublists, st.Cliques, st.Maximal,
+				st.Dropped, st.Bytes+st.NextBytes)
+		}
+	}
+	res, err := core.Enumerate(g, copts)
 	if res != nil && res.PeakBytes > 0 {
 		fmt.Printf("peak candidate memory (paper formula): %d bytes\n", res.PeakBytes)
 	}

@@ -31,9 +31,9 @@ func main() {
 	// clustering) and one containing two anti-correlated members.
 	const genes, conditions = 300, 80
 	modules := []microarray.ModuleSpec{
-		{Genes: seq(0, 12), Signal: 6},               // strong module
-		{Genes: seq(20, 8), Signal: 6, Terse: true},  // transitory module
-		{Genes: seq(40, 6), Signal: 6, Inverse: 2},   // with repressed genes
+		{Genes: seq(0, 12), Signal: 6},              // strong module
+		{Genes: seq(20, 8), Signal: 6, Terse: true}, // transitory module
+		{Genes: seq(40, 6), Signal: 6, Inverse: 2},  // with repressed genes
 	}
 	mat := microarray.Synthesize(rng, microarray.SyntheticConfig{
 		Genes:      genes,

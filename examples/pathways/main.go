@@ -27,7 +27,7 @@ func main() {
 	net := &pathways.Network{Metabolites: []string{"G", "P", "E", "B"}}
 
 	// Reactions: index -> description.
-	net.AddReaction("uptake", false, map[int]int64{G: 1})                 // -> G
+	net.AddReaction("uptake", false, map[int]int64{G: 1})                  // -> G
 	net.AddReaction("glycolysis", false, map[int]int64{G: -1, P: 2, E: 2}) // G -> 2P + 2E
 	net.AddReaction("respire", false, map[int]int64{P: -1, E: 14})         // P -> 14E (high yield)
 	net.AddReaction("ferment", false, map[int]int64{P: -1, B: 1})          // P -> B (fast, low yield)

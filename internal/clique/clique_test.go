@@ -43,10 +43,10 @@ func TestCompare(t *testing.T) {
 		a, b Clique
 		want int
 	}{
-		{Clique{1}, Clique{1, 2}, -1},        // size first
-		{Clique{9}, Clique{1, 2}, -1},        // size dominates values
-		{Clique{1, 2}, Clique{1, 3}, -1},     // lexicographic
-		{Clique{1, 3}, Clique{1, 2}, 1},      //
+		{Clique{1}, Clique{1, 2}, -1},    // size first
+		{Clique{9}, Clique{1, 2}, -1},    // size dominates values
+		{Clique{1, 2}, Clique{1, 3}, -1}, // lexicographic
+		{Clique{1, 3}, Clique{1, 2}, 1},  //
 		{Clique{1, 2}, Clique{1, 2}, 0},  // equal
 		{Clique{2, 4, 6}, Clique{2, 4, 5}, 1},
 	}

@@ -199,28 +199,36 @@ func SeedFromKMode(g *graph.Graph, k int, mode CNMode, r clique.Reporter) (*Leve
 					r.Emit(emitBuf)
 				}
 			}
-			if len(gr.CandidateTails) < 2 {
-				// Paper's |S| > 1 rule: a lone candidate cannot join.
-				return
+			if s := sublistFromGroup(gr, mode); s != nil {
+				lvl.Sub = append(lvl.Sub, s)
 			}
-			s := &SubList{
-				Prefix: make([]uint32, len(gr.Prefix)),
-				Tails:  make([]uint32, len(gr.CandidateTails)),
-			}
-			for i, p := range gr.Prefix {
-				s.Prefix[i] = uint32(p)
-			}
-			for i, t := range gr.CandidateTails {
-				s.Tails[i] = uint32(t)
-			}
-			switch mode {
-			case CNStore:
-				s.CN = gr.PrefixCN.Clone()
-			case CNCompress:
-				s.CNC = wah.Compress(gr.PrefixCN)
-			}
-			lvl.Sub = append(lvl.Sub, s)
 		},
 	})
 	return lvl, st, nil
+}
+
+// sublistFromGroup copies one k-clique group (whose fields are borrowed)
+// into an owned candidate sub-list, or returns nil when the paper's
+// |S| > 1 rule discards it (a lone candidate cannot join).
+func sublistFromGroup(gr kclique.Group, mode CNMode) *SubList {
+	if len(gr.CandidateTails) < 2 {
+		return nil
+	}
+	s := &SubList{
+		Prefix: make([]uint32, len(gr.Prefix)),
+		Tails:  make([]uint32, len(gr.CandidateTails)),
+	}
+	for i, p := range gr.Prefix {
+		s.Prefix[i] = uint32(p)
+	}
+	for i, t := range gr.CandidateTails {
+		s.Tails[i] = uint32(t)
+	}
+	switch mode {
+	case CNStore:
+		s.CN = gr.PrefixCN.Clone()
+	case CNCompress:
+		s.CNC = wah.Compress(gr.PrefixCN)
+	}
+	return s
 }

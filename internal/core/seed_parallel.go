@@ -1,0 +1,163 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/clique"
+	"repro/internal/graph"
+	"repro/internal/kclique"
+)
+
+// seedShardsPerWorker oversubscribes the seed phase: each worker is fed
+// several contiguous vertex shards from a shared counter, so the skew of
+// low-index shards (whose candidate sets are largest) self-balances
+// without a static assignment.
+const seedShardsPerWorker = 4
+
+// SeedFromEdgesParallel builds the size-2 seed level with `workers`
+// goroutines, each claiming contiguous anchor-vertex shards dynamically.
+// Shard outputs are concatenated in shard order, so the returned level is
+// identical to SeedFromEdgesMode.  The second return value records the
+// creator worker of every sub-list — the initial ownership the Affinity
+// strategy schedules by (previously seeding left ownership unset and the
+// first generation level silently fell back to a contiguous split).
+func SeedFromEdgesParallel(g *graph.Graph, mode CNMode, workers int) (*Level, []int32) {
+	n := g.N()
+	if workers < 1 {
+		workers = 1
+	}
+	shards := workers * seedShardsPerWorker
+	if shards > n {
+		shards = n
+	}
+	if workers == 1 || shards <= 1 {
+		lvl := SeedFromEdgesMode(g, mode)
+		return lvl, make([]int32, len(lvl.Sub))
+	}
+
+	type shardOut struct {
+		subs   []*SubList
+		worker int32
+	}
+	outs := make([]shardOut, shards)
+	var next int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int32) {
+			defer wg.Done()
+			for {
+				s := int(atomic.AddInt64(&next, 1)) - 1
+				if s >= shards {
+					return
+				}
+				from, to := n*s/shards, n*(s+1)/shards
+				outs[s] = shardOut{subs: seedEdgeRange(g, mode, from, to), worker: w}
+			}
+		}(int32(w))
+	}
+	wg.Wait()
+
+	lvl := &Level{K: 2}
+	var homes []int32
+	for _, o := range outs {
+		lvl.Sub = append(lvl.Sub, o.subs...)
+		for range o.subs {
+			homes = append(homes, o.worker)
+		}
+	}
+	return lvl, homes
+}
+
+// SeedFromKParallel seeds the enumeration at size k >= 3 with `workers`
+// goroutines running sharded k-clique enumerations (kclique
+// Options.Shard/Shards).  Sub-lists and maximal k-clique reports are
+// merged in shard order, so output order and content match SeedFromKMode
+// exactly; the returned homes record each sub-list's creator worker for
+// the Affinity strategy.
+func SeedFromKParallel(g *graph.Graph, k int, mode CNMode, workers int, r clique.Reporter) (*Level, []int32, kclique.Stats, error) {
+	if k < 3 {
+		return nil, nil, kclique.Stats{}, fmt.Errorf("core: SeedFromKParallel requires k >= 3, got %d", k)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	shards := workers * seedShardsPerWorker
+	if shards > g.N() {
+		shards = g.N()
+	}
+	if workers == 1 || shards <= 1 {
+		lvl, st, err := SeedFromKMode(g, k, mode, r)
+		if err != nil {
+			return nil, nil, st, err
+		}
+		return lvl, make([]int32, len(lvl.Sub)), st, nil
+	}
+
+	type shardOut struct {
+		subs    []*SubList
+		maximal []clique.Clique
+		st      kclique.Stats
+		worker  int32
+	}
+	outs := make([]shardOut, shards)
+	prepared := kclique.Prepare(g, k) // peel once, share across shards
+	var next int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int32) {
+			defer wg.Done()
+			for {
+				s := int(atomic.AddInt64(&next, 1)) - 1
+				if s >= shards {
+					return
+				}
+				o := &outs[s]
+				o.worker = w
+				o.st = prepared.Enumerate(kclique.Options{
+					K:      k,
+					Shard:  s,
+					Shards: shards,
+					OnGroup: func(gr kclique.Group) {
+						for _, t := range gr.MaximalTails {
+							c := make(clique.Clique, 0, len(gr.Prefix)+1)
+							c = append(c, gr.Prefix...)
+							o.maximal = append(o.maximal, append(c, t))
+						}
+						if sl := sublistFromGroup(gr, mode); sl != nil {
+							o.subs = append(o.subs, sl)
+						}
+					},
+				})
+			}
+		}(int32(w))
+	}
+	wg.Wait()
+
+	lvl := &Level{K: k}
+	var homes []int32
+	var st kclique.Stats
+	for s, o := range outs {
+		if r != nil {
+			for _, c := range o.maximal {
+				r.Emit(c)
+			}
+		}
+		lvl.Sub = append(lvl.Sub, o.subs...)
+		for range o.subs {
+			homes = append(homes, o.worker)
+		}
+		st.Maximal += o.st.Maximal
+		st.Candidates += o.st.Candidates
+		st.Groups += o.st.Groups
+		st.SearchNodes += o.st.SearchNodes
+		st.BoundaryCuts += o.st.BoundaryCuts
+		if s == 0 {
+			st.PeeledAway = o.st.PeeledAway // identical in every shard
+		}
+	}
+	return lvl, homes, st, nil
+}

@@ -1,0 +1,118 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/clique"
+	"repro/internal/graph"
+)
+
+func seedTestGraph(seed int64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	return graph.PlantedGraph(rng, 90, []graph.PlantedCliqueSpec{
+		{Size: 10}, {Size: 7, Overlap: 3}, {Size: 5},
+	}, 220)
+}
+
+// sameSublists asserts two levels hold identical sub-lists in identical
+// order, including bitmap content.
+func sameSublists(t *testing.T, got, want *Level, n int) {
+	t.Helper()
+	if got.K != want.K {
+		t.Fatalf("K = %d, want %d", got.K, want.K)
+	}
+	if len(got.Sub) != len(want.Sub) {
+		t.Fatalf("%d sub-lists, want %d", len(got.Sub), len(want.Sub))
+	}
+	for i := range want.Sub {
+		g, w := got.Sub[i], want.Sub[i]
+		if len(g.Prefix) != len(w.Prefix) || len(g.Tails) != len(w.Tails) {
+			t.Fatalf("sub-list %d shape mismatch", i)
+		}
+		for j := range w.Prefix {
+			if g.Prefix[j] != w.Prefix[j] {
+				t.Fatalf("sub-list %d prefix differs", i)
+			}
+		}
+		for j := range w.Tails {
+			if g.Tails[j] != w.Tails[j] {
+				t.Fatalf("sub-list %d tails differ", i)
+			}
+		}
+		if (g.CN == nil) != (w.CN == nil) {
+			t.Fatalf("sub-list %d CN presence differs", i)
+		}
+		if g.CN != nil && !g.CN.Equal(w.CN) {
+			t.Fatalf("sub-list %d CN bitmap differs", i)
+		}
+	}
+}
+
+func checkHomes(t *testing.T, homes []int32, subs, workers int) {
+	t.Helper()
+	if len(homes) != subs {
+		t.Fatalf("%d homes for %d sub-lists", len(homes), subs)
+	}
+	for i, h := range homes {
+		if int(h) < 0 || int(h) >= workers {
+			t.Fatalf("home[%d] = %d out of [0,%d)", i, h, workers)
+		}
+	}
+}
+
+func TestSeedFromEdgesParallelMatchesSequential(t *testing.T) {
+	g := seedTestGraph(11)
+	for _, mode := range []CNMode{CNStore, CNRecompute} {
+		want := SeedFromEdgesMode(g, mode)
+		for _, workers := range []int{1, 2, 4, 7} {
+			lvl, homes := SeedFromEdgesParallel(g, mode, workers)
+			sameSublists(t, lvl, want, g.N())
+			checkHomes(t, homes, len(lvl.Sub), workers)
+		}
+	}
+}
+
+func TestSeedFromKParallelMatchesSequential(t *testing.T) {
+	g := seedTestGraph(12)
+	for _, k := range []int{3, 4, 6} {
+		seqCol := &clique.Collector{}
+		want, seqStats, err := SeedFromKMode(g, k, CNStore, seqCol)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{1, 3, 5} {
+			parCol := &clique.Collector{}
+			lvl, homes, st, err := SeedFromKParallel(g, k, CNStore, workers, parCol)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sameSublists(t, lvl, want, g.N())
+			checkHomes(t, homes, len(lvl.Sub), workers)
+			// Maximal k-cliques must arrive in the identical canonical
+			// order, not merely as the same set.
+			if len(parCol.Cliques) != len(seqCol.Cliques) {
+				t.Fatalf("k=%d workers=%d: %d maximal seeds, want %d",
+					k, workers, len(parCol.Cliques), len(seqCol.Cliques))
+			}
+			for i := range seqCol.Cliques {
+				if clique.Compare(parCol.Cliques[i], seqCol.Cliques[i]) != 0 {
+					t.Fatalf("k=%d workers=%d: seed emission %d is %v, want %v",
+						k, workers, i, parCol.Cliques[i], seqCol.Cliques[i])
+				}
+			}
+			if st.Maximal != seqStats.Maximal || st.Candidates != seqStats.Candidates ||
+				st.Groups != seqStats.Groups {
+				t.Errorf("k=%d workers=%d: stats %+v, want counts of %+v",
+					k, workers, st, seqStats)
+			}
+		}
+	}
+}
+
+func TestSeedFromKParallelRejectsSmallK(t *testing.T) {
+	g := seedTestGraph(13)
+	if _, _, _, err := SeedFromKParallel(g, 2, CNStore, 4, nil); err == nil {
+		t.Error("k=2 accepted")
+	}
+}

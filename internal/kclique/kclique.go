@@ -54,6 +54,15 @@ type Options struct {
 	// SkipPeel disables the (k-1)-core preprocessing (for tests and
 	// ablation benchmarks).
 	SkipPeel bool
+	// Shard and Shards split the enumeration for parallel seeding.  When
+	// Shards > 1, the top-level branch vertices of the (peeled) working
+	// graph are cut into Shards contiguous ranges and only range Shard
+	// (0-based) is enumerated.  Every k-clique is found in exactly the
+	// shard holding its smallest vertex, and Base BK's index-order
+	// selection means concatenating shard outputs in shard order
+	// reproduces the canonical full enumeration.  Shards <= 1 disables
+	// sharding.
+	Shard, Shards int
 }
 
 // Stats reports counters from one enumeration run.
@@ -69,37 +78,89 @@ type Stats struct {
 // Enumerate finds every k-clique of g and reports them through
 // opts.OnGroup.  It returns run statistics.
 func Enumerate(g *graph.Graph, opts Options) Stats {
-	if opts.K < 2 {
+	return prepare(g, opts.K, opts.SkipPeel).Enumerate(opts)
+}
+
+// Prepared is the peeled enumeration context: the (k-1)-core working
+// graph plus its translation back to the original vertex universe.
+// Preparing once and running several sharded Enumerate calls over it —
+// concurrently if desired; Prepared itself is read-only during
+// enumeration — avoids repeating the peel per shard, which is how the
+// parallel seeder uses it.
+type Prepared struct {
+	orig       *graph.Graph
+	work       *graph.Graph
+	newToOld   []int
+	k          int
+	peeledAway int
+}
+
+// Prepare peels g for size-k enumeration.
+func Prepare(g *graph.Graph, k int) *Prepared {
+	if k < 2 {
 		panic("kclique: K must be >= 2")
 	}
-	var st Stats
+	return prepare(g, k, false)
+}
 
-	work := g
-	var newToOld []int
-	if !opts.SkipPeel {
-		alive := g.KCorePeel(opts.K - 1)
+func prepare(g *graph.Graph, k int, skipPeel bool) *Prepared {
+	if k < 2 {
+		panic("kclique: K must be >= 2")
+	}
+	p := &Prepared{orig: g, work: g, k: k}
+	if !skipPeel {
+		alive := g.KCorePeel(k - 1)
 		if alive.Count() < g.N() {
-			work, newToOld = g.InducedSubgraph(alive)
-			st.PeeledAway = g.N() - work.N()
+			p.work, p.newToOld = g.InducedSubgraph(alive)
+			p.peeledAway = g.N() - p.work.N()
 		}
 	}
-	if work.N() < opts.K {
+	return p
+}
+
+// Enumerate runs the (optionally sharded) enumeration over the prepared
+// graph.  opts.K must match the prepared k; opts.SkipPeel is ignored
+// (peeling already happened, or was skipped, at Prepare time).
+func (p *Prepared) Enumerate(opts Options) Stats {
+	if opts.K != p.k {
+		panic("kclique: Options.K differs from Prepared k")
+	}
+	if opts.Shards > 1 && (opts.Shard < 0 || opts.Shard >= opts.Shards) {
+		panic("kclique: Shard out of [0, Shards)")
+	}
+	st := Stats{PeeledAway: p.peeledAway}
+	work := p.work
+	if work.N() < p.k {
 		return st
+	}
+
+	// Sharded runs reproduce the exact search state Base BK would have on
+	// reaching top-level vertex `from`: vertices below the range sit in
+	// NOT, the rest are candidates, and branching stops at `to`.
+	from, to := 0, work.N()
+	if opts.Shards > 1 {
+		from = work.N() * opts.Shard / opts.Shards
+		to = work.N() * (opts.Shard + 1) / opts.Shards
 	}
 
 	e := &searcher{
 		g:        work,
-		orig:     g,
-		newToOld: newToOld,
-		k:        opts.K,
+		orig:     p.orig,
+		newToOld: p.newToOld,
+		k:        p.k,
+		topLimit: to,
 		onGroup:  opts.OnGroup,
 		st:       &st,
 		pool:     bitset.NewPool(work.N()),
-		prefix:   make([]int, 0, opts.K),
+		prefix:   make([]int, 0, p.k),
 	}
 	cand := bitset.New(work.N())
 	cand.SetAll()
 	not := bitset.New(work.N())
+	for v := 0; v < from; v++ {
+		cand.Clear(v)
+		not.Set(v)
+	}
 	e.extend(cand, not)
 	return st
 }
@@ -109,6 +170,7 @@ type searcher struct {
 	orig     *graph.Graph // original graph (for PrefixCN universes)
 	newToOld []int        // nil when no peeling happened
 	k        int
+	topLimit int // exclusive bound on top-level branch vertices (sharding)
 	onGroup  func(Group)
 	st       *Stats
 	pool     *bitset.Pool
@@ -141,6 +203,9 @@ func (e *searcher) extend(cand, not *bitset.Bitset) {
 
 	branch := cand.Indices()
 	for _, v := range branch {
+		if len(e.prefix) == 0 && v >= e.topLimit {
+			break // outside this shard's top-level range
+		}
 		nv := e.g.Neighbors(v)
 		newCand := e.pool.GetNoClear()
 		newCand.And(cand, nv)

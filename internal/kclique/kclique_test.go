@@ -211,3 +211,85 @@ func BenchmarkSeedK10Planted(b *testing.B) {
 		Enumerate(g, Options{K: 10, OnGroup: func(Group) {}})
 	}
 }
+
+// TestShardedEnumerationMatchesFull: concatenating shard outputs in shard
+// order must reproduce the unsharded enumeration exactly — same groups,
+// same order, same classification — since every k-clique lives in the
+// shard of its smallest vertex.  This is the invariant the parallel
+// seeder builds on.
+func TestShardedEnumerationMatchesFull(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	g := graph.PlantedGraph(rng, 70, []graph.PlantedCliqueSpec{
+		{Size: 9}, {Size: 6, Overlap: 2},
+	}, 150)
+	type flatGroup struct {
+		prefix []int
+		maxT   []int
+		candT  []int
+	}
+	collect := func(shard, shards int) ([]flatGroup, Stats) {
+		var out []flatGroup
+		st := Enumerate(g, Options{
+			K:      4,
+			Shard:  shard,
+			Shards: shards,
+			OnGroup: func(gr Group) {
+				out = append(out, flatGroup{
+					prefix: append([]int(nil), gr.Prefix...),
+					maxT:   append([]int(nil), gr.MaximalTails...),
+					candT:  append([]int(nil), gr.CandidateTails...),
+				})
+			},
+		})
+		return out, st
+	}
+	full, fullStats := collect(0, 1)
+	for _, shards := range []int{2, 3, 7, 16} {
+		var merged []flatGroup
+		var maximal, candidates, groups int64
+		for s := 0; s < shards; s++ {
+			part, st := collect(s, shards)
+			merged = append(merged, part...)
+			maximal += st.Maximal
+			candidates += st.Candidates
+			groups += st.Groups
+		}
+		if len(merged) != len(full) {
+			t.Fatalf("shards=%d: %d groups, want %d", shards, len(merged), len(full))
+		}
+		for i := range full {
+			if !equalInts(merged[i].prefix, full[i].prefix) ||
+				!equalInts(merged[i].maxT, full[i].maxT) ||
+				!equalInts(merged[i].candT, full[i].candT) {
+				t.Fatalf("shards=%d: group %d differs: %+v vs %+v",
+					shards, i, merged[i], full[i])
+			}
+		}
+		if maximal != fullStats.Maximal || candidates != fullStats.Candidates || groups != fullStats.Groups {
+			t.Errorf("shards=%d: summed stats %d/%d/%d, want %d/%d/%d", shards,
+				maximal, candidates, groups,
+				fullStats.Maximal, fullStats.Candidates, fullStats.Groups)
+		}
+	}
+}
+
+func TestShardOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Shard >= Shards did not panic")
+		}
+	}()
+	Enumerate(graph.New(10), Options{K: 2, Shard: 3, Shards: 2})
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

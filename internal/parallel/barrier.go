@@ -1,0 +1,159 @@
+package parallel
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/bitset"
+	"repro/internal/clique"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/sched"
+)
+
+// EnumerateBarrier is the previous bulk-synchronous implementation of the
+// multithreaded Clique Enumerator, retained as the reference baseline the
+// streaming pool (Enumerate) is benchmarked against.  Per level it
+// computes one static assignment, respawns a goroutine per worker, takes
+// a full barrier, and buffers every emission until the barrier; seeding
+// is sequential.
+//
+// Unlike the original version, seeding now assigns creator ownership
+// (every seed sub-list is owned by the seeding thread, worker 0), so the
+// Affinity strategy's threshold balancer is in effect from the first
+// generation level instead of silently falling back to a contiguous
+// split.
+func EnumerateBarrier(g *graph.Graph, opts Options) (*Result, error) {
+	mode, err := checkOptions(&opts)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	res := &Result{WorkerBusy: make([]float64, opts.Workers)}
+
+	// Seed-phase reporter: counts and forwards maximal Lo-cliques.
+	seedCount := func(c clique.Clique) {
+		res.MaximalCliques++
+		if len(c) > res.MaxCliqueSize {
+			res.MaxCliqueSize = len(c)
+		}
+		if opts.Reporter != nil {
+			opts.Reporter.Emit(c)
+		}
+	}
+
+	// Seeding is sequential — part of the bulk-synchronous design this
+	// baseline preserves.  All seed sub-lists are created by this thread,
+	// so their home is worker 0.
+	var lvl *core.Level
+	if opts.Lo <= 2 {
+		lvl = core.SeedFromEdgesMode(g, mode)
+	} else {
+		lvl, res.SeedStats, err = core.SeedFromKMode(g, opts.Lo, mode,
+			clique.ReporterFunc(seedCount))
+		if err != nil {
+			return nil, err
+		}
+	}
+	homes := make([]int32, len(lvl.Sub))
+
+	pool := bitset.NewPool(g.N())
+	workers := make([]*barrierWorker, opts.Workers)
+	for w := range workers {
+		workers[w] = &barrierWorker{
+			builder: core.NewBuilderMode(g, mode, pool),
+		}
+	}
+
+	words := int64((g.N() + 63) / 64)
+	for len(lvl.Sub) > 0 && (opts.Hi == 0 || lvl.K+1 <= opts.Hi) {
+		loads := make([]int64, len(lvl.Sub))
+		for i, s := range lvl.Sub {
+			loads[i] = estimateLoad(s, words)
+		}
+
+		var assign sched.Assignment
+		transfers := 0
+		if opts.Strategy == Affinity {
+			assign = sched.ByHome(homes, opts.Workers)
+			transfers = len(opts.Policy.Rebalance(assign, loads))
+		} else {
+			assign = sched.BalancedContiguous(loads, opts.Workers)
+		}
+
+		// Workers generate independently; the scheduler's barrier is the
+		// WaitGroup.
+		var wg sync.WaitGroup
+		for w := 0; w < opts.Workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				workers[w].run(lvl, assign[w], opts.Reporter != nil)
+			}(w)
+		}
+		wg.Wait()
+
+		// Collect: merge next-level fragments and emissions in worker
+		// order, record loads and stats, decide next homes.
+		st := LevelStats{
+			FromK:      lvl.K,
+			Sublists:   len(lvl.Sub),
+			Transfers:  transfers,
+			WorkerBusy: make([]float64, opts.Workers),
+			WorkerCost: make([]int64, opts.Workers),
+		}
+		next := &core.Level{K: lvl.K + 1}
+		homes = homes[:0]
+		for w, wk := range workers {
+			st.WorkerBusy[w] = wk.busy.Seconds()
+			st.WorkerCost[w] = wk.builder.Cost.Units()
+			st.Maximal += wk.builder.Maximal
+			res.WorkerBusy[w] += wk.busy.Seconds()
+			if opts.Reporter != nil {
+				for _, c := range wk.emitted {
+					opts.Reporter.Emit(c)
+				}
+			}
+			next.Sub = append(next.Sub, wk.builder.Next...)
+			for range wk.builder.Next {
+				homes = append(homes, int32(w))
+			}
+		}
+		res.MaximalCliques += st.Maximal
+		if st.Maximal > 0 && lvl.K+1 > res.MaxCliqueSize {
+			res.MaxCliqueSize = lvl.K + 1
+		}
+		res.Transfers += transfers
+		res.Levels = append(res.Levels, st)
+		if opts.OnLevel != nil {
+			opts.OnLevel(st)
+		}
+		lvl = next
+	}
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+type barrierWorker struct {
+	builder *core.Builder
+	emitted []clique.Clique
+	busy    time.Duration
+}
+
+// run processes the assigned sub-list indices of the level, buffering any
+// emissions for ordered delivery after the barrier.
+func (wk *barrierWorker) run(lvl *core.Level, items []int, collect bool) {
+	wk.builder.Reset()
+	wk.emitted = wk.emitted[:0]
+	var rep clique.Reporter
+	if collect {
+		rep = clique.ReporterFunc(func(c clique.Clique) {
+			wk.emitted = append(wk.emitted, append(clique.Clique(nil), c...))
+		})
+	}
+	start := time.Now()
+	for _, i := range items {
+		wk.builder.ProcessSubList(lvl.Sub[i], rep)
+	}
+	wk.busy = time.Since(start)
+}

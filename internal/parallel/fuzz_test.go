@@ -38,7 +38,20 @@ func TestQuickParallelEqualsSequential(t *testing.T) {
 		}); err != nil {
 			return false
 		}
-		ok, _ := clique.SameSets(seq.Cliques, par.Cliques)
+		if ok, _ := clique.SameSets(seq.Cliques, par.Cliques); !ok {
+			return false
+		}
+		bar := &clique.Collector{}
+		if _, err := EnumerateBarrier(g, Options{
+			Workers:  workers,
+			Lo:       lo,
+			Strategy: strategy,
+			Policy:   policy,
+			Reporter: bar,
+		}); err != nil {
+			return false
+		}
+		ok, _ := clique.SameSets(seq.Cliques, bar.Cliques)
 		return ok
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {

@@ -1,22 +1,39 @@
 // Package parallel is the multithreaded Clique Enumerator: the paper's
-// level-synchronous execution scheme running on real OS threads
-// (goroutines), coordinated by the centralized dynamic load balancer of
-// package sched.
+// level-synchronous execution scheme running on persistent goroutine
+// workers, coordinated by the centralized dynamic scheduler of package
+// sched.
 //
-// Each level, the task scheduler assigns the candidate sub-lists to
-// worker threads; workers generate (k+1)-cliques from their sub-lists
-// completely independently (sub-list joins never interact — the paper's
-// key parallelism property), then synchronize at a barrier where the
-// scheduler collects results and loads and decides transfers for the next
-// level.  Two assignment strategies are provided:
+// Workers are started once per run and fed sub-list chunks over channels.
+// Within a level the scheduler (sched.Dispatcher) hands out chunks
+// dynamically — workers pull more work as they finish, so load-estimation
+// error and skewed sub-list costs are absorbed inside the level instead
+// of stretching a bulk-synchronous barrier.  Two dispatch strategies are
+// provided:
 //
-//   - Contiguous: re-partition every level into load-balanced contiguous
-//     chunks.  Keeps the canonical output order and is the best balance,
-//     at the cost of ignoring memory affinity entirely.
-//   - Affinity: every thread keeps the sub-lists it created, and the
-//     scheduler transfers work from heavy to light threads only when the
-//     imbalance exceeds the threshold policy — the paper's strategy,
-//     minimizing remote-memory traffic on ccNUMA machines.
+//   - Contiguous: one canonical-order queue; any worker pulls the next
+//     contiguous chunk.  Best balance, no ownership.
+//   - Affinity: every sub-list is queued on the worker that created it
+//     (creator ownership starts at the seed phase); an idle worker steals
+//     from the heaviest backlog only while the backlog exceeds the
+//     sched.Policy threshold — the paper's transfer rule applied
+//     continuously, minimizing remote-memory traffic on ccNUMA machines.
+//
+// Seeding is parallelized across vertex ranges (core.SeedFromEdgesParallel
+// / core.SeedFromKParallel), so the Lo >= 3 seed phase no longer
+// serializes the run, and seeding records creator ownership for the
+// Affinity strategy's first level.
+//
+// Emission is sharded per worker and merged by a streaming in-order
+// merger: each completed sub-list's cliques are released as soon as every
+// earlier sub-list of the level has completed, reproducing the exact
+// sequential emission order (full canonical order, for both strategies)
+// while buffering only the out-of-order window rather than the whole
+// level.
+//
+// EnumerateBarrier retains the previous bulk-synchronous implementation
+// (goroutines respawned per level, one static assignment per level,
+// emissions buffered until the barrier) as the reference baseline for
+// benchmarks.
 package parallel
 
 import (
@@ -28,16 +45,18 @@ import (
 	"repro/internal/clique"
 	"repro/internal/core"
 	"repro/internal/graph"
+	"repro/internal/kclique"
 	"repro/internal/sched"
 )
 
-// Strategy selects the per-level assignment policy.
+// Strategy selects the dispatch policy.
 type Strategy int
 
 const (
-	// Contiguous re-chunks each level evenly by estimated load.
+	// Contiguous dispatches each level's sub-lists from one shared
+	// canonical-order queue.
 	Contiguous Strategy = iota
-	// Affinity keeps creator ownership and applies threshold transfers.
+	// Affinity keeps creator ownership and applies threshold stealing.
 	Affinity
 )
 
@@ -49,13 +68,19 @@ type Options struct {
 	Lo, Hi      int
 	RecomputeCN bool
 	CompressCN  bool
-	// Strategy selects the assignment policy (default Contiguous).
+	// Strategy selects the dispatch policy (default Contiguous).
 	Strategy Strategy
-	// Policy tunes Affinity-mode transfers.
+	// Policy tunes Affinity-mode stealing.
 	Policy sched.Policy
-	// Reporter receives maximal cliques.  Delivery is level-ordered
-	// (non-decreasing clique size); with the Contiguous strategy it is
-	// additionally in full canonical order.  May be nil.
+	// ChunksPerWorker tunes dispatch granularity: each level is cut into
+	// roughly Workers*ChunksPerWorker chunks by estimated load.  0 uses
+	// sched.DefaultChunksPerWorker.
+	ChunksPerWorker int
+	// Reporter receives maximal cliques.  Enumerate delivers full
+	// canonical order (non-decreasing size; lexicographic within a
+	// size) with either strategy; EnumerateBarrier guarantees canonical
+	// order only with Contiguous, and size order with Affinity.  May be
+	// nil.
 	Reporter clique.Reporter
 	// OnLevel observes per-level scheduling statistics.
 	OnLevel func(LevelStats)
@@ -65,7 +90,8 @@ type Options struct {
 type LevelStats struct {
 	FromK      int
 	Sublists   int
-	Transfers  int       // sub-lists moved by the load balancer
+	Chunks     int       // dispatcher chunks handed out
+	Transfers  int       // sub-lists processed by a non-home worker
 	WorkerBusy []float64 // seconds of generation work per worker
 	WorkerCost []int64   // abstract cost units per worker
 	Maximal    int64
@@ -78,35 +104,22 @@ type Result struct {
 	Levels         []LevelStats
 	WorkerBusy     []float64 // total busy seconds per worker
 	Transfers      int
+	SeedStats      kclique.Stats // populated when Lo >= 3
 	Elapsed        time.Duration
 }
 
-// Enumerate runs the multithreaded Clique Enumerator.
+// Enumerate runs the multithreaded Clique Enumerator on a persistent
+// streaming worker pool.
 func Enumerate(g *graph.Graph, opts Options) (*Result, error) {
-	if opts.Workers < 1 {
-		return nil, fmt.Errorf("parallel: %d workers", opts.Workers)
-	}
-	if opts.Lo == 0 {
-		opts.Lo = 2
-	}
-	if opts.Hi != 0 && opts.Hi < opts.Lo {
-		return nil, fmt.Errorf("parallel: Hi %d < Lo %d", opts.Hi, opts.Lo)
-	}
-	if opts.RecomputeCN && opts.CompressCN {
-		return nil, fmt.Errorf("parallel: RecomputeCN and CompressCN are mutually exclusive")
-	}
-	mode := core.CNStore
-	switch {
-	case opts.RecomputeCN:
-		mode = core.CNRecompute
-	case opts.CompressCN:
-		mode = core.CNCompress
+	mode, err := checkOptions(&opts)
+	if err != nil {
+		return nil, err
 	}
 	start := time.Now()
 	res := &Result{WorkerBusy: make([]float64, opts.Workers)}
 
 	// Seed-phase reporter: counts and forwards maximal Lo-cliques.
-	seedCount := func(c clique.Clique) {
+	seedRep := clique.ReporterFunc(func(c clique.Clique) {
 		res.MaximalCliques++
 		if len(c) > res.MaxCliqueSize {
 			res.MaxCliqueSize = len(c)
@@ -114,98 +127,230 @@ func Enumerate(g *graph.Graph, opts Options) (*Result, error) {
 		if opts.Reporter != nil {
 			opts.Reporter.Emit(c)
 		}
-	}
+	})
 
-	// Seeding is sequential (it is a negligible fraction of the run for
-	// the paper's workloads; Figure 5 measures the level loop).
 	var lvl *core.Level
-	var homes []int32 // creator worker per sub-list; nil => worker 0
+	var homes []int32
 	if opts.Lo <= 2 {
-		lvl = core.SeedFromEdgesMode(g, mode)
+		lvl, homes = core.SeedFromEdgesParallel(g, mode, opts.Workers)
 	} else {
-		var err error
-		lvl, _, err = core.SeedFromKMode(g, opts.Lo, mode,
-			clique.ReporterFunc(seedCount))
+		lvl, homes, res.SeedStats, err = core.SeedFromKParallel(g, opts.Lo, mode, opts.Workers, seedRep)
 		if err != nil {
 			return nil, err
 		}
 	}
 
+	// Start the persistent pool: one builder per worker, reused across
+	// every level of the run.
 	pool := bitset.NewPool(g.N())
 	workers := make([]*worker, opts.Workers)
+	var wg sync.WaitGroup
 	for w := range workers {
 		workers[w] = &worker{
+			id:      w,
 			builder: core.NewBuilderMode(g, mode, pool),
+			jobs:    make(chan levelJob, 1),
 		}
+		wg.Add(1)
+		go workers[w].loop(&wg)
 	}
+	defer func() {
+		for _, w := range workers {
+			close(w.jobs)
+		}
+		wg.Wait()
+	}()
 
 	words := int64((g.N() + 63) / 64)
+	m := &merger{rep: opts.Reporter} // scratch reused across levels
+	var loads []int64                // reused across levels; each level ends before reuse
 	for len(lvl.Sub) > 0 && (opts.Hi == 0 || lvl.K+1 <= opts.Hi) {
-		loads := make([]int64, len(lvl.Sub))
+		if cap(loads) < len(lvl.Sub) {
+			loads = make([]int64, len(lvl.Sub))
+		}
+		loads = loads[:len(lvl.Sub)]
 		for i, s := range lvl.Sub {
 			loads[i] = estimateLoad(s, words)
 		}
-
-		var assign sched.Assignment
-		transfers := 0
-		if opts.Strategy == Affinity && homes != nil {
-			assign = sched.ByHome(homes, opts.Workers)
-			transfers = len(opts.Policy.Rebalance(assign, loads))
+		grain := sched.ChunkGrain(loads, opts.Workers, opts.ChunksPerWorker)
+		var disp *sched.Dispatcher
+		if opts.Strategy == Affinity {
+			disp = sched.NewAffinityDispatcher(loads, homes, opts.Workers, opts.Policy, grain)
 		} else {
-			assign = sched.BalancedContiguous(loads, opts.Workers)
+			disp = sched.NewContiguousDispatcher(loads, opts.Workers, grain)
 		}
 
-		// Workers generate independently; the scheduler's barrier is the
-		// WaitGroup.
-		var wg sync.WaitGroup
-		for w := 0; w < opts.Workers; w++ {
-			wg.Add(1)
-			go func(w int) {
-				defer wg.Done()
-				workers[w].run(lvl, assign[w], opts.Reporter != nil)
-			}(w)
-		}
-		wg.Wait()
-
-		// Collect: merge next-level fragments and emissions in worker
-		// order, record loads and stats, decide next homes.
-		st := LevelStats{
-			FromK:      lvl.K,
-			Sublists:   len(lvl.Sub),
-			Transfers:  transfers,
-			WorkerBusy: make([]float64, opts.Workers),
-			WorkerCost: make([]int64, opts.Workers),
-		}
-		next := &core.Level{K: lvl.K + 1}
-		homes = homes[:0]
-		for w, wk := range workers {
-			st.WorkerBusy[w] = wk.busy.Seconds()
-			st.WorkerCost[w] = wk.builder.Cost.Units()
-			st.Maximal += wk.builder.Maximal
-			res.WorkerBusy[w] += wk.busy.Seconds()
-			if opts.Reporter != nil {
-				for _, c := range wk.emitted {
-					opts.Reporter.Emit(c)
-				}
-			}
-			next.Sub = append(next.Sub, wk.builder.Next...)
-			for range wk.builder.Next {
-				homes = append(homes, int32(w))
-			}
-		}
+		next, nextHomes, st := runLevel(lvl, disp, workers, m, opts.Reporter)
 		res.MaximalCliques += st.Maximal
 		if st.Maximal > 0 && lvl.K+1 > res.MaxCliqueSize {
 			res.MaxCliqueSize = lvl.K + 1
 		}
-		res.Transfers += transfers
+		res.Transfers += st.Transfers
+		for w, busy := range st.WorkerBusy {
+			res.WorkerBusy[w] += busy
+		}
 		res.Levels = append(res.Levels, st)
 		if opts.OnLevel != nil {
 			opts.OnLevel(st)
 		}
-		lvl = next
+		lvl, homes = next, nextHomes
 	}
 	res.Elapsed = time.Since(start)
 	return res, nil
+}
+
+// checkOptions validates opts, applies defaults, and resolves the bitmap
+// mode.  Shared by Enumerate and EnumerateBarrier.
+func checkOptions(opts *Options) (core.CNMode, error) {
+	if opts.Workers < 1 {
+		return 0, fmt.Errorf("parallel: %d workers", opts.Workers)
+	}
+	if opts.Lo == 0 {
+		opts.Lo = 2
+	}
+	if opts.Hi != 0 && opts.Hi < opts.Lo {
+		return 0, fmt.Errorf("parallel: Hi %d < Lo %d", opts.Hi, opts.Lo)
+	}
+	if opts.RecomputeCN && opts.CompressCN {
+		return 0, fmt.Errorf("parallel: RecomputeCN and CompressCN are mutually exclusive")
+	}
+	switch {
+	case opts.RecomputeCN:
+		return core.CNRecompute, nil
+	case opts.CompressCN:
+		return core.CNCompress, nil
+	}
+	return core.CNStore, nil
+}
+
+// runLevel drives one level through the pool: it hands every worker the
+// level job, then sleeps until the level barrier.  Result merging is
+// decentralized — workers deposit chunk results straight into the shared
+// streaming merger — so the coordinator costs no CPU while the level
+// runs, which matters when workers already oversubscribe the cores.
+func runLevel(lvl *core.Level, disp *sched.Dispatcher, workers []*worker,
+	m *merger, rep clique.Reporter) (*core.Level, []int32, LevelStats) {
+	w := len(workers)
+	items := len(lvl.Sub)
+	st := LevelStats{
+		FromK:      lvl.K,
+		Sublists:   items,
+		WorkerBusy: make([]float64, w),
+		WorkerCost: make([]int64, w),
+	}
+	m.reset(items, lvl.K+1)
+	var wg sync.WaitGroup
+	wg.Add(w)
+	job := levelJob{
+		lvl:     lvl,
+		disp:    disp,
+		merger:  m,
+		wg:      &wg,
+		busy:    st.WorkerBusy,
+		cost:    st.WorkerCost,
+		collect: rep != nil,
+	}
+	for _, wk := range workers {
+		wk.jobs <- job
+	}
+	wg.Wait()
+
+	st.Maximal = m.maximal
+	st.Transfers = disp.Transfers()
+	st.Chunks = disp.Chunks()
+	return m.next, m.homes, st
+}
+
+// chunkResult is one processed chunk's outputs in compact offset form:
+// item i of the chunk produced next[subOff[i]:subOff[i+1]] (a snapshot of
+// the worker builder's output slice) and, when collecting, emitted
+// cliques emitted[emitOff[i]:emitOff[i+1]].  Offset arrays cost a few
+// bytes per sub-list, keeping the streaming machinery's allocation rate
+// near the barrier implementation's.
+type chunkResult struct {
+	worker  int32
+	pending int32 // items not yet released; 0 lets the merger drop the chunk
+	items   []int32
+	subOff  []int32
+	next    []*core.SubList
+	emitOff []int32
+	emitted []clique.Clique
+	maximal int64
+}
+
+// merger is the streaming k-way merge point for per-worker shard outputs:
+// chunk results arrive in any order, and each sub-list's outputs are
+// released as soon as every earlier sub-list of the level has been
+// released.  Emission order is therefore exactly the sequential
+// enumeration order, while only the out-of-order window is buffered —
+// not the whole level, as the barrier implementation must.
+type merger struct {
+	mu     sync.Mutex
+	rep    clique.Reporter
+	chunks []*chunkResult
+	// loc maps item index -> (chunk, position), packed as
+	// (chunk+1)<<32 | pos; 0 means not yet deposited.  Released entries
+	// are re-zeroed as the frontier passes them, so the array is clean
+	// for the next level without a clearing pass.
+	loc     []int64
+	emit    int // next item index to release
+	next    *core.Level
+	homes   []int32
+	maximal int64
+}
+
+// reset prepares the merger for a level of `items` sub-lists producing
+// cliques of size nextK.
+func (m *merger) reset(items, nextK int) {
+	if cap(m.loc) < items {
+		m.loc = make([]int64, items)
+	}
+	m.loc = m.loc[:items]
+	for i := range m.chunks { // drop refs held by the backing array
+		m.chunks[i] = nil
+	}
+	m.chunks = m.chunks[:0]
+	m.emit = 0
+	m.next = &core.Level{K: nextK}
+	m.homes = nil
+	m.maximal = 0
+}
+
+// deposit files one chunk's results and releases every newly contiguous
+// prefix of the level.  The reporter runs under the merger lock:
+// emission is inherently serial (one ordered output stream), so the lock
+// adds no parallelism loss beyond that.
+func (m *merger) deposit(c *chunkResult) {
+	m.mu.Lock()
+	m.maximal += c.maximal
+	c.pending = int32(len(c.items))
+	ci := int64(len(m.chunks) + 1)
+	m.chunks = append(m.chunks, c)
+	for p, item := range c.items {
+		m.loc[item] = ci<<32 | int64(p)
+	}
+	for m.emit < len(m.loc) && m.loc[m.emit] != 0 {
+		packed := m.loc[m.emit]
+		m.loc[m.emit] = 0
+		m.emit++
+		rc := m.chunks[packed>>32-1]
+		p := int32(packed)
+		if m.rep != nil && rc.emitOff != nil {
+			for _, cl := range rc.emitted[rc.emitOff[p]:rc.emitOff[p+1]] {
+				m.rep.Emit(cl)
+			}
+		}
+		for _, s := range rc.next[rc.subOff[p]:rc.subOff[p+1]] {
+			m.next.Sub = append(m.next.Sub, s)
+			m.homes = append(m.homes, rc.worker)
+		}
+		// Fully released chunks are dropped immediately, so the level
+		// holds only the out-of-order window, not every emission.
+		if rc.pending--; rc.pending == 0 {
+			m.chunks[packed>>32-1] = nil
+		}
+	}
+	m.mu.Unlock()
 }
 
 // estimateLoad predicts the generation cost of a sub-list before running
@@ -215,26 +360,77 @@ func estimateLoad(s *core.SubList, words int64) int64 {
 	return t*(t-1)/2 + (t-1)*words
 }
 
-type worker struct {
-	builder *core.Builder
-	emitted []clique.Clique
-	busy    time.Duration
+// levelJob is one level's work order, broadcast to every worker.
+type levelJob struct {
+	lvl     *core.Level
+	disp    *sched.Dispatcher
+	merger  *merger
+	wg      *sync.WaitGroup
+	busy    []float64 // per-worker stat slots; each worker writes its own
+	cost    []int64
+	collect bool
 }
 
-// run processes the assigned sub-list indices of the level, buffering any
-// emissions for ordered delivery after the barrier.
-func (wk *worker) run(lvl *core.Level, items []int, collect bool) {
-	wk.builder.Reset()
-	wk.emitted = wk.emitted[:0]
-	var rep clique.Reporter
-	if collect {
-		rep = clique.ReporterFunc(func(c clique.Clique) {
-			wk.emitted = append(wk.emitted, append(clique.Clique(nil), c...))
-		})
+// worker is one persistent pool thread.  Its builder is reused across all
+// levels of the run (reset per level), so scratch bitmaps and slices are
+// allocated once.
+type worker struct {
+	id      int
+	builder *core.Builder
+	jobs    chan levelJob
+}
+
+// loop pulls level jobs until the pool shuts down; within a job it pulls
+// chunks from the dispatcher until the level is exhausted for it, sending
+// one batch per sub-list and a final done report.
+func (wk *worker) loop(wg *sync.WaitGroup) {
+	defer wg.Done()
+	for job := range wk.jobs {
+		wk.builder.Reset()
+		var busy time.Duration
+		// One reporter closure per level: it copies borrowed cliques into
+		// the current chunk's emission buffer.
+		var emitted []clique.Clique
+		var rep clique.Reporter
+		if job.collect {
+			rep = clique.ReporterFunc(func(c clique.Clique) {
+				emitted = append(emitted, append(clique.Clique(nil), c...))
+			})
+		}
+		for {
+			chunk, ok := job.disp.Next(wk.id)
+			if !ok {
+				break
+			}
+			n := len(chunk.Items)
+			cr := &chunkResult{
+				worker: int32(wk.id),
+				items:  make([]int32, n),
+				subOff: make([]int32, n+1),
+			}
+			if job.collect {
+				emitted = nil
+				cr.emitOff = make([]int32, n+1)
+			}
+			maxStart := wk.builder.Maximal
+			cr.subOff[0] = int32(len(wk.builder.Next))
+			t0 := time.Now()
+			for i, item := range chunk.Items {
+				cr.items[i] = int32(item)
+				wk.builder.ProcessSubList(job.lvl.Sub[item], rep)
+				cr.subOff[i+1] = int32(len(wk.builder.Next))
+				if cr.emitOff != nil {
+					cr.emitOff[i+1] = int32(len(emitted))
+				}
+			}
+			busy += time.Since(t0)
+			cr.next = wk.builder.Next[:len(wk.builder.Next)]
+			cr.emitted = emitted
+			cr.maximal = wk.builder.Maximal - maxStart
+			job.merger.deposit(cr)
+		}
+		job.busy[wk.id] = busy.Seconds()
+		job.cost[wk.id] = wk.builder.Cost.Units()
+		job.wg.Done()
 	}
-	start := time.Now()
-	for _, i := range items {
-		wk.builder.ProcessSubList(lvl.Sub[i], rep)
-	}
-	wk.busy = time.Since(start)
 }

@@ -181,19 +181,163 @@ func TestLevelStatsPopulated(t *testing.T) {
 
 func TestAffinityTransfersHappenUnderSkew(t *testing.T) {
 	// A graph with one giant clique and scattered noise gives one worker
-	// a dominating sub-list chain; the threshold balancer must transfer.
+	// a dominating sub-list chain; idle workers must steal.  Stealing
+	// depends on real-time imbalance, so on sub-millisecond runs a lucky
+	// schedule can drain every queue at home — retry a few seeds before
+	// declaring the balancer dead.
+	for attempt := 0; attempt < 5; attempt++ {
+		rng := rand.New(rand.NewSource(69 + int64(attempt)))
+		g := graph.PlantedGraph(rng, 200, []graph.PlantedCliqueSpec{{Size: 14}}, 400)
+		res, err := Enumerate(g, Options{
+			Workers:  4,
+			Strategy: Affinity,
+			Policy:   sched.Policy{RelTolerance: 0.05},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Transfers > 0 {
+			return
+		}
+	}
+	t.Error("no transfers on a skewed workload in 5 attempts")
+}
+
+// TestBarrierAffinityActsFromLevelOne is the regression test for the
+// seed-ownership bug: seeding used to leave sub-list ownership unset, so
+// the Affinity strategy silently ran a contiguous split on the first
+// generation level (transfers were impossible there by construction).
+// With creator ownership assigned at seed time, the barrier backend's
+// level-one assignment starts from the seeding thread's queue and the
+// threshold balancer must move work — deterministically, because the
+// barrier's transfer decision is pure arithmetic.
+func TestBarrierAffinityActsFromLevelOne(t *testing.T) {
 	rng := rand.New(rand.NewSource(69))
 	g := graph.PlantedGraph(rng, 80, []graph.PlantedCliqueSpec{{Size: 12}}, 60)
-	res, err := Enumerate(g, Options{
+	var first *LevelStats
+	res, err := EnumerateBarrier(g, Options{
 		Workers:  4,
 		Strategy: Affinity,
 		Policy:   sched.Policy{RelTolerance: 0.05},
+		OnLevel: func(st LevelStats) {
+			if first == nil {
+				first = &st
+			}
+		},
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res.Transfers == 0 {
-		t.Error("no transfers on a skewed workload")
+	if first == nil {
+		t.Fatal("no levels ran")
+	}
+	if first.Transfers == 0 {
+		t.Errorf("level %d->%d: no transfers — Affinity not in effect from level one", first.FromK, first.FromK+1)
+	}
+	want := sequentialCliques(t, g, 2, 0)
+	if res.MaximalCliques != int64(len(want)) {
+		t.Errorf("count %d, want %d", res.MaximalCliques, len(want))
+	}
+}
+
+// TestStrategyParity: both dispatch strategies, on both backends, must
+// count exactly the same maximal cliques across a spread of seeds.
+func TestStrategyParity(t *testing.T) {
+	for seed := int64(100); seed < 108; seed++ {
+		g := testGraph(seed)
+		want := int64(len(sequentialCliques(t, g, 2, 0)))
+		for _, workers := range []int{2, 5} {
+			counts := map[string]int64{}
+			for name, strategy := range map[string]Strategy{"contiguous": Contiguous, "affinity": Affinity} {
+				res, err := Enumerate(g, Options{Workers: workers, Strategy: strategy})
+				if err != nil {
+					t.Fatal(err)
+				}
+				counts["streaming/"+name] = res.MaximalCliques
+				bres, err := EnumerateBarrier(g, Options{Workers: workers, Strategy: strategy})
+				if err != nil {
+					t.Fatal(err)
+				}
+				counts["barrier/"+name] = bres.MaximalCliques
+			}
+			for name, got := range counts {
+				if got != want {
+					t.Errorf("seed %d workers %d %s: %d maximal cliques, want %d",
+						seed, workers, name, got, want)
+				}
+			}
+		}
+	}
+}
+
+// The streaming merger releases emissions in sub-list order, so the
+// Affinity strategy now delivers full canonical order too — not just
+// non-decreasing sizes.
+func TestAffinityPreservesCanonicalOrder(t *testing.T) {
+	g := testGraph(71)
+	var got []clique.Clique
+	_, err := Enumerate(g, Options{
+		Workers:  4,
+		Strategy: Affinity,
+		Policy:   sched.Policy{RelTolerance: 0.01},
+		Reporter: clique.ReporterFunc(func(c clique.Clique) {
+			got = append(got, append(clique.Clique(nil), c...))
+		}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) == 0 {
+		t.Fatal("no cliques")
+	}
+	for i := 1; i < len(got); i++ {
+		if clique.Compare(got[i-1], got[i]) >= 0 {
+			t.Fatalf("order violated at %d: %v then %v", i, got[i-1], got[i])
+		}
+	}
+}
+
+func TestBarrierMatchesSequential(t *testing.T) {
+	g := testGraph(72)
+	want := sequentialCliques(t, g, 2, 0)
+	for _, strategy := range []Strategy{Contiguous, Affinity} {
+		col := &clique.Collector{}
+		if _, err := EnumerateBarrier(g, Options{Workers: 4, Strategy: strategy, Reporter: col}); err != nil {
+			t.Fatal(err)
+		}
+		if ok, diff := clique.SameSets(col.Cliques, want); !ok {
+			t.Fatalf("strategy %d: %s", strategy, diff)
+		}
+	}
+}
+
+func TestChunksPerWorkerOption(t *testing.T) {
+	g := testGraph(73)
+	want := sequentialCliques(t, g, 2, 0)
+	for _, cpw := range []int{1, 2, 64} {
+		res, err := Enumerate(g, Options{Workers: 3, ChunksPerWorker: cpw})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.MaximalCliques != int64(len(want)) {
+			t.Errorf("ChunksPerWorker=%d: count %d, want %d", cpw, res.MaximalCliques, len(want))
+		}
+	}
+}
+
+func TestSeededBarrierMatchesSequential(t *testing.T) {
+	g := testGraph(74)
+	for _, initK := range []int{4, 6} {
+		want := sequentialCliques(t, g, initK, 0)
+		col := &clique.Collector{}
+		if _, err := EnumerateBarrier(g, Options{
+			Workers: 3, Lo: initK, Strategy: Affinity, Reporter: col,
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if ok, diff := clique.SameSets(col.Cliques, want); !ok {
+			t.Fatalf("Init_K=%d: %s", initK, diff)
+		}
 	}
 }
 

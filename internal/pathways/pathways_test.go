@@ -160,7 +160,7 @@ func subset(a, b []int) bool {
 // reaction, exercising split-merge and multiple branch modes at once.
 func schusterExample() *Network {
 	net := &Network{Metabolites: []string{"A", "B", "C"}}
-	net.AddReaction("in", false, map[int]int64{0: 1})     // -> A
+	net.AddReaction("in", false, map[int]int64{0: 1})        // -> A
 	net.AddReaction("AB", true, map[int]int64{0: -1, 1: 1})  // A <-> B
 	net.AddReaction("AC", false, map[int]int64{0: -1, 2: 1}) // A -> C
 	net.AddReaction("BC", false, map[int]int64{1: -1, 2: 1}) // B -> C

@@ -1,0 +1,198 @@
+package sched
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestChunkGrain(t *testing.T) {
+	if g := ChunkGrain([]int64{100, 100, 100, 100}, 2, 2); g != 100 {
+		t.Errorf("grain = %d, want 100", g)
+	}
+	// Tiny totals floor at 1.
+	if g := ChunkGrain([]int64{1}, 8, 0); g != 1 {
+		t.Errorf("grain = %d, want 1", g)
+	}
+	// chunksPerWorker <= 0 selects the default.
+	if g := ChunkGrain([]int64{1600}, 2, 0); g != 1600/(2*DefaultChunksPerWorker) {
+		t.Errorf("default grain = %d", g)
+	}
+}
+
+// drain simulates workers pulling until the dispatcher is empty,
+// returning the items each worker processed.
+func drain(d *Dispatcher, workers int) [][]int {
+	got := make([][]int, workers)
+	active := true
+	for active {
+		active = false
+		for w := 0; w < workers; w++ {
+			if c, ok := d.Next(w); ok {
+				got[w] = append(got[w], c.Items...)
+				active = true
+			}
+		}
+	}
+	return got
+}
+
+func TestContiguousDispatcherCoversInOrder(t *testing.T) {
+	loads := []int64{5, 5, 5, 5, 5, 5, 5, 5}
+	d := NewContiguousDispatcher(loads, 3, 10)
+	var all []int
+	for {
+		c, ok := d.Next(0)
+		if !ok {
+			break
+		}
+		if c.Stolen {
+			t.Error("contiguous chunk marked stolen")
+		}
+		if len(c.Items) != 2 {
+			t.Errorf("chunk %v, want 2 items of load 5 per grain 10", c.Items)
+		}
+		all = append(all, c.Items...)
+	}
+	for i, item := range all {
+		if item != i {
+			t.Fatalf("items out of order: %v", all)
+		}
+	}
+	if len(all) != len(loads) {
+		t.Errorf("covered %d of %d items", len(all), len(loads))
+	}
+	if d.Transfers() != 0 {
+		t.Errorf("contiguous transfers = %d", d.Transfers())
+	}
+	if d.Chunks() != 4 {
+		t.Errorf("chunks = %d, want 4", d.Chunks())
+	}
+}
+
+func TestAffinityDispatcherHomeFirst(t *testing.T) {
+	loads := []int64{10, 10, 10, 10}
+	homes := []int32{0, 0, 1, 1}
+	d := NewAffinityDispatcher(loads, homes, 2, Policy{}, 10)
+	c, _ := d.Next(1)
+	if len(c.Items) != 1 || c.Items[0] != 2 || c.Stolen {
+		t.Errorf("worker 1 first chunk = %+v, want own item 2", c)
+	}
+	c, _ = d.Next(0)
+	if len(c.Items) != 1 || c.Items[0] != 0 || c.Stolen {
+		t.Errorf("worker 0 first chunk = %+v, want own item 0", c)
+	}
+}
+
+// An idle worker must steal from the heaviest backlog while it exceeds
+// the threshold — this is the dispatcher-level regression test that
+// seed-time creator ownership makes Affinity act from the first level:
+// all load parked on one worker is exactly the post-seed state.
+func TestAffinityDispatcherStealsFromHeavy(t *testing.T) {
+	loads := []int64{50, 50, 50, 50}
+	homes := []int32{0, 0, 0, 0} // everything created by worker 0
+	d := NewAffinityDispatcher(loads, homes, 4, Policy{RelTolerance: 0.05}, 50)
+	c, ok := d.Next(3)
+	if !ok || !c.Stolen {
+		t.Fatalf("idle worker did not steal: %+v ok=%v", c, ok)
+	}
+	// Steals come from the tail — the items farthest from the owner.
+	if c.Items[len(c.Items)-1] != 3 {
+		t.Errorf("steal took %v, want tail items", c.Items)
+	}
+	if d.Transfers() != len(c.Items) {
+		t.Errorf("transfers = %d after stealing %d items", d.Transfers(), len(c.Items))
+	}
+}
+
+func TestAffinityDispatcherRespectsThreshold(t *testing.T) {
+	loads := []int64{10, 10}
+	homes := []int32{0, 0}
+	// AbsFloor above the whole backlog: stealing is never worth it.
+	d := NewAffinityDispatcher(loads, homes, 2, Policy{AbsFloor: 1000}, 10)
+	if c, ok := d.Next(1); ok {
+		t.Errorf("stole %+v below the AbsFloor threshold", c)
+	}
+	// The owner still drains its own queue.
+	if _, ok := d.Next(0); !ok {
+		t.Error("owner denied its own work")
+	}
+}
+
+func TestAffinityDispatcherPanics(t *testing.T) {
+	recovered := func(f func()) (r bool) {
+		defer func() { r = recover() != nil }()
+		f()
+		return
+	}
+	if !recovered(func() { NewAffinityDispatcher([]int64{1}, []int32{5}, 2, Policy{}, 1) }) {
+		t.Error("out-of-range home accepted")
+	}
+	if !recovered(func() { NewAffinityDispatcher([]int64{1, 2}, []int32{0}, 2, Policy{}, 1) }) {
+		t.Error("homes/loads length mismatch accepted")
+	}
+	if !recovered(func() { NewContiguousDispatcher([]int64{1}, 0, 1) }) {
+		t.Error("0 workers accepted")
+	}
+}
+
+// Property: however workers interleave, every item is dispatched exactly
+// once, and transfers never exceed the item count.
+func TestQuickDispatcherCoverage(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(80)
+		p := 1 + rng.Intn(6)
+		loads := make([]int64, n)
+		homes := make([]int32, n)
+		for i := range loads {
+			loads[i] = int64(1 + rng.Intn(500))
+			homes[i] = int32(rng.Intn(p))
+		}
+		grain := ChunkGrain(loads, p, 1+rng.Intn(12))
+		var d *Dispatcher
+		if rng.Intn(2) == 0 {
+			d = NewContiguousDispatcher(loads, p, grain)
+		} else {
+			d = NewAffinityDispatcher(loads, homes, p, Policy{RelTolerance: 0.05}, grain)
+		}
+		seen := make(map[int]bool, n)
+		// Randomized interleaving of pulls.
+		idle := 0
+		for idle < p {
+			w := rng.Intn(p)
+			c, ok := d.Next(w)
+			if !ok {
+				idle++
+				continue
+			}
+			idle = 0
+			for _, item := range c.Items {
+				if seen[item] {
+					return false
+				}
+				seen[item] = true
+			}
+		}
+		// Affinity may legitimately strand sub-threshold backlog with its
+		// owner; drain owners to finish the level.
+		for w := 0; w < p; w++ {
+			for {
+				c, ok := d.Next(w)
+				if !ok {
+					break
+				}
+				for _, item := range c.Items {
+					if seen[item] {
+						return false
+					}
+					seen[item] = true
+				}
+			}
+		}
+		return len(seen) == n && d.Transfers() <= n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

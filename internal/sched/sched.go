@@ -177,10 +177,13 @@ func (p Policy) Rebalance(a Assignment, loads []int64) []Move {
 			break
 		}
 		// Choose the largest item on hi that does not push lo above the
-		// mean (avoid thrash); fall back to hi's smallest item.
+		// mean (avoid thrash); fall back to hi's smallest item.  Either
+		// way the move must leave the receiver strictly below the donor's
+		// current load, or the makespan could grow past the pre-balance
+		// maximum.
 		pick := -1
 		for idx, item := range a[hi] {
-			if float64(totals[lo]+loads[item]) <= mean+tol {
+			if lift := totals[lo] + loads[item]; float64(lift) <= mean+tol && lift < totals[hi] {
 				pick = idx
 				break
 			}
@@ -188,7 +191,8 @@ func (p Policy) Rebalance(a Assignment, loads []int64) []Move {
 		if pick == -1 {
 			pick = len(a[hi]) - 1
 			item := a[hi][pick]
-			if float64(totals[lo]+loads[item]) > mean+gap/2 {
+			lift := totals[lo] + loads[item]
+			if float64(lift) > mean+gap/2 || lift >= totals[hi] {
 				break // any move would overshoot; stop
 			}
 		}

@@ -126,6 +126,91 @@ func TestRebalanceSingleWorker(t *testing.T) {
 	}
 }
 
+func TestRebalanceAllEqualLoads(t *testing.T) {
+	loads := []int64{7, 7, 7, 7, 7, 7}
+	a := Assignment{{0, 1}, {2, 3}, {4, 5}}
+	if moves := (Policy{}).Rebalance(a, loads); len(moves) != 0 {
+		t.Errorf("moved on perfectly balanced loads: %v", moves)
+	}
+	// Even with a zero-tolerance policy there is no gap to close.
+	a = Assignment{{0, 1}, {2, 3}, {4, 5}}
+	if moves := (Policy{RelTolerance: 1e-9}).Rebalance(a, loads); len(moves) != 0 {
+		t.Errorf("moved on balanced loads under tight policy: %v", moves)
+	}
+}
+
+func TestRebalanceOneGiantItem(t *testing.T) {
+	// One item dwarfs everything; moving it can only make things worse,
+	// and the small items must still flow to the light workers.
+	loads := []int64{1000, 1, 1, 1, 1}
+	a := Assignment{{0, 1, 2, 3, 4}, {}, {}}
+	moves := (Policy{}).Rebalance(a, loads)
+	for _, m := range moves {
+		if m.Item == 0 {
+			t.Errorf("moved the giant item: %+v", m)
+		}
+	}
+	if a.Items() != 5 {
+		t.Errorf("items lost: %v", a)
+	}
+	// The giant's owner must still hold it.
+	found := false
+	for _, item := range a[0] {
+		if item == 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("giant item left worker 0: %v", a)
+	}
+}
+
+func TestRebalanceAbsFloorDominatesTolerance(t *testing.T) {
+	// Mean load 30 with 10% tolerance gives tol 3; AbsFloor 50 must win
+	// and suppress the 40-unit gap that tolerance alone would close.
+	loads := []int64{40, 10, 30, 40}
+	a := Assignment{{0, 1}, {2}, {3}}
+	if moves := (Policy{AbsFloor: 50}).Rebalance(a, loads); len(moves) != 0 {
+		t.Errorf("AbsFloor did not dominate: %v", moves)
+	}
+	// Same loads without the floor: the gap exceeds tolerance and moves.
+	a = Assignment{{0, 1}, {2}, {3}}
+	if moves := (Policy{}).Rebalance(a, loads); len(moves) == 0 {
+		t.Error("no transfer once AbsFloor is lifted")
+	}
+}
+
+// Regression: Rebalance used to lift the lightest worker above the
+// pre-balance maximum when the mean sat close to the maximum (found by
+// TestQuickRebalanceInvariants, seed -8142442085675318554: totals
+// [5196 4326 4968 4587] became [4282 5240 4968 4587]).
+func TestRebalanceNeverRaisesMakespan(t *testing.T) {
+	rng := rand.New(rand.NewSource(-8142442085675318554))
+	n := 1 + rng.Intn(60)
+	p := 1 + rng.Intn(8)
+	loads := make([]int64, n)
+	for i := range loads {
+		loads[i] = int64(1 + rng.Intn(1000))
+	}
+	homes := make([]int32, n)
+	for i := range homes {
+		homes[i] = int32(rng.Intn(p))
+	}
+	a := ByHome(homes, p)
+	maxBefore := int64(0)
+	for _, v := range a.Totals(loads) {
+		if v > maxBefore {
+			maxBefore = v
+		}
+	}
+	Policy{}.Rebalance(a, loads)
+	for _, v := range a.Totals(loads) {
+		if v > maxBefore {
+			t.Fatalf("makespan rose from %d to %d", maxBefore, v)
+		}
+	}
+}
+
 // Property: rebalancing never loses items, never duplicates them, and
 // never increases the makespan.
 func TestQuickRebalanceInvariants(t *testing.T) {

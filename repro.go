@@ -17,8 +17,8 @@ import (
 	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/maxclique"
-	"repro/internal/parallel"
 	"repro/internal/paraclique"
+	"repro/internal/parallel"
 )
 
 // Graph is an undirected simple graph with bitmap adjacency rows.
@@ -55,8 +55,12 @@ func EnumerateMaximalCliques(g *Graph, lo, hi int, visit func(Clique)) (int64, e
 }
 
 // EnumerateParallel is EnumerateMaximalCliques on the multithreaded
-// backend with the paper's affinity-plus-threshold load balancer.
-// Output remains grouped by size (non-decreasing).
+// backend: a persistent streaming worker pool with the paper's
+// affinity-plus-threshold load balancing applied continuously (idle
+// workers steal from over-threshold backlogs), parallel seeding, and
+// streamed in-order emission.  Output order is identical to the
+// sequential enumerator: non-decreasing size, lexicographic within a
+// size.
 func EnumerateParallel(g *Graph, workers, lo, hi int, visit func(Clique)) (int64, error) {
 	var rep clique.Reporter
 	if visit != nil {
