@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build fmt fmt-fix vet test race bench ci
+.PHONY: all build fmt fmt-fix vet test race bench examples ci
 
 all: build
 
@@ -36,6 +36,12 @@ race-all:
 bench:
 	$(GO) test -run xxx -bench 'EnumerateStreaming|EnumerateBarrier|SeedFromK' -benchtime 5x .
 
+# Keep the migrated examples and the documented API snippets honest:
+# vet the example programs and run every doctest.
+examples:
+	$(GO) vet ./examples/...
+	$(GO) test -run Example ./...
+
 check: fmt vet test
 
-ci: fmt vet build test race bench
+ci: fmt vet build test race bench examples

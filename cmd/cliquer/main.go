@@ -1,6 +1,7 @@
 // Command cliquer runs the paper's full analysis pipeline on a graph:
 // maximum clique upper bound, then maximal clique enumeration over a size
-// range, sequentially or multithreaded.
+// range, on any of the enumeration backends behind the repro.Enumerator
+// facade — sequential, parallel (streaming or barrier), or out-of-core.
 //
 // Usage:
 //
@@ -13,28 +14,30 @@
 // Parallel runs (-workers > 1) use the persistent streaming worker pool;
 // -strategy selects the dispatch policy (affinity or contiguous),
 // -barrier switches to the bulk-synchronous reference backend, and
-// -stats streams per-level scheduling statistics to stderr.
+// -stats streams per-level statistics to stderr.  -ooc DIR spills levels
+// to disk instead of memory.
+//
+// Runs cancel cleanly: -timeout bounds the wall clock, and Ctrl-C
+// (SIGINT) aborts mid-level — either way the partial statistics gathered
+// so far are printed before exit.
 //
 // Example:
 //
 //	graphgen -spec C -scale 0.5 -out c.el
-//	cliquer -lo 5 -workers 4 -strategy affinity -stats c.el
+//	cliquer -lo 5 -workers 4 -strategy affinity -stats -timeout 30s c.el
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 	"time"
 
-	"repro/internal/clique"
-	"repro/internal/core"
-	"repro/internal/graph"
-	"repro/internal/maxclique"
-	"repro/internal/ooc"
-	"repro/internal/parallel"
-	"repro/internal/sched"
+	"repro"
 )
 
 func main() {
@@ -43,14 +46,16 @@ func main() {
 	workers := flag.Int("workers", 1, "worker threads (1 = sequential)")
 	strategy := flag.String("strategy", "affinity", "parallel dispatch strategy: affinity or contiguous")
 	barrier := flag.Bool("barrier", false, "use the bulk-synchronous reference backend instead of the streaming pool")
-	stats := flag.Bool("stats", false, "print live per-level scheduling statistics (parallel runs)")
+	stats := flag.Bool("stats", false, "print live per-level statistics")
 	countOnly := flag.Bool("count", false, "print counts only, not the cliques")
 	dimacs := flag.Bool("dimacs", false, "input is DIMACS clique format")
 	recompute := flag.Bool("low-mem", false, "recompute common-neighbor bitmaps instead of storing them")
 	compress := flag.Bool("compress", false, "store common-neighbor bitmaps WAH-compressed")
 	oocDir := flag.String("ooc", "", "run the out-of-core enumerator, spilling levels to this directory")
 	budget := flag.Int64("budget", 0, "abort if resident candidate bytes exceed this (0 = unlimited)")
+	spill := flag.Int64("spill-budget", 0, "out-of-core: abort if a level file would exceed this many bytes (0 = unlimited)")
 	noBound := flag.Bool("no-bound", false, "skip the maximum clique upper-bound computation")
+	timeout := flag.Duration("timeout", 0, "abort the run after this duration (0 = none)")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
@@ -58,27 +63,50 @@ func main() {
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
-	if err := run(flag.Arg(0), *lo, *hi, *workers, *strategy, *barrier, *stats,
-		*countOnly, *dimacs, *recompute, *compress, *oocDir, *budget, *noBound); err != nil {
+
+	// Ctrl-C cancels the run through the enumerator's context; a second
+	// Ctrl-C kills the process the usual way.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	err := run(ctx, flag.Arg(0), options{
+		lo: *lo, hi: *hi, workers: *workers, strategy: *strategy,
+		barrier: *barrier, stats: *stats, countOnly: *countOnly,
+		dimacs: *dimacs, recompute: *recompute, compress: *compress,
+		oocDir: *oocDir, budget: *budget, spill: *spill, noBound: *noBound,
+	})
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "cliquer: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func parseStrategy(s string) (parallel.Strategy, error) {
+type options struct {
+	lo, hi, workers                   int
+	strategy                          string
+	barrier, stats, countOnly, dimacs bool
+	recompute, compress, noBound      bool
+	oocDir                            string
+	budget, spill                     int64
+}
+
+func parseStrategy(s string) (repro.Strategy, error) {
 	switch s {
 	case "affinity":
-		return parallel.Affinity, nil
+		return repro.Affinity, nil
 	case "contiguous":
-		return parallel.Contiguous, nil
+		return repro.Contiguous, nil
 	}
 	return 0, fmt.Errorf("unknown -strategy %q (want affinity or contiguous)", s)
 }
 
-func run(path string, lo, hi, workers int, strategyName string, barrier, stats,
-	countOnly, dimacs, recompute, compress bool,
-	oocDir string, budget int64, noBound bool) error {
-	strategy, err := parseStrategy(strategyName)
+func run(ctx context.Context, path string, o options) error {
+	strategy, err := parseStrategy(o.strategy)
 	if err != nil {
 		return err
 	}
@@ -87,11 +115,11 @@ func run(path string, lo, hi, workers int, strategyName string, barrier, stats,
 		return err
 	}
 	defer f.Close()
-	var g *graph.Graph
-	if dimacs {
-		g, err = graph.ReadDIMACS(f)
+	var g *repro.Graph
+	if o.dimacs {
+		g, err = repro.ReadDIMACS(f)
 	} else {
-		g, err = graph.ReadEdgeList(f)
+		g, err = repro.ReadEdgeList(f)
 	}
 	if err != nil {
 		return err
@@ -99,18 +127,16 @@ func run(path string, lo, hi, workers int, strategyName string, barrier, stats,
 	fmt.Printf("graph: %d vertices, %d edges, density %.4f%%\n",
 		g.N(), g.M(), 100*g.Density())
 
-	if hi == 0 && !noBound {
+	if o.hi == 0 && !o.noBound {
 		start := time.Now()
-		omega := maxclique.Size(g)
+		omega := repro.MaxCliqueSize(g)
 		fmt.Printf("maximum clique: %d (%.3fs)\n", omega, time.Since(start).Seconds())
-		hi = omega
+		o.hi = omega
 	}
 
-	counter := clique.NewCounter()
-	var report clique.Reporter = counter
-	if !countOnly {
-		report = clique.ReporterFunc(func(c clique.Clique) {
-			counter.Emit(c)
+	var report repro.Reporter
+	if !o.countOnly {
+		report = repro.ReporterFunc(func(c repro.Clique) {
 			names := make([]string, len(c))
 			for i, v := range c {
 				names[i] = g.Name(v)
@@ -119,87 +145,77 @@ func run(path string, lo, hi, workers int, strategyName string, barrier, stats,
 		})
 	}
 
-	start := time.Now()
-	if oocDir != "" {
-		// The out-of-core enumerator reports every maximal clique of
-		// size >= 3; apply the lower bound here.
-		filtered := clique.ReporterFunc(func(c clique.Clique) {
-			if len(c) >= lo {
-				report.Emit(c)
-			}
-		})
-		st, err := ooc.Enumerate(g, ooc.Options{
-			Dir:      oocDir,
-			Reporter: filtered,
-			MaxK:     hi,
-		})
-		if err != nil {
-			return err
+	opts := []repro.Option{repro.WithBounds(o.lo, o.hi)}
+	if o.workers > 1 {
+		opts = append(opts, repro.WithWorkers(o.workers), repro.WithStrategy(strategy))
+		if o.barrier {
+			opts = append(opts, repro.WithBarrier())
 		}
-		fmt.Printf("out-of-core: %d maximal cliques in [%d,%d] in %.3fs; %d bytes written, %d read, peak level file %d\n",
-			counter.Total, lo, hi, time.Since(start).Seconds(),
-			st.BytesWritten, st.BytesRead, st.PeakLevelFile)
-		return nil
+	} else if o.barrier {
+		fmt.Fprintln(os.Stderr, "cliquer: ignoring -barrier: not a parallel run (use -workers > 1)")
 	}
-	if workers > 1 {
-		popts := parallel.Options{
-			Workers:     workers,
-			Lo:          lo,
-			Hi:          hi,
-			RecomputeCN: recompute,
-			CompressCN:  compress,
-			Strategy:    strategy,
-			Reporter:    report,
-		}
-		if stats {
-			popts.OnLevel = func(st parallel.LevelStats) {
-				busy := sched.Summarize(st.WorkerBusy)
-				fmt.Fprintf(os.Stderr,
-					"level %2d->%2d: %6d sub-lists %4d chunks %5d transfers %7d maximal  busy %.4fs mean, %.1f%% imbalance\n",
-					st.FromK, st.FromK+1, st.Sublists, st.Chunks, st.Transfers,
-					st.Maximal, busy.Mean, 100*busy.Imbalance())
-			}
-		}
-		backend, enumerate := "streaming", parallel.Enumerate
-		if barrier {
-			backend, enumerate = "barrier", parallel.EnumerateBarrier
-		}
-		res, err := enumerate(g, popts)
-		if err != nil {
-			return err
-		}
-		fmt.Printf("enumerated %d maximal cliques in [%d,%d] in %.3fs on %d workers (%s %s, %d transfers)\n",
-			res.MaximalCliques, lo, hi, time.Since(start).Seconds(), workers,
-			backend, strategyName, res.Transfers)
-		return nil
+	if o.recompute {
+		opts = append(opts, repro.WithLowMemory())
 	}
-	if barrier {
-		fmt.Fprintln(os.Stderr, "cliquer: ignoring -barrier: sequential run (use -workers > 1)")
+	if o.compress {
+		opts = append(opts, repro.WithCompressedBitmaps())
 	}
-	copts := core.Options{
-		Lo:           lo,
-		Hi:           hi,
-		RecomputeCN:  recompute,
-		CompressCN:   compress,
-		MemoryBudget: budget,
-		Reporter:     report,
+	if o.oocDir != "" {
+		opts = append(opts, repro.WithOutOfCore(o.oocDir, o.spill))
 	}
-	if stats {
-		copts.OnLevel = func(st core.LevelStats) {
+	if o.budget > 0 {
+		// The resident-byte budget is enforced by the sequential backend
+		// only (the facade rejects the other combinations).
+		if o.workers > 1 || o.oocDir != "" {
+			fmt.Fprintln(os.Stderr, "cliquer: ignoring -budget: only enforced on sequential runs (use -spill-budget out of core)")
+		} else {
+			opts = append(opts, repro.WithMemoryBudget(o.budget))
+		}
+	}
+	var st repro.Stats
+	opts = append(opts, repro.WithStats(&st))
+	if o.stats {
+		opts = append(opts, repro.WithOnLevel(func(ls repro.LevelStats) {
 			fmt.Fprintf(os.Stderr,
-				"level %2d->%2d: %6d sub-lists %8d cliques %7d maximal %6d dropped  %d resident bytes\n",
-				st.FromK, st.FromK+1, st.Sublists, st.Cliques, st.Maximal,
-				st.Dropped, st.Bytes+st.NextBytes)
+				"level %2d->%2d: %8d sub-lists %9d cliques %8d maximal %5d transfers %12d resident bytes\n",
+				ls.FromK, ls.FromK+1, ls.Sublists, ls.Cliques, ls.Maximal,
+				ls.Transfers, ls.ResidentBytes)
+		}))
+	}
+
+	if _, err := repro.NewEnumerator(opts...).Run(ctx, g, report); err != nil {
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			printSummary(os.Stderr, "interrupted", &st, o)
+			return fmt.Errorf("run canceled after %.3fs with partial results: %w", st.Elapsed.Seconds(), err)
 		}
-	}
-	res, err := core.Enumerate(g, copts)
-	if res != nil && res.PeakBytes > 0 {
-		fmt.Printf("peak candidate memory (paper formula): %d bytes\n", res.PeakBytes)
-	}
-	if err != nil {
+		// Mid-run aborts (memory/spill budget exceeded) still carry the
+		// partial statistics — for the budget workflow the peak resident
+		// bytes ARE the result.  st.Backend is empty only when the
+		// configuration was rejected before anything ran.
+		if st.Backend != "" {
+			printSummary(os.Stderr, "aborted", &st, o)
+		}
 		return err
 	}
-	fmt.Printf("enumerated %d maximal cliques in [%d,%d] in %.3fs\n",
-		res.MaximalCliques, lo, hi, time.Since(start).Seconds())
+	printSummary(os.Stdout, "done", &st, o)
 	return nil
+}
+
+// printSummary reports the (possibly partial) run statistics — the same
+// shape whether the run completed, timed out, or was Ctrl-C'd.
+func printSummary(w *os.File, state string, st *repro.Stats, o options) {
+	fmt.Fprintf(w, "%s (%s): %d maximal cliques in [%d,%d], max size %d, %d levels, %.3fs\n",
+		state, st.Backend, st.MaximalCliques, o.lo, o.hi, st.MaxCliqueSize,
+		len(st.Levels), st.Elapsed.Seconds())
+	switch st.Backend {
+	case "out-of-core":
+		fmt.Fprintf(w, "  spill: %d bytes written, %d read, peak level file %d\n",
+			st.SpillBytesWritten, st.SpillBytesRead, st.PeakLevelFileBytes)
+	case "parallel", "parallel-barrier":
+		fmt.Fprintf(w, "  pool: %d workers, %d transfers\n", len(st.WorkerBusy), st.Transfers)
+	default:
+		if st.PeakBytes > 0 {
+			fmt.Fprintf(w, "  peak candidate memory (paper formula): %d bytes\n", st.PeakBytes)
+		}
+	}
 }

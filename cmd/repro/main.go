@@ -21,9 +21,12 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
 	"repro/internal/expt"
 )
@@ -33,6 +36,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "RNG seed")
 	reps := flag.Int("reps", 10, "repetitions for mean±stddev experiments")
 	budget := flag.Int64("budget", 1<<30, "byte budget for the blow-up experiment")
+	timeout := flag.Duration("timeout", 0, "abort the experiment after this duration (0 = none)")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
@@ -40,9 +44,23 @@ func main() {
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
-	cfg := expt.Config{Scale: *scale, Seed: *seed, Reps: *reps, Budget: *budget}
+
+	// Ctrl-C and -timeout cancel the enumeration phases between levels;
+	// a second Ctrl-C kills the process the usual way.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	cfg := expt.Config{Ctx: ctx, Scale: *scale, Seed: *seed, Reps: *reps, Budget: *budget}
 
 	if err := run(flag.Arg(0), cfg); err != nil {
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			fmt.Fprintf(os.Stderr, "repro: experiment canceled (%v); partial tables above are valid\n", err)
+			os.Exit(1)
+		}
 		fmt.Fprintf(os.Stderr, "repro: %v\n", err)
 		os.Exit(1)
 	}

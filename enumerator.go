@@ -1,0 +1,441 @@
+package repro
+
+import (
+	"context"
+	"fmt"
+	"iter"
+	"time"
+
+	"repro/internal/clique"
+	"repro/internal/core"
+	"repro/internal/enumcfg"
+	"repro/internal/ooc"
+	"repro/internal/paraclique"
+	"repro/internal/parallel"
+)
+
+// Strategy selects the parallel dispatch policy.
+type Strategy = enumcfg.Strategy
+
+const (
+	// Contiguous dispatches each level's sub-lists from one shared
+	// canonical-order queue: best balance, no ownership.
+	Contiguous = enumcfg.Contiguous
+	// Affinity is the paper's policy: sub-lists stay with the worker
+	// that created them, and idle workers steal only from backlogs over
+	// the transfer threshold.
+	Affinity = enumcfg.Affinity
+)
+
+// Reporter receives maximal cliques as they are discovered.  Emitted
+// cliques are borrowed — the enumerators reuse the backing array — so a
+// Reporter that retains one past its Emit call must Clone it first.
+// Enumerator.Cliques has no such caveat: it yields owned copies.
+type Reporter = clique.Reporter
+
+// ReporterFunc adapts a function to the Reporter interface.
+type ReporterFunc = clique.ReporterFunc
+
+// Collector is a Reporter that copies and stores every emitted clique.
+type Collector = clique.Collector
+
+// Counter is a Reporter that only counts cliques by size, for runs whose
+// full output would not fit in memory.
+type Counter = clique.Counter
+
+// NewCounter returns an empty Counter.
+func NewCounter() *Counter { return clique.NewCounter() }
+
+// Stats, when registered with WithStats, is filled by Run / Cliques /
+// Paracliques with whatever the selected backend observed.  On
+// cancellation or error the partial statistics up to the abort point are
+// retained — this is what a Ctrl-C'd cliquer prints.
+type Stats struct {
+	// Backend names the execution regime that ran: "sequential",
+	// "parallel", "parallel-barrier", or "out-of-core".
+	Backend string
+	// MaximalCliques counts the cliques delivered to the caller;
+	// MaxCliqueSize is the largest size among them.
+	MaximalCliques int64
+	MaxCliqueSize  int
+	// Levels holds one entry per generation step k -> k+1.
+	Levels []LevelStats
+	// PeakBytes is the largest paper-formula resident candidate storage
+	// (in-core backends).
+	PeakBytes int64
+	// SpillBytesWritten / SpillBytesRead / PeakLevelFileBytes describe
+	// the out-of-core backend's I/O volume.
+	SpillBytesWritten  int64
+	SpillBytesRead     int64
+	PeakLevelFileBytes int64
+	// WorkerBusy is the per-worker busy seconds and Transfers the number
+	// of sub-lists processed away from their home worker (parallel
+	// backends).
+	WorkerBusy []float64
+	Transfers  int
+	// Elapsed is the wall-clock run time measured by the facade.
+	Elapsed time.Duration
+}
+
+// LevelStats is the per-generation-step view common to every backend.
+// Fields a backend does not measure are zero (e.g. Transfers outside the
+// parallel pool, ResidentBytes in the barrier pool).
+type LevelStats struct {
+	FromK         int   // size of the consumed candidates
+	Sublists      int   // sub-lists consumed (in-core backends)
+	Cliques       int64 // candidate cliques consumed
+	Maximal       int64 // maximal (FromK+1)-cliques the backend reported
+	ResidentBytes int64 // in-core: resident candidate bytes; ooc: level file bytes
+	Transfers     int   // parallel: sub-lists processed off their home worker
+}
+
+// Enumerator is the single entry point to maximal clique enumeration: one
+// run description that selects the sequential, parallel, or out-of-core
+// backend from its options and executes it with cancellation and
+// observability.  The zero Enumerator (NewEnumerator with no options) is
+// the paper's default: the full size range from Init_K = 2, dense stored
+// bitmaps, in-core, one thread.
+//
+// An Enumerator is immutable after construction and may be reused for
+// any number of runs; runs sharing one Enumerator must not execute
+// concurrently when a Stats sink or OnLevel observer is registered.
+type Enumerator struct {
+	cfg     enumcfg.Config // template; each run copies it and adds its ctx
+	stats   *Stats
+	onLevel func(LevelStats)
+}
+
+// Option configures an Enumerator.
+type Option func(*Enumerator)
+
+// NewEnumerator builds an Enumerator from functional options.
+// Configuration errors (inverted bounds, unsupported combinations) are
+// reported by the first Run/Cliques/Paracliques call, so construction
+// chains stay fluent.
+func NewEnumerator(opts ...Option) *Enumerator {
+	e := &Enumerator{}
+	for _, o := range opts {
+		o(e)
+	}
+	return e
+}
+
+// WithBounds restricts enumeration to clique sizes in [lo, hi].  lo is
+// the paper's Init_K: with lo >= 3 the k-clique seeder starts the level
+// machinery at size lo (cliques smaller than lo are never generated); hi
+// = 0 means unbounded above, otherwise the run stops after generating
+// size-hi cliques — the paper obtains hi from a maximum clique
+// computation (MaxCliqueSize).
+func WithBounds(lo, hi int) Option {
+	return func(e *Enumerator) { e.cfg.Lo, e.cfg.Hi = lo, hi }
+}
+
+// WithWorkers selects the parallel backend when n > 1: the persistent
+// streaming worker pool with dynamic chunk dispatch and in-order
+// streaming emission.  Output order is identical to the sequential
+// backend.
+func WithWorkers(n int) Option {
+	return func(e *Enumerator) { e.cfg.Workers = n }
+}
+
+// WithStrategy picks the parallel dispatch policy (default Contiguous).
+func WithStrategy(s Strategy) Option {
+	return func(e *Enumerator) { e.cfg.Strategy = s }
+}
+
+// WithBarrier switches the parallel backend to the bulk-synchronous
+// reference pool — the benchmark baseline.  Emission order within a level
+// follows worker order, so full canonical order is only guaranteed with
+// the Contiguous strategy; cancellation is level-granular.
+func WithBarrier() Option {
+	return func(e *Enumerator) { e.cfg.Barrier = true }
+}
+
+// WithOutOfCore selects the disk-backed backend: levels are spilled as
+// files under dir (created if absent) instead of held in memory, the
+// regime the paper used before moving to large shared-memory machines.
+// levelBudget, when positive, aborts the run once a level file would
+// exceed that many bytes — the out-of-core analogue of the paper's
+// one-week cutoff.  The backend reports maximal cliques of size >= 3;
+// smaller bounds are filtered, and a run's spill files are always
+// removed, even on cancellation.
+func WithOutOfCore(dir string, levelBudget int64) Option {
+	return func(e *Enumerator) { e.cfg.Dir, e.cfg.SpillBudget = dir, levelBudget }
+}
+
+// WithMemoryBudget bounds the paper-formula resident candidate bytes of
+// the sequential backend; exceeding it aborts with core.ErrMemoryBudget
+// — the in-library analogue of the paper's graph-B blow-up termination.
+func WithMemoryBudget(bytes int64) Option {
+	return func(e *Enumerator) { e.cfg.MemoryBudget = bytes }
+}
+
+// WithLowMemory switches to the paper's low-memory alternative: prefix
+// common-neighbor bitmaps are recomputed with k-2 extra ANDs instead of
+// stored.
+func WithLowMemory() Option {
+	return func(e *Enumerator) { e.cfg.Mode = enumcfg.CNRecompute }
+}
+
+// WithCompressedBitmaps stores prefix common-neighbor bitmaps
+// WAH-compressed (the paper's future-work direction): high compression
+// on sparse graphs at the cost of one decompression pass per sub-list.
+func WithCompressedBitmaps() Option {
+	return func(e *Enumerator) { e.cfg.Mode = enumcfg.CNCompress }
+}
+
+// WithReportSmall additionally reports maximal 1-cliques (isolated
+// vertices) and maximal 2-cliques when the lower bound admits them
+// (sequential backend only).
+func WithReportSmall() Option {
+	return func(e *Enumerator) { e.cfg.ReportSmall = true }
+}
+
+// WithStats registers a sink the next run fills with its statistics.
+func WithStats(st *Stats) Option {
+	return func(e *Enumerator) { e.stats = st }
+}
+
+// WithOnLevel registers an observer called after every generation step —
+// the facade form of the per-level statistics cmd/cliquer streams with
+// -stats.
+func WithOnLevel(fn func(LevelStats)) Option {
+	return func(e *Enumerator) { e.onLevel = fn }
+}
+
+// Run enumerates the maximal cliques of g on the configured backend,
+// delivering each to r (which may be nil to count only) in
+// non-decreasing order of size, canonical order within a size — the same
+// stream from every backend, with one documented exception: the
+// benchmark-only WithBarrier pool under the Affinity strategy guarantees
+// size order but emits worker order within a level.  It returns the
+// number of cliques delivered.  Cancel ctx to abort: Run then returns
+// the count so far and an error wrapping ctx.Err(), worker pools shut
+// down cleanly, and spill files are removed.
+func (e *Enumerator) Run(ctx context.Context, g *Graph, r Reporter) (int64, error) {
+	cfg, err := e.runConfig(ctx)
+	if err != nil {
+		return 0, err
+	}
+	st := e.statsSink(cfg)
+	start := time.Now()
+	defer func() {
+		if st != nil {
+			st.Elapsed = time.Since(start)
+		}
+	}()
+	switch cfg.Backend() {
+	case enumcfg.OutOfCore:
+		return e.runOutOfCore(cfg, g, r, st)
+	case enumcfg.Parallel, enumcfg.ParallelBarrier:
+		return e.runParallel(cfg, g, r, st)
+	}
+	return e.runSequential(cfg, g, r, st)
+}
+
+// Cliques returns a range-over-func iterator over the maximal cliques of
+// g, in the same order Run reports them.  Yielded cliques are owned
+// copies — unlike Reporter emissions they may be retained freely.  A
+// non-nil error is yielded as the final pair if the run fails; breaking
+// out of the loop cancels the underlying run and releases its resources.
+//
+//	for c, err := range repro.NewEnumerator(repro.WithBounds(3, 0)).Cliques(ctx, g) {
+//	    if err != nil { ... }
+//	    use(c) // c is yours
+//	}
+func (e *Enumerator) Cliques(ctx context.Context, g *Graph) iter.Seq2[Clique, error] {
+	return func(yield func(Clique, error) bool) {
+		ictx, cancel := context.WithCancel(ctx)
+		defer cancel()
+		ch := make(chan Clique)
+		done := make(chan error, 1)
+		go func() {
+			_, err := e.Run(ictx, g, ReporterFunc(func(c Clique) {
+				select {
+				case ch <- c.Clone():
+				case <-ictx.Done():
+					// Consumer broke out (or the caller canceled); the
+					// run aborts at its next cancellation point.
+				}
+			}))
+			close(ch)
+			done <- err
+		}()
+		stopped := false
+		for c := range ch {
+			if !stopped && !yield(c, nil) {
+				stopped = true
+				cancel()
+				// Keep draining so the producer can reach its
+				// cancellation point and exit; no goroutine outlives
+				// the loop.
+			}
+		}
+		err := <-done
+		if err != nil && !stopped {
+			yield(nil, err)
+		}
+	}
+}
+
+// Paracliques decomposes g into paracliques — dense near-cliques glommed
+// around successive maximum cliques — with the given proportional glom
+// factor in (0, 1].  It composes with the enumerator options: the lower
+// bound from WithBounds (clamped to >= 3) is the minimum seed clique
+// size.  On cancellation the paracliques found so far are returned with
+// ctx.Err().
+func (e *Enumerator) Paracliques(ctx context.Context, g *Graph, glom float64) ([]Paraclique, error) {
+	cfg, err := e.runConfig(ctx)
+	if err != nil {
+		return nil, err
+	}
+	if glom <= 0 || glom > 1 {
+		return nil, fmt.Errorf("repro: glom %v out of (0,1]", glom)
+	}
+	min := cfg.Lo
+	if min < 3 {
+		min = 3
+	}
+	ps := paraclique.Extract(g, paraclique.Options{
+		Ctx:           cfg.Ctx,
+		Glom:          glom,
+		MinCliqueSize: min,
+	})
+	if err := cfg.Context().Err(); err != nil {
+		return ps, fmt.Errorf("repro: paraclique extraction canceled: %w", err)
+	}
+	return ps, nil
+}
+
+// runConfig copies the template config, attaches the run context, and
+// validates.
+func (e *Enumerator) runConfig(ctx context.Context) (enumcfg.Config, error) {
+	cfg := e.cfg
+	cfg.Ctx = ctx
+	if err := cfg.Normalize(); err != nil {
+		return cfg, fmt.Errorf("repro: %w", err)
+	}
+	return cfg, nil
+}
+
+// statsSink resets and returns the registered Stats, if any.
+func (e *Enumerator) statsSink(cfg enumcfg.Config) *Stats {
+	if e.stats == nil {
+		return nil
+	}
+	*e.stats = Stats{Backend: cfg.Backend().String()}
+	return e.stats
+}
+
+// observe fans one level record out to the stats sink and the observer.
+func (e *Enumerator) observe(st *Stats, ls LevelStats) {
+	if st != nil {
+		st.Levels = append(st.Levels, ls)
+	}
+	if e.onLevel != nil {
+		e.onLevel(ls)
+	}
+}
+
+func (e *Enumerator) runSequential(cfg enumcfg.Config, g *Graph, r Reporter, st *Stats) (int64, error) {
+	opts := core.OptionsFromConfig(cfg)
+	opts.Reporter = r
+	if st != nil || e.onLevel != nil {
+		opts.OnLevel = func(ls core.LevelStats) {
+			e.observe(st, LevelStats{
+				FromK:         ls.FromK,
+				Sublists:      ls.Sublists,
+				Cliques:       ls.Cliques,
+				Maximal:       ls.Maximal,
+				ResidentBytes: ls.Bytes + ls.NextBytes,
+			})
+		}
+	}
+	res, err := core.Enumerate(g, opts)
+	if res == nil {
+		return 0, err
+	}
+	if st != nil {
+		st.MaximalCliques = res.MaximalCliques
+		st.MaxCliqueSize = res.MaxCliqueSize
+		st.PeakBytes = res.PeakBytes
+	}
+	return res.MaximalCliques, err
+}
+
+func (e *Enumerator) runParallel(cfg enumcfg.Config, g *Graph, r Reporter, st *Stats) (int64, error) {
+	opts := parallel.OptionsFromConfig(cfg)
+	opts.Reporter = r
+	if st != nil || e.onLevel != nil {
+		opts.OnLevel = func(ls parallel.LevelStats) {
+			e.observe(st, LevelStats{
+				FromK:     ls.FromK,
+				Sublists:  ls.Sublists,
+				Maximal:   ls.Maximal,
+				Transfers: ls.Transfers,
+			})
+		}
+	}
+	enumerate := parallel.Enumerate
+	if cfg.Barrier {
+		enumerate = parallel.EnumerateBarrier
+	}
+	res, err := enumerate(g, opts)
+	if res == nil {
+		return 0, err
+	}
+	if st != nil {
+		st.MaximalCliques = res.MaximalCliques
+		st.MaxCliqueSize = res.MaxCliqueSize
+		st.WorkerBusy = res.WorkerBusy
+		st.Transfers = res.Transfers
+	}
+	return res.MaximalCliques, err
+}
+
+func (e *Enumerator) runOutOfCore(cfg enumcfg.Config, g *Graph, r Reporter, st *Stats) (int64, error) {
+	opts := ooc.OptionsFromConfig(cfg)
+	// The backend reports every maximal clique of size >= 3; the facade
+	// applies the configured lower bound and counts what it delivers.
+	var count int64
+	maxSize := 0
+	opts.Reporter = ReporterFunc(func(c Clique) {
+		if len(c) < cfg.Lo {
+			return
+		}
+		count++
+		if len(c) > maxSize {
+			maxSize = len(c)
+		}
+		if r != nil {
+			r.Emit(c)
+		}
+	})
+	if st != nil || e.onLevel != nil {
+		opts.OnLevel = func(ls ooc.LevelStats) {
+			// A step FromK -> FromK+1 reports maximal cliques of size
+			// exactly FromK+1, so the facade's lower-bound filter zeroes
+			// whole levels — keeping sum(Levels[].Maximal) equal to the
+			// delivered count, as on the in-core backends.
+			maximal := ls.Maximal
+			if ls.FromK+1 < cfg.Lo {
+				maximal = 0
+			}
+			e.observe(st, LevelStats{
+				FromK:         ls.FromK,
+				Cliques:       ls.Cliques,
+				Maximal:       maximal,
+				ResidentBytes: ls.FileBytes + ls.NextBytes,
+			})
+		}
+	}
+	ost, err := ooc.Enumerate(g, opts)
+	if st != nil {
+		st.MaximalCliques = count
+		st.MaxCliqueSize = maxSize
+		st.SpillBytesWritten = ost.BytesWritten
+		st.SpillBytesRead = ost.BytesRead
+		st.PeakLevelFileBytes = ost.PeakLevelFile
+	}
+	return count, err
+}

@@ -1,0 +1,554 @@
+package repro_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro"
+	"repro/internal/graph"
+)
+
+// testGraph builds a randomized graph with enough planted structure to
+// produce maximal cliques across several sizes.
+func testGraph(seed int64, n int, p float64) *repro.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	g := graph.RandomGNP(rng, n, p)
+	// Plant overlapping modules so every backend has multi-level work.
+	repro.PlantClique(g, []int{0, 1, 2, 3, 4, 5, 6})
+	repro.PlantClique(g, []int{4, 5, 6, 7, 8})
+	repro.PlantClique(g, []int{n - 5, n - 4, n - 3, n - 2, n - 1})
+	return g
+}
+
+// stream runs e over g and returns the emitted cliques as ordered keys.
+func stream(t *testing.T, e *repro.Enumerator, g *repro.Graph) []string {
+	t.Helper()
+	var keys []string
+	n, err := e.Run(context.Background(), g, repro.ReporterFunc(func(c repro.Clique) {
+		keys = append(keys, c.Key())
+	}))
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if int(n) != len(keys) {
+		t.Fatalf("Run reported %d cliques, delivered %d", n, len(keys))
+	}
+	return keys
+}
+
+// TestBackendParity asserts the facade's acceptance property: the
+// sequential, parallel, and out-of-core backends produce identical
+// ordered clique streams through the one Enumerator API.
+func TestBackendParity(t *testing.T) {
+	for seed := int64(1); seed <= 4; seed++ {
+		g := testGraph(seed, 80, 0.15)
+		backends := []struct {
+			name string
+			opts []repro.Option
+		}{
+			{"sequential", nil},
+			{"parallel-affinity", []repro.Option{repro.WithWorkers(3), repro.WithStrategy(repro.Affinity)}},
+			{"parallel-contiguous", []repro.Option{repro.WithWorkers(2), repro.WithStrategy(repro.Contiguous)}},
+			{"barrier-contiguous", []repro.Option{repro.WithWorkers(3), repro.WithStrategy(repro.Contiguous), repro.WithBarrier()}},
+			{"out-of-core", []repro.Option{repro.WithOutOfCore(t.TempDir(), 0)}},
+			{"low-memory", []repro.Option{repro.WithLowMemory()}},
+			{"compressed", []repro.Option{repro.WithCompressedBitmaps()}},
+		}
+		want := stream(t, repro.NewEnumerator(append(backends[0].opts, repro.WithBounds(3, 0))...), g)
+		if len(want) == 0 {
+			t.Fatalf("seed %d: no cliques from the reference backend", seed)
+		}
+		for _, b := range backends[1:] {
+			got := stream(t, repro.NewEnumerator(append(b.opts, repro.WithBounds(3, 0))...), g)
+			if len(got) != len(want) {
+				t.Fatalf("seed %d: %s delivered %d cliques, want %d", seed, b.name, len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("seed %d: %s stream diverges at %d: got {%s}, want {%s}",
+						seed, b.name, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestCliquesIteratorYieldsStableCliques retains every yielded clique and
+// checks them after the run: Cliques must yield owned copies, unlike the
+// borrowed Reporter emissions.
+func TestCliquesIteratorYieldsStableCliques(t *testing.T) {
+	g := testGraph(7, 60, 0.15)
+	e := repro.NewEnumerator(repro.WithBounds(3, 0))
+	var retained []repro.Clique
+	for c, err := range e.Cliques(context.Background(), g) {
+		if err != nil {
+			t.Fatalf("Cliques: %v", err)
+		}
+		retained = append(retained, c) // deliberately no copy
+	}
+	want := stream(t, e, g)
+	if len(retained) != len(want) {
+		t.Fatalf("iterator yielded %d cliques, Run delivered %d", len(retained), len(want))
+	}
+	for i, c := range retained {
+		if c.Key() != want[i] {
+			t.Errorf("retained clique %d corrupted: got {%s}, want {%s}", i, c.Key(), want[i])
+		}
+		if !g.IsMaximalClique(c) {
+			t.Errorf("retained clique %d (%v) is not a maximal clique", i, c)
+		}
+	}
+}
+
+// TestCliqueCloneSurvivesReporterReuse documents the Reporter borrow rule
+// and its Clone escape hatch.
+func TestCliqueCloneSurvivesReporterReuse(t *testing.T) {
+	g := testGraph(9, 50, 0.15)
+	var borrowed, cloned []repro.Clique
+	_, err := repro.NewEnumerator(repro.WithBounds(3, 0)).Run(context.Background(), g,
+		repro.ReporterFunc(func(c repro.Clique) {
+			borrowed = append(borrowed, c)
+			cloned = append(cloned, c.Clone())
+		}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range cloned {
+		if !g.IsMaximalClique(c) {
+			t.Fatalf("cloned clique %d (%v) is not maximal: Clone is broken", i, c)
+		}
+	}
+	// The borrowed slices share backing arrays; at least one should have
+	// been overwritten by later emissions (that is the point of Clone).
+	damaged := 0
+	for _, c := range borrowed {
+		if !c.Canonical() || !g.IsMaximalClique(c) {
+			damaged++
+		}
+	}
+	if damaged == 0 {
+		t.Log("no borrowed clique was overwritten on this graph (reuse is allowed, not required)")
+	}
+}
+
+// waitGoroutines polls until the goroutine count drops back to at most
+// base, tolerating the runtime's lazy reaping.
+func waitGoroutines(t *testing.T, base int) {
+	t.Helper()
+	deadline := time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= base {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Errorf("goroutines leaked: %d now vs %d before the run", runtime.NumGoroutine(), base)
+}
+
+// TestCancellationMidRun cancels each backend mid-enumeration and checks
+// it unwinds cleanly: ctx error surfaced, no goroutine leak, no leftover
+// spill files, partial stats retained.
+func TestCancellationMidRun(t *testing.T) {
+	g := testGraph(3, 200, 0.25) // dense enough for a multi-level run
+	spill := t.TempDir()
+	backends := []struct {
+		name string
+		opts []repro.Option
+	}{
+		{"sequential", nil},
+		{"parallel", []repro.Option{repro.WithWorkers(4), repro.WithStrategy(repro.Affinity)}},
+		{"barrier", []repro.Option{repro.WithWorkers(4), repro.WithBarrier()}},
+		{"out-of-core", []repro.Option{repro.WithOutOfCore(spill, 0)}},
+	}
+	for _, b := range backends {
+		t.Run(b.name, func(t *testing.T) {
+			base := runtime.NumGoroutine()
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			var st repro.Stats
+			var emitted int64
+			opts := append(append([]repro.Option{}, b.opts...),
+				repro.WithBounds(3, 0), repro.WithStats(&st))
+			n, err := repro.NewEnumerator(opts...).Run(ctx, g,
+				repro.ReporterFunc(func(c repro.Clique) {
+					emitted++
+					if emitted == 5 {
+						cancel() // cancel from inside the run, mid-level
+					}
+				}))
+			if err == nil {
+				t.Fatal("run completed despite cancellation")
+			}
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("error %v does not wrap context.Canceled", err)
+			}
+			if emitted < 5 {
+				t.Fatalf("canceled after %d emissions, want >= 5", emitted)
+			}
+			if n > emitted {
+				t.Errorf("reported count %d exceeds emissions seen %d", n, emitted)
+			}
+			if st.Elapsed <= 0 {
+				t.Error("partial stats missing Elapsed")
+			}
+			waitGoroutines(t, base)
+		})
+	}
+	// The out-of-core run's spill files must be gone after the abort.
+	entries, err := os.ReadDir(spill)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		t.Errorf("leftover spill entry after cancellation: %s", filepath.Join(spill, e.Name()))
+	}
+}
+
+// TestCliquesEarlyBreakCancelsRun breaks out of the iterator and checks
+// the producer goroutine unwinds (and spill files vanish).
+func TestCliquesEarlyBreakCancelsRun(t *testing.T) {
+	g := testGraph(5, 200, 0.25)
+	for _, b := range []struct {
+		name string
+		opts []repro.Option
+	}{
+		{"sequential", nil},
+		{"parallel", []repro.Option{repro.WithWorkers(3)}},
+		{"out-of-core", []repro.Option{repro.WithOutOfCore(t.TempDir(), 0)}},
+	} {
+		t.Run(b.name, func(t *testing.T) {
+			base := runtime.NumGoroutine()
+			e := repro.NewEnumerator(append(b.opts, repro.WithBounds(3, 0))...)
+			seen := 0
+			for c, err := range e.Cliques(context.Background(), g) {
+				if err != nil {
+					t.Fatalf("unexpected iterator error: %v", err)
+				}
+				_ = c
+				if seen++; seen == 3 {
+					break
+				}
+			}
+			if seen != 3 {
+				t.Fatalf("saw %d cliques before break, want 3", seen)
+			}
+			waitGoroutines(t, base)
+		})
+	}
+}
+
+// TestCliquesIteratorSurfacesErrors: a canceled parent context arrives as
+// the iterator's final yield.
+func TestCliquesIteratorSurfacesErrors(t *testing.T) {
+	g := testGraph(11, 200, 0.25)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var finalErr error
+	n := 0
+	for c, err := range repro.NewEnumerator(repro.WithBounds(3, 0)).Cliques(ctx, g) {
+		if err != nil {
+			finalErr = err
+			break
+		}
+		_ = c
+		if n++; n == 2 {
+			cancel()
+		}
+	}
+	if finalErr == nil {
+		t.Fatal("iterator never surfaced the cancellation error")
+	}
+	if !errors.Is(finalErr, context.Canceled) {
+		t.Fatalf("iterator error %v does not wrap context.Canceled", finalErr)
+	}
+}
+
+// TestConfigErrors: invalid option combinations fail fast with a
+// descriptive error, not mid-run.
+func TestConfigErrors(t *testing.T) {
+	g := repro.NewGraph(4)
+	cases := []struct {
+		name string
+		opts []repro.Option
+	}{
+		{"inverted bounds", []repro.Option{repro.WithBounds(5, 3)}},
+		{"zero lo", []repro.Option{repro.WithBounds(-1, 0)}},
+		{"negative workers", []repro.Option{repro.WithWorkers(-2)}},
+		{"ooc+report-small", []repro.Option{repro.WithOutOfCore(t.TempDir(), 0), repro.WithReportSmall()}},
+		{"ooc+low-memory", []repro.Option{repro.WithOutOfCore(t.TempDir(), 0), repro.WithLowMemory()}},
+		{"ooc+workers", []repro.Option{repro.WithOutOfCore(t.TempDir(), 0), repro.WithWorkers(4)}},
+		{"ooc+memory-budget", []repro.Option{repro.WithOutOfCore(t.TempDir(), 0), repro.WithMemoryBudget(1 << 20)}},
+		{"parallel+memory-budget", []repro.Option{repro.WithWorkers(4), repro.WithMemoryBudget(1 << 20)}},
+		{"parallel+report-small", []repro.Option{repro.WithWorkers(4), repro.WithReportSmall()}},
+		{"barrier-without-workers", []repro.Option{repro.WithBarrier()}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := repro.NewEnumerator(c.opts...).Run(context.Background(), g, nil); err == nil {
+				t.Fatal("want configuration error, got nil")
+			}
+			for range repro.NewEnumerator(c.opts...).Cliques(context.Background(), g) {
+				// Must yield exactly one (nil, err) pair; reaching a
+				// clique would be a bug on a config this broken.
+				break
+			}
+		})
+	}
+}
+
+// TestStatsAcrossBackends: WithStats is filled consistently by all
+// backends, and the enumerator is reusable run to run.
+func TestStatsAcrossBackends(t *testing.T) {
+	g := testGraph(2, 70, 0.15)
+	var want int64
+	{
+		var st repro.Stats
+		e := repro.NewEnumerator(repro.WithBounds(3, 0), repro.WithStats(&st))
+		if _, err := e.Run(context.Background(), g, nil); err != nil {
+			t.Fatal(err)
+		}
+		want = st.MaximalCliques
+		if want == 0 || st.Backend != "sequential" || len(st.Levels) == 0 || st.PeakBytes == 0 {
+			t.Fatalf("sequential stats incomplete: %+v", st)
+		}
+		// Reuse the same enumerator: stats reset per run.
+		if _, err := e.Run(context.Background(), g, nil); err != nil {
+			t.Fatal(err)
+		}
+		if st.MaximalCliques != want {
+			t.Fatalf("second run found %d cliques, first %d", st.MaximalCliques, want)
+		}
+	}
+	{
+		var st repro.Stats
+		e := repro.NewEnumerator(repro.WithBounds(3, 0), repro.WithWorkers(3), repro.WithStats(&st))
+		if _, err := e.Run(context.Background(), g, nil); err != nil {
+			t.Fatal(err)
+		}
+		if st.Backend != "parallel" || st.MaximalCliques != want || len(st.WorkerBusy) != 3 {
+			t.Fatalf("parallel stats incomplete: %+v", st)
+		}
+	}
+	{
+		var st repro.Stats
+		e := repro.NewEnumerator(repro.WithBounds(3, 0),
+			repro.WithOutOfCore(t.TempDir(), 0), repro.WithStats(&st))
+		if _, err := e.Run(context.Background(), g, nil); err != nil {
+			t.Fatal(err)
+		}
+		if st.Backend != "out-of-core" || st.MaximalCliques != want || st.SpillBytesWritten == 0 {
+			t.Fatalf("out-of-core stats incomplete: %+v", st)
+		}
+	}
+}
+
+// TestOnLevelObserver: the per-level observer fires for every generation
+// step on every backend (the facade form of cliquer -stats).
+func TestOnLevelObserver(t *testing.T) {
+	g := testGraph(6, 60, 0.15)
+	for _, b := range []struct {
+		name string
+		opts []repro.Option
+	}{
+		{"sequential", nil},
+		{"parallel", []repro.Option{repro.WithWorkers(2)}},
+		{"out-of-core", []repro.Option{repro.WithOutOfCore(t.TempDir(), 0)}},
+	} {
+		t.Run(b.name, func(t *testing.T) {
+			levels := 0
+			var maximal int64
+			opts := append(append([]repro.Option{}, b.opts...),
+				repro.WithBounds(3, 0),
+				repro.WithOnLevel(func(ls repro.LevelStats) {
+					levels++
+					maximal += ls.Maximal
+				}))
+			n, err := repro.NewEnumerator(opts...).Run(context.Background(), g, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if levels == 0 {
+				t.Fatal("observer never fired")
+			}
+			// Level records cover the generation steps only; with lo=3
+			// the in-core seed phase reports maximal 3-cliques outside
+			// any level, so the level sum is a lower bound on the count.
+			if maximal > n {
+				t.Fatalf("levels account for %d maximal cliques, run delivered only %d", maximal, n)
+			}
+		})
+	}
+}
+
+// TestOOCLevelMaximalRespectsLowerBound: with a lower bound above 3, the
+// out-of-core backend's per-level Maximal must count only delivered
+// cliques, so the level sum equals the run count (as in-core).
+func TestOOCLevelMaximalRespectsLowerBound(t *testing.T) {
+	g := testGraph(6, 60, 0.15)
+	var st repro.Stats
+	n, err := repro.NewEnumerator(
+		repro.WithBounds(5, 0),
+		repro.WithOutOfCore(t.TempDir(), 0),
+		repro.WithStats(&st),
+	).Run(context.Background(), g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Fatal("no cliques of size >= 5; broaden the test graph")
+	}
+	var sum int64
+	for _, ls := range st.Levels {
+		sum += ls.Maximal
+	}
+	if sum != n {
+		t.Fatalf("levels sum to %d maximal cliques, run delivered %d", sum, n)
+	}
+}
+
+// TestDeprecatedWrappersMatchEnumerator pins the compatibility contract:
+// the old free functions are thin wrappers over the new facade.
+func TestDeprecatedWrappersMatchEnumerator(t *testing.T) {
+	g := testGraph(8, 60, 0.15)
+	var oldKeys []string
+	n1, err := repro.EnumerateMaximalCliques(g, 3, 0, func(c repro.Clique) {
+		oldKeys = append(oldKeys, c.Key())
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	newKeys := stream(t, repro.NewEnumerator(repro.WithBounds(3, 0)), g)
+	if n1 != int64(len(newKeys)) {
+		t.Fatalf("wrapper found %d cliques, enumerator %d", n1, len(newKeys))
+	}
+	for i := range newKeys {
+		if oldKeys[i] != newKeys[i] {
+			t.Fatalf("wrapper stream diverges at %d", i)
+		}
+	}
+	n2, err := repro.EnumerateParallel(g, 3, 3, 0, nil)
+	if err != nil || n2 != n1 {
+		t.Fatalf("EnumerateParallel = %d, %v; want %d", n2, err, n1)
+	}
+	if ps := repro.Paracliques(g, 0.9); len(ps) == 0 {
+		t.Fatal("Paracliques wrapper found nothing")
+	}
+}
+
+// TestParacliquesComposesWithBounds: the facade's paraclique entry uses
+// the enumerator's lower bound as the minimum seed size and honors
+// cancellation.
+func TestParacliquesComposesWithBounds(t *testing.T) {
+	g := testGraph(4, 60, 0.1)
+	ctx := context.Background()
+	loose, err := repro.NewEnumerator().Paracliques(ctx, g, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tight, err := repro.NewEnumerator(repro.WithBounds(5, 0)).Paracliques(ctx, g, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tight) > len(loose) {
+		t.Fatalf("lo=5 found %d paracliques, lo=3 only %d", len(tight), len(loose))
+	}
+	for _, p := range tight {
+		if p.CoreSize < 5 {
+			t.Fatalf("paraclique core %d below the WithBounds lower bound 5", p.CoreSize)
+		}
+	}
+	canceled, cancel := context.WithCancel(ctx)
+	cancel()
+	if _, err := repro.NewEnumerator().Paracliques(canceled, g, 0.9); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-canceled Paracliques error = %v, want context.Canceled", err)
+	}
+}
+
+// TestFacadeGraphIO round-trips both promoted interchange formats.
+func TestFacadeGraphIO(t *testing.T) {
+	g := testGraph(10, 30, 0.2)
+	dir := t.TempDir()
+	for _, f := range []struct {
+		name  string
+		write func(*os.File, *repro.Graph) error
+		read  func(*os.File) (*repro.Graph, error)
+	}{
+		{"edgelist", func(w *os.File, g *repro.Graph) error { return repro.WriteEdgeList(w, g) },
+			func(r *os.File) (*repro.Graph, error) { return repro.ReadEdgeList(r) }},
+		{"dimacs", func(w *os.File, g *repro.Graph) error { return repro.WriteDIMACS(w, g) },
+			func(r *os.File) (*repro.Graph, error) { return repro.ReadDIMACS(r) }},
+	} {
+		path := filepath.Join(dir, f.name)
+		w, err := os.Create(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := f.write(w, g); err != nil {
+			t.Fatal(err)
+		}
+		w.Close()
+		r, err := os.Open(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g2, err := f.read(r)
+		r.Close()
+		if err != nil {
+			t.Fatalf("%s: %v", f.name, err)
+		}
+		if g2.N() != g.N() || g2.M() != g.M() {
+			t.Fatalf("%s round-trip: %d/%d vertices, %d/%d edges",
+				f.name, g2.N(), g.N(), g2.M(), g.M())
+		}
+	}
+}
+
+// TestExpressionPipeline drives the promoted microarray entry points into
+// the enumerator — the paper's primary workflow through the facade only.
+func TestExpressionPipeline(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	mat := repro.SynthesizeExpression(rng, repro.SyntheticConfig{
+		Genes:      80,
+		Conditions: 40,
+		Modules:    []repro.ModuleSpec{{Genes: []int{0, 1, 2, 3, 4, 5}, Signal: 6}},
+	})
+	mat.Normalize()
+	th := repro.CorrelationThreshold(mat, repro.SpearmanRank, 120)
+	g := repro.CorrelationGraph(mat, repro.SpearmanRank, th)
+	if g.N() != 80 {
+		t.Fatalf("correlation graph has %d vertices", g.N())
+	}
+	found := false
+	for c, err := range repro.NewEnumerator(repro.WithBounds(4, 0)).Cliques(context.Background(), g) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		inModule := 0
+		for _, v := range c {
+			if v < 6 {
+				inModule++
+			}
+		}
+		if inModule >= 4 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("planted co-expression module not recovered as a clique")
+	}
+}
+
+func ExampleClique_Clone() {
+	c := repro.Clique{2, 5, 9}
+	d := c.Clone()
+	c[0] = 99
+	fmt.Println(d)
+	// Output: [2 5 9]
+}

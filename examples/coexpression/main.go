@@ -12,14 +12,12 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
 
-	"repro/internal/clique"
-	"repro/internal/core"
-	"repro/internal/maxclique"
-	"repro/internal/microarray"
+	"repro"
 )
 
 func main() {
@@ -30,12 +28,12 @@ func main() {
 	// association, the paper's motivating case for clique methods over
 	// clustering) and one containing two anti-correlated members.
 	const genes, conditions = 300, 80
-	modules := []microarray.ModuleSpec{
+	modules := []repro.ModuleSpec{
 		{Genes: seq(0, 12), Signal: 6},              // strong module
 		{Genes: seq(20, 8), Signal: 6, Terse: true}, // transitory module
 		{Genes: seq(40, 6), Signal: 6, Inverse: 2},  // with repressed genes
 	}
-	mat := microarray.Synthesize(rng, microarray.SyntheticConfig{
+	mat := repro.SynthesizeExpression(rng, repro.SyntheticConfig{
 		Genes:      genes,
 		Conditions: conditions,
 		Modules:    modules,
@@ -51,27 +49,24 @@ func main() {
 	if target < 150 {
 		target = 150
 	}
-	th := microarray.ThresholdForEdgeCount(mat, microarray.SpearmanRank, target)
-	g := microarray.CorrelationGraph(mat, microarray.SpearmanRank, th)
+	th := repro.CorrelationThreshold(mat, repro.SpearmanRank, target)
+	g := repro.CorrelationGraph(mat, repro.SpearmanRank, th)
 	fmt.Printf("correlation graph: %d vertices, %d edges (|rho| >= %.3f, density %.3f%%)\n",
 		g.N(), g.M(), th, 100*g.Density())
 
-	// Clique pipeline: bound, then enumerate.
-	omega := maxclique.Size(g)
+	// Clique pipeline: bound, then enumerate through the facade.
+	omega := repro.MaxCliqueSize(g)
 	fmt.Printf("maximum clique: %d (planted module size 12)\n", omega)
 
 	fmt.Println("maximal cliques of size >= 5:")
-	_, err := core.Enumerate(g, core.Options{
-		Lo: 5,
-		Hi: omega,
-		Reporter: clique.ReporterFunc(func(c clique.Clique) {
-			fmt.Printf("  size %2d:", len(c))
-			for _, v := range c {
-				fmt.Printf(" %s", g.Name(v))
-			}
-			fmt.Println()
-		}),
-	})
+	enum := repro.NewEnumerator(repro.WithBounds(5, omega))
+	_, err := enum.Run(context.Background(), g, repro.ReporterFunc(func(c repro.Clique) {
+		fmt.Printf("  size %2d:", len(c))
+		for _, v := range c {
+			fmt.Printf(" %s", g.Name(v))
+		}
+		fmt.Println()
+	}))
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -16,8 +16,7 @@ import (
 	"fmt"
 	"math/rand"
 
-	"repro/internal/fvs"
-	"repro/internal/graph"
+	"repro"
 )
 
 const elements = 14
@@ -30,7 +29,7 @@ func main() {
 	// whose observed relative order disagrees between some pair of
 	// species.  With clean data the graph is empty; noise and spurious
 	// matches create conflict edges, and chained conflicts form cycles.
-	g := graph.New(elements)
+	g := repro.NewGraph(elements)
 
 	// Simulate three species: each observes the true order with a few
 	// local swaps and one spurious long-range match.
@@ -88,9 +87,9 @@ func main() {
 	}
 	fmt.Printf("conflict graph: %d elements, %d conflicting pairs\n", g.N(), g.M())
 
-	set := fvs.Minimum(g)
+	set := repro.MinimumFeedbackVertexSet(g)
 	fmt.Printf("minimum feedback vertex set: %v (%d elements discarded)\n", set, len(set))
-	if !fvs.IsFeedbackVertexSet(g, set) {
+	if !repro.IsFeedbackVertexSet(g, set) {
 		panic("solver returned an invalid feedback vertex set")
 	}
 	fmt.Println("remaining conflict structure is acyclic: a consistent")

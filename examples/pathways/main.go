@@ -13,7 +13,7 @@ import (
 	"fmt"
 	"log"
 
-	"repro/internal/pathways"
+	"repro"
 )
 
 func main() {
@@ -24,7 +24,7 @@ func main() {
 		E        // energy carrier pool
 		B        // byproduct
 	)
-	net := &pathways.Network{Metabolites: []string{"G", "P", "E", "B"}}
+	net := &repro.MetabolicNetwork{Metabolites: []string{"G", "P", "E", "B"}}
 
 	// Reactions: index -> description.
 	net.AddReaction("uptake", false, map[int]int64{G: 1})                  // -> G
@@ -35,7 +35,7 @@ func main() {
 	net.AddReaction("drainE", false, map[int]int64{E: -1})                 // E -> (maintenance)
 	net.AddReaction("secreteB", false, map[int]int64{B: -1})               // B ->
 
-	modes, err := pathways.ElementaryModes(net)
+	modes, err := repro.ElementaryFluxModes(net)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -43,7 +43,7 @@ func main() {
 		len(net.Metabolites), len(net.Reactions))
 	fmt.Printf("elementary flux modes: %d\n", len(modes))
 	for i, m := range modes {
-		if err := pathways.Verify(net, m); err != nil {
+		if err := repro.VerifyFluxMode(net, m); err != nil {
 			log.Fatalf("mode %d failed verification: %v", i, err)
 		}
 		fmt.Printf("  EFM %d: %s\n", i+1, m)

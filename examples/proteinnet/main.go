@@ -6,14 +6,12 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
 
-	"repro/internal/clique"
-	"repro/internal/core"
-	"repro/internal/graph"
-	"repro/internal/graphops"
+	"repro"
 )
 
 const proteins = 120
@@ -22,16 +20,16 @@ func main() {
 	rng := rand.New(rand.NewSource(7))
 
 	// Ground truth: two protein complexes and a shared scaffold pair.
-	truth := graph.New(proteins)
-	graph.PlantClique(truth, []int{0, 1, 2, 3, 4, 5})
-	graph.PlantClique(truth, []int{10, 11, 12, 13})
+	truth := repro.NewGraph(proteins)
+	repro.PlantClique(truth, []int{0, 1, 2, 3, 4, 5})
+	repro.PlantClique(truth, []int{10, 11, 12, 13})
 	truth.AddEdge(4, 10)
 
 	// Four assays: each observes every true interaction with 85%
 	// sensitivity and adds false positives at random.
-	assays := make([]*graph.Graph, 4)
+	assays := make([]*repro.Graph, 4)
 	for i := range assays {
-		a := graph.New(proteins)
+		a := repro.NewGraph(proteins)
 		truth.ForEachEdge(func(u, v int) bool {
 			if rng.Float64() < 0.85 {
 				a.AddEdge(u, v)
@@ -48,20 +46,18 @@ func main() {
 		fmt.Printf("assay %d: %d interactions\n", i+1, a.M())
 	}
 
-	union := graphops.Union(assays...)
-	strict := graphops.Intersection(assays...)
-	consensus := graphops.AtLeastKOfN(2, assays...)
+	union := repro.Union(assays...)
+	strict := repro.Intersection(assays...)
+	consensus := repro.AtLeastKOfN(2, assays...)
 	fmt.Printf("union: %d edges; intersection: %d; at-least-2-of-4: %d (truth: %d)\n",
 		union.M(), strict.M(), consensus.M(), truth.M())
 
 	// Complexes = maximal cliques of the consensus network.
 	fmt.Println("putative complexes (maximal cliques, size >= 3):")
-	_, err := core.Enumerate(consensus, core.Options{
-		Lo: 3,
-		Reporter: clique.ReporterFunc(func(c clique.Clique) {
-			fmt.Printf("  %v\n", []int(c))
-		}),
-	})
+	enum := repro.NewEnumerator(repro.WithBounds(3, 0))
+	_, err := enum.Run(context.Background(), consensus, repro.ReporterFunc(func(c repro.Clique) {
+		fmt.Printf("  %v\n", []int(c))
+	}))
 	if err != nil {
 		log.Fatal(err)
 	}

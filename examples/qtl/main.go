@@ -8,16 +8,17 @@
 // Here: synthesize strain expression data where a few simulated loci
 // drive transcript modules, build the correlation graph, find the most
 // highly connected transcript, and decompose the graph into paracliques
-// (the dense-but-imperfect modules the paper extracts).
+// (the dense-but-imperfect modules the paper extracts) through the
+// Enumerator facade.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
 
-	"repro/internal/microarray"
-	"repro/internal/paraclique"
+	"repro"
 )
 
 func main() {
@@ -27,12 +28,12 @@ func main() {
 	// regulating a transcript module; the first two modules share
 	// transcripts (pleiotropy), mimicking trans-band structure.
 	const strains, transcripts = 40, 250
-	mods := []microarray.ModuleSpec{
+	mods := []repro.ModuleSpec{
 		{Genes: span(0, 30), Signal: 5},  // locus 1: large trans-band
 		{Genes: span(20, 20), Signal: 5}, // locus 2: overlaps locus 1's band
 		{Genes: span(60, 12), Signal: 5}, // locus 3
 	}
-	mat := microarray.Synthesize(rng, microarray.SyntheticConfig{
+	mat := repro.SynthesizeExpression(rng, repro.SyntheticConfig{
 		Genes:      transcripts,
 		Conditions: strains,
 		Modules:    mods,
@@ -44,7 +45,7 @@ func main() {
 	mat.Names[25] = "Lin7c" // inside both overlapping modules
 	mat.Normalize()
 
-	g := microarray.CorrelationGraph(mat, microarray.SpearmanRank, 0.55)
+	g := repro.CorrelationGraph(mat, repro.SpearmanRank, 0.55)
 	fmt.Printf("trait correlation graph: %d transcripts, %d edges\n", g.N(), g.M())
 
 	// Most highly connected transcript (the paper's Lin7c observation).
@@ -56,8 +57,13 @@ func main() {
 	}
 	fmt.Printf("most connected transcript: %s (degree %d)\n", g.Name(best), bestDeg)
 
-	// Paraclique decomposition: the dense co-regulated groups.
-	ps := paraclique.Extract(g, paraclique.Options{Glom: 0.85, MinCliqueSize: 5})
+	// Paraclique decomposition: the dense co-regulated groups.  The
+	// WithBounds lower bound doubles as the minimum seed clique size.
+	enum := repro.NewEnumerator(repro.WithBounds(5, 0))
+	ps, err := enum.Paracliques(context.Background(), g, 0.85)
+	if err != nil {
+		log.Fatal(err)
+	}
 	if len(ps) == 0 {
 		log.Fatal("no paracliques found; lower the threshold")
 	}

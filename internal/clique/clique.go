@@ -15,6 +15,16 @@ import (
 // Clique is a set of vertices in canonical (strictly increasing) order.
 type Clique []int
 
+// Clone returns an owned copy of the clique.  Enumerators emit borrowed
+// slices (the backing array is reused for the next emission); a reporter
+// that retains cliques past its Emit call must Clone them first.
+func (c Clique) Clone() Clique {
+	if c == nil {
+		return nil
+	}
+	return append(Clique(nil), c...)
+}
+
 // Canonical reports whether the clique is in strictly increasing order.
 func (c Clique) Canonical() bool {
 	for i := 1; i < len(c); i++ {

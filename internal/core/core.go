@@ -1,11 +1,13 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
 	"repro/internal/bitset"
 	"repro/internal/clique"
+	"repro/internal/enumcfg"
 	"repro/internal/graph"
 	"repro/internal/kclique"
 	"repro/internal/wah"
@@ -19,6 +21,12 @@ var ErrMemoryBudget = errors.New("core: memory budget exceeded")
 
 // Options configures Enumerate.
 type Options struct {
+	// Ctx, when non-nil, cancels the enumeration: the level loop checks
+	// it before every generation step, and Step checks it every 64
+	// sub-lists within a level, bounding cancellation latency to a small
+	// batch of sub-lists.  On cancellation Enumerate returns the partial
+	// Result together with an error wrapping ctx.Err().
+	Ctx context.Context
 	// Lo is the smallest clique size of interest (the paper's Init_K).
 	// When Lo <= 2 the enumeration seeds directly from the edge list;
 	// otherwise the k-clique enumerator (package kclique) seeds the
@@ -65,6 +73,21 @@ type Result struct {
 	TotalCost      Cost
 }
 
+// OptionsFromConfig derives sequential-backend Options from the unified
+// backend config.  Reporter and OnLevel are not part of the config and
+// are left for the caller to fill.
+func OptionsFromConfig(c enumcfg.Config) Options {
+	return Options{
+		Ctx:          c.Ctx,
+		Lo:           c.Lo,
+		Hi:           c.Hi,
+		ReportSmall:  c.ReportSmall,
+		RecomputeCN:  c.Mode == enumcfg.CNRecompute,
+		CompressCN:   c.Mode == enumcfg.CNCompress,
+		MemoryBudget: c.MemoryBudget,
+	}
+}
+
 // Enumerate runs the Clique Enumerator over g and returns run statistics.
 // Maximal cliques are reported in non-decreasing order of size; within a
 // level, in canonical order.
@@ -72,11 +95,8 @@ func Enumerate(g *graph.Graph, opts Options) (*Result, error) {
 	if opts.Lo == 0 {
 		opts.Lo = 2
 	}
-	if opts.Lo < 1 {
-		return nil, fmt.Errorf("core: Lo %d < 1", opts.Lo)
-	}
-	if opts.Hi != 0 && opts.Hi < opts.Lo {
-		return nil, fmt.Errorf("core: Hi %d < Lo %d", opts.Hi, opts.Lo)
+	if err := enumcfg.CheckBounds(opts.Lo, opts.Hi); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
 	}
 	if opts.RecomputeCN && opts.CompressCN {
 		return nil, fmt.Errorf("core: RecomputeCN and CompressCN are mutually exclusive")
@@ -117,7 +137,12 @@ func Enumerate(g *graph.Graph, opts Options) (*Result, error) {
 
 	pool := bitset.NewPool(g.N())
 	b := NewBuilderMode(g, mode, pool)
+	b.Ctx = opts.Ctx
 	for len(lvl.Sub) > 0 && (opts.Hi == 0 || lvl.K+1 <= opts.Hi) {
+		if opts.Ctx != nil && opts.Ctx.Err() != nil {
+			return res, fmt.Errorf("core: canceled before level %d->%d: %w",
+				lvl.K, lvl.K+1, opts.Ctx.Err())
+		}
 		if opts.MemoryBudget > 0 {
 			// The builder's share of the budget is what remains after
 			// the resident (consumed) level; clamp to 1 so an already
@@ -129,6 +154,10 @@ func Enumerate(g *graph.Graph, opts Options) (*Result, error) {
 			b.Budget = remaining
 		}
 		next, st := Step(g, lvl, reporter, b)
+		if b.Canceled {
+			return res, fmt.Errorf("core: canceled during level %d->%d: %w",
+				lvl.K, lvl.K+1, opts.Ctx.Err())
+		}
 		res.Levels = append(res.Levels, st)
 		res.TotalCost.Add(st.Cost)
 		if opts.OnLevel != nil {

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"repro/internal/bitset"
 	"repro/internal/clique"
 	"repro/internal/graph"
@@ -53,6 +55,11 @@ type Builder struct {
 	Budget   int64
 	Exceeded bool
 
+	// Ctx, when non-nil, lets Step abandon a level between sub-lists;
+	// Canceled records that it did (and is cleared by Reset).
+	Ctx      context.Context
+	Canceled bool
+
 	words   int
 	cnBytes int
 	scratch *bitset.Bitset // CN of the current k-clique being extended
@@ -96,6 +103,7 @@ func (b *Builder) Reset() {
 	b.Cost = Cost{}
 	b.NewBytes = 0
 	b.Exceeded = false
+	b.Canceled = false
 }
 
 // prefixCN returns the common-neighbor bitmap of s.Prefix: the stored
@@ -229,7 +237,11 @@ func Step(g *graph.Graph, lvl *Level, r clique.Reporter, b *Builder) (*Level, Le
 		Bytes:    lvl.Bytes(g.N()),
 	}
 	b.Reset()
-	for _, s := range lvl.Sub {
+	for i, s := range lvl.Sub {
+		if b.Ctx != nil && i&63 == 0 && b.Ctx.Err() != nil {
+			b.Canceled = true
+			break
+		}
 		b.ProcessSubList(s, r)
 	}
 	st.NextSub = len(b.Next)

@@ -1,0 +1,197 @@
+// Package enumcfg is the single configuration vocabulary shared by every
+// enumeration backend (internal/core, internal/parallel, internal/ooc)
+// and by the public facade.  The paper's arc is one algorithm — level-wise
+// maximal clique enumeration — retargeted across execution regimes; this
+// package is where the regimes agree on what a run means: the size
+// bounds, the bitmap mode, the worker count, the spill directory, and the
+// cancellation context.  Each backend derives its own Options from a
+// Config, so option semantics (defaults, validation, mutual exclusions)
+// are defined exactly once.
+package enumcfg
+
+import (
+	"context"
+	"fmt"
+)
+
+// CNMode selects how sub-lists keep their prefix common-neighbor bitmaps.
+// The canonical definition lives here so the sequential and parallel
+// backends (and the facade) share one enum; internal/core re-exports it
+// under its historical name.
+type CNMode int
+
+const (
+	// CNStore keeps the dense bitmap per sub-list (the paper's choice:
+	// "faster but requires keeping the common neighbors").
+	CNStore CNMode = iota
+	// CNRecompute stores nothing and rebuilds the bitmap with k-2 extra
+	// ANDs per sub-list ("requires no more memory but will perform
+	// bitwise AND operations on the same bit strings repeatedly").
+	CNRecompute
+	// CNCompress keeps the bitmap WAH-compressed, decompressing on use:
+	// "the sparcity of the bitmap memory index can potentially provide
+	// high compression rate".
+	CNCompress
+)
+
+// Strategy selects the parallel dispatch policy.
+type Strategy int
+
+const (
+	// Contiguous dispatches each level's sub-lists from one shared
+	// canonical-order queue.
+	Contiguous Strategy = iota
+	// Affinity keeps creator ownership and applies threshold stealing.
+	Affinity
+)
+
+// Backend identifies the execution regime a Config resolves to.
+type Backend int
+
+const (
+	// Sequential is the in-core single-threaded Clique Enumerator.
+	Sequential Backend = iota
+	// Parallel is the persistent streaming worker pool.
+	Parallel
+	// ParallelBarrier is the bulk-synchronous reference pool.
+	ParallelBarrier
+	// OutOfCore is the disk-spilling enumerator.
+	OutOfCore
+)
+
+// String names the backend for stats and diagnostics.
+func (b Backend) String() string {
+	switch b {
+	case Sequential:
+		return "sequential"
+	case Parallel:
+		return "parallel"
+	case ParallelBarrier:
+		return "parallel-barrier"
+	case OutOfCore:
+		return "out-of-core"
+	}
+	return fmt.Sprintf("backend(%d)", int(b))
+}
+
+// Config is the unified run description every backend understands.  Zero
+// value + Normalize gives the defaults the paper's experiments use: the
+// full size range from Init_K = 2, dense stored bitmaps, one thread,
+// in-core.
+type Config struct {
+	// Ctx cancels the run between generation steps (and, within a step,
+	// between sub-lists or spill records).  nil means Background.
+	Ctx context.Context
+
+	// Lo is the smallest clique size of interest (the paper's Init_K);
+	// Hi, when positive, stops after cliques of size Hi.  Defaults: 2, 0.
+	Lo, Hi int
+
+	// Workers selects the parallel backend when > 1.  Default 1.
+	Workers int
+	// Strategy is the parallel dispatch policy.
+	Strategy Strategy
+	// Barrier selects the bulk-synchronous reference pool instead of the
+	// streaming pool (benchmark baseline; only meaningful with Workers > 1).
+	Barrier bool
+
+	// Mode is the common-neighbor bitmap policy.
+	Mode CNMode
+
+	// MemoryBudget, when positive, bounds the paper-formula resident
+	// bytes of the in-core backends; exceeding it aborts the run.
+	MemoryBudget int64
+
+	// Dir, when non-empty, selects the out-of-core backend, spilling
+	// level files inside Dir.  SpillBudget, when positive, aborts when a
+	// level file would exceed that many bytes.
+	Dir         string
+	SpillBudget int64
+
+	// ReportSmall additionally reports maximal 1- and 2-cliques
+	// (sequential backend only; the paper's experiments start at 3).
+	ReportSmall bool
+}
+
+// Context returns the run context, never nil.
+func (c *Config) Context() context.Context {
+	if c.Ctx == nil {
+		return context.Background()
+	}
+	return c.Ctx
+}
+
+// Backend resolves the execution regime the config selects.
+func (c *Config) Backend() Backend {
+	switch {
+	case c.Dir != "":
+		return OutOfCore
+	case c.Workers > 1 && c.Barrier:
+		return ParallelBarrier
+	case c.Workers > 1:
+		return Parallel
+	}
+	return Sequential
+}
+
+// CheckBounds validates a (lo, hi) size range after defaulting; it is the
+// one bounds rule all backends share.
+func CheckBounds(lo, hi int) error {
+	if lo < 1 {
+		return fmt.Errorf("enumcfg: Lo %d < 1", lo)
+	}
+	if hi != 0 && hi < lo {
+		return fmt.Errorf("enumcfg: Hi %d < Lo %d", hi, lo)
+	}
+	return nil
+}
+
+// Normalize applies defaults and validates the config in place.
+func (c *Config) Normalize() error {
+	if c.Lo == 0 {
+		c.Lo = 2
+	}
+	if c.Workers == 0 {
+		c.Workers = 1
+	}
+	if err := CheckBounds(c.Lo, c.Hi); err != nil {
+		return err
+	}
+	if c.Workers < 1 {
+		return fmt.Errorf("enumcfg: %d workers", c.Workers)
+	}
+	if c.Mode < CNStore || c.Mode > CNCompress {
+		return fmt.Errorf("enumcfg: unknown CN mode %d", c.Mode)
+	}
+	if c.Strategy != Contiguous && c.Strategy != Affinity {
+		return fmt.Errorf("enumcfg: unknown strategy %d", c.Strategy)
+	}
+	if c.Barrier && c.Workers <= 1 {
+		return fmt.Errorf("enumcfg: the barrier backend requires more than one worker")
+	}
+	switch c.Backend() {
+	case OutOfCore:
+		if c.ReportSmall {
+			return fmt.Errorf("enumcfg: ReportSmall is not supported out of core (sizes < 3 never spill)")
+		}
+		if c.Mode != CNStore {
+			return fmt.Errorf("enumcfg: CN mode %d is meaningless out of core (no bitmaps are retained)", c.Mode)
+		}
+		if c.Workers > 1 {
+			return fmt.Errorf("enumcfg: the out-of-core backend is single-threaded (got %d workers)", c.Workers)
+		}
+		if c.MemoryBudget > 0 {
+			return fmt.Errorf("enumcfg: the memory budget is in-core only; bound spills with SpillBudget instead")
+		}
+	case Parallel, ParallelBarrier:
+		// Reject rather than silently drop: neither pool enforces the
+		// resident-byte budget or the small-clique reports today.
+		if c.MemoryBudget > 0 {
+			return fmt.Errorf("enumcfg: the memory budget is only enforced by the sequential backend")
+		}
+		if c.ReportSmall {
+			return fmt.Errorf("enumcfg: ReportSmall is only supported by the sequential backend")
+		}
+	}
+	return nil
+}

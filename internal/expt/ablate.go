@@ -49,9 +49,9 @@ func ablateCNMode(cfg Config) (*Table, error) {
 		name string
 		opts core.Options
 	}{
-		{"store dense (paper)", core.Options{}},
-		{"recompute", core.Options{RecomputeCN: true}},
-		{"WAH compress", core.Options{CompressCN: true}},
+		{"store dense (paper)", core.Options{Ctx: cfg.Ctx}},
+		{"recompute", core.Options{Ctx: cfg.Ctx, RecomputeCN: true}},
+		{"WAH compress", core.Options{Ctx: cfg.Ctx, CompressCN: true}},
 	} {
 		start := time.Now()
 		res, err := core.Enumerate(g, m.opts)
@@ -75,7 +75,7 @@ func ablateStorage(cfg Config) (*Table, error) {
 		Headers: []string{"tier", "time", "resident/peak bytes", "disk bytes moved"},
 	}
 	start := time.Now()
-	inCore, err := core.Enumerate(g, core.Options{})
+	inCore, err := core.Enumerate(g, core.Options{Ctx: cfg.Ctx})
 	if err != nil {
 		return nil, err
 	}
@@ -89,7 +89,7 @@ func ablateStorage(cfg Config) (*Table, error) {
 	}
 	defer os.RemoveAll(dir)
 	start = time.Now()
-	st, err := ooc.Enumerate(g, ooc.Options{Dir: dir})
+	st, err := ooc.Enumerate(g, ooc.Options{Ctx: cfg.Ctx, Dir: dir})
 	if err != nil {
 		return nil, err
 	}

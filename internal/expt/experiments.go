@@ -1,6 +1,7 @@
 package expt
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
@@ -14,6 +15,9 @@ import (
 
 // Config drives the experiment runners.
 type Config struct {
+	// Ctx, when non-nil, cancels the enumeration phases of an experiment
+	// between levels (cmd/repro wires -timeout and SIGINT here).
+	Ctx context.Context
 	// Scale in (0,1] shrinks the paper's graphs (1 = paper scale).
 	Scale float64
 	// Seed makes every run reproducible; repetitions use Seed+rep.
@@ -99,7 +103,7 @@ func Table1(cfg Config) (*Table1Result, error) {
 
 	coreCount := clique.NewCounter()
 	start = time.Now()
-	coreRes, err := core.Enumerate(g, core.Options{Reporter: coreCount})
+	coreRes, err := core.Enumerate(g, core.Options{Ctx: cfg.Ctx, Reporter: coreCount})
 	if err != nil {
 		return nil, err
 	}
@@ -186,6 +190,7 @@ func Blowup(cfg Config) (*BlowupResult, error) {
 
 	var levels []core.LevelStats
 	_, err := core.Enumerate(g, core.Options{
+		Ctx:          cfg.Ctx,
 		MemoryBudget: cfg.Budget,
 		OnLevel:      func(st core.LevelStats) { levels = append(levels, st) },
 	})

@@ -331,6 +331,7 @@ func Fig8(cfg Config) (*Table, error) {
 	}
 	if realP >= 2 {
 		res, err := parallel.Enumerate(g, parallel.Options{
+			Ctx:      cfg.Ctx,
 			Workers:  realP,
 			Lo:       ik,
 			Strategy: parallel.Affinity,

@@ -18,6 +18,7 @@ package ooc
 
 import (
 	"bufio"
+	"context"
 	"encoding/binary"
 	"fmt"
 	"io"
@@ -26,11 +27,18 @@ import (
 
 	"repro/internal/bitset"
 	"repro/internal/clique"
+	"repro/internal/enumcfg"
 	"repro/internal/graph"
 )
 
 // Options configures Enumerate.
 type Options struct {
+	// Ctx, when non-nil, cancels the run: the record-streaming loop
+	// checks it every few thousand records, the current run's spill
+	// directory (and every level file in it) is removed on the way out,
+	// and Enumerate returns the partial Stats with an error wrapping
+	// ctx.Err().
+	Ctx context.Context
 	// Dir is the spill directory (required); level files are created and
 	// deleted inside it.
 	Dir string
@@ -42,6 +50,31 @@ type Options struct {
 	// (0 = unlimited): the out-of-core analogue of the paper's one-week
 	// cutoff.
 	MaxLevelBytes int64
+	// OnLevel, when non-nil, observes each generation step — the
+	// out-of-core counterpart of core.Options.OnLevel.
+	OnLevel func(LevelStats)
+}
+
+// LevelStats describes one out-of-core generation step k -> k+1.
+type LevelStats struct {
+	FromK     int   // size of the consumed level's cliques
+	Cliques   int64 // cliques streamed from the consumed level file
+	FileBytes int64 // size of the consumed level file
+	NextBytes int64 // size of the produced level file
+	Maximal   int64 // maximal (k+1)-cliques reported this step
+}
+
+// OptionsFromConfig derives out-of-core Options from the unified backend
+// config.  Reporter and OnLevel are left for the caller; the config's Lo
+// does not narrow the backend (it reports every maximal clique of size
+// >= 3) — callers filter, as the facade does.
+func OptionsFromConfig(c enumcfg.Config) Options {
+	return Options{
+		Ctx:           c.Ctx,
+		Dir:           c.Dir,
+		MaxK:          c.Hi,
+		MaxLevelBytes: c.SpillBudget,
+	}
 }
 
 // Stats reports the run's I/O behavior.
@@ -181,10 +214,17 @@ func Enumerate(g *graph.Graph, opts Options) (Stats, error) {
 		if opts.MaxK > 0 && cur.k >= opts.MaxK {
 			break
 		}
+		if opts.Ctx != nil && opts.Ctx.Err() != nil {
+			cur.close()
+			return st, fmt.Errorf("ooc: canceled before level %d->%d: %w",
+				cur.k, cur.k+1, opts.Ctx.Err())
+		}
 		st.Levels++
 		if cur.bytes > st.PeakLevelFile {
 			st.PeakLevelFile = cur.bytes
 		}
+		lst := LevelStats{FromK: cur.k, Cliques: cur.count, FileBytes: cur.bytes}
+		maxBefore := st.Maximal
 		next, nst, err := generateLevel(g, dir, cur, cn, cnNext, emitBuf, opts, &st)
 		st.BytesRead += cur.read
 		if cerr := cur.close(); cerr != nil && err == nil {
@@ -194,6 +234,11 @@ func Enumerate(g *graph.Graph, opts Options) (Stats, error) {
 			return st, err
 		}
 		st.BytesWritten += nst
+		if opts.OnLevel != nil {
+			lst.NextBytes = nst
+			lst.Maximal = st.Maximal - maxBefore
+			opts.OnLevel(lst)
+		}
 		cur = next
 	}
 	st.BytesRead += cur.read
@@ -270,7 +315,14 @@ func generateLevel(g *graph.Graph, dir string, cur *levelReader,
 		return nil
 	}
 
-	for {
+	for rec64 := 0; ; rec64++ {
+		// Cancellation point: every 4096 records, so latency stays
+		// bounded even when one level file holds millions of cliques.
+		if opts.Ctx != nil && rec64&4095 == 0 && opts.Ctx.Err() != nil {
+			st.Aborted = true
+			return fail(fmt.Errorf("ooc: canceled during level %d->%d: %w",
+				k, k+1, opts.Ctx.Err()))
+		}
 		err := cur.next(rec)
 		if err == io.EOF {
 			break

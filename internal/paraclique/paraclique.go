@@ -14,6 +14,7 @@
 package paraclique
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/bitset"
@@ -23,6 +24,11 @@ import (
 
 // Options configures extraction.
 type Options struct {
+	// Ctx, when non-nil, cancels extraction between paracliques: Extract
+	// returns the paracliques found so far (each maximum-clique seed
+	// computation is the expensive unit, so cancellation latency is one
+	// seed).  Callers that need an error observe ctx.Err() themselves.
+	Ctx context.Context
 	// Glom is the proportional glom factor: a vertex joins when adjacent
 	// to at least ceil(Glom * |P|) members of the current paraclique P.
 	// Must be in (0, 1]; 1 reduces to strict clique growth.
@@ -113,6 +119,9 @@ func Extract(g *graph.Graph, opts Options) []Paraclique {
 
 	var out []Paraclique
 	for {
+		if opts.Ctx != nil && opts.Ctx.Err() != nil {
+			return out
+		}
 		if opts.MaxParacliques > 0 && len(out) >= opts.MaxParacliques {
 			return out
 		}

@@ -1,6 +1,7 @@
 package parallel
 
 import (
+	"fmt"
 	"sync"
 	"time"
 
@@ -67,6 +68,13 @@ func EnumerateBarrier(g *graph.Graph, opts Options) (*Result, error) {
 
 	words := int64((g.N() + 63) / 64)
 	for len(lvl.Sub) > 0 && (opts.Hi == 0 || lvl.K+1 <= opts.Hi) {
+		// Cancellation is level-granular here: the bulk-synchronous
+		// design has no mid-level pull point to interrupt.
+		if opts.Ctx != nil && opts.Ctx.Err() != nil {
+			res.Elapsed = time.Since(start)
+			return res, fmt.Errorf("parallel: canceled at level %d->%d: %w",
+				lvl.K, lvl.K+1, opts.Ctx.Err())
+		}
 		loads := make([]int64, len(lvl.Sub))
 		for i, s := range lvl.Sub {
 			loads[i] = estimateLoad(s, words)

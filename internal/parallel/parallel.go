@@ -37,6 +37,7 @@
 package parallel
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -44,24 +45,31 @@ import (
 	"repro/internal/bitset"
 	"repro/internal/clique"
 	"repro/internal/core"
+	"repro/internal/enumcfg"
 	"repro/internal/graph"
 	"repro/internal/kclique"
 	"repro/internal/sched"
 )
 
-// Strategy selects the dispatch policy.
-type Strategy int
+// Strategy selects the dispatch policy.  The canonical definition lives
+// in package enumcfg, shared by every backend and the facade.
+type Strategy = enumcfg.Strategy
 
 const (
 	// Contiguous dispatches each level's sub-lists from one shared
 	// canonical-order queue.
-	Contiguous Strategy = iota
+	Contiguous = enumcfg.Contiguous
 	// Affinity keeps creator ownership and applies threshold stealing.
-	Affinity
+	Affinity = enumcfg.Affinity
 )
 
 // Options configures Enumerate.
 type Options struct {
+	// Ctx, when non-nil, cancels the run: workers stop pulling dispatcher
+	// chunks, the in-flight level drains through the usual barrier (so
+	// the pool shuts down cleanly and no goroutine leaks), and Enumerate
+	// returns the partial Result with an error wrapping ctx.Err().
+	Ctx context.Context
 	// Workers is the number of worker threads; must be >= 1.
 	Workers int
 	// Lo, Hi, RecomputeCN, CompressCN as in core.Options.
@@ -106,6 +114,21 @@ type Result struct {
 	Transfers      int
 	SeedStats      kclique.Stats // populated when Lo >= 3
 	Elapsed        time.Duration
+}
+
+// OptionsFromConfig derives parallel-backend Options from the unified
+// backend config.  Reporter, OnLevel, Policy and ChunksPerWorker are not
+// part of the config and are left for the caller to fill.
+func OptionsFromConfig(c enumcfg.Config) Options {
+	return Options{
+		Ctx:         c.Ctx,
+		Workers:     c.Workers,
+		Lo:          c.Lo,
+		Hi:          c.Hi,
+		RecomputeCN: c.Mode == enumcfg.CNRecompute,
+		CompressCN:  c.Mode == enumcfg.CNCompress,
+		Strategy:    c.Strategy,
+	}
 }
 
 // Enumerate runs the multithreaded Clique Enumerator on a persistent
@@ -165,6 +188,11 @@ func Enumerate(g *graph.Graph, opts Options) (*Result, error) {
 	m := &merger{rep: opts.Reporter} // scratch reused across levels
 	var loads []int64                // reused across levels; each level ends before reuse
 	for len(lvl.Sub) > 0 && (opts.Hi == 0 || lvl.K+1 <= opts.Hi) {
+		if opts.Ctx != nil && opts.Ctx.Err() != nil {
+			res.Elapsed = time.Since(start)
+			return res, fmt.Errorf("parallel: canceled at level %d->%d: %w",
+				lvl.K, lvl.K+1, opts.Ctx.Err())
+		}
 		if cap(loads) < len(lvl.Sub) {
 			loads = make([]int64, len(lvl.Sub))
 		}
@@ -180,7 +208,7 @@ func Enumerate(g *graph.Graph, opts Options) (*Result, error) {
 			disp = sched.NewContiguousDispatcher(loads, opts.Workers, grain)
 		}
 
-		next, nextHomes, st := runLevel(lvl, disp, workers, m, opts.Reporter)
+		next, nextHomes, st := runLevel(opts.Ctx, lvl, disp, workers, m, opts.Reporter)
 		res.MaximalCliques += st.Maximal
 		if st.Maximal > 0 && lvl.K+1 > res.MaxCliqueSize {
 			res.MaxCliqueSize = lvl.K + 1
@@ -196,6 +224,9 @@ func Enumerate(g *graph.Graph, opts Options) (*Result, error) {
 		lvl, homes = next, nextHomes
 	}
 	res.Elapsed = time.Since(start)
+	if opts.Ctx != nil && opts.Ctx.Err() != nil {
+		return res, fmt.Errorf("parallel: canceled: %w", opts.Ctx.Err())
+	}
 	return res, nil
 }
 
@@ -208,8 +239,8 @@ func checkOptions(opts *Options) (core.CNMode, error) {
 	if opts.Lo == 0 {
 		opts.Lo = 2
 	}
-	if opts.Hi != 0 && opts.Hi < opts.Lo {
-		return 0, fmt.Errorf("parallel: Hi %d < Lo %d", opts.Hi, opts.Lo)
+	if err := enumcfg.CheckBounds(opts.Lo, opts.Hi); err != nil {
+		return 0, fmt.Errorf("parallel: %w", err)
 	}
 	if opts.RecomputeCN && opts.CompressCN {
 		return 0, fmt.Errorf("parallel: RecomputeCN and CompressCN are mutually exclusive")
@@ -228,7 +259,7 @@ func checkOptions(opts *Options) (core.CNMode, error) {
 // decentralized — workers deposit chunk results straight into the shared
 // streaming merger — so the coordinator costs no CPU while the level
 // runs, which matters when workers already oversubscribe the cores.
-func runLevel(lvl *core.Level, disp *sched.Dispatcher, workers []*worker,
+func runLevel(ctx context.Context, lvl *core.Level, disp *sched.Dispatcher, workers []*worker,
 	m *merger, rep clique.Reporter) (*core.Level, []int32, LevelStats) {
 	w := len(workers)
 	items := len(lvl.Sub)
@@ -242,6 +273,7 @@ func runLevel(lvl *core.Level, disp *sched.Dispatcher, workers []*worker,
 	var wg sync.WaitGroup
 	wg.Add(w)
 	job := levelJob{
+		ctx:     ctx,
 		lvl:     lvl,
 		disp:    disp,
 		merger:  m,
@@ -275,7 +307,7 @@ type chunkResult struct {
 	next    []*core.SubList
 	emitOff []int32
 	emitted []clique.Clique
-	maximal int64
+	maxCnt  []int64 // maximal cliques found per item
 }
 
 // merger is the streaming k-way merge point for per-worker shard outputs:
@@ -322,7 +354,6 @@ func (m *merger) reset(items, nextK int) {
 // adds no parallelism loss beyond that.
 func (m *merger) deposit(c *chunkResult) {
 	m.mu.Lock()
-	m.maximal += c.maximal
 	c.pending = int32(len(c.items))
 	ci := int64(len(m.chunks) + 1)
 	m.chunks = append(m.chunks, c)
@@ -335,6 +366,11 @@ func (m *merger) deposit(c *chunkResult) {
 		m.emit++
 		rc := m.chunks[packed>>32-1]
 		p := int32(packed)
+		// Maximal counts accrue on release, not deposit, so a canceled
+		// level's count matches the cliques actually delivered: the
+		// frontier stops at the first unprocessed sub-list, and
+		// everything deposited beyond it is discarded, not counted.
+		m.maximal += rc.maxCnt[p]
 		if m.rep != nil && rc.emitOff != nil {
 			for _, cl := range rc.emitted[rc.emitOff[p]:rc.emitOff[p+1]] {
 				m.rep.Emit(cl)
@@ -362,6 +398,7 @@ func estimateLoad(s *core.SubList, words int64) int64 {
 
 // levelJob is one level's work order, broadcast to every worker.
 type levelJob struct {
+	ctx     context.Context // nil = never canceled
 	lvl     *core.Level
 	disp    *sched.Dispatcher
 	merger  *merger
@@ -398,6 +435,12 @@ func (wk *worker) loop(wg *sync.WaitGroup) {
 			})
 		}
 		for {
+			// Cancellation point: a canceled level stops being pulled,
+			// every worker falls through to the level barrier, and the
+			// pool stays reusable for a clean shutdown.
+			if job.ctx != nil && job.ctx.Err() != nil {
+				break
+			}
 			chunk, ok := job.disp.Next(wk.id)
 			if !ok {
 				break
@@ -407,17 +450,19 @@ func (wk *worker) loop(wg *sync.WaitGroup) {
 				worker: int32(wk.id),
 				items:  make([]int32, n),
 				subOff: make([]int32, n+1),
+				maxCnt: make([]int64, n),
 			}
 			if job.collect {
 				emitted = nil
 				cr.emitOff = make([]int32, n+1)
 			}
-			maxStart := wk.builder.Maximal
 			cr.subOff[0] = int32(len(wk.builder.Next))
 			t0 := time.Now()
 			for i, item := range chunk.Items {
 				cr.items[i] = int32(item)
+				maxStart := wk.builder.Maximal
 				wk.builder.ProcessSubList(job.lvl.Sub[item], rep)
+				cr.maxCnt[i] = wk.builder.Maximal - maxStart
 				cr.subOff[i+1] = int32(len(wk.builder.Next))
 				if cr.emitOff != nil {
 					cr.emitOff[i+1] = int32(len(emitted))
@@ -426,7 +471,6 @@ func (wk *worker) loop(wg *sync.WaitGroup) {
 			busy += time.Since(t0)
 			cr.next = wk.builder.Next[:len(wk.builder.Next)]
 			cr.emitted = emitted
-			cr.maximal = wk.builder.Maximal - maxStart
 			job.merger.deposit(cr)
 		}
 		job.busy[wk.id] = busy.Seconds()

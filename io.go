@@ -1,0 +1,34 @@
+package repro
+
+import (
+	"io"
+
+	"repro/internal/graph"
+)
+
+// Graph interchange, promoted from the internal graph package so
+// facade users can load real data without reaching into internals.
+//
+// Two formats are spoken:
+//
+//   - plain edge list ("el"): first line "n m", then one "u v" pair per
+//     line, 0-based; '#' starts a comment.
+//   - DIMACS clique format: "c" comments, "p edge N M" header, "e u v"
+//     lines, 1-based — the interchange format of the clique / vertex
+//     cover community the paper's FPT work comes from.
+
+// ReadEdgeList parses edge-list format.
+func ReadEdgeList(r io.Reader) (*Graph, error) { return graph.ReadEdgeList(r) }
+
+// WriteEdgeList writes g in edge-list format.
+func WriteEdgeList(w io.Writer, g *Graph) error { return graph.WriteEdgeList(w, g) }
+
+// ReadDIMACS parses DIMACS clique format.
+func ReadDIMACS(r io.Reader) (*Graph, error) { return graph.ReadDIMACS(r) }
+
+// WriteDIMACS writes g in DIMACS clique format (1-based).
+func WriteDIMACS(w io.Writer, g *Graph) error { return graph.WriteDIMACS(w, g) }
+
+// PlantClique adds every edge of the clique on the given vertices to g —
+// the building block of synthetic module graphs.
+func PlantClique(g *Graph, vertices []int) { graph.PlantClique(g, vertices) }

@@ -5,27 +5,39 @@
 // The primary contribution is the Clique Enumerator: exact enumeration of
 // all maximal cliques of an undirected graph in non-decreasing order of
 // size, over a bitmap (bit-string) adjacency substrate, bounded below by
-// a k-clique seeder and above by an exact maximum-clique computation, and
-// parallelized level-synchronously with centralized dynamic load
-// balancing.  This package is the stable facade over the implementation
-// packages; see README.md for the architecture map and DESIGN.md for the
-// paper-to-module inventory.
+// a k-clique seeder and above by an exact maximum-clique computation.
+// The paper retargets this one algorithm across execution regimes —
+// in-core sequential, out-of-core disk-backed, and shared-memory parallel
+// — and so does this package: Enumerator is the single facade over all
+// three backends, selected by functional options behind one
+// Run(ctx, ...) / Cliques(ctx, ...) entry point:
+//
+//	enum := repro.NewEnumerator(
+//	    repro.WithBounds(5, 0),
+//	    repro.WithWorkers(8),
+//	    repro.WithStrategy(repro.Affinity),
+//	)
+//	for c, err := range enum.Cliques(ctx, g) { ... }
+//
+// See README.md for the architecture map and migration table, and
+// DESIGN.md for the paper-to-module inventory.
 package repro
 
 import (
+	"context"
+
 	"repro/internal/clique"
-	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/maxclique"
 	"repro/internal/paraclique"
-	"repro/internal/parallel"
 )
 
 // Graph is an undirected simple graph with bitmap adjacency rows.
 type Graph = graph.Graph
 
 // Clique is a set of vertices in canonical (increasing) order.  Cliques
-// passed to visitors are borrowed: copy before retaining.
+// passed to a Reporter are borrowed: Clone before retaining.  Cliques
+// yielded by Enumerator.Cliques are owned copies.
 type Clique = clique.Clique
 
 // NewGraph returns an edgeless graph on n vertices; add edges with
@@ -36,54 +48,55 @@ func NewGraph(n int) *Graph { return graph.New(n) }
 // greedy-coloring bounds).
 func MaxClique(g *Graph) []int { return maxclique.Find(g) }
 
-// MaxCliqueSize returns ω(g).
+// MaxCliqueSize returns ω(g) — the upper bound the paper feeds to
+// WithBounds.
 func MaxCliqueSize(g *Graph) int { return maxclique.Size(g) }
 
 // EnumerateMaximalCliques reports every maximal clique of g with size in
 // [lo, hi] to visit, in non-decreasing order of size (hi = 0 means
 // unbounded above).  It returns the number of maximal cliques reported.
+//
+// Deprecated: use NewEnumerator(WithBounds(lo, hi)).Run or .Cliques,
+// which add cancellation, backend selection, and statistics.
 func EnumerateMaximalCliques(g *Graph, lo, hi int, visit func(Clique)) (int64, error) {
-	var rep clique.Reporter
+	var rep Reporter
 	if visit != nil {
-		rep = clique.ReporterFunc(visit)
+		rep = ReporterFunc(visit)
 	}
-	res, err := core.Enumerate(g, core.Options{Lo: lo, Hi: hi, Reporter: rep})
-	if err != nil {
-		return 0, err
-	}
-	return res.MaximalCliques, nil
+	return NewEnumerator(WithBounds(lo, hi)).Run(context.Background(), g, rep)
 }
 
 // EnumerateParallel is EnumerateMaximalCliques on the multithreaded
-// backend: a persistent streaming worker pool with the paper's
-// affinity-plus-threshold load balancing applied continuously (idle
-// workers steal from over-threshold backlogs), parallel seeding, and
-// streamed in-order emission.  Output order is identical to the
-// sequential enumerator: non-decreasing size, lexicographic within a
-// size.
+// backend with the paper's affinity load balancing.  Output order is
+// identical to the sequential enumerator.
+//
+// Deprecated: use NewEnumerator(WithBounds(lo, hi), WithWorkers(workers),
+// WithStrategy(Affinity)).Run or .Cliques.
 func EnumerateParallel(g *Graph, workers, lo, hi int, visit func(Clique)) (int64, error) {
-	var rep clique.Reporter
+	var rep Reporter
 	if visit != nil {
-		rep = clique.ReporterFunc(visit)
+		rep = ReporterFunc(visit)
 	}
-	res, err := parallel.Enumerate(g, parallel.Options{
-		Workers:  workers,
-		Lo:       lo,
-		Hi:       hi,
-		Strategy: parallel.Affinity,
-		Reporter: rep,
-	})
-	if err != nil {
-		return 0, err
-	}
-	return res.MaximalCliques, nil
+	e := NewEnumerator(WithBounds(lo, hi), WithWorkers(workers), WithStrategy(Affinity))
+	return e.Run(context.Background(), g, rep)
 }
 
 // Paraclique is a dense near-clique module.
 type Paraclique = paraclique.Paraclique
 
 // Paracliques decomposes g into paracliques with the given proportional
-// glom factor (0 < glom <= 1).
+// glom factor (0 < glom <= 1; 0 selects the historical default 0.8).
+//
+// Deprecated: use NewEnumerator().Paracliques(ctx, g, glom), which adds
+// cancellation, composes with WithBounds, and reports invalid gloms as
+// errors instead of panicking.
 func Paracliques(g *Graph, glom float64) []Paraclique {
-	return paraclique.Extract(g, paraclique.Options{Glom: glom})
+	if glom == 0 {
+		glom = 0.8 // the pre-facade default
+	}
+	ps, err := NewEnumerator().Paracliques(context.Background(), g, glom)
+	if err != nil {
+		panic(err) // out-of-range glom panicked before the facade, too
+	}
+	return ps
 }

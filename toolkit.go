@@ -1,0 +1,51 @@
+package repro
+
+import (
+	"repro/internal/fvs"
+	"repro/internal/graphops"
+	"repro/internal/pathways"
+)
+
+// The rest of the paper's graph toolkit, promoted so the application
+// workflows (protein networks, phylogenetic footprinting, metabolic
+// pathways) compose with the facade without importing internals.
+
+// Union returns the edge-wise union of same-order graphs.
+func Union(gs ...*Graph) *Graph { return graphops.Union(gs...) }
+
+// Intersection returns the edge-wise intersection of same-order graphs —
+// the strict consensus of noisy interaction assays.
+func Intersection(gs ...*Graph) *Graph { return graphops.Intersection(gs...) }
+
+// Difference returns the edges of a not present in b.
+func Difference(a, b *Graph) *Graph { return graphops.Difference(a, b) }
+
+// AtLeastKOfN keeps an edge present in at least k of the given graphs —
+// the paper's Boolean query for cleaning high-false-positive assays.
+func AtLeastKOfN(k int, gs ...*Graph) *Graph { return graphops.AtLeastKOfN(k, gs...) }
+
+// MinimumFeedbackVertexSet returns a minimum set of vertices whose
+// removal makes g acyclic — the crucial combinatorial problem of
+// phylogenetic footprinting, solved exactly by the FPT branching the
+// paper's toolkit provides.
+func MinimumFeedbackVertexSet(g *Graph) []int { return fvs.Minimum(g) }
+
+// IsFeedbackVertexSet reports whether removing set makes g acyclic.
+func IsFeedbackVertexSet(g *Graph, set []int) bool { return fvs.IsFeedbackVertexSet(g, set) }
+
+// MetabolicNetwork is a stoichiometric reaction network.
+type MetabolicNetwork = pathways.Network
+
+// FluxMode is one elementary flux mode (exact rational coefficients).
+type FluxMode = pathways.Mode
+
+// ElementaryFluxModes enumerates the elementary modes of net with the
+// exact-arithmetic double-description tableau.
+func ElementaryFluxModes(net *MetabolicNetwork) ([]FluxMode, error) {
+	return pathways.ElementaryModes(net)
+}
+
+// VerifyFluxMode checks a mode against S·v = 0 and irreversibility.
+func VerifyFluxMode(net *MetabolicNetwork, m FluxMode) error {
+	return pathways.Verify(net, m)
+}
