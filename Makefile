@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build fmt fmt-fix vet test race bench examples ci
+.PHONY: all build fmt fmt-fix vet test race race-repr bench bench-json examples ci
 
 all: build
 
@@ -24,17 +24,29 @@ test:
 	$(GO) test ./...
 
 # Race-detect the concurrency-heavy packages (full -race ./... is run
-# in CI nightly-style via `make race-all` if ever needed).
+# in CI nightly-style via `make race-all` if ever needed), plus the
+# cross-representation parity tests (pooled scratch bitsets inside the
+# CSR/WAH row readers are shared across worker goroutines).
 race:
 	$(GO) test -race ./internal/parallel ./internal/sched ./internal/core ./internal/kclique ./internal/bitset
+
+race-repr:
+	$(GO) test -race -run 'Representation' .
 
 race-all:
 	$(GO) test -race ./...
 
-# Short benchmark sweep: the streaming-vs-barrier comparison plus the
-# paper-table regenerators, kept brief for CI.
+# Short benchmark sweep: the streaming-vs-barrier comparison, the
+# representation trade-off, and the paper-table regenerators, kept brief
+# for CI.
 bench:
-	$(GO) test -run xxx -bench 'EnumerateStreaming|EnumerateBarrier|SeedFromK' -benchtime 5x .
+	$(GO) test -run xxx -bench 'EnumerateStreaming|EnumerateBarrier|SeedFromK|Representations' -benchtime 5x .
+
+# Machine-readable representation trajectory: peak adjacency bytes and
+# enumeration time per representation on a sparse (n=100k, avg deg 32)
+# and a dense synthetic graph.  CI uploads the result as an artifact.
+bench-json:
+	$(GO) run ./cmd/benchrepr -out BENCH_repr.json
 
 # Keep the migrated examples and the documented API snippets honest:
 # vet the example programs and run every doctest.
@@ -44,4 +56,4 @@ examples:
 
 check: fmt vet test
 
-ci: fmt vet build test race bench examples
+ci: fmt vet build test race race-repr bench examples

@@ -171,7 +171,7 @@ func uniformGraph() *graph.Graph {
 // strategy (the paper's) and validates the count against b.N-invariant
 // expectations implicitly via error checks.
 func benchEnumerate(b *testing.B, g *graph.Graph, workers int,
-	enumerate func(*graph.Graph, parallel.Options) (*parallel.Result, error)) {
+	enumerate func(graph.Interface, parallel.Options) (*parallel.Result, error)) {
 	b.Helper()
 	b.ReportAllocs()
 	b.ResetTimer()

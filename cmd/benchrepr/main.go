@@ -1,0 +1,186 @@
+// Command benchrepr measures the graph-representation trade-off the
+// pluggable data layer exists for: peak adjacency bytes and enumeration
+// time per representation (dense bitmap, CSR, WAH-compressed rows) on a
+// sparse and a dense synthetic graph, written as machine-readable JSON.
+// `make bench-json` runs it and pins the result as BENCH_repr.json — the
+// perf-trajectory artifact CI uploads per commit.
+//
+// On the sparse scenario the dense representation is measured by formula
+// only when materializing it would exceed -dense-cap bytes (building a
+// 1.25 GB bitmap index to report its size is exactly the failure mode
+// the representation layer avoids); the entry is marked "skipped".
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"time"
+
+	"repro"
+	"repro/internal/graph"
+)
+
+type repResult struct {
+	Representation string `json:"representation"`
+	AdjacencyBytes int64  `json:"adjacency_bytes"`
+	VsDense        string `json:"vs_dense"`
+	BuildNS        int64  `json:"build_ns"`
+	EnumerateNS    int64  `json:"enumerate_ns"`
+	MaximalCliques int64  `json:"maximal_cliques"`
+	Skipped        bool   `json:"skipped,omitempty"`
+}
+
+type scenario struct {
+	Name            string      `json:"name"`
+	N               int         `json:"n"`
+	M               int         `json:"m"`
+	DensityPct      float64     `json:"density_pct"`
+	Representations []repResult `json:"representations"`
+}
+
+type report struct {
+	Schema    string     `json:"schema"`
+	Scenarios []scenario `json:"scenarios"`
+}
+
+func main() {
+	out := flag.String("out", "BENCH_repr.json", "output JSON path")
+	sparseN := flag.Int("sparse-n", 100000, "vertices of the sparse scenario")
+	sparseDeg := flag.Int("sparse-deg", 32, "average degree of the sparse scenario")
+	denseN := flag.Int("dense-n", 1200, "vertices of the dense scenario")
+	denseCap := flag.Int64("dense-cap", 1<<28, "skip materializing dense graphs above this many adjacency bytes")
+	seed := flag.Int64("seed", 1, "generator seed")
+	flag.Parse()
+
+	rep := report{Schema: "repro/bench-repr/v1"}
+
+	sparse, err := runScenario(sparseScenario(*sparseN, *sparseDeg, *seed), *denseCap)
+	if err != nil {
+		fatal(err)
+	}
+	rep.Scenarios = append(rep.Scenarios, sparse)
+
+	dense, err := runScenario(denseScenario(*denseN, *seed), *denseCap)
+	if err != nil {
+		fatal(err)
+	}
+	rep.Scenarios = append(rep.Scenarios, dense)
+
+	f, err := os.Create(*out)
+	if err != nil {
+		fatal(err)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s\n", *out)
+	for _, sc := range rep.Scenarios {
+		fmt.Printf("%s: n=%d m=%d\n", sc.Name, sc.N, sc.M)
+		for _, r := range sc.Representations {
+			state := ""
+			if r.Skipped {
+				state = " (enumeration skipped: over -dense-cap)"
+			}
+			fmt.Printf("  %-5s %12d bytes (%s of dense)  enumerate %v%s\n",
+				r.Representation, r.AdjacencyBytes, r.VsDense,
+				time.Duration(r.EnumerateNS), state)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "benchrepr: %v\n", err)
+	os.Exit(1)
+}
+
+type spec struct {
+	name  string
+	n     int
+	build func(b *repro.GraphBuilder)
+}
+
+// sparseScenario streams ~n*deg/2 random edges: the genome-scale-shaped
+// workload (200k-vertex coexpression graphs have exactly this profile).
+func sparseScenario(n, deg int, seed int64) spec {
+	return spec{
+		name: fmt.Sprintf("sparse-n%d-deg%d", n, deg),
+		n:    n,
+		build: func(b *repro.GraphBuilder) {
+			rng := rand.New(rand.NewSource(seed))
+			target := int64(n) * int64(deg) / 2
+			for i := int64(0); i < target; i++ {
+				u, v := rng.Intn(n), rng.Intn(n)
+				if u != v {
+					b.AddEdge(u, v)
+				}
+			}
+		},
+	}
+}
+
+// denseScenario plants overlapping clique modules on a background — the
+// paper's microarray-graph shape, dense enough that the bitmap index is
+// the right call.
+func denseScenario(n int, seed int64) spec {
+	return spec{
+		name: fmt.Sprintf("dense-n%d-planted", n),
+		n:    n,
+		build: func(b *repro.GraphBuilder) {
+			rng := rand.New(rand.NewSource(seed))
+			g := graph.PlantedGraph(rng, n, []graph.PlantedCliqueSpec{
+				{Size: 24}, {Size: 18, Overlap: 6}, {Size: 14, Overlap: 4},
+			}, n*8)
+			graph.ForEachEdge(g, func(u, v int) bool {
+				b.AddEdge(u, v)
+				return true
+			})
+		},
+	}
+}
+
+func runScenario(sp spec, denseCap int64) (scenario, error) {
+	sc := scenario{Name: sp.name, N: sp.n}
+	denseBytes := repro.DenseAdjacencyBytes(sp.n)
+	for _, r := range []repro.Representation{repro.Dense, repro.CSR, repro.Compressed} {
+		res := repResult{Representation: r.String()}
+		if r == repro.Dense && denseBytes > denseCap {
+			res.AdjacencyBytes = denseBytes
+			res.VsDense = "100.00%"
+			res.Skipped = true
+			sc.Representations = append(sc.Representations, res)
+			continue
+		}
+		start := time.Now()
+		b := repro.NewGraphBuilder(sp.n)
+		b.WithRepresentation(r)
+		sp.build(b)
+		g, err := b.Freeze()
+		if err != nil {
+			return sc, err
+		}
+		res.BuildNS = time.Since(start).Nanoseconds()
+		sc.M = g.M()
+		sc.DensityPct = 100 * float64(g.M()) / (float64(sp.n) * float64(sp.n-1) / 2)
+		res.AdjacencyBytes = g.Bytes()
+		res.VsDense = fmt.Sprintf("%.2f%%", 100*float64(g.Bytes())/float64(denseBytes))
+
+		start = time.Now()
+		count, err := repro.NewEnumerator(repro.WithBounds(3, 0)).Run(context.Background(), g, nil)
+		if err != nil {
+			return sc, err
+		}
+		res.EnumerateNS = time.Since(start).Nanoseconds()
+		res.MaximalCliques = count
+		sc.Representations = append(sc.Representations, res)
+	}
+	return sc, nil
+}

@@ -51,6 +51,7 @@ func main() {
 	dimacs := flag.Bool("dimacs", false, "input is DIMACS clique format")
 	recompute := flag.Bool("low-mem", false, "recompute common-neighbor bitmaps instead of storing them")
 	compress := flag.Bool("compress", false, "store common-neighbor bitmaps WAH-compressed")
+	repr := flag.String("repr", "auto", "graph representation: auto, dense, csr or wah")
 	oocDir := flag.String("ooc", "", "run the out-of-core enumerator, spilling levels to this directory")
 	budget := flag.Int64("budget", 0, "abort if resident candidate bytes exceed this (0 = unlimited)")
 	spill := flag.Int64("spill-budget", 0, "out-of-core: abort if a level file would exceed this many bytes (0 = unlimited)")
@@ -78,7 +79,8 @@ func main() {
 		lo: *lo, hi: *hi, workers: *workers, strategy: *strategy,
 		barrier: *barrier, stats: *stats, countOnly: *countOnly,
 		dimacs: *dimacs, recompute: *recompute, compress: *compress,
-		oocDir: *oocDir, budget: *budget, spill: *spill, noBound: *noBound,
+		repr: *repr, oocDir: *oocDir, budget: *budget, spill: *spill,
+		noBound: *noBound,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "cliquer: %v\n", err)
@@ -91,6 +93,7 @@ type options struct {
 	strategy                          string
 	barrier, stats, countOnly, dimacs bool
 	recompute, compress, noBound      bool
+	repr                              string
 	oocDir                            string
 	budget, spill                     int64
 }
@@ -110,28 +113,43 @@ func run(ctx context.Context, path string, o options) error {
 	if err != nil {
 		return err
 	}
+	rep, err := repro.ParseRepresentation(o.repr)
+	if err != nil {
+		return err
+	}
 	f, err := os.Open(path)
 	if err != nil {
 		return err
 	}
 	defer f.Close()
-	var g *repro.Graph
+	var g repro.GraphInterface
 	if o.dimacs {
-		g, err = repro.ReadDIMACS(f)
+		g, err = repro.ReadDIMACSRep(f, rep)
 	} else {
-		g, err = repro.ReadEdgeList(f)
+		g, err = repro.ReadEdgeListRep(f, rep)
 	}
 	if err != nil {
 		return err
 	}
-	fmt.Printf("graph: %d vertices, %d edges, density %.4f%%\n",
-		g.N(), g.M(), 100*g.Density())
+	fmt.Printf("graph: %d vertices, %d edges, density %.4f%%, representation %s (%d adjacency bytes; dense would be %d)\n",
+		g.N(), g.M(), 100*repro.Density(g), g.Representation(),
+		g.Bytes(), repro.DenseAdjacencyBytes(g.N()))
 
 	if o.hi == 0 && !o.noBound {
-		start := time.Now()
-		omega := repro.MaxCliqueSize(g)
-		fmt.Printf("maximum clique: %d (%.3fs)\n", omega, time.Since(start).Seconds())
-		o.hi = omega
+		// The exact bound densifies non-dense graphs; at the scale the
+		// sparse representations exist for, that allocation is exactly
+		// what the user chose -repr to avoid, so skip it rather than
+		// blow the memory budget behind their back.
+		const densifyCap = 256 << 20
+		if g.Representation() != repro.Dense && repro.DenseAdjacencyBytes(g.N()) > densifyCap {
+			fmt.Fprintf(os.Stderr, "cliquer: skipping the maximum-clique bound: it would densify %d bytes of adjacency; pass -hi or -no-bound to silence\n",
+				repro.DenseAdjacencyBytes(g.N()))
+		} else {
+			start := time.Now()
+			omega := repro.MaxCliqueSize(g)
+			fmt.Printf("maximum clique: %d (%.3fs)\n", omega, time.Since(start).Seconds())
+			o.hi = omega
+		}
 	}
 
 	var report repro.Reporter

@@ -9,6 +9,7 @@ import (
 	"repro/internal/clique"
 	"repro/internal/core"
 	"repro/internal/enumcfg"
+	"repro/internal/graph"
 	"repro/internal/ooc"
 	"repro/internal/paraclique"
 	"repro/internal/parallel"
@@ -101,6 +102,8 @@ type LevelStats struct {
 // concurrently when a Stats sink or OnLevel observer is registered.
 type Enumerator struct {
 	cfg     enumcfg.Config // template; each run copies it and adds its ctx
+	rep     Representation // requested graph representation
+	repSet  bool           // WithGraphRepresentation was given
 	stats   *Stats
 	onLevel func(LevelStats)
 }
@@ -184,6 +187,17 @@ func WithCompressedBitmaps() Option {
 	return func(e *Enumerator) { e.cfg.Mode = enumcfg.CNCompress }
 }
 
+// WithGraphRepresentation converts the input graph to the given
+// adjacency representation before every run: Dense for raw row-AND
+// speed, CSR for O(n+m) memory, Compressed for WAH rows, Auto to let the
+// measured density decide.  The conversion is skipped when the graph
+// already matches (so passing an already-CSR graph costs nothing), and
+// conversions are per-run — the caller's graph is never mutated.
+// Without this option the graph is used exactly as handed in.
+func WithGraphRepresentation(rep Representation) Option {
+	return func(e *Enumerator) { e.rep, e.repSet = rep, true }
+}
+
 // WithReportSmall additionally reports maximal 1-cliques (isolated
 // vertices) and maximal 2-cliques when the lower bound admits them
 // (sequential backend only).
@@ -212,9 +226,12 @@ func WithOnLevel(fn func(LevelStats)) Option {
 // number of cliques delivered.  Cancel ctx to abort: Run then returns
 // the count so far and an error wrapping ctx.Err(), worker pools shut
 // down cleanly, and spill files are removed.
-func (e *Enumerator) Run(ctx context.Context, g *Graph, r Reporter) (int64, error) {
+func (e *Enumerator) Run(ctx context.Context, g GraphInterface, r Reporter) (int64, error) {
 	cfg, err := e.runConfig(ctx)
 	if err != nil {
+		return 0, err
+	}
+	if g, err = e.prepareGraph(g); err != nil {
 		return 0, err
 	}
 	st := e.statsSink(cfg)
@@ -243,7 +260,7 @@ func (e *Enumerator) Run(ctx context.Context, g *Graph, r Reporter) (int64, erro
 //	    if err != nil { ... }
 //	    use(c) // c is yours
 //	}
-func (e *Enumerator) Cliques(ctx context.Context, g *Graph) iter.Seq2[Clique, error] {
+func (e *Enumerator) Cliques(ctx context.Context, g GraphInterface) iter.Seq2[Clique, error] {
 	return func(yield func(Clique, error) bool) {
 		ictx, cancel := context.WithCancel(ctx)
 		defer cancel()
@@ -284,9 +301,12 @@ func (e *Enumerator) Cliques(ctx context.Context, g *Graph) iter.Seq2[Clique, er
 // bound from WithBounds (clamped to >= 3) is the minimum seed clique
 // size.  On cancellation the paracliques found so far are returned with
 // ctx.Err().
-func (e *Enumerator) Paracliques(ctx context.Context, g *Graph, glom float64) ([]Paraclique, error) {
+func (e *Enumerator) Paracliques(ctx context.Context, g GraphInterface, glom float64) ([]Paraclique, error) {
 	cfg, err := e.runConfig(ctx)
 	if err != nil {
+		return nil, err
+	}
+	if g, err = e.prepareGraph(g); err != nil {
 		return nil, err
 	}
 	if glom <= 0 || glom > 1 {
@@ -305,6 +325,18 @@ func (e *Enumerator) Paracliques(ctx context.Context, g *Graph, glom float64) ([
 		return ps, fmt.Errorf("repro: paraclique extraction canceled: %w", err)
 	}
 	return ps, nil
+}
+
+// prepareGraph applies the requested representation conversion, if any.
+func (e *Enumerator) prepareGraph(g GraphInterface) (GraphInterface, error) {
+	if !e.repSet {
+		return g, nil
+	}
+	gg, err := graph.Convert(g, e.rep)
+	if err != nil {
+		return nil, fmt.Errorf("repro: %w", err)
+	}
+	return gg, nil
 }
 
 // runConfig copies the template config, attaches the run context, and
@@ -337,7 +369,7 @@ func (e *Enumerator) observe(st *Stats, ls LevelStats) {
 	}
 }
 
-func (e *Enumerator) runSequential(cfg enumcfg.Config, g *Graph, r Reporter, st *Stats) (int64, error) {
+func (e *Enumerator) runSequential(cfg enumcfg.Config, g GraphInterface, r Reporter, st *Stats) (int64, error) {
 	opts := core.OptionsFromConfig(cfg)
 	opts.Reporter = r
 	if st != nil || e.onLevel != nil {
@@ -363,7 +395,7 @@ func (e *Enumerator) runSequential(cfg enumcfg.Config, g *Graph, r Reporter, st 
 	return res.MaximalCliques, err
 }
 
-func (e *Enumerator) runParallel(cfg enumcfg.Config, g *Graph, r Reporter, st *Stats) (int64, error) {
+func (e *Enumerator) runParallel(cfg enumcfg.Config, g GraphInterface, r Reporter, st *Stats) (int64, error) {
 	opts := parallel.OptionsFromConfig(cfg)
 	opts.Reporter = r
 	if st != nil || e.onLevel != nil {
@@ -393,7 +425,7 @@ func (e *Enumerator) runParallel(cfg enumcfg.Config, g *Graph, r Reporter, st *S
 	return res.MaximalCliques, err
 }
 
-func (e *Enumerator) runOutOfCore(cfg enumcfg.Config, g *Graph, r Reporter, st *Stats) (int64, error) {
+func (e *Enumerator) runOutOfCore(cfg enumcfg.Config, g GraphInterface, r Reporter, st *Stats) (int64, error) {
 	opts := ooc.OptionsFromConfig(cfg)
 	// The backend reports every maximal clique of size >= 3; the facade
 	// applies the configured lower bound and counts what it delivers.

@@ -50,9 +50,18 @@ func main() {
 		target = 150
 	}
 	th := repro.CorrelationThreshold(mat, repro.SpearmanRank, target)
-	g := repro.CorrelationGraph(mat, repro.SpearmanRank, th)
+	// The representation layer picks the adjacency backend from the
+	// thresholded density: sparse coexpression graphs come back CSR
+	// (O(n+m) bytes), dense ones keep the paper's bitmap index.  At
+	// genome scale this is what makes the graph loadable at all.
+	g, err := repro.CorrelationGraphRep(mat, repro.SpearmanRank, th, repro.Auto)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("correlation graph: %d vertices, %d edges (|rho| >= %.3f, density %.3f%%)\n",
-		g.N(), g.M(), th, 100*g.Density())
+		g.N(), g.M(), th, 100*repro.Density(g))
+	fmt.Printf("representation: %s, %d adjacency bytes (dense would be %d)\n",
+		g.Representation(), g.Bytes(), repro.DenseAdjacencyBytes(g.N()))
 
 	// Clique pipeline: bound, then enumerate through the facade.
 	omega := repro.MaxCliqueSize(g)
@@ -60,7 +69,7 @@ func main() {
 
 	fmt.Println("maximal cliques of size >= 5:")
 	enum := repro.NewEnumerator(repro.WithBounds(5, omega))
-	_, err := enum.Run(context.Background(), g, repro.ReporterFunc(func(c repro.Clique) {
+	_, err = enum.Run(context.Background(), g, repro.ReporterFunc(func(c repro.Clique) {
 		fmt.Printf("  size %2d:", len(c))
 		for _, v := range c {
 			fmt.Printf(" %s", g.Name(v))

@@ -30,7 +30,7 @@ const (
 
 // Enumerate reports every maximal clique of g to r.  The emitted slice is
 // reused between calls; reporters must copy if they retain it.
-func Enumerate(g *graph.Graph, variant Variant, r clique.Reporter) {
+func Enumerate(g graph.Interface, variant Variant, r clique.Reporter) {
 	n := g.N()
 	e := &enumerator{
 		g:       g,
@@ -39,6 +39,9 @@ func Enumerate(g *graph.Graph, variant Variant, r clique.Reporter) {
 		pool:    bitset.NewPool(n),
 		scratch: make([]int, 0, n),
 	}
+	if variant == Improved {
+		e.pivotRow = bitset.New(n)
+	}
 	candidates := bitset.New(n)
 	candidates.SetAll()
 	not := bitset.New(n)
@@ -46,13 +49,17 @@ func Enumerate(g *graph.Graph, variant Variant, r clique.Reporter) {
 }
 
 type enumerator struct {
-	g       *graph.Graph
+	g       graph.Interface
 	variant Variant
 	report  clique.Reporter
 	pool    *bitset.Pool
 	compsub clique.Clique
 	emitBuf clique.Clique
 	scratch []int
+	// pivotRow is the densified neighborhood of the current pivot: the
+	// per-candidate membership probe must not walk a compressed row per
+	// candidate (Improved variant only).
+	pivotRow *bitset.Bitset
 }
 
 // extend is the EXTEND operator of Bron and Kerbosch: it consumes
@@ -75,7 +82,8 @@ func (e *enumerator) extend(candidates, not *bitset.Bitset) {
 	branch := e.scratch[:0]
 	if e.variant == Improved {
 		pivot := e.selectPivot(candidates, not)
-		pn := e.g.Neighbors(pivot)
+		e.g.Materialize(pivot, e.pivotRow)
+		pn := e.pivotRow
 		candidates.ForEach(func(v int) bool {
 			if !pn.Test(v) {
 				branch = append(branch, v)
@@ -92,11 +100,11 @@ func (e *enumerator) extend(candidates, not *bitset.Bitset) {
 		if !candidates.Test(v) {
 			continue // consumed by an earlier iteration's move to NOT
 		}
-		nv := e.g.Neighbors(v)
+		rv := e.g.Row(v)
 		newCand := e.pool.GetNoClear()
-		newCand.And(candidates, nv)
+		rv.AndInto(newCand, candidates)
 		newNot := e.pool.GetNoClear()
-		newNot.And(not, nv)
+		rv.AndInto(newNot, not)
 
 		e.compsub = append(e.compsub, v)
 		e.extend(newCand, newNot)
@@ -117,7 +125,7 @@ func (e *enumerator) extend(candidates, not *bitset.Bitset) {
 func (e *enumerator) selectPivot(candidates, not *bitset.Bitset) int {
 	best, bestDeg := -1, -1
 	consider := func(v int) bool {
-		d := e.g.Neighbors(v).AndCount(candidates)
+		d := e.g.Row(v).AndCount(candidates)
 		if d > bestDeg {
 			best, bestDeg = v, d
 		}
@@ -130,7 +138,7 @@ func (e *enumerator) selectPivot(candidates, not *bitset.Bitset) int {
 
 // MaximalCliques is a convenience wrapper returning all maximal cliques,
 // sorted by size then lexicographically.
-func MaximalCliques(g *graph.Graph, variant Variant) []clique.Clique {
+func MaximalCliques(g graph.Interface, variant Variant) []clique.Clique {
 	col := &clique.Collector{}
 	Enumerate(g, variant, col)
 	col.Sort()

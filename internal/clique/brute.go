@@ -8,7 +8,7 @@ import (
 // 2^n vertex subsets.  It is the ground-truth oracle for the
 // cross-validation tests and must only be used for small graphs
 // (it panics above 24 vertices).
-func BruteForceMaximal(g *graph.Graph) []Clique {
+func BruteForceMaximal(g graph.Interface) []Clique {
 	n := g.N()
 	if n > 24 {
 		panic("clique: BruteForceMaximal limited to 24 vertices")
@@ -22,10 +22,10 @@ func BruteForceMaximal(g *graph.Graph) []Clique {
 				members = append(members, v)
 			}
 		}
-		if !g.IsClique(members) {
+		if !graph.IsClique(g, members) {
 			continue
 		}
-		if g.IsMaximalClique(members) {
+		if graph.IsMaximalClique(g, members) {
 			out = append(out, append(Clique(nil), members...))
 		}
 	}
@@ -34,7 +34,7 @@ func BruteForceMaximal(g *graph.Graph) []Clique {
 
 // BruteForceKCliques enumerates every clique of exactly size k (maximal
 // or not) by subset testing; small graphs only.
-func BruteForceKCliques(g *graph.Graph, k int) []Clique {
+func BruteForceKCliques(g graph.Interface, k int) []Clique {
 	n := g.N()
 	if n > 24 {
 		panic("clique: BruteForceKCliques limited to 24 vertices")
@@ -48,7 +48,7 @@ func BruteForceKCliques(g *graph.Graph, k int) []Clique {
 				members = append(members, v)
 			}
 		}
-		if len(members) != k || !g.IsClique(members) {
+		if len(members) != k || !graph.IsClique(g, members) {
 			continue
 		}
 		out = append(out, append(Clique(nil), members...))
@@ -58,7 +58,7 @@ func BruteForceKCliques(g *graph.Graph, k int) []Clique {
 
 // BruteForceMaxCliqueSize returns the maximum clique size of g by subset
 // testing; small graphs only.
-func BruteForceMaxCliqueSize(g *graph.Graph) int {
+func BruteForceMaxCliqueSize(g graph.Interface) int {
 	best := 0
 	for _, c := range BruteForceMaximal(g) {
 		if len(c) > best {

@@ -88,10 +88,12 @@ func OptionsFromConfig(c enumcfg.Config) Options {
 	}
 }
 
-// Enumerate runs the Clique Enumerator over g and returns run statistics.
-// Maximal cliques are reported in non-decreasing order of size; within a
-// level, in canonical order.
-func Enumerate(g *graph.Graph, opts Options) (*Result, error) {
+// Enumerate runs the Clique Enumerator over g — any graph representation
+// — and returns run statistics.  Maximal cliques are reported in
+// non-decreasing order of size; within a level, in canonical order.  The
+// dense representation keeps its historical allocation-identical fast
+// path; CSR and WAH graphs run through the generic row-access contract.
+func Enumerate(g graph.Interface, opts Options) (*Result, error) {
 	if opts.Lo == 0 {
 		opts.Lo = 2
 	}
@@ -179,7 +181,7 @@ func Enumerate(g *graph.Graph, opts Options) (*Result, error) {
 // 2-cliques (when lo <= 2).  These sizes fall outside the sub-list join
 // machinery: a size-s maximal clique is only discovered when generated at
 // step (s-1) -> s, so the two smallest sizes need direct checks.
-func reportSmall(g *graph.Graph, lo int, r clique.Reporter) {
+func reportSmall(g graph.Interface, lo int, r clique.Reporter) {
 	if lo <= 1 {
 		for v := 0; v < g.N(); v++ {
 			if g.Degree(v) == 0 {
@@ -188,8 +190,9 @@ func reportSmall(g *graph.Graph, lo int, r clique.Reporter) {
 		}
 	}
 	scratch := bitset.New(g.N())
-	g.ForEachEdge(func(u, v int) bool {
-		scratch.And(g.Neighbors(u), g.Neighbors(v))
+	graph.ForEachEdge(g, func(u, v int) bool {
+		g.Materialize(u, scratch)
+		g.Row(v).IntersectInto(scratch)
 		if scratch.None() {
 			r.Emit(clique.Clique{u, v})
 		}
@@ -202,7 +205,7 @@ func reportSmall(g *graph.Graph, lo int, r clique.Reporter) {
 // level holds every non-maximal k-clique, grouped into sub-lists by
 // shared (k-1)-prefix, with prefix common-neighbor bitmaps when storeCN
 // is set.
-func SeedFromK(g *graph.Graph, k int, storeCN bool, r clique.Reporter) (*Level, kclique.Stats, error) {
+func SeedFromK(g graph.Interface, k int, storeCN bool, r clique.Reporter) (*Level, kclique.Stats, error) {
 	mode := CNStore
 	if !storeCN {
 		mode = CNRecompute
@@ -211,7 +214,7 @@ func SeedFromK(g *graph.Graph, k int, storeCN bool, r clique.Reporter) (*Level, 
 }
 
 // SeedFromKMode is SeedFromK with an explicit bitmap mode.
-func SeedFromKMode(g *graph.Graph, k int, mode CNMode, r clique.Reporter) (*Level, kclique.Stats, error) {
+func SeedFromKMode(g graph.Interface, k int, mode CNMode, r clique.Reporter) (*Level, kclique.Stats, error) {
 	if k < 3 {
 		return nil, kclique.Stats{}, fmt.Errorf("core: SeedFromK requires k >= 3, got %d", k)
 	}

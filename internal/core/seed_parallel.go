@@ -23,7 +23,7 @@ const seedShardsPerWorker = 4
 // creator worker of every sub-list — the initial ownership the Affinity
 // strategy schedules by (previously seeding left ownership unset and the
 // first generation level silently fell back to a contiguous split).
-func SeedFromEdgesParallel(g *graph.Graph, mode CNMode, workers int) (*Level, []int32) {
+func SeedFromEdgesParallel(g graph.Interface, mode CNMode, workers int) (*Level, []int32) {
 	n := g.N()
 	if workers < 1 {
 		workers = 1
@@ -77,7 +77,7 @@ func SeedFromEdgesParallel(g *graph.Graph, mode CNMode, workers int) (*Level, []
 // merged in shard order, so output order and content match SeedFromKMode
 // exactly; the returned homes record each sub-list's creator worker for
 // the Affinity strategy.
-func SeedFromKParallel(g *graph.Graph, k int, mode CNMode, workers int, r clique.Reporter) (*Level, []int32, kclique.Stats, error) {
+func SeedFromKParallel(g graph.Interface, k int, mode CNMode, workers int, r clique.Reporter) (*Level, []int32, kclique.Stats, error) {
 	if k < 3 {
 		return nil, nil, kclique.Stats{}, fmt.Errorf("core: SeedFromKParallel requires k >= 3, got %d", k)
 	}

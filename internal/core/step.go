@@ -37,9 +37,10 @@ func (c Cost) Units() int64 { return c.ANDWords + c.Pairs + c.Probes }
 // worker thread owns one Builder, so generation needs no locking — the
 // independence property the paper's multithreading rests on.
 type Builder struct {
-	g    *graph.Graph
-	mode CNMode
-	pool *bitset.Pool
+	g     graph.Interface
+	dense *graph.Graph // non-nil when g is the dense backend (fast path)
+	mode  CNMode
+	pool  *bitset.Pool
 
 	Next     []*SubList
 	Maximal  int64
@@ -60,6 +61,13 @@ type Builder struct {
 	Ctx      context.Context
 	Canceled bool
 
+	// matRows: rows of this representation have expensive per-bit Test
+	// (WAH walks the compressed stream from the start on every probe),
+	// so the generic join materializes each tail row once into
+	// rowScratch instead of probing the row per pair.
+	matRows    bool
+	rowScratch *bitset.Bitset
+
 	words   int
 	cnBytes int
 	scratch *bitset.Bitset // CN of the current k-clique being extended
@@ -71,7 +79,7 @@ type Builder struct {
 // storeCN selects the paper's store-the-bitmap mode; pool supplies and
 // recycles common-neighbor bitmaps and may be shared across Builders
 // (bitset.Pool is concurrency-safe).
-func NewBuilder(g *graph.Graph, storeCN bool, pool *bitset.Pool) *Builder {
+func NewBuilder(g graph.Interface, storeCN bool, pool *bitset.Pool) *Builder {
 	mode := CNStore
 	if !storeCN {
 		mode = CNRecompute
@@ -79,18 +87,28 @@ func NewBuilder(g *graph.Graph, storeCN bool, pool *bitset.Pool) *Builder {
 	return NewBuilderMode(g, mode, pool)
 }
 
-// NewBuilderMode is NewBuilder with an explicit bitmap mode.
-func NewBuilderMode(g *graph.Graph, mode CNMode, pool *bitset.Pool) *Builder {
+// NewBuilderMode is NewBuilder with an explicit bitmap mode.  A dense
+// graph is detected once here, so the hot generation loop branches on a
+// nil check instead of a per-pair interface dispatch.
+func NewBuilderMode(g graph.Interface, mode CNMode, pool *bitset.Pool) *Builder {
 	words := (g.N() + 63) / 64
-	return &Builder{
+	dense, _ := g.(*graph.Graph)
+	_, compressed := g.(wahRows)
+	b := &Builder{
 		g:       g,
+		dense:   dense,
 		mode:    mode,
 		pool:    pool,
+		matRows: compressed,
 		words:   words,
 		cnBytes: words * 8,
 		scratch: bitset.New(g.N()),
 		recompu: bitset.New(g.N()),
 	}
+	if b.matRows {
+		b.rowScratch = bitset.New(g.N())
+	}
+	return b
 }
 
 // Reset clears the builder for a new level, retaining scratch storage and
@@ -120,9 +138,17 @@ func (b *Builder) prefixCN(s *SubList) *bitset.Bitset {
 		b.Cost.ANDWords += int64(b.words) // one pass over the bitmap
 		return cn
 	}
-	cn.CopyFrom(b.g.Neighbors(int(s.Prefix[0])))
+	if b.dense != nil {
+		cn.CopyFrom(b.dense.Neighbors(int(s.Prefix[0])))
+		for _, p := range s.Prefix[1:] {
+			cn.And(cn, b.dense.Neighbors(int(p)))
+			b.Cost.ANDWords += int64(b.words)
+		}
+		return cn
+	}
+	b.g.Materialize(int(s.Prefix[0]), cn)
 	for _, p := range s.Prefix[1:] {
-		cn.And(cn, b.g.Neighbors(int(p)))
+		b.g.Row(int(p)).IntersectInto(cn)
 		b.Cost.ANDWords += int64(b.words)
 	}
 	return cn
@@ -144,10 +170,25 @@ func (b *Builder) ProcessSubList(s *SubList, r clique.Reporter) {
 		return
 	}
 	prefixCN := b.prefixCN(s)
+	if b.dense != nil {
+		b.processDense(s, prefixCN, r)
+	} else {
+		b.processGeneric(s, prefixCN, r)
+	}
+	if s.CN != nil {
+		b.pool.Put(s.CN)
+		s.CN = nil
+	}
+}
+
+// processDense is the historical allocation-identical inner loop over the
+// dense bitmap backend: direct row pointers, word-parallel AND and fused
+// AND-any probes.
+func (b *Builder) processDense(s *SubList, prefixCN *bitset.Bitset, r clique.Reporter) {
 	tails := s.Tails
 	for i := 0; i < len(tails)-1; i++ {
 		v := int(tails[i])
-		nv := b.g.Neighbors(v)
+		nv := b.dense.Neighbors(v)
 		// Common neighbors of the k-clique prefix+v.
 		b.scratch.And(prefixCN, nv)
 		b.Cost.ANDWords += int64(b.words)
@@ -163,46 +204,102 @@ func (b *Builder) ProcessSubList(s *SubList, r clique.Reporter) {
 			// CN(prefix+v) ∩ N(u) is empty.
 			b.Cost.Probes += int64(b.words)
 			b.Cost.Generated++
-			if b.scratch.IntersectsWith(b.g.Neighbors(u)) {
+			if b.scratch.IntersectsWith(b.dense.Neighbors(u)) {
 				newTails = append(newTails, uint32(u))
 			} else {
-				b.Maximal++
-				if r != nil {
-					b.emitBuf = b.emitBuf[:0]
-					for _, p := range s.Prefix {
-						b.emitBuf = append(b.emitBuf, int(p))
-					}
-					b.emitBuf = append(b.emitBuf, v, u)
-					r.Emit(b.emitBuf)
-				}
+				b.emitMaximal(s.Prefix, v, u, r)
 			}
 		}
-		switch {
-		case len(newTails) > 1:
-			ns := &SubList{
-				Prefix: appendPrefix(s.Prefix, uint32(v)),
-				Tails:  newTails,
-			}
-			switch b.mode {
-			case CNStore:
-				cn := b.pool.GetNoClear()
-				cn.CopyFrom(b.scratch)
-				ns.CN = cn
-			case CNCompress:
-				ns.CNC = wah.Compress(b.scratch)
-			}
-			b.Next = append(b.Next, ns)
-			b.Cands += int64(len(newTails))
-			b.NewBytes += ns.bytes(b.cnBytes)
-		case len(newTails) == 1:
-			// A lone non-maximal clique cannot join with a sibling; the
-			// paper's |S_{k+1}| > 1 rule discards it.
-			b.Dropped++
-		}
+		b.keep(s.Prefix, v, newTails)
 	}
-	if s.CN != nil {
-		b.pool.Put(s.CN)
-		s.CN = nil
+}
+
+// processGeneric is the same join over the representation-independent
+// row contract: adjacency tests and maximality probes run on the rows'
+// native encodings (CSR: neighbor-list walks and binary searches; WAH:
+// compressed-stream walks), so no graph row is densified per pair.
+func (b *Builder) processGeneric(s *SubList, prefixCN *bitset.Bitset, r clique.Reporter) {
+	tails := s.Tails
+	for i := 0; i < len(tails)-1; i++ {
+		v := int(tails[i])
+		rv := b.g.Row(v)
+		var nv *bitset.Bitset
+		if b.matRows && len(tails)-i > 8 {
+			// Expensive-Test rows (WAH): when enough pairs remain,
+			// densify N(v) once so the per-pair adjacency probe is O(1)
+			// instead of a compressed-stream walk per pair.  Short tail
+			// runs stay on the direct probe — one decompression would
+			// cost more than the few probes it saves.
+			b.g.Materialize(v, b.rowScratch)
+			nv = b.rowScratch
+			b.scratch.And(prefixCN, nv)
+		} else {
+			// Common neighbors of the k-clique prefix+v.
+			rv.AndInto(b.scratch, prefixCN)
+		}
+		b.Cost.ANDWords += int64(b.words)
+
+		var newTails []uint32
+		for j := i + 1; j < len(tails); j++ {
+			u := int(tails[j])
+			b.Cost.Pairs++
+			if nv != nil {
+				if !nv.Test(u) {
+					continue
+				}
+			} else if !rv.Test(u) {
+				continue
+			}
+			b.Cost.Probes += int64(b.words)
+			b.Cost.Generated++
+			if b.g.Row(u).IntersectsWith(b.scratch) {
+				newTails = append(newTails, uint32(u))
+			} else {
+				b.emitMaximal(s.Prefix, v, u, r)
+			}
+		}
+		b.keep(s.Prefix, v, newTails)
+	}
+}
+
+// emitMaximal reports the maximal clique prefix+v+u.
+func (b *Builder) emitMaximal(prefix []uint32, v, u int, r clique.Reporter) {
+	b.Maximal++
+	if r != nil {
+		b.emitBuf = b.emitBuf[:0]
+		for _, p := range prefix {
+			b.emitBuf = append(b.emitBuf, int(p))
+		}
+		b.emitBuf = append(b.emitBuf, v, u)
+		r.Emit(b.emitBuf)
+	}
+}
+
+// keep retains the surviving candidate sub-list (prefix+v with the given
+// tails) whose common-neighbor bitmap is b.scratch, applying the paper's
+// |S_{k+1}| > 1 rule.
+func (b *Builder) keep(prefix []uint32, v int, newTails []uint32) {
+	switch {
+	case len(newTails) > 1:
+		ns := &SubList{
+			Prefix: appendPrefix(prefix, uint32(v)),
+			Tails:  newTails,
+		}
+		switch b.mode {
+		case CNStore:
+			cn := b.pool.GetNoClear()
+			cn.CopyFrom(b.scratch)
+			ns.CN = cn
+		case CNCompress:
+			ns.CNC = wah.Compress(b.scratch)
+		}
+		b.Next = append(b.Next, ns)
+		b.Cands += int64(len(newTails))
+		b.NewBytes += ns.bytes(b.cnBytes)
+	case len(newTails) == 1:
+		// A lone non-maximal clique cannot join with a sibling; the
+		// paper's |S_{k+1}| > 1 rule discards it.
+		b.Dropped++
 	}
 }
 
@@ -229,7 +326,7 @@ type LevelStats struct {
 // Step runs one sequential generation step over an entire level and
 // returns the next level with statistics.  The input level's bitmaps are
 // recycled; its sub-list slice must not be reused by the caller.
-func Step(g *graph.Graph, lvl *Level, r clique.Reporter, b *Builder) (*Level, LevelStats) {
+func Step(g graph.Interface, lvl *Level, r clique.Reporter, b *Builder) (*Level, LevelStats) {
 	st := LevelStats{
 		FromK:    lvl.K,
 		Sublists: len(lvl.Sub),

@@ -8,6 +8,7 @@ import (
 	"repro/internal/bk"
 	"repro/internal/clique"
 	"repro/internal/core"
+	"repro/internal/graph"
 	"repro/internal/kose"
 	"repro/internal/ooc"
 	"repro/internal/sched"
@@ -23,12 +24,15 @@ import (
 //     paper's §1 motivation);
 //  3. algorithm — Clique Enumerator vs Base/Improved BK vs Kose RAM;
 //  4. scheduler — affinity+threshold (the paper's) vs re-chunk-everything
-//     vs no balancing, on the simulated Altix.
+//     vs no balancing, on the simulated Altix;
+//  5. graph representation — dense bitmap vs CSR vs WAH-compressed rows
+//     (measured adjacency bytes and enumeration time).
 func Ablations(cfg Config) ([]*Table, error) {
 	cfg = cfg.normalized()
 	var tables []*Table
 	for _, fn := range []func(Config) (*Table, error){
 		ablateCNMode, ablateStorage, ablateAlgorithms, ablateScheduler,
+		RepresentationFootprint,
 	} {
 		t, err := fn(cfg)
 		if err != nil {
@@ -186,5 +190,41 @@ func ablateScheduler(cfg Config) (*Table, error) {
 	t.Notes = append(t.Notes,
 		"expected: no-transfer affinity suffers from skew; full re-chunking ignores NUMA locality;",
 		"the paper's threshold policy transfers only what the imbalance justifies")
+	return t, nil
+}
+
+// RepresentationFootprint compares the pluggable adjacency backends on
+// graph C: the measured adjacency footprint of each representation (its
+// Bytes() accounting) and the sequential enumeration time over it.  It
+// is the data-layer counterpart of ablateCNMode — that table varies how
+// candidate bitmaps are kept, this one varies how the graph itself is.
+func RepresentationFootprint(cfg Config) (*Table, error) {
+	cfg = cfg.normalized()
+	dense := Build(cfg.specC(), cfg.Seed)
+	t := &Table{
+		Title:   "Ablation: graph representation (graph C)",
+		Headers: []string{"representation", "adjacency bytes", "vs dense", "time", "maximal"},
+	}
+	for _, rep := range []graph.Representation{graph.Dense, graph.CSR, graph.Compressed} {
+		g, err := graph.Convert(dense, rep)
+		if err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		res, err := core.Enumerate(g, core.Options{Ctx: cfg.Ctx})
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(
+			rep.String(),
+			fmt.Sprintf("%d", g.Bytes()),
+			fmt.Sprintf("%.1f%%", 100*float64(g.Bytes())/float64(dense.Bytes())),
+			time.Since(start).Round(time.Microsecond).String(),
+			fmt.Sprintf("%d", res.MaximalCliques),
+		)
+	}
+	t.Notes = append(t.Notes,
+		"adjacency bytes is the representation's own Bytes() accounting;",
+		"dense = n*ceil(n/64)*8, CSR = 4(n+1+2m), WAH = sum of compressed rows.")
 	return t, nil
 }

@@ -36,7 +36,7 @@ type multiGraph struct {
 	adj   []map[int]int // adj[v][u] = edge multiplicity
 }
 
-func newMulti(g *graph.Graph) *multiGraph {
+func newMulti(g graph.Interface) *multiGraph {
 	m := &multiGraph{
 		n:     g.N(),
 		alive: bitset.New(g.N()),
@@ -45,7 +45,7 @@ func newMulti(g *graph.Graph) *multiGraph {
 	m.alive.SetAll()
 	for v := 0; v < g.N(); v++ {
 		m.adj[v] = make(map[int]int)
-		g.Neighbors(v).ForEach(func(u int) bool {
+		g.Row(v).ForEach(func(u int) bool {
 			m.adj[v][u] = 1
 			return true
 		})
@@ -88,7 +88,7 @@ func (m *multiGraph) hasSelfLoop(v int) bool { return m.adj[v][v] > 0 }
 // Decide reports whether g has a feedback vertex set of size at most k
 // and returns one if so.  The returned set refers to original vertex IDs
 // and is not necessarily minimum.
-func Decide(g *graph.Graph, k int) ([]int, bool) {
+func Decide(g graph.Interface, k int) ([]int, bool) {
 	if k < 0 {
 		return nil, false
 	}
@@ -102,7 +102,7 @@ func Decide(g *graph.Graph, k int) ([]int, bool) {
 }
 
 // Minimum returns a minimum feedback vertex set of g.
-func Minimum(g *graph.Graph) []int {
+func Minimum(g graph.Interface) []int {
 	for k := 0; ; k++ {
 		if sol, ok := Decide(g, k); ok {
 			return sol
@@ -263,7 +263,7 @@ func extractCycle(parent, depth []int, v, u int) []int {
 }
 
 // IsFeedbackVertexSet verifies that removing the set leaves g acyclic.
-func IsFeedbackVertexSet(g *graph.Graph, set []int) bool {
+func IsFeedbackVertexSet(g graph.Interface, set []int) bool {
 	removed := bitset.New(g.N())
 	for _, v := range set {
 		removed.Set(v)
@@ -282,7 +282,7 @@ func IsFeedbackVertexSet(g *graph.Graph, set []int) bool {
 		return x
 	}
 	acyclic := true
-	g.ForEachEdge(func(u, v int) bool {
+	graph.ForEachEdge(g, func(u, v int) bool {
 		if removed.Test(u) || removed.Test(v) {
 			return true
 		}

@@ -1,0 +1,198 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/bitset"
+)
+
+// CSRGraph is the compressed-sparse-row adjacency backend: one sorted
+// uint32 column array plus a row-pointer array, 4(n+1+2m) bytes total.
+// This is the O(n+m) representation that makes genome-scale sparse
+// coexpression graphs loadable at all — a 200k-vertex graph of average
+// degree 32 costs ~26 MB here against ~5 GB dense.  Rows are exposed as
+// bitset.Reader views over the sorted slices (adjacency tests are binary
+// searches, intersections walk the neighbor list), and Materialize
+// produces a dense row on demand for callers that need bitmap algebra
+// over a private copy.
+//
+// A CSRGraph is immutable: build one with Builder.Freeze or Convert.
+type CSRGraph struct {
+	n      int
+	m      int
+	rowPtr []uint32 // len n+1
+	cols   []uint32 // len 2m, sorted within each row
+	rows   []csrRow // pre-built zero-allocation Reader views
+	names  []string
+}
+
+// newCSR assembles a CSRGraph from per-vertex sorted, deduplicated
+// neighbor lists.  adj is consumed.
+func newCSR(n int, adj [][]uint32, names []string) (*CSRGraph, error) {
+	total := 0
+	for _, row := range adj {
+		total += len(row)
+	}
+	if int64(total) > int64(^uint32(0)) {
+		return nil, fmt.Errorf("graph: CSR column index overflow: %d directed edges", total)
+	}
+	g := &CSRGraph{
+		n:      n,
+		m:      total / 2,
+		rowPtr: make([]uint32, n+1),
+		cols:   make([]uint32, 0, total),
+		names:  names,
+	}
+	for v, row := range adj {
+		g.rowPtr[v] = uint32(len(g.cols))
+		g.cols = append(g.cols, row...)
+		adj[v] = nil // release the builder's backing storage as we go
+	}
+	g.rowPtr[n] = uint32(len(g.cols))
+	g.rows = make([]csrRow, n)
+	for v := 0; v < n; v++ {
+		g.rows[v] = csrRow{cols: g.cols[g.rowPtr[v]:g.rowPtr[v+1]], n: n}
+	}
+	return g, nil
+}
+
+// N returns the number of vertices.
+func (g *CSRGraph) N() int { return g.n }
+
+// M returns the number of edges.
+func (g *CSRGraph) M() int { return g.m }
+
+// Degree returns the number of neighbors of v.
+func (g *CSRGraph) Degree(v int) int { return int(g.rowPtr[v+1] - g.rowPtr[v]) }
+
+// HasEdge reports whether (u,v) is an edge: a binary search of the
+// smaller endpoint's row.
+func (g *CSRGraph) HasEdge(u, v int) bool {
+	if u < 0 || u >= g.n {
+		panic(fmt.Sprintf("graph: vertex %d out of range [0,%d)", u, g.n))
+	}
+	if v < 0 || v >= g.n {
+		panic(fmt.Sprintf("graph: vertex %d out of range [0,%d)", v, g.n))
+	}
+	if u == v {
+		return false
+	}
+	if g.Degree(v) < g.Degree(u) {
+		u, v = v, u
+	}
+	return g.rows[u].Test(v)
+}
+
+// Name returns the label of v, or "v<index>" if none was set.
+func (g *CSRGraph) Name(v int) string {
+	if g.names != nil && g.names[v] != "" {
+		return g.names[v]
+	}
+	return fmt.Sprintf("v%d", v)
+}
+
+// Row returns the adjacency row of v as a read-only sorted-list view.
+func (g *CSRGraph) Row(v int) bitset.Reader { return &g.rows[v] }
+
+// Materialize overwrites dst with the neighbor set of v.
+func (g *CSRGraph) Materialize(v int, dst *bitset.Bitset) {
+	dst.ClearAll()
+	for _, u := range g.rows[v].cols {
+		dst.Set(int(u))
+	}
+}
+
+// Bytes returns the measured adjacency footprint: the row-pointer and
+// column arrays.
+func (g *CSRGraph) Bytes() int64 {
+	return 4 * (int64(len(g.rowPtr)) + int64(len(g.cols)))
+}
+
+// Representation identifies the CSR backend.
+func (g *CSRGraph) Representation() Representation { return CSR }
+
+// nameSlice exposes the raw label slice for representation conversions.
+func (g *CSRGraph) nameSlice() []string { return g.names }
+
+// csrRow is the bitset.Reader view of one sorted neighbor list.
+type csrRow struct {
+	cols []uint32
+	n    int
+}
+
+var _ bitset.Reader = (*csrRow)(nil)
+
+// Len returns the universe size.
+func (r *csrRow) Len() int { return r.n }
+
+// Count returns the row's degree.
+func (r *csrRow) Count() int { return len(r.cols) }
+
+// Test reports membership via binary search: O(log degree).  Out-of-
+// range indices panic with the same diagnostic as the dense and WAH
+// rows, so a caller bug fails identically on every backend.
+func (r *csrRow) Test(i int) bool {
+	if i < 0 || i >= r.n {
+		panic(fmt.Sprintf("graph: vertex %d out of range [0,%d)", i, r.n))
+	}
+	k := sort.Search(len(r.cols), func(j int) bool { return int(r.cols[j]) >= i })
+	return k < len(r.cols) && int(r.cols[k]) == i
+}
+
+// ForEach visits the neighbors in increasing order.
+func (r *csrRow) ForEach(fn func(i int) bool) {
+	for _, u := range r.cols {
+		if !fn(int(u)) {
+			return
+		}
+	}
+}
+
+// IntersectsWith probes the dense operand per neighbor: O(degree), which
+// on sparse graphs beats the dense word scan.
+func (r *csrRow) IntersectsWith(o *bitset.Bitset) bool {
+	for _, u := range r.cols {
+		if o.Test(int(u)) {
+			return true
+		}
+	}
+	return false
+}
+
+// AndCount returns |row ∩ o| in O(degree).
+func (r *csrRow) AndCount(o *bitset.Bitset) int {
+	c := 0
+	for _, u := range r.cols {
+		if o.Test(int(u)) {
+			c++
+		}
+	}
+	return c
+}
+
+// AndInto overwrites dst with row ∩ o: one clearing pass plus O(degree)
+// probes.  dst must not alias o.
+func (r *csrRow) AndInto(dst, o *bitset.Bitset) {
+	dst.ClearAll()
+	for _, u := range r.cols {
+		if o.Test(int(u)) {
+			dst.Set(int(u))
+		}
+	}
+}
+
+// IntersectInto replaces dst with dst ∩ row in place: a two-pointer walk
+// of dst's set bits against the sorted neighbor list, clearing members of
+// dst absent from the row.
+func (r *csrRow) IntersectInto(dst *bitset.Bitset) {
+	k := 0
+	for v, ok := dst.NextSet(0); ok; v, ok = dst.NextSet(v + 1) {
+		for k < len(r.cols) && int(r.cols[k]) < v {
+			k++
+		}
+		if k >= len(r.cols) || int(r.cols[k]) != v {
+			dst.Clear(v)
+		}
+	}
+}

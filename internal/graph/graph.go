@@ -47,9 +47,24 @@ func (g *Graph) N() int { return g.n }
 // M returns the number of edges.
 func (g *Graph) M() int { return g.m }
 
+// check panics with a clear diagnostic when v is outside the vertex
+// universe.  Every mutating and edge-probing entry point funnels through
+// it, so a bad index reports "vertex 12 out of range [0,10)" instead of a
+// bare slice index panic from deep inside the bitset layer.  (The
+// streaming Builder returns errors instead; use it when indices come from
+// untrusted input.)
+func (g *Graph) check(v int) {
+	if v < 0 || v >= g.n {
+		panic(fmt.Sprintf("graph: vertex %d out of range [0,%d)", v, g.n))
+	}
+}
+
 // AddEdge inserts the undirected edge (u,v).  Inserting an existing edge
-// is a no-op; self-loops panic.
+// is a no-op; self-loops and out-of-range vertices panic (the streaming
+// Builder reports both as errors instead).
 func (g *Graph) AddEdge(u, v int) {
+	g.check(u)
+	g.check(v)
 	if u == v {
 		panic(fmt.Sprintf("graph: self-loop at %d", u))
 	}
@@ -63,6 +78,8 @@ func (g *Graph) AddEdge(u, v int) {
 
 // RemoveEdge deletes the undirected edge (u,v) if present.
 func (g *Graph) RemoveEdge(u, v int) {
+	g.check(u)
+	g.check(v)
 	if u == v || !g.adj[u].Test(v) {
 		return
 	}
@@ -73,6 +90,8 @@ func (g *Graph) RemoveEdge(u, v int) {
 
 // HasEdge reports whether (u,v) is an edge.
 func (g *Graph) HasEdge(u, v int) bool {
+	g.check(u)
+	g.check(v)
 	if u == v {
 		return false
 	}
@@ -82,6 +101,31 @@ func (g *Graph) HasEdge(u, v int) bool {
 // Neighbors returns the adjacency bit string of v.  The returned set is
 // the graph's internal row: callers must not modify it.
 func (g *Graph) Neighbors(v int) *bitset.Bitset { return g.adj[v] }
+
+// Row returns the adjacency row of v as a read-only view (the dense row
+// is its own bitset.Reader).  Part of the graph.Interface contract.
+func (g *Graph) Row(v int) bitset.Reader { return g.adj[v] }
+
+// Materialize overwrites dst with the neighbor set of v.  Part of the
+// graph.Interface contract; for the dense representation it is one
+// word-level copy.
+func (g *Graph) Materialize(v int, dst *bitset.Bitset) { dst.CopyFrom(g.adj[v]) }
+
+// Bytes returns the measured adjacency footprint: n rows of ceil(n/64)
+// words, as actually allocated.
+func (g *Graph) Bytes() int64 {
+	var b int64
+	for _, row := range g.adj {
+		b += int64(row.Bytes())
+	}
+	return b
+}
+
+// Representation identifies the dense backend.
+func (g *Graph) Representation() Representation { return Dense }
+
+// nameSlice exposes the raw label slice for representation conversions.
+func (g *Graph) nameSlice() []string { return g.names }
 
 // Degree returns the number of neighbors of v.
 func (g *Graph) Degree(v int) int { return g.adj[v].Count() }

@@ -15,15 +15,20 @@ import (
 //   - DIMACS clique format: "c" comments, "p edge N M" header, "e u v"
 //     lines, 1-based, as used by the clique/vertex-cover community the
 //     paper's FPT work comes from.
+//
+// Both parsers stream into a Builder, so malformed input — truncated
+// records, self-loops, vertex ids outside [0,n), empty files — is
+// reported as an error (never a panic) regardless of the representation
+// requested, and duplicate edges collapse identically in every backend.
 
-// WriteEdgeList writes g in edge-list format.
-func WriteEdgeList(w io.Writer, g *Graph) error {
+// WriteEdgeList writes g in edge-list format, for any representation.
+func WriteEdgeList(w io.Writer, g Interface) error {
 	bw := bufio.NewWriter(w)
 	if _, err := fmt.Fprintf(bw, "%d %d\n", g.N(), g.M()); err != nil {
 		return err
 	}
 	var err error
-	g.ForEachEdge(func(u, v int) bool {
+	ForEachEdge(g, func(u, v int) bool {
 		_, err = fmt.Fprintf(bw, "%d %d\n", u, v)
 		return err == nil
 	})
@@ -33,11 +38,21 @@ func WriteEdgeList(w io.Writer, g *Graph) error {
 	return bw.Flush()
 }
 
-// ReadEdgeList parses edge-list format.
+// ReadEdgeList parses edge-list format into the dense representation.
 func ReadEdgeList(r io.Reader) (*Graph, error) {
+	g, err := ReadEdgeListRep(r, Dense)
+	if err != nil {
+		return nil, err
+	}
+	return g.(*Graph), nil
+}
+
+// ReadEdgeListRep parses edge-list format into the requested
+// representation (Auto: density-driven choice at freeze).
+func ReadEdgeListRep(r io.Reader, rep Representation) (Interface, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<24)
-	var g *Graph
+	var b *Builder
 	line := 0
 	for sc.Scan() {
 		line++
@@ -46,7 +61,7 @@ func ReadEdgeList(r io.Reader) (*Graph, error) {
 			continue
 		}
 		fields := strings.Fields(text)
-		if g == nil {
+		if b == nil {
 			if len(fields) != 2 {
 				return nil, fmt.Errorf("edge list line %d: want \"n m\" header, got %q", line, text)
 			}
@@ -57,7 +72,7 @@ func ReadEdgeList(r io.Reader) (*Graph, error) {
 			if n < 0 {
 				return nil, fmt.Errorf("edge list line %d: negative n", line)
 			}
-			g = New(n)
+			b = NewBuilder(n).WithRepresentation(rep)
 			continue
 		}
 		if len(fields) != 2 {
@@ -71,31 +86,28 @@ func ReadEdgeList(r io.Reader) (*Graph, error) {
 		if err != nil {
 			return nil, fmt.Errorf("edge list line %d: bad v: %v", line, err)
 		}
-		if u < 0 || u >= g.N() || v < 0 || v >= g.N() {
-			return nil, fmt.Errorf("edge list line %d: vertex out of range [0,%d)", line, g.N())
+		if err := b.AddEdge(u, v); err != nil {
+			return nil, fmt.Errorf("edge list line %d: %v", line, err)
 		}
-		if u == v {
-			return nil, fmt.Errorf("edge list line %d: self-loop at %d", line, u)
-		}
-		g.AddEdge(u, v)
 	}
 	if err := sc.Err(); err != nil {
 		return nil, err
 	}
-	if g == nil {
+	if b == nil {
 		return nil, fmt.Errorf("edge list: empty input")
 	}
-	return g, nil
+	return b.Freeze()
 }
 
-// WriteDIMACS writes g in DIMACS clique format (1-based).
-func WriteDIMACS(w io.Writer, g *Graph) error {
+// WriteDIMACS writes g in DIMACS clique format (1-based), for any
+// representation.
+func WriteDIMACS(w io.Writer, g Interface) error {
 	bw := bufio.NewWriter(w)
 	if _, err := fmt.Fprintf(bw, "p edge %d %d\n", g.N(), g.M()); err != nil {
 		return err
 	}
 	var err error
-	g.ForEachEdge(func(u, v int) bool {
+	ForEachEdge(g, func(u, v int) bool {
 		_, err = fmt.Fprintf(bw, "e %d %d\n", u+1, v+1)
 		return err == nil
 	})
@@ -105,11 +117,21 @@ func WriteDIMACS(w io.Writer, g *Graph) error {
 	return bw.Flush()
 }
 
-// ReadDIMACS parses DIMACS clique format.
+// ReadDIMACS parses DIMACS clique format into the dense representation.
 func ReadDIMACS(r io.Reader) (*Graph, error) {
+	g, err := ReadDIMACSRep(r, Dense)
+	if err != nil {
+		return nil, err
+	}
+	return g.(*Graph), nil
+}
+
+// ReadDIMACSRep parses DIMACS clique format into the requested
+// representation (Auto: density-driven choice at freeze).
+func ReadDIMACSRep(r io.Reader, rep Representation) (Interface, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<24)
-	var g *Graph
+	var b *Builder
 	line := 0
 	for sc.Scan() {
 		line++
@@ -129,9 +151,9 @@ func ReadDIMACS(r io.Reader) (*Graph, error) {
 			if err != nil || n < 0 {
 				return nil, fmt.Errorf("dimacs line %d: bad vertex count", line)
 			}
-			g = New(n)
+			b = NewBuilder(n).WithRepresentation(rep)
 		case 'e':
-			if g == nil {
+			if b == nil {
 				return nil, fmt.Errorf("dimacs line %d: edge before problem line", line)
 			}
 			fields := strings.Fields(text)
@@ -146,10 +168,12 @@ func ReadDIMACS(r io.Reader) (*Graph, error) {
 			if err != nil {
 				return nil, fmt.Errorf("dimacs line %d: bad v", line)
 			}
-			if u < 1 || u > g.N() || v < 1 || v > g.N() || u == v {
+			if u < 1 || u > b.N() || v < 1 || v > b.N() || u == v {
 				return nil, fmt.Errorf("dimacs line %d: bad edge (%d,%d)", line, u, v)
 			}
-			g.AddEdge(u-1, v-1)
+			if err := b.AddEdge(u-1, v-1); err != nil {
+				return nil, fmt.Errorf("dimacs line %d: %v", line, err)
+			}
 		default:
 			return nil, fmt.Errorf("dimacs line %d: unknown record %q", line, text)
 		}
@@ -157,8 +181,8 @@ func ReadDIMACS(r io.Reader) (*Graph, error) {
 	if err := sc.Err(); err != nil {
 		return nil, err
 	}
-	if g == nil {
+	if b == nil {
 		return nil, fmt.Errorf("dimacs: no problem line")
 	}
-	return g, nil
+	return b.Freeze()
 }

@@ -3,6 +3,7 @@ package graph
 import (
 	"errors"
 	"math/rand"
+	"strings"
 	"testing"
 )
 
@@ -39,6 +40,127 @@ func TestWriteDIMACSPropagatesErrors(t *testing.T) {
 	for _, budget := range []int{0, 5, 100, 4096} {
 		if err := WriteDIMACS(&failWriter{n: budget}, g); err == nil {
 			t.Errorf("budget %d: write failure swallowed", budget)
+		}
+	}
+}
+
+// The malformed-input matrix of the representation layer: every reader
+// must report errors — never panic — on broken input, identically for
+// every representation, and must collapse duplicate edges identically.
+func TestReadEdgeListMalformedPerRepresentation(t *testing.T) {
+	cases := []struct {
+		name  string
+		input string
+	}{
+		{"empty", ""},
+		{"comment-only", "# nothing here\n"},
+		{"truncated-header", "5\n"},
+		{"truncated-edge", "5 2\n0 1\n3\n"},
+		{"vertex-too-large", "5 1\n0 5\n"},
+		{"vertex-negative", "5 1\n-1 2\n"},
+		{"self-loop", "5 1\n2 2\n"},
+		{"garbage-edge", "5 1\nx y\n"},
+		{"negative-n", "-3 0\n"},
+	}
+	reps := []Representation{Auto, Dense, CSR, Compressed}
+	for _, tc := range cases {
+		for _, rep := range reps {
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						t.Errorf("%s/%v: panic %v", tc.name, rep, r)
+					}
+				}()
+				if _, err := ReadEdgeListRep(strings.NewReader(tc.input), rep); err == nil {
+					t.Errorf("%s/%v: error swallowed", tc.name, rep)
+				}
+			}()
+		}
+	}
+	// Duplicate edges are tolerated and collapse identically everywhere.
+	const dup = "4 3\n0 1\n1 0\n0 1\n2 3\n"
+	for _, rep := range reps {
+		g, err := ReadEdgeListRep(strings.NewReader(dup), rep)
+		if err != nil {
+			t.Fatalf("dup/%v: %v", rep, err)
+		}
+		if g.M() != 2 || !g.HasEdge(0, 1) || !g.HasEdge(2, 3) {
+			t.Errorf("dup/%v: m=%d", rep, g.M())
+		}
+	}
+}
+
+func TestReadDIMACSMalformedPerRepresentation(t *testing.T) {
+	cases := []struct {
+		name  string
+		input string
+	}{
+		{"empty", ""},
+		{"comment-only", "c nothing\n"},
+		{"edge-before-problem", "e 1 2\n"},
+		{"bad-problem", "p graph 5 2\n"},
+		{"truncated-edge", "p edge 5 2\ne 1\n"},
+		{"vertex-too-large", "p edge 5 1\ne 1 6\n"},
+		{"vertex-zero", "p edge 5 1\ne 0 2\n"},
+		{"self-loop", "p edge 5 1\ne 2 2\n"},
+		{"unknown-record", "p edge 5 1\nq 1 2\n"},
+	}
+	reps := []Representation{Auto, Dense, CSR, Compressed}
+	for _, tc := range cases {
+		for _, rep := range reps {
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						t.Errorf("%s/%v: panic %v", tc.name, rep, r)
+					}
+				}()
+				if _, err := ReadDIMACSRep(strings.NewReader(tc.input), rep); err == nil {
+					t.Errorf("%s/%v: error swallowed", tc.name, rep)
+				}
+			}()
+		}
+	}
+	const dup = "p edge 4 3\ne 1 2\ne 2 1\ne 3 4\n"
+	for _, rep := range reps {
+		g, err := ReadDIMACSRep(strings.NewReader(dup), rep)
+		if err != nil {
+			t.Fatalf("dup/%v: %v", rep, err)
+		}
+		if g.M() != 2 || !g.HasEdge(0, 1) || !g.HasEdge(2, 3) {
+			t.Errorf("dup/%v: m=%d", rep, g.M())
+		}
+	}
+}
+
+// Round trip through both writers from every representation.
+func TestWritersAcceptEveryRepresentation(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	ref := RandomGNM(rng, 60, 400)
+	for _, rep := range []Representation{Dense, CSR, Compressed} {
+		g, err := Convert(ref, rep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var el, dm strings.Builder
+		if err := WriteEdgeList(&el, g); err != nil {
+			t.Fatalf("%v: %v", rep, err)
+		}
+		back, err := ReadEdgeListRep(strings.NewReader(el.String()), rep)
+		if err != nil {
+			t.Fatalf("%v: reread: %v", rep, err)
+		}
+		if back.M() != ref.M() {
+			t.Errorf("%v: edge-list round trip lost edges", rep)
+		}
+		if err := WriteDIMACS(&dm, g); err != nil {
+			t.Fatalf("%v: %v", rep, err)
+		}
+		back, err = ReadDIMACSRep(strings.NewReader(dm.String()), rep)
+		if err != nil {
+			t.Fatalf("%v: reread dimacs: %v", rep, err)
+		}
+		if back.M() != ref.M() {
+			t.Errorf("%v: dimacs round trip lost edges", rep)
 		}
 	}
 }

@@ -77,7 +77,7 @@ type Stats struct {
 
 // Enumerate finds every k-clique of g and reports them through
 // opts.OnGroup.  It returns run statistics.
-func Enumerate(g *graph.Graph, opts Options) Stats {
+func Enumerate(g graph.Interface, opts Options) Stats {
 	return prepare(g, opts.K, opts.SkipPeel).Enumerate(opts)
 }
 
@@ -88,30 +88,32 @@ func Enumerate(g *graph.Graph, opts Options) Stats {
 // enumeration — avoids repeating the peel per shard, which is how the
 // parallel seeder uses it.
 type Prepared struct {
-	orig       *graph.Graph
-	work       *graph.Graph
+	orig       graph.Interface
+	work       graph.Interface
 	newToOld   []int
 	k          int
 	peeledAway int
 }
 
-// Prepare peels g for size-k enumeration.
-func Prepare(g *graph.Graph, k int) *Prepared {
+// Prepare peels g for size-k enumeration.  Any representation is
+// accepted; the peeled working graph keeps the input's representation,
+// so sparse inputs stay sparse through seeding.
+func Prepare(g graph.Interface, k int) *Prepared {
 	if k < 2 {
 		panic("kclique: K must be >= 2")
 	}
 	return prepare(g, k, false)
 }
 
-func prepare(g *graph.Graph, k int, skipPeel bool) *Prepared {
+func prepare(g graph.Interface, k int, skipPeel bool) *Prepared {
 	if k < 2 {
 		panic("kclique: K must be >= 2")
 	}
 	p := &Prepared{orig: g, work: g, k: k}
 	if !skipPeel {
-		alive := g.KCorePeel(k - 1)
+		alive := graph.KCorePeel(g, k-1)
 		if alive.Count() < g.N() {
-			p.work, p.newToOld = g.InducedSubgraph(alive)
+			p.work, p.newToOld = graph.InducedSubgraph(g, alive)
 			p.peeledAway = g.N() - p.work.N()
 		}
 	}
@@ -166,9 +168,9 @@ func (p *Prepared) Enumerate(opts Options) Stats {
 }
 
 type searcher struct {
-	g        *graph.Graph // peeled working graph
-	orig     *graph.Graph // original graph (for PrefixCN universes)
-	newToOld []int        // nil when no peeling happened
+	g        graph.Interface // peeled working graph
+	orig     graph.Interface // original graph (for PrefixCN universes)
+	newToOld []int           // nil when no peeling happened
 	k        int
 	topLimit int // exclusive bound on top-level branch vertices (sharding)
 	onGroup  func(Group)
@@ -206,11 +208,11 @@ func (e *searcher) extend(cand, not *bitset.Bitset) {
 		if len(e.prefix) == 0 && v >= e.topLimit {
 			break // outside this shard's top-level range
 		}
-		nv := e.g.Neighbors(v)
+		rv := e.g.Row(v)
 		newCand := e.pool.GetNoClear()
-		newCand.And(cand, nv)
+		rv.AndInto(newCand, cand)
 		newNot := e.pool.GetNoClear()
-		newNot.And(not, nv)
+		rv.AndInto(newNot, not)
 
 		e.prefix = append(e.prefix, v)
 		e.extend(newCand, newNot)
@@ -237,11 +239,11 @@ func (e *searcher) emitGroup(cand, not *bitset.Bitset) {
 		return
 	}
 	for _, t := range tails {
-		nt := e.g.Neighbors(t)
+		nt := e.g.Row(t)
 		// The k-clique prefix+t is maximal iff no vertex is adjacent to
 		// all of prefix and to t: (cand ∪ not) ∩ N(t) = ∅.  Checking the
 		// two halves separately avoids materializing the union.
-		if cand.IntersectsWith(nt) || not.IntersectsWith(nt) {
+		if nt.IntersectsWith(cand) || nt.IntersectsWith(not) {
 			e.candTails = append(e.candTails, e.toOld(t))
 		} else {
 			e.maxTails = append(e.maxTails, e.toOld(t))
@@ -280,7 +282,7 @@ func (e *searcher) emitGroup(cand, not *bitset.Bitset) {
 
 // All returns every k-clique of g, split into maximal and non-maximal,
 // each in canonical order.  Convenience for tests and small runs.
-func All(g *graph.Graph, k int) (maximal, candidates []clique.Clique) {
+func All(g graph.Interface, k int) (maximal, candidates []clique.Clique) {
 	Enumerate(g, Options{
 		K: k,
 		OnGroup: func(gr Group) {

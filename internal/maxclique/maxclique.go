@@ -19,14 +19,17 @@ type Stats struct {
 	Cutoff int64 // nodes pruned by the coloring bound
 }
 
-// Find returns a maximum clique of g in canonical vertex order.
-func Find(g *graph.Graph) []int {
+// Find returns a maximum clique of g in canonical vertex order.  Any
+// representation is accepted; non-dense graphs are densified at entry —
+// the coloring bounds are inherently word-parallel row algebra.
+func Find(g graph.Interface) []int {
 	c, _ := FindStats(g)
 	return c
 }
 
 // FindStats is Find with search statistics.
-func FindStats(g *graph.Graph) ([]int, Stats) {
+func FindStats(gi graph.Interface) ([]int, Stats) {
+	g := graph.Densify(gi)
 	n := g.N()
 	s := &searcher{g: g, pool: bitset.NewPool(n)}
 	// Greedy seed: a good initial bound prunes most of the tree.
@@ -40,7 +43,7 @@ func FindStats(g *graph.Graph) ([]int, Stats) {
 }
 
 // Size returns ω(g).
-func Size(g *graph.Graph) int { return len(Find(g)) }
+func Size(g graph.Interface) int { return len(Find(g)) }
 
 type searcher struct {
 	g     *graph.Graph

@@ -122,11 +122,24 @@ const (
 )
 
 // CorrelationGraph computes all pairwise coefficients and returns the
-// graph with an edge wherever |r| >= threshold.  The computation is
-// parallelized over gene pairs; for SpearmanRank the rank transform is
-// hoisted out of the pair loop, so the cost is one rank pass plus one
+// dense graph with an edge wherever |r| >= threshold.  The computation
+// is parallelized over gene pairs; for SpearmanRank the rank transform
+// is hoisted out of the pair loop, so the cost is one rank pass plus one
 // Pearson kernel per pair.
 func CorrelationGraph(m *Matrix, method CorrelationMethod, threshold float64) *graph.Graph {
+	g, err := CorrelationGraphRep(m, method, threshold, graph.Dense)
+	if err != nil {
+		// Gene indices are generated in range; Dense freezing cannot fail.
+		panic(err)
+	}
+	return g.(*graph.Graph)
+}
+
+// CorrelationGraphRep is CorrelationGraph with an explicit adjacency
+// representation (graph.Auto selects from the thresholded density, so
+// genome-scale sparse correlation graphs come back CSR without ever
+// materializing the dense bitmap index).
+func CorrelationGraphRep(m *Matrix, method CorrelationMethod, threshold float64, rep graph.Representation) (graph.Interface, error) {
 	rows := m.Data
 	if method == SpearmanRank {
 		rows = make([][]float64, m.Genes)
@@ -134,10 +147,12 @@ func CorrelationGraph(m *Matrix, method CorrelationMethod, threshold float64) *g
 			rows[g] = stats.Ranks(m.Data[g])
 		}
 	}
-	g := graph.New(m.Genes)
+	b := graph.NewBuilder(m.Genes).WithRepresentation(rep)
 	if m.Names != nil {
 		for i, name := range m.Names {
-			g.SetName(i, name)
+			if err := b.SetName(i, name); err != nil {
+				return nil, err
+			}
 		}
 	}
 
@@ -174,10 +189,12 @@ func CorrelationGraph(m *Matrix, method CorrelationMethod, threshold float64) *g
 	}()
 	for local := range results {
 		for _, e := range local {
-			g.AddEdge(e.u, e.v)
+			if err := b.AddEdge(e.u, e.v); err != nil {
+				return nil, err
+			}
 		}
 	}
-	return g
+	return b.Freeze()
 }
 
 // ThresholdForEdgeCount returns the smallest |r| threshold that keeps at

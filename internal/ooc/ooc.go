@@ -173,7 +173,7 @@ func (r *levelReader) close() error {
 }
 
 // Enumerate runs the out-of-core enumeration and returns its statistics.
-func Enumerate(g *graph.Graph, opts Options) (Stats, error) {
+func Enumerate(g graph.Interface, opts Options) (Stats, error) {
 	var st Stats
 	if opts.Dir == "" {
 		return st, fmt.Errorf("ooc: Dir is required")
@@ -193,7 +193,7 @@ func Enumerate(g *graph.Graph, opts Options) (Stats, error) {
 		return st, err
 	}
 	writeErr := error(nil)
-	g.ForEachEdge(func(u, v int) bool {
+	graph.ForEachEdge(g, func(u, v int) bool {
 		writeErr = w.write([]uint32{uint32(u), uint32(v)})
 		return writeErr == nil
 	})
@@ -250,7 +250,7 @@ func Enumerate(g *graph.Graph, opts Options) (Stats, error) {
 
 // generateLevel streams one level file, joining prefix runs into the next
 // level and reporting maximal (k+1)-cliques.
-func generateLevel(g *graph.Graph, dir string, cur *levelReader,
+func generateLevel(g graph.Interface, dir string, cur *levelReader,
 	cn, cnNext *bitset.Bitset, emitBuf clique.Clique,
 	opts Options, st *Stats) (*levelReader, int64, error) {
 
@@ -278,17 +278,17 @@ func generateLevel(g *graph.Graph, dir string, cur *levelReader,
 		}
 		// CN of the shared prefix (k-1 ANDs over adjacency rows; for
 		// k=2 the "prefix" is one vertex).
-		g.CommonNeighbors(cn, toInts(prefix))
+		graph.CommonNeighbors(g, cn, toInts(prefix))
 		for i := 0; i < len(tails)-1; i++ {
 			v := int(tails[i])
-			nv := g.Neighbors(v)
-			cnNext.And(cn, nv)
+			rv := g.Row(v)
+			rv.AndInto(cnNext, cn)
 			for j := i + 1; j < len(tails); j++ {
 				u := int(tails[j])
-				if !nv.Test(u) {
+				if !rv.Test(u) {
 					continue
 				}
-				if cnNext.IntersectsWith(g.Neighbors(u)) {
+				if g.Row(u).IntersectsWith(cnNext) {
 					// Non-maximal: spill as a next-level candidate.
 					rec2 := append(append(append([]uint32{}, prefix...), tails[i]), tails[j])
 					if err := w.write(rec2); err != nil {

@@ -48,8 +48,9 @@ type Paraclique struct {
 	Density  float64
 }
 
-// One grows a single paraclique from the given seed clique.
-func One(g *graph.Graph, seed []int, glom float64) Paraclique {
+// One grows a single paraclique from the given seed clique, over any
+// graph representation.
+func One(g graph.Interface, seed []int, glom float64) Paraclique {
 	if glom <= 0 || glom > 1 {
 		panic(fmt.Sprintf("paraclique: glom %v out of (0,1]", glom))
 	}
@@ -65,7 +66,7 @@ func One(g *graph.Graph, seed []int, glom float64) Paraclique {
 			if members.Test(v) {
 				continue
 			}
-			if g.Neighbors(v).AndCount(members) >= need {
+			if g.Row(v).AndCount(members) >= need {
 				best = v
 				break
 			}
@@ -84,7 +85,7 @@ func One(g *graph.Graph, seed []int, glom float64) Paraclique {
 	}
 }
 
-func density(g *graph.Graph, verts []int) float64 {
+func density(g graph.Interface, verts []int) float64 {
 	if len(verts) < 2 {
 		return 1
 	}
@@ -102,14 +103,21 @@ func density(g *graph.Graph, verts []int) float64 {
 // Extract repeatedly finds a maximum clique, gloms a paraclique around
 // it, removes the paraclique's vertices, and continues — decomposing a
 // correlation graph into its dense modules.
-func Extract(g *graph.Graph, opts Options) []Paraclique {
+func Extract(g graph.Interface, opts Options) []Paraclique {
 	if opts.Glom == 0 {
 		opts.Glom = 0.8
 	}
 	if opts.MinCliqueSize == 0 {
 		opts.MinCliqueSize = 3
 	}
-	work := g.Clone()
+	// The decomposition repeatedly induces subgraphs and seeds maximum
+	// cliques (which densify anyway), so it works on a dense copy.
+	var work *graph.Graph
+	if d, ok := g.(*graph.Graph); ok {
+		work = d.Clone()
+	} else {
+		work = graph.Densify(g)
+	}
 	keep := bitset.New(g.N())
 	keep.SetAll()
 	idToOrig := make([]int, g.N())

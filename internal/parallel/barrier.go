@@ -24,7 +24,7 @@ import (
 // Affinity strategy's threshold balancer is in effect from the first
 // generation level instead of silently falling back to a contiguous
 // split.
-func EnumerateBarrier(g *graph.Graph, opts Options) (*Result, error) {
+func EnumerateBarrier(g graph.Interface, opts Options) (*Result, error) {
 	mode, err := checkOptions(&opts)
 	if err != nil {
 		return nil, err

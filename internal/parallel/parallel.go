@@ -132,8 +132,8 @@ func OptionsFromConfig(c enumcfg.Config) Options {
 }
 
 // Enumerate runs the multithreaded Clique Enumerator on a persistent
-// streaming worker pool.
-func Enumerate(g *graph.Graph, opts Options) (*Result, error) {
+// streaming worker pool, over any graph representation.
+func Enumerate(g graph.Interface, opts Options) (*Result, error) {
 	mode, err := checkOptions(&opts)
 	if err != nil {
 		return nil, err

@@ -37,16 +37,19 @@ type Stats struct {
 
 // Decide reports whether g has a vertex cover of size at most k and, if
 // so, returns one (not necessarily minimum).
-func Decide(g *graph.Graph, k int) ([]int, bool) {
+func Decide(g graph.Interface, k int) ([]int, bool) {
 	cover, ok, _ := DecideStats(g, k)
 	return cover, ok
 }
 
-// DecideStats is Decide with search statistics.
-func DecideStats(g *graph.Graph, k int) ([]int, bool, Stats) {
+// DecideStats is Decide with search statistics.  Any representation is
+// accepted; non-dense graphs are densified at entry (the kernelization
+// maintains soft-deleted dense rows).
+func DecideStats(gi graph.Interface, k int) ([]int, bool, Stats) {
 	if k < 0 {
 		return nil, false, Stats{}
 	}
+	g := graph.Densify(gi)
 	s := &solver{g: g, n: g.N()}
 	s.deg = make([]int, s.n)
 	s.alive = bitset.New(s.n)
@@ -65,8 +68,10 @@ func DecideStats(g *graph.Graph, k int) ([]int, bool, Stats) {
 }
 
 // MinimumCover returns a minimum vertex cover of g, found by growing k
-// from a maximal-matching lower bound.
-func MinimumCover(g *graph.Graph) []int {
+// from a maximal-matching lower bound.  Non-dense inputs are densified
+// once here, not once per k iteration.
+func MinimumCover(gi graph.Interface) []int {
+	g := graph.Densify(gi)
 	lb := matchingLowerBound(g)
 	for k := lb; ; k++ {
 		if cover, ok := Decide(g, k); ok {
@@ -77,10 +82,10 @@ func MinimumCover(g *graph.Graph) []int {
 
 // matchingLowerBound returns the size of a greedily built maximal
 // matching: any vertex cover must take one endpoint per matched edge.
-func matchingLowerBound(g *graph.Graph) int {
+func matchingLowerBound(g graph.Interface) int {
 	used := bitset.New(g.N())
 	size := 0
-	g.ForEachEdge(func(u, v int) bool {
+	graph.ForEachEdge(g, func(u, v int) bool {
 		if !used.Test(u) && !used.Test(v) {
 			used.Set(u)
 			used.Set(v)
@@ -94,7 +99,8 @@ func matchingLowerBound(g *graph.Graph) int {
 // MaxCliqueViaVC computes a maximum clique of g by solving minimum vertex
 // cover on the complement: the vertices outside the cover form a maximum
 // independent set of Ḡ, which is a maximum clique of G.
-func MaxCliqueViaVC(g *graph.Graph) []int {
+func MaxCliqueViaVC(gi graph.Interface) []int {
+	g := graph.Densify(gi)
 	comp := g.Complement()
 	cover := MinimumCover(comp)
 	inCover := bitset.New(g.N())

@@ -172,6 +172,72 @@ func writeGroup(dst *bitset.Bitset, gi int, group uint64) {
 	}
 }
 
+// Test reports whether bit i is set, walking the compressed form.  It is
+// O(compressed words); row-access paths that probe many bits of one
+// bitmap should DecompressInto scratch instead.
+func (b *Bitmap) Test(i int) bool {
+	if i < 0 || i >= b.n {
+		panic(fmt.Sprintf("wah: index %d out of range [0,%d)", i, b.n))
+	}
+	target := i / groupBits
+	off := uint(i % groupBits)
+	gi := 0
+	for _, w := range b.words {
+		if w&flagBit != 0 {
+			run := int(w & countMask)
+			if target < gi+run {
+				return w&fillBit != 0
+			}
+			gi += run
+			continue
+		}
+		if gi == target {
+			return w&(1<<off) != 0
+		}
+		gi++
+	}
+	return false
+}
+
+// ForEach calls fn for every set bit in increasing order, walking the
+// compressed form; returning false stops the iteration.  Indices beyond
+// the universe (padding bits of the final group) are never produced.
+func (b *Bitmap) ForEach(fn func(i int) bool) {
+	gi := 0
+	for _, w := range b.words {
+		if w&flagBit != 0 {
+			run := int(w & countMask)
+			if w&fillBit != 0 {
+				for r := 0; r < run; r++ {
+					base := (gi + r) * groupBits
+					for off := 0; off < groupBits; off++ {
+						i := base + off
+						if i >= b.n {
+							return
+						}
+						if !fn(i) {
+							return
+						}
+					}
+				}
+			}
+			gi += run
+			continue
+		}
+		base := gi * groupBits
+		for g := w & litMask; g != 0; g &= g - 1 {
+			i := base + bits.TrailingZeros64(g)
+			if i >= b.n {
+				return
+			}
+			if !fn(i) {
+				return
+			}
+		}
+		gi++
+	}
+}
+
 // Count returns the number of set bits, computed on the compressed form.
 func (b *Bitmap) Count() int {
 	c := 0

@@ -17,17 +17,32 @@ import (
 //     lines, 1-based — the interchange format of the clique / vertex
 //     cover community the paper's FPT work comes from.
 
-// ReadEdgeList parses edge-list format.
+// ReadEdgeList parses edge-list format into the dense representation.
 func ReadEdgeList(r io.Reader) (*Graph, error) { return graph.ReadEdgeList(r) }
 
-// WriteEdgeList writes g in edge-list format.
-func WriteEdgeList(w io.Writer, g *Graph) error { return graph.WriteEdgeList(w, g) }
+// ReadEdgeListRep parses edge-list format into the requested
+// representation (Auto: density-driven choice).  Malformed input —
+// truncated records, self-loops, out-of-range vertex ids, empty files —
+// is an error, never a panic, for every representation.
+func ReadEdgeListRep(r io.Reader, rep Representation) (GraphInterface, error) {
+	return graph.ReadEdgeListRep(r, rep)
+}
 
-// ReadDIMACS parses DIMACS clique format.
+// WriteEdgeList writes g in edge-list format, for any representation.
+func WriteEdgeList(w io.Writer, g GraphInterface) error { return graph.WriteEdgeList(w, g) }
+
+// ReadDIMACS parses DIMACS clique format into the dense representation.
 func ReadDIMACS(r io.Reader) (*Graph, error) { return graph.ReadDIMACS(r) }
 
-// WriteDIMACS writes g in DIMACS clique format (1-based).
-func WriteDIMACS(w io.Writer, g *Graph) error { return graph.WriteDIMACS(w, g) }
+// ReadDIMACSRep parses DIMACS clique format into the requested
+// representation, with the same error guarantees as ReadEdgeListRep.
+func ReadDIMACSRep(r io.Reader, rep Representation) (GraphInterface, error) {
+	return graph.ReadDIMACSRep(r, rep)
+}
+
+// WriteDIMACS writes g in DIMACS clique format (1-based), for any
+// representation.
+func WriteDIMACS(w io.Writer, g GraphInterface) error { return graph.WriteDIMACS(w, g) }
 
 // PlantClique adds every edge of the clique on the given vertices to g —
 // the building block of synthetic module graphs.

@@ -62,10 +62,18 @@ func WriteExpressionTSV(w io.Writer, m *ExpressionMatrix) error {
 }
 
 // CorrelationGraph thresholds the pairwise correlation matrix of m into
-// a relationship graph: vertices are genes, an edge joins two genes with
-// |coefficient| >= threshold.
+// a dense relationship graph: vertices are genes, an edge joins two
+// genes with |coefficient| >= threshold.
 func CorrelationGraph(m *ExpressionMatrix, method CorrelationMethod, threshold float64) *Graph {
 	return microarray.CorrelationGraph(m, method, threshold)
+}
+
+// CorrelationGraphRep is CorrelationGraph with an explicit adjacency
+// representation.  Auto picks Dense or CSR from the thresholded density,
+// so a genome-scale sparse coexpression graph comes back CSR — O(n+m)
+// bytes — without the dense bitmap index ever being materialized.
+func CorrelationGraphRep(m *ExpressionMatrix, method CorrelationMethod, threshold float64, rep Representation) (GraphInterface, error) {
+	return microarray.CorrelationGraphRep(m, method, threshold, rep)
 }
 
 // CorrelationThreshold returns the smallest threshold producing at most

@@ -32,8 +32,71 @@ import (
 	"repro/internal/paraclique"
 )
 
-// Graph is an undirected simple graph with bitmap adjacency rows.
+// Graph is an undirected simple graph with dense bitmap adjacency rows —
+// the paper's "globally addressable bitmap memory index" and the default
+// representation.
 type Graph = graph.Graph
+
+// GraphInterface is the representation-independent read contract every
+// enumeration entry point accepts: *Graph (dense), *CSRGraph and
+// *CompressedGraph all implement it.  Obtain non-dense graphs from
+// NewGraphBuilder, ConvertGraph, the *Rep readers, or
+// CorrelationGraphRep.
+type GraphInterface = graph.Interface
+
+// CSRGraph is the compressed-sparse-row adjacency backend: 4(n+1+2m)
+// bytes, the O(n+m) representation for genome-scale sparse graphs.
+type CSRGraph = graph.CSRGraph
+
+// CompressedGraph stores one WAH-compressed bitmap per adjacency row —
+// the paper's §5 compressed-bitmap direction applied to the graph
+// substrate itself.
+type CompressedGraph = graph.CompressedGraph
+
+// Representation names an adjacency storage backend.
+type Representation = graph.Representation
+
+const (
+	// Auto selects Dense or CSR from the measured edge density.
+	Auto = graph.Auto
+	// Dense is the paper's bitmap index: n*ceil(n/64)*8 adjacency bytes.
+	Dense = graph.Dense
+	// CSR is compressed sparse row: 4(n+1+2m) adjacency bytes.
+	CSR = graph.CSR
+	// Compressed is WAH-compressed bitmap rows: measured per graph.
+	Compressed = graph.Compressed
+)
+
+// ParseRepresentation parses "auto", "dense", "csr" or "wah" (alias
+// "compressed") — the names the cliquer -repr flag speaks.
+func ParseRepresentation(s string) (Representation, error) {
+	return graph.ParseRepresentation(s)
+}
+
+// GraphBuilder is the streaming, append-only construction path: AddEdge/
+// SetName return errors (never panic), duplicates collapse at Freeze,
+// and Freeze picks the representation from measured density unless one
+// was pinned with WithRepresentation.  The frozen graph is immutable.
+type GraphBuilder = graph.Builder
+
+// NewGraphBuilder returns a streaming builder over n vertices with
+// automatic representation selection.
+func NewGraphBuilder(n int) *GraphBuilder { return graph.NewBuilder(n) }
+
+// ConvertGraph returns g in the requested representation, re-encoding
+// only when necessary (g itself is returned when it already matches).
+func ConvertGraph(g GraphInterface, rep Representation) (GraphInterface, error) {
+	return graph.Convert(g, rep)
+}
+
+// DenseAdjacencyBytes returns the adjacency footprint a dense graph on n
+// vertices would occupy, without allocating it — the baseline the
+// sparse-representation memory wins are measured against.
+func DenseAdjacencyBytes(n int) int64 { return graph.DenseAdjacencyBytes(n) }
+
+// Density returns m / (n choose 2) for any representation (0 for
+// graphs with fewer than two vertices).
+func Density(g GraphInterface) float64 { return graph.Density(g) }
 
 // Clique is a set of vertices in canonical (increasing) order.  Cliques
 // passed to a Reporter are borrowed: Clone before retaining.  Cliques
@@ -45,12 +108,13 @@ type Clique = clique.Clique
 func NewGraph(n int) *Graph { return graph.New(n) }
 
 // MaxClique returns a maximum clique of g (exact, branch-and-bound with
-// greedy-coloring bounds).
-func MaxClique(g *Graph) []int { return maxclique.Find(g) }
+// greedy-coloring bounds).  Any representation is accepted; non-dense
+// graphs are densified for the search.
+func MaxClique(g GraphInterface) []int { return maxclique.Find(g) }
 
 // MaxCliqueSize returns ω(g) — the upper bound the paper feeds to
 // WithBounds.
-func MaxCliqueSize(g *Graph) int { return maxclique.Size(g) }
+func MaxCliqueSize(g GraphInterface) int { return maxclique.Size(g) }
 
 // EnumerateMaximalCliques reports every maximal clique of g with size in
 // [lo, hi] to visit, in non-decreasing order of size (hi = 0 means
@@ -58,7 +122,7 @@ func MaxCliqueSize(g *Graph) int { return maxclique.Size(g) }
 //
 // Deprecated: use NewEnumerator(WithBounds(lo, hi)).Run or .Cliques,
 // which add cancellation, backend selection, and statistics.
-func EnumerateMaximalCliques(g *Graph, lo, hi int, visit func(Clique)) (int64, error) {
+func EnumerateMaximalCliques(g GraphInterface, lo, hi int, visit func(Clique)) (int64, error) {
 	var rep Reporter
 	if visit != nil {
 		rep = ReporterFunc(visit)
@@ -72,7 +136,7 @@ func EnumerateMaximalCliques(g *Graph, lo, hi int, visit func(Clique)) (int64, e
 //
 // Deprecated: use NewEnumerator(WithBounds(lo, hi), WithWorkers(workers),
 // WithStrategy(Affinity)).Run or .Cliques.
-func EnumerateParallel(g *Graph, workers, lo, hi int, visit func(Clique)) (int64, error) {
+func EnumerateParallel(g GraphInterface, workers, lo, hi int, visit func(Clique)) (int64, error) {
 	var rep Reporter
 	if visit != nil {
 		rep = ReporterFunc(visit)
@@ -90,7 +154,7 @@ type Paraclique = paraclique.Paraclique
 // Deprecated: use NewEnumerator().Paracliques(ctx, g, glom), which adds
 // cancellation, composes with WithBounds, and reports invalid gloms as
 // errors instead of panicking.
-func Paracliques(g *Graph, glom float64) []Paraclique {
+func Paracliques(g GraphInterface, glom float64) []Paraclique {
 	if glom == 0 {
 		glom = 0.8 // the pre-facade default
 	}

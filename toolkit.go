@@ -28,10 +28,10 @@ func AtLeastKOfN(k int, gs ...*Graph) *Graph { return graphops.AtLeastKOfN(k, gs
 // removal makes g acyclic — the crucial combinatorial problem of
 // phylogenetic footprinting, solved exactly by the FPT branching the
 // paper's toolkit provides.
-func MinimumFeedbackVertexSet(g *Graph) []int { return fvs.Minimum(g) }
+func MinimumFeedbackVertexSet(g GraphInterface) []int { return fvs.Minimum(g) }
 
 // IsFeedbackVertexSet reports whether removing set makes g acyclic.
-func IsFeedbackVertexSet(g *Graph, set []int) bool { return fvs.IsFeedbackVertexSet(g, set) }
+func IsFeedbackVertexSet(g GraphInterface, set []int) bool { return fvs.IsFeedbackVertexSet(g, set) }
 
 // MetabolicNetwork is a stoichiometric reaction network.
 type MetabolicNetwork = pathways.Network
