@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build fmt fmt-fix vet test race race-repr bench bench-json examples ci
+.PHONY: all build fmt fmt-fix vet test race race-repr bench bench-json bench-ooc-json smoke-resume examples ci
 
 all: build
 
@@ -26,9 +26,11 @@ test:
 # Race-detect the concurrency-heavy packages (full -race ./... is run
 # in CI nightly-style via `make race-all` if ever needed), plus the
 # cross-representation parity tests (pooled scratch bitsets inside the
-# CSR/WAH row readers are shared across worker goroutines).
+# CSR/WAH row readers are shared across worker goroutines).  The ooc
+# package joins level shards on a worker pool with an in-order release
+# sequencer, so it races level state across goroutines too.
 race:
-	$(GO) test -race ./internal/parallel ./internal/sched ./internal/core ./internal/kclique ./internal/bitset
+	$(GO) test -race ./internal/parallel ./internal/sched ./internal/core ./internal/kclique ./internal/bitset ./internal/ooc
 
 race-repr:
 	$(GO) test -race -run 'Representation' .
@@ -48,6 +50,18 @@ bench:
 bench-json:
 	$(GO) run ./cmd/benchrepr -out BENCH_repr.json
 
+# Machine-readable out-of-core trajectory on the Table-1 graph:
+# serial/parallel x raw/compressed wall clock and level-file bytes,
+# with the derived compression ratio and 4-worker speedup.  CI uploads
+# the result as an artifact next to BENCH_repr.json.
+bench-ooc-json:
+	$(GO) run ./cmd/benchooc -out BENCH_ooc.json
+
+# Resume-after-kill smoke test: checkpoint, kill by timeout, resume,
+# reconcile clique counts against an uninterrupted run.
+smoke-resume:
+	sh scripts/smoke_resume.sh
+
 # Keep the migrated examples and the documented API snippets honest:
 # vet the example programs and run every doctest.
 examples:
@@ -56,4 +70,4 @@ examples:
 
 check: fmt vet test
 
-ci: fmt vet build test race race-repr bench examples
+ci: fmt vet build test race race-repr bench examples smoke-resume

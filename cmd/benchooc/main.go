@@ -1,0 +1,167 @@
+// Command benchooc measures the out-of-core engine's two levers on the
+// paper's Table-1 graph (graph A, synthesized by the expt harness):
+// delta-varint level-record compression (bytes moved through disk — the
+// bottleneck the paper names) and parallel shard joins (wall clock).
+// `make bench-ooc-json` runs it and pins the result as BENCH_ooc.json —
+// the out-of-core perf-trajectory artifact CI uploads per commit, next
+// to BENCH_repr.json.
+//
+// The sweep is serial/parallel x raw/compressed; every configuration
+// must report the same maximal-clique count (verified here), and the
+// summary derives the two acceptance ratios: encoded-bytes reduction
+// (target >= 2x) and the parallel speedup at -workers workers (target
+// > 1x).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/expt"
+	"repro/internal/graph"
+	"repro/internal/ooc"
+)
+
+type runResult struct {
+	Name            string  `json:"name"`
+	Workers         int     `json:"workers"`
+	Compress        bool    `json:"compress"`
+	WallNS          int64   `json:"wall_ns"`
+	MaximalCliques  int64   `json:"maximal_cliques"`
+	Levels          int     `json:"levels"`
+	Shards          int64   `json:"shards"`
+	BytesWritten    int64   `json:"bytes_written"`
+	RawBytesWritten int64   `json:"raw_bytes_written"`
+	BytesRead       int64   `json:"bytes_read"`
+	PeakLevelBytes  int64   `json:"peak_level_bytes"`
+	VsRawBytes      float64 `json:"vs_raw_bytes"` // raw-equivalent / on-disk bytes
+}
+
+type report struct {
+	Schema           string      `json:"schema"`
+	Graph            string      `json:"graph"`
+	N                int         `json:"n"`
+	M                int         `json:"m"`
+	Runs             []runResult `json:"runs"`
+	CompressionRatio float64     `json:"compression_ratio"` // serial raw bytes / serial compressed bytes
+	ParallelSpeedup  float64     `json:"parallel_speedup"`  // serial compressed wall / parallel compressed wall
+}
+
+func main() {
+	out := flag.String("out", "BENCH_ooc.json", "output JSON path")
+	scale := flag.Float64("scale", 1.0, "Table-1 (graph A) scale factor")
+	workers := flag.Int("workers", 4, "worker count of the parallel configurations")
+	seed := flag.Int64("seed", 1, "generator seed")
+	reps := flag.Int("reps", 3, "timed repetitions per configuration (best is kept)")
+	flag.Parse()
+
+	spec := expt.SpecA.Scale(*scale)
+	g := expt.Build(spec, *seed)
+	rep := report{
+		Schema: "repro/bench-ooc/v1",
+		Graph:  spec.Name,
+		N:      g.N(),
+		M:      g.M(),
+	}
+
+	configs := []struct {
+		name     string
+		workers  int
+		compress bool
+	}{
+		{"serial-raw", 1, false},
+		{"serial-compressed", 1, true},
+		{fmt.Sprintf("parallel%d-raw", *workers), *workers, false},
+		{fmt.Sprintf("parallel%d-compressed", *workers), *workers, true},
+	}
+	var want int64 = -1
+	for _, c := range configs {
+		r, err := timedRun(g, c.workers, c.compress, *reps)
+		if err != nil {
+			fatal(err)
+		}
+		r.Name = c.name
+		if want < 0 {
+			want = r.MaximalCliques
+		} else if r.MaximalCliques != want {
+			fatal(fmt.Errorf("%s found %d maximal cliques, baseline %d", c.name, r.MaximalCliques, want))
+		}
+		rep.Runs = append(rep.Runs, r)
+	}
+	rep.CompressionRatio = ratio(rep.Runs[0].BytesWritten, rep.Runs[1].BytesWritten)
+	rep.ParallelSpeedup = ratio(rep.Runs[1].WallNS, rep.Runs[3].WallNS)
+
+	f, err := os.Create(*out)
+	if err != nil {
+		fatal(err)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("wrote %s\n%s: n=%d m=%d, %d maximal cliques\n", *out, rep.Graph, rep.N, rep.M, want)
+	for _, r := range rep.Runs {
+		fmt.Printf("  %-22s %8v  %10d bytes on disk (%.1fx vs raw)  %d shards\n",
+			r.Name, time.Duration(r.WallNS).Round(time.Millisecond),
+			r.BytesWritten, r.VsRawBytes, r.Shards)
+	}
+	fmt.Printf("level-file compression: %.2fx   parallel speedup at %d workers: %.2fx\n",
+		rep.CompressionRatio, *workers, rep.ParallelSpeedup)
+}
+
+func timedRun(g *graph.Graph, workers int, compress bool, reps int) (runResult, error) {
+	var best runResult
+	for i := 0; i < reps; i++ {
+		dir, err := os.MkdirTemp("", "benchooc-*")
+		if err != nil {
+			return best, err
+		}
+		start := time.Now()
+		st, err := ooc.Enumerate(g, ooc.Options{
+			Dir:      dir,
+			Workers:  workers,
+			Compress: compress,
+		})
+		wall := time.Since(start).Nanoseconds()
+		os.RemoveAll(dir)
+		if err != nil {
+			return best, err
+		}
+		if i == 0 || wall < best.WallNS {
+			best = runResult{
+				Workers:         workers,
+				Compress:        compress,
+				WallNS:          wall,
+				MaximalCliques:  st.Maximal,
+				Levels:          st.Levels,
+				Shards:          st.Shards,
+				BytesWritten:    st.BytesWritten,
+				RawBytesWritten: st.RawBytesWritten,
+				BytesRead:       st.BytesRead,
+				PeakLevelBytes:  st.PeakLevelFile,
+				VsRawBytes:      ratio(st.RawBytesWritten, st.BytesWritten),
+			}
+		}
+	}
+	return best, nil
+}
+
+func ratio(a, b int64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return float64(a) / float64(b)
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "benchooc: %v\n", err)
+	os.Exit(1)
+}

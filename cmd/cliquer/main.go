@@ -15,11 +15,15 @@
 // -strategy selects the dispatch policy (affinity or contiguous),
 // -barrier switches to the bulk-synchronous reference backend, and
 // -stats streams per-level statistics to stderr.  -ooc DIR spills levels
-// to disk instead of memory.
+// to disk instead of memory; -ooc-workers joins the level shards
+// concurrently, -ooc-compress delta-varint encodes the level records,
+// and -ooc-checkpoint keeps a resumable manifest so a killed run can be
+// continued with -resume DIR (same graph file).
 //
 // Runs cancel cleanly: -timeout bounds the wall clock, and Ctrl-C
 // (SIGINT) aborts mid-level — either way the partial statistics gathered
-// so far are printed before exit.
+// so far are printed before exit, and a checkpointed out-of-core run
+// keeps its last completed level on disk for -resume.
 //
 // Example:
 //
@@ -53,8 +57,12 @@ func main() {
 	compress := flag.Bool("compress", false, "store common-neighbor bitmaps WAH-compressed")
 	repr := flag.String("repr", "auto", "graph representation: auto, dense, csr or wah")
 	oocDir := flag.String("ooc", "", "run the out-of-core enumerator, spilling levels to this directory")
+	oocWorkers := flag.Int("ooc-workers", 0, "out-of-core: join level shards on this many workers (0 = inherit -workers)")
+	oocCompress := flag.Bool("ooc-compress", false, "out-of-core: delta-varint encode level records")
+	oocCheckpoint := flag.Bool("ooc-checkpoint", false, "out-of-core: keep a resumable manifest in the -ooc directory (resume with -resume)")
+	resume := flag.String("resume", "", "continue the checkpointed out-of-core run in this directory (needs the same graph file)")
 	budget := flag.Int64("budget", 0, "abort if resident candidate bytes exceed this (0 = unlimited)")
-	spill := flag.Int64("spill-budget", 0, "out-of-core: abort if a level file would exceed this many bytes (0 = unlimited)")
+	spill := flag.Int64("spill-budget", 0, "out-of-core: abort if a level's files would exceed this many bytes (0 = unlimited)")
 	noBound := flag.Bool("no-bound", false, "skip the maximum clique upper-bound computation")
 	timeout := flag.Duration("timeout", 0, "abort the run after this duration (0 = none)")
 	flag.Parse()
@@ -79,7 +87,9 @@ func main() {
 		lo: *lo, hi: *hi, workers: *workers, strategy: *strategy,
 		barrier: *barrier, stats: *stats, countOnly: *countOnly,
 		dimacs: *dimacs, recompute: *recompute, compress: *compress,
-		repr: *repr, oocDir: *oocDir, budget: *budget, spill: *spill,
+		repr: *repr, oocDir: *oocDir, oocWorkers: *oocWorkers,
+		oocCompress: *oocCompress, oocCheckpoint: *oocCheckpoint,
+		resume: *resume, budget: *budget, spill: *spill,
 		noBound: *noBound,
 	})
 	if err != nil {
@@ -95,6 +105,9 @@ type options struct {
 	recompute, compress, noBound      bool
 	repr                              string
 	oocDir                            string
+	oocWorkers                        int
+	oocCompress, oocCheckpoint        bool
+	resume                            string
 	budget, spill                     int64
 }
 
@@ -178,8 +191,28 @@ func run(ctx context.Context, path string, o options) error {
 	if o.compress {
 		opts = append(opts, repro.WithCompressedBitmaps())
 	}
-	if o.oocDir != "" {
-		opts = append(opts, repro.WithOutOfCore(o.oocDir, o.spill))
+	if o.oocDir != "" || o.resume != "" {
+		dir := o.oocDir
+		if o.resume != "" {
+			if o.oocDir != "" && o.oocDir != o.resume {
+				return fmt.Errorf("-resume %s and -ooc %s name different directories", o.resume, o.oocDir)
+			}
+			dir = o.resume
+		}
+		var knobs []repro.OutOfCoreOption
+		if o.oocWorkers > 0 {
+			knobs = append(knobs, repro.OOCWorkers(o.oocWorkers))
+		}
+		if o.oocCompress {
+			knobs = append(knobs, repro.OOCCompress())
+		}
+		if o.oocCheckpoint {
+			knobs = append(knobs, repro.OOCCheckpoint())
+		}
+		opts = append(opts, repro.WithOutOfCore(dir, o.spill, knobs...))
+		if o.resume != "" {
+			opts = append(opts, repro.WithResume(dir))
+		}
 	}
 	if o.budget > 0 {
 		// The resident-byte budget is enforced by the sequential backend
@@ -227,8 +260,17 @@ func printSummary(w *os.File, state string, st *repro.Stats, o options) {
 		len(st.Levels), st.Elapsed.Seconds())
 	switch st.Backend {
 	case "out-of-core":
-		fmt.Fprintf(w, "  spill: %d bytes written, %d read, peak level file %d\n",
-			st.SpillBytesWritten, st.SpillBytesRead, st.PeakLevelFileBytes)
+		resumed := ""
+		if st.Resumed {
+			resumed = " (resumed)"
+		}
+		fmt.Fprintf(w, "  spill%s: %d bytes written, %d read, peak level %d\n",
+			resumed, st.SpillBytesWritten, st.SpillBytesRead, st.PeakLevelFileBytes)
+		if st.SpillRawBytesWritten > st.SpillBytesWritten {
+			fmt.Fprintf(w, "  encoding: %d raw bytes -> %d on disk (%.2fx smaller)\n",
+				st.SpillRawBytesWritten, st.SpillBytesWritten,
+				float64(st.SpillRawBytesWritten)/float64(st.SpillBytesWritten))
+		}
 	case "parallel", "parallel-barrier":
 		fmt.Fprintf(w, "  pool: %d workers, %d transfers\n", len(st.WorkerBusy), st.Transfers)
 	default:

@@ -65,10 +65,17 @@ type Stats struct {
 	// (in-core backends).
 	PeakBytes int64
 	// SpillBytesWritten / SpillBytesRead / PeakLevelFileBytes describe
-	// the out-of-core backend's I/O volume.
-	SpillBytesWritten  int64
-	SpillBytesRead     int64
-	PeakLevelFileBytes int64
+	// the out-of-core backend's I/O volume (encoded bytes actually
+	// moved).  SpillRawBytesWritten is the fixed-width-equivalent
+	// payload; with OOCCompress the ratio of the two is the level-file
+	// compression win.  Resumed reports that the run continued a
+	// checkpoint, in which case the spill counters are cumulative across
+	// the original run and the resume.
+	SpillBytesWritten    int64
+	SpillRawBytesWritten int64
+	SpillBytesRead       int64
+	PeakLevelFileBytes   int64
+	Resumed              bool
 	// WorkerBusy is the per-worker busy seconds and Transfers the number
 	// of sub-lists processed away from their home worker (parallel
 	// backends).
@@ -136,7 +143,8 @@ func WithBounds(lo, hi int) Option {
 // WithWorkers selects the parallel backend when n > 1: the persistent
 // streaming worker pool with dynamic chunk dispatch and in-order
 // streaming emission.  Output order is identical to the sequential
-// backend.
+// backend.  Combined with WithOutOfCore it sets the out-of-core
+// shard-join worker count instead (equivalent to OOCWorkers).
 func WithWorkers(n int) Option {
 	return func(e *Enumerator) { e.cfg.Workers = n }
 }
@@ -154,16 +162,68 @@ func WithBarrier() Option {
 	return func(e *Enumerator) { e.cfg.Barrier = true }
 }
 
+// OutOfCoreOption tunes the out-of-core backend selected by
+// WithOutOfCore.
+type OutOfCoreOption func(*enumcfg.Config)
+
+// OOCWorkers joins each level's shard files on n concurrent workers
+// (the CPU-bound part of the out-of-core loop).  The emitted clique
+// stream is identical at any worker count: shard results are released
+// in shard order by the same streaming in-order merger the parallel
+// backend uses.
+func OOCWorkers(n int) OutOfCoreOption {
+	return func(c *enumcfg.Config) { c.Workers = n }
+}
+
+// OOCCompress delta-varint encodes the level records instead of storing
+// fixed-width vertices, typically shrinking level files severalfold on
+// clique-rich graphs — a direct attack on the "intensive disk I/O" the
+// paper blames for its out-of-core one-week cutoff.  Stats reports both
+// encoded and raw-equivalent bytes so the win is measurable.
+func OOCCompress() OutOfCoreOption {
+	return func(c *enumcfg.Config) { c.OOCCompress = true }
+}
+
+// OOCCheckpoint makes the run resumable: dir becomes a durable run
+// directory holding a manifest committed at every level boundary, kept
+// on cancellation (or crash) so WithResume can continue the run.  A
+// successful run removes its manifest.
+func OOCCheckpoint() OutOfCoreOption {
+	return func(c *enumcfg.Config) { c.Checkpoint = true }
+}
+
 // WithOutOfCore selects the disk-backed backend: levels are spilled as
 // files under dir (created if absent) instead of held in memory, the
 // regime the paper used before moving to large shared-memory machines.
-// levelBudget, when positive, aborts the run once a level file would
+// levelBudget, when positive, aborts the run once a level's files would
 // exceed that many bytes — the out-of-core analogue of the paper's
 // one-week cutoff.  The backend reports maximal cliques of size >= 3;
-// smaller bounds are filtered, and a run's spill files are always
-// removed, even on cancellation.
-func WithOutOfCore(dir string, levelBudget int64) Option {
-	return func(e *Enumerator) { e.cfg.Dir, e.cfg.SpillBudget = dir, levelBudget }
+// smaller bounds are filtered.  Spill files of a plain run are always
+// removed, even on cancellation; with OOCCheckpoint the last completed
+// level is kept for WithResume instead.  The knobs select parallel
+// shard joins (OOCWorkers), compressed level records (OOCCompress) and
+// resumability (OOCCheckpoint).
+func WithOutOfCore(dir string, levelBudget int64, knobs ...OutOfCoreOption) Option {
+	return func(e *Enumerator) {
+		e.cfg.Dir, e.cfg.SpillBudget = dir, levelBudget
+		for _, k := range knobs {
+			k(&e.cfg)
+		}
+	}
+}
+
+// WithResume continues the checkpointed out-of-core run whose manifest
+// lives in dir (written by a WithOutOfCore + OOCCheckpoint run that was
+// canceled or killed).  The graph must be the one the checkpoint was
+// written for — Run verifies its fingerprint — and the record encoding
+// is adopted from the manifest.  The interrupted level is re-joined from
+// its beginning, so the resumed stream is exactly the uninterrupted
+// stream from the first clique of the interrupted level's size on, and
+// the run's Stats continue from the checkpoint (a resumed run's final
+// spill counters match an uninterrupted run's).  Composes with the
+// other out-of-core knobs (OOCWorkers may differ run to run).
+func WithResume(dir string) Option {
+	return func(e *Enumerator) { e.cfg.Dir, e.cfg.Resume = dir, true }
 }
 
 // WithMemoryBudget bounds the paper-formula resident candidate bytes of
@@ -461,13 +521,19 @@ func (e *Enumerator) runOutOfCore(cfg enumcfg.Config, g GraphInterface, r Report
 			})
 		}
 	}
-	ost, err := ooc.Enumerate(g, opts)
+	enumerate := ooc.Enumerate
+	if cfg.Resume {
+		enumerate = ooc.Resume
+	}
+	ost, err := enumerate(g, opts)
 	if st != nil {
 		st.MaximalCliques = count
 		st.MaxCliqueSize = maxSize
 		st.SpillBytesWritten = ost.BytesWritten
+		st.SpillRawBytesWritten = ost.RawBytesWritten
 		st.SpillBytesRead = ost.BytesRead
 		st.PeakLevelFileBytes = ost.PeakLevelFile
+		st.Resumed = ost.Resumed
 	}
 	return count, err
 }

@@ -58,6 +58,12 @@ func TestBackendParity(t *testing.T) {
 			{"parallel-contiguous", []repro.Option{repro.WithWorkers(2), repro.WithStrategy(repro.Contiguous)}},
 			{"barrier-contiguous", []repro.Option{repro.WithWorkers(3), repro.WithStrategy(repro.Contiguous), repro.WithBarrier()}},
 			{"out-of-core", []repro.Option{repro.WithOutOfCore(t.TempDir(), 0)}},
+			{"out-of-core-parallel", []repro.Option{repro.WithOutOfCore(t.TempDir(), 0,
+				repro.OOCWorkers(4))}},
+			{"out-of-core-compressed", []repro.Option{repro.WithOutOfCore(t.TempDir(), 0,
+				repro.OOCCompress())}},
+			{"out-of-core-parallel-compressed", []repro.Option{repro.WithOutOfCore(t.TempDir(), 0,
+				repro.OOCWorkers(3), repro.OOCCompress())}},
 			{"low-memory", []repro.Option{repro.WithLowMemory()}},
 			{"compressed", []repro.Option{repro.WithCompressedBitmaps()}},
 		}
@@ -283,8 +289,9 @@ func TestConfigErrors(t *testing.T) {
 		{"negative workers", []repro.Option{repro.WithWorkers(-2)}},
 		{"ooc+report-small", []repro.Option{repro.WithOutOfCore(t.TempDir(), 0), repro.WithReportSmall()}},
 		{"ooc+low-memory", []repro.Option{repro.WithOutOfCore(t.TempDir(), 0), repro.WithLowMemory()}},
-		{"ooc+workers", []repro.Option{repro.WithOutOfCore(t.TempDir(), 0), repro.WithWorkers(4)}},
+		{"ooc+barrier", []repro.Option{repro.WithOutOfCore(t.TempDir(), 0), repro.WithWorkers(4), repro.WithBarrier()}},
 		{"ooc+memory-budget", []repro.Option{repro.WithOutOfCore(t.TempDir(), 0), repro.WithMemoryBudget(1 << 20)}},
+		{"ooc-compress-without-dir", []repro.Option{repro.WithOutOfCore("", 0, repro.OOCCompress())}},
 		{"parallel+memory-budget", []repro.Option{repro.WithWorkers(4), repro.WithMemoryBudget(1 << 20)}},
 		{"parallel+report-small", []repro.Option{repro.WithWorkers(4), repro.WithReportSmall()}},
 		{"barrier-without-workers", []repro.Option{repro.WithBarrier()}},
@@ -542,6 +549,99 @@ func TestExpressionPipeline(t *testing.T) {
 	}
 	if !found {
 		t.Fatal("planted co-expression module not recovered as a clique")
+	}
+}
+
+// TestResumeAfterKill is the facade's checkpoint/resume acceptance
+// property: a checkpointed out-of-core run killed mid-enumeration is
+// continued by WithResume, the combined stream reproduces the
+// uninterrupted run exactly, and the spill statistics merge across the
+// checkpoint boundary.
+func TestResumeAfterKill(t *testing.T) {
+	g := testGraph(3, 120, 0.2)
+	dir := t.TempDir()
+
+	// Uninterrupted reference run (plain out-of-core, same encoding).
+	var full repro.Stats
+	want := stream(t, repro.NewEnumerator(repro.WithBounds(3, 0),
+		repro.WithOutOfCore(t.TempDir(), 0, repro.OOCCompress()),
+		repro.WithStats(&full)), g)
+	if len(want) < 30 {
+		t.Fatalf("only %d cliques; the kill point needs a longer run", len(want))
+	}
+
+	// Checkpointed run, killed from inside the reporter mid-level.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var killed []string
+	_, err := repro.NewEnumerator(repro.WithBounds(3, 0),
+		repro.WithOutOfCore(dir, 0, repro.OOCCompress(), repro.OOCCheckpoint()),
+	).Run(ctx, g, repro.ReporterFunc(func(c repro.Clique) {
+		killed = append(killed, c.Key())
+		if len(killed) == len(want)/2 {
+			cancel()
+		}
+	}))
+	if err == nil {
+		t.Fatal("checkpointed run completed despite the kill")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("kill error %v does not wrap context.Canceled", err)
+	}
+	for i, k := range killed {
+		if k != want[i] {
+			t.Fatalf("killed run diverged from the reference at %d", i)
+		}
+	}
+
+	// Resume and finish.
+	var st repro.Stats
+	var resumed []string
+	n, err := repro.NewEnumerator(repro.WithBounds(3, 0),
+		repro.WithResume(dir), repro.WithStats(&st),
+	).Run(context.Background(), g, repro.ReporterFunc(func(c repro.Clique) {
+		resumed = append(resumed, c.Key())
+	}))
+	if err != nil {
+		t.Fatalf("resume: %v", err)
+	}
+	if !st.Resumed {
+		t.Error("Stats.Resumed not set on a resumed run")
+	}
+	if int(n) != len(resumed) || len(resumed) == 0 {
+		t.Fatalf("resume delivered %d cliques, reported %d", len(resumed), n)
+	}
+	// The resumed stream re-runs the interrupted level from its start,
+	// so it is exactly a contiguous suffix of the uninterrupted stream.
+	off := len(want) - len(resumed)
+	if off < 0 {
+		t.Fatalf("resume delivered %d cliques, more than the full run's %d", len(resumed), len(want))
+	}
+	for i, k := range resumed {
+		if k != want[off+i] {
+			t.Fatalf("resumed stream diverges at %d: got {%s}, want {%s}", i, k, want[off+i])
+		}
+	}
+	// Everything before the suffix was delivered (and checkpointed) by
+	// the killed run.
+	if off > len(killed) {
+		t.Fatalf("resume starts at %d but the killed run only delivered %d cliques", off, len(killed))
+	}
+	// Cumulative spill accounting continues across the boundary: the
+	// interrupted level's partial output was discarded and redone, so
+	// the resumed run's final counters match the uninterrupted run's.
+	if st.SpillBytesWritten != full.SpillBytesWritten ||
+		st.SpillRawBytesWritten != full.SpillRawBytesWritten ||
+		st.SpillBytesRead != full.SpillBytesRead {
+		t.Errorf("merged spill stats diverge from the uninterrupted run:\nresumed %+v\nfull    %+v", st, full)
+	}
+	// The completed run retires its checkpoint.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		t.Errorf("leftover checkpoint entry after the resumed run completed: %s", e.Name())
 	}
 }
 

@@ -104,9 +104,22 @@ type Config struct {
 
 	// Dir, when non-empty, selects the out-of-core backend, spilling
 	// level files inside Dir.  SpillBudget, when positive, aborts when a
-	// level file would exceed that many bytes.
+	// level's files would exceed that many bytes.  Workers > 1 joins the
+	// level shards concurrently (the output stream is identical at any
+	// worker count).
 	Dir         string
 	SpillBudget int64
+	// OOCCompress delta-varint encodes out-of-core level records,
+	// cutting the disk I/O volume the paper identifies as the
+	// bottleneck.
+	OOCCompress bool
+	// Checkpoint makes the out-of-core run resumable: Dir becomes a
+	// durable run directory with a manifest committed at every level
+	// boundary, kept on cancellation for a later Resume.
+	Checkpoint bool
+	// Resume continues the checkpointed out-of-core run whose manifest
+	// lives in Dir instead of starting fresh.  Implies Checkpoint.
+	Resume bool
 
 	// ReportSmall additionally reports maximal 1- and 2-cliques
 	// (sequential backend only; the paper's experiments start at 3).
@@ -169,6 +182,12 @@ func (c *Config) Normalize() error {
 	if c.Barrier && c.Workers <= 1 {
 		return fmt.Errorf("enumcfg: the barrier backend requires more than one worker")
 	}
+	if c.Resume {
+		c.Checkpoint = true
+	}
+	if c.Dir == "" && (c.OOCCompress || c.Checkpoint || c.Resume) {
+		return fmt.Errorf("enumcfg: the out-of-core compress/checkpoint/resume options require a spill Dir")
+	}
 	switch c.Backend() {
 	case OutOfCore:
 		if c.ReportSmall {
@@ -177,11 +196,11 @@ func (c *Config) Normalize() error {
 		if c.Mode != CNStore {
 			return fmt.Errorf("enumcfg: CN mode %d is meaningless out of core (no bitmaps are retained)", c.Mode)
 		}
-		if c.Workers > 1 {
-			return fmt.Errorf("enumcfg: the out-of-core backend is single-threaded (got %d workers)", c.Workers)
-		}
 		if c.MemoryBudget > 0 {
 			return fmt.Errorf("enumcfg: the memory budget is in-core only; bound spills with SpillBudget instead")
+		}
+		if c.Barrier {
+			return fmt.Errorf("enumcfg: the barrier pool is in-core only")
 		}
 	case Parallel, ParallelBarrier:
 		// Reject rather than silently drop: neither pool enforces the

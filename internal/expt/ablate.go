@@ -87,26 +87,43 @@ func ablateStorage(cfg Config) (*Table, error) {
 		time.Since(start).Round(time.Millisecond).String(),
 		fmt.Sprint(inCore.PeakBytes), "0")
 
-	dir, err := os.MkdirTemp("", "repro-ablate-*")
-	if err != nil {
-		return nil, err
-	}
-	defer os.RemoveAll(dir)
-	start = time.Now()
-	st, err := ooc.Enumerate(g, ooc.Options{Ctx: cfg.Ctx, Dir: dir})
-	if err != nil {
-		return nil, err
-	}
-	t.AddRow("out-of-core",
-		time.Since(start).Round(time.Millisecond).String(),
-		fmt.Sprint(st.PeakLevelFile),
-		fmt.Sprint(st.BytesRead+st.BytesWritten))
-	if st.Maximal != inCore.MaximalCliques {
-		return nil, fmt.Errorf("expt: storage tiers disagree: %d vs %d",
-			st.Maximal, inCore.MaximalCliques)
+	// The out-of-core rows sweep the engine's two levers — parallel
+	// shard joins and delta-varint level records — against the serial
+	// uncompressed baseline: the workers attack the join time, the
+	// encoding attacks the disk volume the paper calls the bottleneck.
+	for _, m := range []struct {
+		name string
+		opts ooc.Options
+	}{
+		{"out-of-core serial", ooc.Options{}},
+		{"out-of-core 4 workers", ooc.Options{Workers: 4}},
+		{"out-of-core compressed", ooc.Options{Compress: true}},
+		{"out-of-core 4w + compressed", ooc.Options{Workers: 4, Compress: true}},
+	} {
+		dir, err := os.MkdirTemp("", "repro-ablate-*")
+		if err != nil {
+			return nil, err
+		}
+		m.opts.Ctx = cfg.Ctx
+		m.opts.Dir = dir
+		start = time.Now()
+		st, err := ooc.Enumerate(g, m.opts)
+		os.RemoveAll(dir)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(m.name,
+			time.Since(start).Round(time.Millisecond).String(),
+			fmt.Sprint(st.PeakLevelFile),
+			fmt.Sprint(st.BytesRead+st.BytesWritten))
+		if st.Maximal != inCore.MaximalCliques {
+			return nil, fmt.Errorf("expt: storage tiers disagree (%s): %d vs %d",
+				m.name, st.Maximal, inCore.MaximalCliques)
+		}
 	}
 	t.Notes = append(t.Notes,
-		"paper: the out-of-core variant could not finish genome-scale runs; disk I/O was the bottleneck")
+		"paper: the out-of-core variant could not finish genome-scale runs; disk I/O was the bottleneck;",
+		"the compressed rows cut the bytes moved, the worker rows cut the join time")
 	return t, nil
 }
 

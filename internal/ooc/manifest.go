@@ -1,0 +1,146 @@
+package ooc
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/graph"
+)
+
+// manifestName is the checkpoint descriptor inside a run directory.  It
+// is rewritten atomically (tmp + rename) at every level boundary, so a
+// run killed at any instant leaves either the previous or the next
+// consistent checkpoint — never a torn one.  See DESIGN.md §0c for the
+// crash-ordering invariant (outputs durable before the manifest names
+// them, inputs deleted only after).
+const manifestName = "ooc-manifest.json"
+
+// manifestVersion guards the on-disk format (shard encoding + manifest
+// schema together).
+const manifestVersion = 1
+
+// manifest is the per-run checkpoint written at each level boundary: the
+// next level to join, its shard files, the cumulative statistics through
+// that boundary, and the identity of the graph the level files were
+// derived from.
+type manifest struct {
+	Version  int         `json:"version"`
+	Compress bool        `json:"compress"`
+	K        int         `json:"k"` // clique size of Shards' records (next join input)
+	MaxK     int         `json:"max_k,omitempty"`
+	Shards   []shardMeta `json:"shards"`
+	Stats    Stats       `json:"stats"`
+	GraphN   int         `json:"graph_n"`
+	GraphM   int         `json:"graph_m"`
+	// GraphHash fingerprints the canonical edge stream (FNV-1a), so a
+	// checkpoint cannot silently resume against a different graph.
+	GraphHash string `json:"graph_hash"`
+}
+
+// Fingerprint hashes the graph's canonical edge stream; Resume refuses a
+// checkpoint whose fingerprint does not match the graph handed to it.
+func Fingerprint(g graph.Interface) string {
+	h := fnv.New64a()
+	var buf [8]byte
+	binary.LittleEndian.PutUint32(buf[:4], uint32(g.N()))
+	binary.LittleEndian.PutUint32(buf[4:], uint32(g.M()))
+	h.Write(buf[:])
+	graph.ForEachEdge(g, func(u, v int) bool {
+		binary.LittleEndian.PutUint32(buf[:4], uint32(u))
+		binary.LittleEndian.PutUint32(buf[4:], uint32(v))
+		h.Write(buf[:])
+		return true
+	})
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// writeManifest atomically replaces the run directory's manifest.
+func writeManifest(dir string, m *manifest) error {
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return fmt.Errorf("ooc: encode manifest: %w", err)
+	}
+	tmp := filepath.Join(dir, manifestName+".tmp")
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return fmt.Errorf("ooc: write manifest: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, manifestName)); err != nil {
+		return fmt.Errorf("ooc: commit manifest: %w", err)
+	}
+	return nil
+}
+
+// loadManifest reads and structurally validates a checkpoint manifest.
+func loadManifest(dir string) (*manifest, error) {
+	data, err := os.ReadFile(filepath.Join(dir, manifestName))
+	if err != nil {
+		return nil, fmt.Errorf("ooc: no resumable checkpoint in %s: %w", dir, err)
+	}
+	var m manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("ooc: corrupt manifest in %s: %w", dir, err)
+	}
+	if m.Version != manifestVersion {
+		return nil, fmt.Errorf("ooc: manifest version %d, this build reads %d", m.Version, manifestVersion)
+	}
+	if m.K < 2 {
+		return nil, fmt.Errorf("ooc: corrupt manifest: level size %d", m.K)
+	}
+	for _, s := range m.Shards {
+		if s.Path != filepath.Base(s.Path) || !strings.HasSuffix(s.Path, shardSuffix) {
+			return nil, fmt.Errorf("ooc: corrupt manifest: suspicious shard path %q", s.Path)
+		}
+		if s.Records < 0 || s.Bytes < shardHeaderLen {
+			return nil, fmt.Errorf("ooc: corrupt manifest: shard %s has %d records in %d bytes",
+				s.Path, s.Records, s.Bytes)
+		}
+	}
+	return &m, nil
+}
+
+// verifyShards stats every shard the manifest names, confirming presence
+// and exact size — the cheap pre-flight that catches a truncated or
+// tampered checkpoint before any join starts (record-level validation
+// happens during the joins themselves).
+func verifyShards(dir string, shards []shardMeta) error {
+	for _, s := range shards {
+		fi, err := os.Stat(filepath.Join(dir, s.Path))
+		if err != nil {
+			return fmt.Errorf("ooc: checkpoint shard missing: %w", err)
+		}
+		if fi.Size() != s.Bytes {
+			return fmt.Errorf("ooc: checkpoint shard %s is %d bytes, manifest says %d (truncated?)",
+				s.Path, fi.Size(), s.Bytes)
+		}
+	}
+	return nil
+}
+
+// removeStaleShards deletes shard files in dir that the manifest does
+// not list — the partial outputs of the level that was interrupted.
+// Only files matching the engine's naming pattern are touched.
+func removeStaleShards(dir string, keep []shardMeta) error {
+	listed := make(map[string]bool, len(keep))
+	for _, s := range keep {
+		listed[s.Path] = true
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return fmt.Errorf("ooc: scan checkpoint dir: %w", err)
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || listed[name] || !strings.HasSuffix(name, shardSuffix) {
+			continue
+		}
+		if err := os.Remove(filepath.Join(dir, name)); err != nil {
+			return fmt.Errorf("ooc: remove stale shard: %w", err)
+		}
+	}
+	return nil
+}

@@ -1,4 +1,4 @@
-// Package ooc implements an out-of-core, level-wise maximal clique
+// Package ooc implements the out-of-core, level-wise maximal clique
 // enumerator: the approach the paper used *before* moving to large
 // shared-memory machines.  Section 1: "To deal with such large memory
 // requirements we have previously developed an out-of-core algorithm
@@ -6,62 +6,100 @@
 // the algorithm could not finish after one week of execution ...
 // Intensive disk I/O access has been the major bottleneck."
 //
-// Levels live on disk: the file of canonical k-cliques is streamed
-// through memory one prefix run at a time, tail pairs are joined into
-// (k+1)-cliques written to the next level file, and the bitmap
-// common-neighbor test decides maximality as in package core.  Only one
-// prefix run (at most n cliques) is resident at a time, so memory stays
-// O(n) regardless of how many cliques a level holds — the I/O volume is
-// what explodes instead, and the Stats expose exactly that, which is the
-// comparison the in-core/out-of-core ablation benchmark draws.
+// Levels live on disk.  Each level — the sorted file of canonical
+// k-cliques — is stored as an ordered list of run-aligned shard files
+// (package-level comment in shard.go); shards are joined concurrently on
+// a persistent worker pool fed by the sched.Dispatcher, and shard
+// results are released in shard order through a sched.Sequencer, so the
+// emitted clique stream is byte-identical to the sequential one at any
+// worker count.  Records are optionally delta-varint encoded
+// (Options.Compress), attacking the disk I/O volume the paper names as
+// the bottleneck; Stats reports both the encoded bytes actually moved
+// and the fixed-width-equivalent raw bytes so the compression win is
+// measurable.  Only one prefix run per worker (at most n tails) plus the
+// in-flight shard window is resident at a time, so memory stays O(n·P)
+// regardless of how many cliques a level holds.
+//
+// Checkpointed runs (Options.Checkpoint) write a manifest at every level
+// boundary and keep their level files on cancellation or crash; Resume
+// continues such a run from its last completed level instead of
+// restarting — the answer to the paper's one-week-cutoff story.
 package ooc
 
 import (
-	"bufio"
 	"context"
-	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"os"
 	"path/filepath"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/bitset"
 	"repro/internal/clique"
 	"repro/internal/enumcfg"
 	"repro/internal/graph"
+	"repro/internal/sched"
 )
 
-// Options configures Enumerate.
+// Options configures Enumerate and Resume.
 type Options struct {
-	// Ctx, when non-nil, cancels the run: the record-streaming loop
-	// checks it every few thousand records, the current run's spill
-	// directory (and every level file in it) is removed on the way out,
-	// and Enumerate returns the partial Stats with an error wrapping
-	// ctx.Err().
+	// Ctx, when non-nil, cancels the run: the record-streaming loops
+	// check it every few thousand records and Enumerate returns the
+	// partial Stats with an error wrapping ctx.Err().  Plain runs remove
+	// their spill directory on the way out; checkpointed runs keep the
+	// last completed level and its manifest for Resume.
 	Ctx context.Context
-	// Dir is the spill directory (required); level files are created and
-	// deleted inside it.
+	// Dir is the spill directory (required).  Plain runs create a
+	// private temporary run directory inside it; checkpointed runs use
+	// Dir itself as the durable run directory.
 	Dir string
-	// Reporter receives maximal cliques (size >= 3, non-decreasing).
+	// Reporter receives maximal cliques (size >= 3, non-decreasing,
+	// canonical order within a size — identical at any worker count).
 	Reporter clique.Reporter
 	// MaxK stops after generating cliques of size MaxK (0 = run out).
 	MaxK int
-	// MaxLevelBytes aborts when a level file would exceed this size
-	// (0 = unlimited): the out-of-core analogue of the paper's one-week
-	// cutoff.
+	// MaxLevelBytes aborts when a level's files would exceed this many
+	// encoded bytes (0 = unlimited): the out-of-core analogue of the
+	// paper's one-week cutoff.  Aborted runs still report the bytes they
+	// actually moved.
 	MaxLevelBytes int64
 	// OnLevel, when non-nil, observes each generation step — the
 	// out-of-core counterpart of core.Options.OnLevel.
 	OnLevel func(LevelStats)
+	// Workers is the number of shard-join workers (0 or 1 = serial).
+	// The join is the CPU-bound part of the out-of-core loop; shards of
+	// one level are joined concurrently with results released in shard
+	// order, so the output stream does not depend on Workers.
+	Workers int
+	// Compress delta-varint encodes level records instead of storing
+	// fixed-width 4-byte vertices, typically shrinking level files
+	// severalfold on clique-rich graphs at a small encode/decode cost.
+	Compress bool
+	// Checkpoint makes the run resumable: Dir itself becomes the run
+	// directory, a manifest is committed at every level boundary, and on
+	// cancellation (or crash) the last completed level's files are kept
+	// so Resume can continue the run.  A successful run removes its
+	// manifest.  Dir must not already hold another run's checkpoint.
+	Checkpoint bool
+	// ShardBytes overrides the target encoded size of one shard file
+	// (0 = auto: the consumed level's size split ~8 ways per worker,
+	// clamped to [32 KiB, 32 MiB]).  Smaller shards mean finer dispatch
+	// granularity and a smaller in-order release window.
+	ShardBytes int64
 }
 
 // LevelStats describes one out-of-core generation step k -> k+1.
 type LevelStats struct {
-	FromK     int   // size of the consumed level's cliques
-	Cliques   int64 // cliques streamed from the consumed level file
-	FileBytes int64 // size of the consumed level file
-	NextBytes int64 // size of the produced level file
-	Maximal   int64 // maximal (k+1)-cliques reported this step
+	FromK        int   // size of the consumed level's cliques
+	Cliques      int64 // cliques streamed from the consumed level
+	Shards       int   // shard files the consumed level was stored in
+	FileBytes    int64 // encoded bytes of the consumed level
+	RawFileBytes int64 // fixed-width-equivalent bytes of the consumed level
+	NextBytes    int64 // encoded bytes of the produced level
+	RawNextBytes int64 // fixed-width-equivalent bytes of the produced level
+	Maximal      int64 // maximal (k+1)-cliques reported this step
 }
 
 // OptionsFromConfig derives out-of-core Options from the unified backend
@@ -74,297 +112,690 @@ func OptionsFromConfig(c enumcfg.Config) Options {
 		Dir:           c.Dir,
 		MaxK:          c.Hi,
 		MaxLevelBytes: c.SpillBudget,
+		Workers:       c.Workers,
+		Compress:      c.OOCCompress,
+		Checkpoint:    c.Checkpoint,
 	}
 }
 
-// Stats reports the run's I/O behavior.
+// Stats reports the run's I/O behavior.  All byte counters are true
+// I/O: bytes an aborted level already moved stay counted.
 type Stats struct {
-	Maximal       int64
-	BytesWritten  int64
-	BytesRead     int64
-	PeakLevelFile int64 // largest level file in bytes
-	Levels        int
-	Aborted       bool
+	Maximal         int64
+	BytesWritten    int64 // encoded bytes written to level files
+	RawBytesWritten int64 // fixed-width-equivalent payload bytes (the codec's baseline)
+	BytesRead       int64 // encoded bytes read back
+	PeakLevelFile   int64 // largest level (sum of its shards) in encoded bytes
+	Levels          int   // generation steps run
+	Shards          int64 // shard files produced
+	Aborted         bool  // a level was cut short (budget, cancel, or error)
+	Resumed         bool  // this run continued a checkpoint
 }
 
 // ErrSpillBudget is returned when MaxLevelBytes is exceeded.
-var ErrSpillBudget = fmt.Errorf("ooc: spill budget exceeded")
+var ErrSpillBudget = errors.New("ooc: spill budget exceeded")
 
-// levelWriter writes fixed-width k-clique records through a counting
-// buffered writer.
-type levelWriter struct {
-	f       *os.File
-	bw      *bufio.Writer
-	k       int
-	written int64
-	count   int64
-}
-
-func newLevelWriter(dir string, k int) (*levelWriter, error) {
-	f, err := os.CreateTemp(dir, fmt.Sprintf("level-%d-*.cliques", k))
-	if err != nil {
-		return nil, err
-	}
-	return &levelWriter{f: f, bw: bufio.NewWriterSize(f, 1<<20), k: k}, nil
-}
-
-func (w *levelWriter) write(c []uint32) error {
-	var buf [4]byte
-	for _, v := range c {
-		binary.LittleEndian.PutUint32(buf[:], v)
-		if _, err := w.bw.Write(buf[:]); err != nil {
-			return err
-		}
-	}
-	w.written += int64(4 * len(c))
-	w.count++
-	return nil
-}
-
-// finish flushes and reopens the file for reading.
-func (w *levelWriter) finish() (*levelReader, error) {
-	if err := w.bw.Flush(); err != nil {
-		return nil, err
-	}
-	if _, err := w.f.Seek(0, io.SeekStart); err != nil {
-		return nil, err
-	}
-	return &levelReader{
-		f:     w.f,
-		br:    bufio.NewReaderSize(w.f, 1<<20),
-		k:     w.k,
-		count: w.count,
-		bytes: w.written,
-	}, nil
-}
-
-// levelReader streams fixed-width k-clique records.
-type levelReader struct {
-	f     *os.File
-	br    *bufio.Reader
-	k     int
-	count int64
-	bytes int64
-	read  int64
-}
-
-// next reads one clique into dst (len k), reporting io.EOF at the end.
-func (r *levelReader) next(dst []uint32) error {
-	var buf [4]byte
-	for i := 0; i < r.k; i++ {
-		if _, err := io.ReadFull(r.br, buf[:]); err != nil {
-			if i == 0 && err == io.EOF {
-				return io.EOF
-			}
-			return fmt.Errorf("ooc: truncated level file: %w", err)
-		}
-		dst[i] = binary.LittleEndian.Uint32(buf[:])
-	}
-	r.read += int64(4 * r.k)
-	return nil
-}
-
-func (r *levelReader) close() error {
-	name := r.f.Name()
-	if err := r.f.Close(); err != nil {
-		return err
-	}
-	return os.Remove(name)
-}
+const shardSuffix = ".ooc"
 
 // Enumerate runs the out-of-core enumeration and returns its statistics.
 func Enumerate(g graph.Interface, opts Options) (Stats, error) {
-	var st Stats
-	if opts.Dir == "" {
-		return st, fmt.Errorf("ooc: Dir is required")
+	if err := normalizeOptions(&opts); err != nil {
+		return Stats{}, err
 	}
 	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
-		return st, err
+		return Stats{}, err
 	}
-	dir, err := os.MkdirTemp(opts.Dir, "ooc-run-*")
-	if err != nil {
-		return st, err
-	}
-	defer os.RemoveAll(dir)
-
-	// Level 2: spill all edges in canonical order.
-	w, err := newLevelWriter(dir, 2)
-	if err != nil {
-		return st, err
-	}
-	writeErr := error(nil)
-	graph.ForEachEdge(g, func(u, v int) bool {
-		writeErr = w.write([]uint32{uint32(u), uint32(v)})
-		return writeErr == nil
-	})
-	if writeErr != nil {
-		return st, writeErr
-	}
-	st.BytesWritten += w.written
-
-	cur, err := w.finish()
-	if err != nil {
-		return st, err
-	}
-
-	cn := bitset.New(g.N())
-	cnNext := bitset.New(g.N())
-	emitBuf := make(clique.Clique, 0, 16)
-	for cur.count > 0 {
-		if opts.MaxK > 0 && cur.k >= opts.MaxK {
-			break
+	dir := opts.Dir
+	if opts.Checkpoint {
+		if _, err := os.Stat(filepath.Join(dir, manifestName)); err == nil {
+			return Stats{}, fmt.Errorf(
+				"ooc: %s already holds a checkpoint; Resume it or remove %s", dir, manifestName)
 		}
-		if opts.Ctx != nil && opts.Ctx.Err() != nil {
-			cur.close()
-			return st, fmt.Errorf("ooc: canceled before level %d->%d: %w",
-				cur.k, cur.k+1, opts.Ctx.Err())
-		}
-		st.Levels++
-		if cur.bytes > st.PeakLevelFile {
-			st.PeakLevelFile = cur.bytes
-		}
-		lst := LevelStats{FromK: cur.k, Cliques: cur.count, FileBytes: cur.bytes}
-		maxBefore := st.Maximal
-		next, nst, err := generateLevel(g, dir, cur, cn, cnNext, emitBuf, opts, &st)
-		st.BytesRead += cur.read
-		if cerr := cur.close(); cerr != nil && err == nil {
-			err = cerr
-		}
+	} else {
+		d, err := os.MkdirTemp(opts.Dir, "ooc-run-*")
 		if err != nil {
-			return st, err
+			return Stats{}, err
 		}
-		st.BytesWritten += nst
-		if opts.OnLevel != nil {
-			lst.NextBytes = nst
-			lst.Maximal = st.Maximal - maxBefore
-			opts.OnLevel(lst)
+		dir = d
+	}
+	e := newEngine(g, opts, dir)
+	if opts.Checkpoint {
+		e.fp = Fingerprint(g)
+	}
+	st, err := e.enumerate()
+	if !opts.Checkpoint {
+		// Plain runs never leave spill files behind, success or not; a
+		// failing removal is surfaced, not swallowed.
+		if rerr := os.RemoveAll(dir); rerr != nil {
+			err = errors.Join(err, fmt.Errorf("ooc: removing spill dir: %w", rerr))
 		}
-		cur = next
 	}
-	st.BytesRead += cur.read
-	if err := cur.close(); err != nil {
-		return st, err
-	}
-	return st, nil
+	return st, err
 }
 
-// generateLevel streams one level file, joining prefix runs into the next
-// level and reporting maximal (k+1)-cliques.
-func generateLevel(g graph.Interface, dir string, cur *levelReader,
-	cn, cnNext *bitset.Bitset, emitBuf clique.Clique,
-	opts Options, st *Stats) (*levelReader, int64, error) {
-
-	w, err := newLevelWriter(dir, cur.k+1)
+// Resume continues a checkpointed run from the manifest in opts.Dir.
+// The graph must be the one the checkpoint was written for (verified by
+// fingerprint).  The record encoding and, when not overridden, MaxK are
+// adopted from the manifest; cumulative Stats continue from the
+// checkpoint, so a resumed run's final Stats match an uninterrupted
+// run's.  The interrupted level is re-joined from its beginning, so its
+// cliques are re-emitted: the resumed stream is exactly the uninterrupted
+// stream from the first clique of size K+1 (the manifest's level) on.
+func Resume(g graph.Interface, opts Options) (Stats, error) {
+	opts.Checkpoint = true
+	if err := normalizeOptions(&opts); err != nil {
+		return Stats{}, err
+	}
+	m, err := loadManifest(opts.Dir)
 	if err != nil {
-		return nil, 0, err
+		return Stats{}, err
 	}
-	fail := func(err error) (*levelReader, int64, error) {
-		name := w.f.Name()
-		w.f.Close()
-		os.Remove(name)
-		return nil, 0, err
+	fp := Fingerprint(g)
+	if m.GraphN != g.N() || m.GraphM != g.M() || m.GraphHash != fp {
+		return Stats{}, fmt.Errorf(
+			"ooc: checkpoint in %s was written for a different graph (manifest n=%d m=%d hash=%s, graph n=%d m=%d hash=%s)",
+			opts.Dir, m.GraphN, m.GraphM, m.GraphHash, g.N(), g.M(), fp)
 	}
+	if err := verifyShards(opts.Dir, m.Shards); err != nil {
+		return Stats{}, err
+	}
+	// Partial outputs of the interrupted level are discarded; the level
+	// re-runs from its durable input.
+	if err := removeStaleShards(opts.Dir, m.Shards); err != nil {
+		return Stats{}, err
+	}
+	opts.Compress = m.Compress
+	if opts.MaxK == 0 {
+		opts.MaxK = m.MaxK
+	}
+	e := newEngine(g, opts, opts.Dir)
+	e.fp = fp // already computed for the guard; skip the second edge scan
+	e.restore(m)
+	return e.run(m.Shards, m.K)
+}
 
-	// run holds the current prefix run: cliques sharing the first k-1
-	// vertices.  At most n tails, so memory stays O(n).
-	k := cur.k
-	prefix := make([]uint32, k-1)
-	var tails []uint32
-	rec := make([]uint32, k)
+func normalizeOptions(opts *Options) error {
+	if opts.Dir == "" {
+		return fmt.Errorf("ooc: Dir is required")
+	}
+	if opts.Workers <= 0 {
+		opts.Workers = 1
+	}
+	if opts.ShardBytes < 0 {
+		return fmt.Errorf("ooc: negative ShardBytes %d", opts.ShardBytes)
+	}
+	if opts.Ctx == nil {
+		opts.Ctx = context.Background()
+	}
+	return nil
+}
 
-	flush := func() error {
-		if len(tails) == 0 {
-			return nil
+// engine is one run's state: the pool, the I/O counters (atomics — the
+// workers account for bytes the instant they move, which is what keeps
+// aborted runs truthful), and the level cursor.
+type engine struct {
+	g    graph.Interface
+	opts Options
+	ctx  context.Context
+	dir  string
+	fp   string // graph fingerprint (checkpointed runs only)
+
+	written    atomic.Int64
+	rawWritten atomic.Int64
+	read       atomic.Int64
+	shardSeq   atomic.Int64
+
+	// Mutated only in-order: under the sequencer lock during a level,
+	// by the coordinator between levels.
+	maximal     int64
+	levels      int
+	shardsTotal int64
+	peak        int64
+	aborted     bool
+	resumed     bool
+	checkpinned bool // a manifest has been committed
+
+	workers []*oocWorker
+	poolWG  sync.WaitGroup
+}
+
+func newEngine(g graph.Interface, opts Options, dir string) *engine {
+	return &engine{g: g, opts: opts, ctx: opts.Ctx, dir: dir}
+}
+
+// restore loads the cumulative counters of a checkpoint, so the resumed
+// run's Stats continue where the interrupted run's boundary left off.
+func (e *engine) restore(m *manifest) {
+	e.maximal = m.Stats.Maximal
+	e.written.Store(m.Stats.BytesWritten)
+	e.rawWritten.Store(m.Stats.RawBytesWritten)
+	e.read.Store(m.Stats.BytesRead)
+	e.peak = m.Stats.PeakLevelFile
+	e.levels = m.Stats.Levels
+	e.shardsTotal = m.Stats.Shards
+	e.resumed = true
+	e.checkpinned = true
+}
+
+func (e *engine) stats() Stats {
+	return Stats{
+		Maximal:         e.maximal,
+		BytesWritten:    e.written.Load(),
+		RawBytesWritten: e.rawWritten.Load(),
+		BytesRead:       e.read.Load(),
+		PeakLevelFile:   e.peak,
+		Levels:          e.levels,
+		Shards:          e.shardsTotal,
+		Aborted:         e.aborted,
+		Resumed:         e.resumed,
+	}
+}
+
+// enumerate is the fresh-run entry: spill the edge level, then run the
+// level loop from k=2.
+func (e *engine) enumerate() (Stats, error) {
+	shards, err := e.spillEdges()
+	if err != nil {
+		return e.stats(), err
+	}
+	return e.run(shards, 2)
+}
+
+// run drives the level loop from the given level until no candidates
+// remain (or MaxK / cancellation / the spill budget stops it).
+func (e *engine) run(shards []shardMeta, k int) (Stats, error) {
+	e.startPool()
+	defer e.stopPool()
+	if e.opts.Checkpoint && !e.checkpinned {
+		if err := e.writeCheckpoint(shards, k); err != nil {
+			return e.stats(), err
 		}
-		// CN of the shared prefix (k-1 ANDs over adjacency rows; for
-		// k=2 the "prefix" is one vertex).
-		graph.CommonNeighbors(g, cn, toInts(prefix))
-		for i := 0; i < len(tails)-1; i++ {
-			v := int(tails[i])
-			rv := g.Row(v)
-			rv.AndInto(cnNext, cn)
-			for j := i + 1; j < len(tails); j++ {
-				u := int(tails[j])
-				if !rv.Test(u) {
-					continue
-				}
-				if g.Row(u).IntersectsWith(cnNext) {
-					// Non-maximal: spill as a next-level candidate.
-					rec2 := append(append(append([]uint32{}, prefix...), tails[i]), tails[j])
-					if err := w.write(rec2); err != nil {
-						return err
-					}
-					if opts.MaxLevelBytes > 0 && w.written > opts.MaxLevelBytes {
-						st.Aborted = true
-						return ErrSpillBudget
-					}
-				} else if k+1 >= 3 {
-					st.Maximal++
-					if opts.Reporter != nil {
-						emitBuf = emitBuf[:0]
-						for _, p := range prefix {
-							emitBuf = append(emitBuf, int(p))
-						}
-						emitBuf = append(emitBuf, v, u)
-						opts.Reporter.Emit(emitBuf)
-					}
-				}
+	}
+	for levelRecords(shards) > 0 {
+		if e.opts.MaxK > 0 && k >= e.opts.MaxK {
+			break
+		}
+		if err := e.ctx.Err(); err != nil {
+			// Between levels the checkpoint is already durable; just
+			// stop.  Plain runs are cleaned up by Enumerate.
+			return e.stats(), fmt.Errorf("ooc: canceled before level %d->%d: %w", k, k+1, err)
+		}
+		next, err := e.runLevel(shards, k)
+		if err != nil {
+			return e.stats(), err
+		}
+		// Crash-ordering: the produced level is durable before the
+		// manifest names it, and the consumed level is deleted only
+		// after the manifest commits — whatever instant a kill lands,
+		// the directory holds one consistent, resumable level.
+		if e.opts.Checkpoint {
+			if err := e.writeCheckpoint(next, k+1); err != nil {
+				return e.stats(), err
 			}
 		}
-		tails = tails[:0]
+		if err := e.removeShards(shards); err != nil {
+			return e.stats(), err
+		}
+		shards, k = next, k+1
+	}
+	// Completion mirrors the boundary ordering: retire the manifest
+	// BEFORE deleting the shards it names.  A kill between the two
+	// leaves stray (unreferenced) shard files, never a manifest naming
+	// deleted ones — the checkpoint is always either resumable or gone.
+	if e.opts.Checkpoint {
+		if err := os.Remove(filepath.Join(e.dir, manifestName)); err != nil && !os.IsNotExist(err) {
+			return e.stats(), fmt.Errorf("ooc: removing completed checkpoint: %w", err)
+		}
+	}
+	if err := e.removeShards(shards); err != nil {
+		return e.stats(), err
+	}
+	return e.stats(), nil
+}
+
+func (e *engine) writeCheckpoint(shards []shardMeta, k int) error {
+	st := e.stats()
+	st.Aborted = false
+	if err := writeManifest(e.dir, &manifest{
+		Version:   manifestVersion,
+		Compress:  e.opts.Compress,
+		K:         k,
+		MaxK:      e.opts.MaxK,
+		Shards:    shards,
+		Stats:     st,
+		GraphN:    e.g.N(),
+		GraphM:    e.g.M(),
+		GraphHash: e.fp,
+	}); err != nil {
+		return err
+	}
+	e.checkpinned = true
+	return nil
+}
+
+func (e *engine) removeShards(shards []shardMeta) error {
+	var errs []error
+	for _, s := range shards {
+		if err := os.Remove(filepath.Join(e.dir, s.Path)); err != nil {
+			errs = append(errs, fmt.Errorf("ooc: remove consumed level file: %w", err))
+		}
+	}
+	return errors.Join(errs...)
+}
+
+func (e *engine) nextShardName(k int) string {
+	return fmt.Sprintf("l%03d-%06d%s", k, e.shardSeq.Add(1), shardSuffix)
+}
+
+// shardTarget sizes the next level's shards from the consumed level's
+// encoded bytes: about eight shards per worker, so the dispatcher has
+// slack to balance skewed shard costs, clamped so tiny levels are not
+// pulverized and huge ones are not monolithic.
+func (e *engine) shardTarget(consumedBytes int64) int64 {
+	if e.opts.ShardBytes > 0 {
+		return e.opts.ShardBytes
+	}
+	t := consumedBytes / int64(8*e.opts.Workers)
+	const minTarget = 32 << 10
+	const maxTarget = 32 << 20
+	if t < minTarget {
+		t = minTarget
+	}
+	if t > maxTarget {
+		t = maxTarget
+	}
+	return t
+}
+
+// spillEdges writes level 2 — every edge in canonical order — through
+// the sharding writer.
+func (e *engine) spillEdges() ([]shardMeta, error) {
+	var levelOut atomic.Int64
+	var created []string
+	lw := newLevelWriter(e.dir, 2, e.opts.Compress, e.shardTarget(8*int64(e.g.M())),
+		func() (string, error) {
+			name := e.nextShardName(2)
+			created = append(created, name)
+			return name, nil
+		},
+		e.accountWrite(&levelOut, 2))
+	var rec [2]uint32
+	var werr error
+	cnt := 0
+	graph.ForEachEdge(e.g, func(u, v int) bool {
+		if cnt&4095 == 0 && e.ctx.Err() != nil {
+			werr = fmt.Errorf("ooc: canceled during edge spill: %w", e.ctx.Err())
+			return false
+		}
+		cnt++
+		rec[0], rec[1] = uint32(u), uint32(v)
+		werr = lw.write(rec[:])
+		return werr == nil
+	})
+	if werr != nil {
+		e.aborted = true
+		errs := []error{werr, lw.abort()}
+		for _, name := range created {
+			if err := os.Remove(filepath.Join(e.dir, name)); err != nil {
+				errs = append(errs, fmt.Errorf("ooc: remove aborted edge spill: %w", err))
+			}
+		}
+		return nil, errors.Join(errs...)
+	}
+	shards, err := lw.finish()
+	if err != nil {
+		return nil, err
+	}
+	e.shardsTotal += int64(len(shards))
+	return shards, nil
+}
+
+// accountWrite builds the onWrite hook for one level: global I/O
+// counters first (they must be truthful even if this very write aborts
+// the level), then the per-level spill budget.
+func (e *engine) accountWrite(levelOut *atomic.Int64, nextK int) func(enc, raw int64) error {
+	budget := e.opts.MaxLevelBytes
+	return func(enc, raw int64) error {
+		e.written.Add(enc)
+		e.rawWritten.Add(raw)
+		if budget > 0 && levelOut.Add(enc) > budget {
+			return fmt.Errorf("%w: level %d would pass %d bytes", ErrSpillBudget, nextK, budget)
+		}
 		return nil
 	}
+}
 
-	for rec64 := 0; ; rec64++ {
-		// Cancellation point: every 4096 records, so latency stays
-		// bounded even when one level file holds millions of cliques.
-		if opts.Ctx != nil && rec64&4095 == 0 && opts.Ctx.Err() != nil {
-			st.Aborted = true
-			return fail(fmt.Errorf("ooc: canceled during level %d->%d: %w",
-				k, k+1, opts.Ctx.Err()))
+// levelJob is one level's work order, broadcast to the pool.
+type levelJob struct {
+	k       int
+	shards  []shardMeta
+	disp    *sched.Dispatcher
+	seq     *sched.Sequencer[*shardResult]
+	ctx     context.Context
+	cancel  context.CancelFunc
+	target  int64
+	collect bool
+	onWrite func(enc, raw int64) error
+	wg      sync.WaitGroup
+
+	mu       sync.Mutex
+	files    []string // next-level shard files created (for failure cleanup)
+	firstErr error
+}
+
+// fail records the level's first error and cancels the level context so
+// the other workers stop pulling work.  Later "canceled" errors from
+// peers reacting to that cancel are discarded.
+func (j *levelJob) fail(err error) {
+	j.mu.Lock()
+	if j.firstErr == nil {
+		j.firstErr = err
+	}
+	j.mu.Unlock()
+	j.cancel()
+}
+
+func (j *levelJob) addFile(name string) {
+	j.mu.Lock()
+	j.files = append(j.files, name)
+	j.mu.Unlock()
+}
+
+// shardResult is one input shard's join output: the next-level shards it
+// wrote, its maximal-clique emissions (a flat vertex arena — no
+// per-clique allocation), and the count.
+type shardResult struct {
+	out       []shardMeta
+	maximal   int64
+	emitVerts []int
+	emitOff   []int32
+}
+
+// runLevel joins one level's shards on the pool and returns the next
+// level's shard list.
+func (e *engine) runLevel(shards []shardMeta, k int) ([]shardMeta, error) {
+	e.levels++
+	encB, rawB := levelBytes(shards)
+	if encB > e.peak {
+		e.peak = encB
+	}
+	lst := LevelStats{
+		FromK:        k,
+		Cliques:      levelRecords(shards),
+		Shards:       len(shards),
+		FileBytes:    encB,
+		RawFileBytes: rawB,
+	}
+	maxBefore := e.maximal
+
+	loads := make([]int64, len(shards))
+	for i, s := range shards {
+		loads[i] = s.Records
+	}
+	lctx, cancel := context.WithCancel(e.ctx)
+	defer cancel()
+	var levelOut atomic.Int64
+	job := &levelJob{
+		k:       k,
+		shards:  shards,
+		disp:    sched.NewContiguousDispatcher(loads, e.opts.Workers, 1),
+		ctx:     lctx,
+		cancel:  cancel,
+		target:  e.shardTarget(encB),
+		collect: e.opts.Reporter != nil,
+		onWrite: e.accountWrite(&levelOut, k+1),
+	}
+	var nextShards []shardMeta
+	// Release in shard order: emission order is exactly the sequential
+	// order, and the next level's shard list is assembled in global run
+	// order.  Maximal counts accrue on release, so an aborted level
+	// counts only the cliques actually delivered.
+	job.seq = sched.NewSequencer(len(shards), func(_ int, res *shardResult) {
+		e.maximal += res.maximal
+		if e.opts.Reporter != nil {
+			start := int32(0)
+			for _, end := range res.emitOff {
+				e.opts.Reporter.Emit(clique.Clique(res.emitVerts[start:end]))
+				start = end
+			}
 		}
-		err := cur.next(rec)
+		nextShards = append(nextShards, res.out...)
+	})
+	job.wg.Add(len(e.workers))
+	for _, w := range e.workers {
+		w.jobs <- job
+	}
+	job.wg.Wait()
+
+	job.mu.Lock()
+	err := job.firstErr
+	files := job.files
+	job.mu.Unlock()
+	if err == nil {
+		if cerr := e.ctx.Err(); cerr != nil {
+			err = fmt.Errorf("ooc: canceled during level %d->%d: %w", k, k+1, cerr)
+		}
+	}
+	if err != nil {
+		e.aborted = true
+		// Discard the partial next level; the consumed level (and, when
+		// checkpointing, the manifest pointing at it) stays for Resume.
+		errs := []error{err}
+		for _, name := range files {
+			if rerr := os.Remove(filepath.Join(e.dir, name)); rerr != nil && !os.IsNotExist(rerr) {
+				errs = append(errs, fmt.Errorf("ooc: remove aborted level file: %w", rerr))
+			}
+		}
+		return nil, errors.Join(errs...)
+	}
+
+	nst, nraw := levelBytes(nextShards)
+	lst.NextBytes, lst.RawNextBytes = nst, nraw
+	lst.Maximal = e.maximal - maxBefore
+	if e.opts.OnLevel != nil {
+		e.opts.OnLevel(lst)
+	}
+	e.shardsTotal += int64(len(nextShards))
+	return nextShards, nil
+}
+
+func (e *engine) startPool() {
+	if e.workers != nil {
+		return
+	}
+	n := e.g.N()
+	e.workers = make([]*oocWorker, e.opts.Workers)
+	for i := range e.workers {
+		w := &oocWorker{
+			id:     i,
+			e:      e,
+			jobs:   make(chan *levelJob, 1),
+			cn:     bitset.New(n),
+			cnNext: bitset.New(n),
+		}
+		e.workers[i] = w
+		e.poolWG.Add(1)
+		go w.loop()
+	}
+}
+
+func (e *engine) stopPool() {
+	for _, w := range e.workers {
+		close(w.jobs)
+	}
+	e.poolWG.Wait()
+}
+
+// oocWorker is one persistent pool thread.  Its bitmaps and record
+// scratch live for the whole run, so the spill hot loop allocates
+// nothing per record (pinned by TestJoinHotLoopAllocs).
+type oocWorker struct {
+	id   int
+	e    *engine
+	jobs chan *levelJob
+
+	cn, cnNext *bitset.Bitset
+	rec        []uint32
+	prefix     []uint32
+	tails      []uint32
+	rec2       []uint32 // spill record scratch (the old per-record rec2 allocation, hoisted)
+	prefixInts []int
+}
+
+func (w *oocWorker) loop() {
+	defer w.e.poolWG.Done()
+	for job := range w.jobs {
+		w.runJob(job)
+		job.wg.Done()
+	}
+}
+
+func (w *oocWorker) runJob(job *levelJob) {
+	for {
+		if job.ctx.Err() != nil {
+			return
+		}
+		chunk, ok := job.disp.Next(w.id)
+		if !ok {
+			return
+		}
+		for _, si := range chunk.Items {
+			res, err := w.processShard(job, si)
+			if err != nil {
+				job.fail(err)
+				return
+			}
+			job.seq.Deposit(si, res)
+		}
+	}
+}
+
+// processShard streams one input shard, joining its prefix runs and
+// writing next-level candidates through its own sharding writer (output
+// shards of consecutive input shards concatenate in order — the
+// run-aligned range-sharding invariant).
+func (w *oocWorker) processShard(job *levelJob, si int) (res *shardResult, err error) {
+	e := w.e
+	k := job.k
+	r, err := openShard(e.dir, job.shards[si], k, e.g.N(), e.opts.Compress)
+	if err != nil {
+		return nil, err
+	}
+	defer func() {
+		e.read.Add(r.bytesRead())
+		if cerr := r.close(); cerr != nil {
+			err = errors.Join(err, cerr)
+			res = nil
+		}
+	}()
+	out := newLevelWriter(e.dir, k+1, e.opts.Compress, job.target,
+		func() (string, error) {
+			name := e.nextShardName(k + 1)
+			job.addFile(name)
+			return name, nil
+		},
+		job.onWrite)
+	defer func() {
+		if err != nil {
+			err = errors.Join(err, out.abort())
+		}
+	}()
+
+	res = &shardResult{}
+	rec := growU32(&w.rec, k)
+	prefix := growU32(&w.prefix, k-1)
+	tails := w.tails[:0]
+	defer func() { w.tails = tails[:0] }() // keep grown capacity for the next shard
+	for i := int64(0); ; i++ {
+		// Cancellation point: every 4096 records, so abort latency stays
+		// bounded even when one shard holds millions of cliques.
+		if i&4095 == 0 && job.ctx.Err() != nil {
+			return nil, fmt.Errorf("ooc: canceled during level %d->%d: %w", k, k+1, job.ctx.Err())
+		}
+		err := r.next(rec)
 		if err == io.EOF {
 			break
 		}
 		if err != nil {
-			return fail(err)
+			return nil, err
 		}
 		if len(tails) > 0 && !equalPrefix(prefix, rec[:k-1]) {
-			if err := flush(); err != nil {
-				return fail(err)
+			if err := w.joinRun(job, res, out, k, prefix, tails); err != nil {
+				return nil, err
 			}
+			tails = tails[:0]
 		}
 		copy(prefix, rec[:k-1])
 		tails = append(tails, rec[k-1])
 	}
-	if err := flush(); err != nil {
-		return fail(err)
-	}
-
-	written := w.written
-	next, err := w.finish()
-	if err != nil {
-		return nil, 0, err
-	}
-	return next, written, nil
-}
-
-func equalPrefix(a, b []uint32) bool {
-	for i := range a {
-		if a[i] != b[i] {
-			return false
+	if len(tails) > 0 {
+		if err := w.joinRun(job, res, out, k, prefix, tails); err != nil {
+			return nil, err
 		}
 	}
-	return true
+	metas, err := out.finish()
+	if err != nil {
+		return nil, err
+	}
+	res.out = metas
+	return res, nil
 }
 
-func toInts(vs []uint32) []int {
-	out := make([]int, len(vs))
-	for i, v := range vs {
-		out[i] = int(v)
+// joinRun joins one prefix run: the current run's tails are pairwise
+// tested; survivors spill as (k+1)-candidates, dead ends of size >= 3
+// are maximal and buffered for in-order emission.  All scratch is
+// worker-owned — the hot loop allocates only when an emission arena
+// grows.
+func (w *oocWorker) joinRun(job *levelJob, res *shardResult, out *levelWriter,
+	k int, prefix, tails []uint32) error {
+	g := w.e.g
+	pi := w.prefixInts[:0]
+	for _, p := range prefix {
+		pi = append(pi, int(p))
 	}
-	return out
+	w.prefixInts = pi
+	// CN of the shared prefix (k-1 ANDs over adjacency rows; for k=2 the
+	// "prefix" is one vertex).
+	graph.CommonNeighbors(g, w.cn, pi)
+	rec2 := growU32(&w.rec2, k+1)
+	copy(rec2, prefix)
+	for i := 0; i < len(tails)-1; i++ {
+		v := int(tails[i])
+		rv := g.Row(v)
+		rv.AndInto(w.cnNext, w.cn)
+		rec2[k-1] = tails[i]
+		for j := i + 1; j < len(tails); j++ {
+			u := int(tails[j])
+			if !rv.Test(u) {
+				continue
+			}
+			if g.Row(u).IntersectsWith(w.cnNext) {
+				// Non-maximal: spill as a next-level candidate.
+				rec2[k] = tails[j]
+				if err := out.write(rec2); err != nil {
+					return err
+				}
+			} else if k+1 >= 3 {
+				res.maximal++
+				if job.collect {
+					for _, p := range prefix {
+						res.emitVerts = append(res.emitVerts, int(p))
+					}
+					res.emitVerts = append(res.emitVerts, v, u)
+					res.emitOff = append(res.emitOff, int32(len(res.emitVerts)))
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func growU32(buf *[]uint32, n int) []uint32 {
+	if cap(*buf) < n {
+		*buf = make([]uint32, n)
+	}
+	*buf = (*buf)[:n]
+	return *buf
 }
 
 // SpillPath returns a default spill directory under the OS temp dir.

@@ -1,8 +1,10 @@
 package ooc
 
 import (
+	"context"
 	"errors"
 	"math/rand"
+	"os"
 	"testing"
 
 	"repro/internal/clique"
@@ -98,13 +100,223 @@ func TestIOVolumeExceedsInCorePeak(t *testing.T) {
 func TestSpillBudgetAborts(t *testing.T) {
 	rng := rand.New(rand.NewSource(125))
 	g := graph.PlantedGraph(rng, 60, []graph.PlantedCliqueSpec{{Size: 10}}, 100)
-	st, err := Enumerate(g, Options{Dir: t.TempDir(), MaxLevelBytes: 256})
+	for _, workers := range []int{1, 4} {
+		st, err := Enumerate(g, Options{Dir: t.TempDir(), MaxLevelBytes: 256, Workers: workers})
+		if !errors.Is(err, ErrSpillBudget) {
+			t.Fatalf("workers=%d: err = %v, want ErrSpillBudget", workers, err)
+		}
+		if !st.Aborted {
+			t.Errorf("workers=%d: Aborted flag not set", workers)
+		}
+		// The aborted run must report the I/O it actually performed: the
+		// level tripped the budget, so at least budget bytes moved.
+		if st.BytesWritten <= 256 {
+			t.Errorf("workers=%d: aborted run reports %d bytes written, want > budget", workers, st.BytesWritten)
+		}
+	}
+}
+
+// TestSpillBudgetAbortsMidJoin forces the abort into the join of a
+// later level (not the edge spill) and checks the accounting still
+// covers the bytes the aborted level already wrote — the fix for the
+// old fail() path that removed the file without accounting.
+func TestSpillBudgetAbortsMidJoin(t *testing.T) {
+	rng := rand.New(rand.NewSource(129))
+	g := graph.PlantedGraph(rng, 60, []graph.PlantedCliqueSpec{{Size: 10}}, 100)
+	// A budget the edge level fits under but a later level must exceed.
+	edgeBytes := int64(8*g.M()) + shardHeaderLen
+	full, err := Enumerate(g, Options{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.PeakLevelFile <= edgeBytes {
+		t.Fatalf("test graph too small: peak level %d not past the edge level %d", full.PeakLevelFile, edgeBytes)
+	}
+	st, err := Enumerate(g, Options{Dir: t.TempDir(), MaxLevelBytes: edgeBytes})
 	if !errors.Is(err, ErrSpillBudget) {
 		t.Fatalf("err = %v, want ErrSpillBudget", err)
 	}
 	if !st.Aborted {
 		t.Error("Aborted flag not set")
 	}
+	// Edge level + the aborted join level's writes must both be counted.
+	if st.BytesWritten <= edgeBytes {
+		t.Errorf("aborted run reports %d bytes written; the aborted level's writes (> %d) are missing",
+			st.BytesWritten, edgeBytes)
+	}
+	if st.Levels == 0 || st.BytesRead == 0 {
+		t.Errorf("aborted run lost level/read accounting: %+v", st)
+	}
+}
+
+// orderedKeys runs Enumerate and returns the emitted stream as ordered
+// keys, failing on any error.
+func orderedKeys(t *testing.T, g graph.Interface, opts Options) ([]string, Stats) {
+	t.Helper()
+	var keys []string
+	opts.Reporter = clique.ReporterFunc(func(c clique.Clique) {
+		keys = append(keys, c.Key())
+	})
+	if opts.Dir == "" {
+		opts.Dir = t.TempDir()
+	}
+	st, err := Enumerate(g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return keys, st
+}
+
+// TestParallelCompressedParity is the engine's acceptance property: any
+// combination of workers, record encoding, and shard granularity emits
+// the byte-identical ordered clique stream the serial raw run emits.
+func TestParallelCompressedParity(t *testing.T) {
+	rng := rand.New(rand.NewSource(127))
+	for trial := 0; trial < 3; trial++ {
+		g := graph.PlantedGraph(rng, 90, []graph.PlantedCliqueSpec{
+			{Size: 10}, {Size: 7, Overlap: 3}, {Size: 6},
+		}, 200)
+		want, _ := orderedKeys(t, g, Options{})
+		if len(want) == 0 {
+			t.Fatal("reference run found no cliques")
+		}
+		for _, c := range []struct {
+			name string
+			opts Options
+		}{
+			{"parallel", Options{Workers: 4}},
+			{"compressed", Options{Compress: true}},
+			{"parallel-compressed", Options{Workers: 4, Compress: true}},
+			{"tiny-shards", Options{Workers: 4, Compress: true, ShardBytes: 64}},
+			{"parallel-checkpoint", Options{Workers: 3, Checkpoint: true, Dir: t.TempDir()}},
+			{"many-workers", Options{Workers: 16, ShardBytes: 256}},
+		} {
+			got, _ := orderedKeys(t, g, c.opts)
+			if len(got) != len(want) {
+				t.Fatalf("trial %d %s: %d cliques, want %d", trial, c.name, len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("trial %d %s: stream diverges at %d: got {%s}, want {%s}",
+						trial, c.name, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestRepresentationParity joins over every graph representation with
+// and without workers — the cross-layer property `make race` exercises
+// under the race detector.
+func TestRepresentationParity(t *testing.T) {
+	rng := rand.New(rand.NewSource(128))
+	dense := graph.PlantedGraph(rng, 70, []graph.PlantedCliqueSpec{
+		{Size: 9}, {Size: 6, Overlap: 2},
+	}, 120)
+	want, _ := orderedKeys(t, dense, Options{})
+	for _, rep := range []graph.Representation{graph.Dense, graph.CSR, graph.Compressed} {
+		gg, err := graph.Convert(dense, rep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{1, 4} {
+			got, _ := orderedKeys(t, gg, Options{Workers: workers, ShardBytes: 512, Compress: true})
+			if len(got) != len(want) {
+				t.Fatalf("%s workers=%d: %d cliques, want %d", rep, workers, len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("%s workers=%d: stream diverges at %d", rep, workers, i)
+				}
+			}
+		}
+	}
+}
+
+// TestCompressionShrinksLevelFiles pins the >= 2x I/O reduction the
+// delta-varint encoding exists for.
+func TestCompressionShrinksLevelFiles(t *testing.T) {
+	rng := rand.New(rand.NewSource(130))
+	g := graph.PlantedGraph(rng, 150, []graph.PlantedCliqueSpec{{Size: 12}}, 250)
+	_, raw := orderedKeys(t, g, Options{})
+	_, packed := orderedKeys(t, g, Options{Compress: true})
+	if raw.Maximal != packed.Maximal {
+		t.Fatalf("encodings disagree: %d vs %d maximal", raw.Maximal, packed.Maximal)
+	}
+	if packed.RawBytesWritten != raw.RawBytesWritten {
+		t.Errorf("raw-equivalent accounting differs: %d vs %d", packed.RawBytesWritten, raw.RawBytesWritten)
+	}
+	if 2*packed.BytesWritten > raw.BytesWritten {
+		t.Errorf("compressed run wrote %d bytes vs raw %d: less than the 2x target",
+			packed.BytesWritten, raw.BytesWritten)
+	}
+	t.Logf("level-file bytes: raw %d, delta-varint %d (%.1fx)",
+		raw.BytesWritten, packed.BytesWritten,
+		float64(raw.BytesWritten)/float64(packed.BytesWritten))
+}
+
+// TestCancellationCleansSpillDir cancels a plain run mid-level and
+// checks the spill directory is empty afterwards (run dirs are private
+// and removed even on abort).
+func TestCancellationCleansSpillDir(t *testing.T) {
+	rng := rand.New(rand.NewSource(131))
+	g := graph.PlantedGraph(rng, 100, []graph.PlantedCliqueSpec{{Size: 11}}, 200)
+	for _, workers := range []int{1, 4} {
+		dir := t.TempDir()
+		ctx, cancel := context.WithCancel(context.Background())
+		emitted := 0
+		_, err := Enumerate(g, Options{
+			Ctx: ctx, Dir: dir, Workers: workers, ShardBytes: 512,
+			Reporter: clique.ReporterFunc(func(clique.Clique) {
+				if emitted++; emitted == 3 {
+					cancel()
+				}
+			}),
+		})
+		cancel()
+		if err == nil {
+			t.Fatalf("workers=%d: canceled run completed", workers)
+		}
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: error %v does not wrap context.Canceled", workers, err)
+		}
+		entries, rerr := os.ReadDir(dir)
+		if rerr != nil {
+			t.Fatal(rerr)
+		}
+		for _, e := range entries {
+			t.Errorf("workers=%d: leftover spill entry %s", workers, e.Name())
+		}
+	}
+}
+
+// TestJoinHotLoopAllocs pins the hoisted-scratch fix: the spill hot
+// loop must not allocate per record.  The planted-12 run spills tens of
+// thousands of records; the per-run allocation count stays bounded by
+// the shard/level structure (files, buffers, arenas), orders of
+// magnitude below one-per-record.
+func TestJoinHotLoopAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(132))
+	g := graph.PlantedGraph(rng, 150, []graph.PlantedCliqueSpec{{Size: 12}}, 250)
+	dir := t.TempDir()
+	var spilled int64
+	allocs := testing.AllocsPerRun(3, func() {
+		st, err := Enumerate(g, Options{Dir: dir})
+		if err != nil {
+			t.Fatal(err)
+		}
+		spilled = st.RawBytesWritten / 4
+	})
+	if spilled < 10000 {
+		t.Fatalf("only %d vertices spilled; the graph is too small to prove anything", spilled)
+	}
+	// The old hot loop allocated one record slice per spilled record
+	// (>= spilled/k allocations).  The rebuilt loop's budget covers
+	// files, bufio buffers and stats only.
+	if allocs > 2000 {
+		t.Errorf("%.0f allocs/run for %d spilled vertices: the hot loop is allocating per record", allocs, spilled)
+	}
+	t.Logf("%.0f allocs/run, %d spilled vertices", allocs, spilled)
 }
 
 func TestMaxKStopsEarly(t *testing.T) {

@@ -301,7 +301,6 @@ func runLevel(ctx context.Context, lvl *core.Level, disp *sched.Dispatcher, work
 // near the barrier implementation's.
 type chunkResult struct {
 	worker  int32
-	pending int32 // items not yet released; 0 lets the merger drop the chunk
 	items   []int32
 	subOff  []int32
 	next    []*core.SubList
@@ -310,22 +309,22 @@ type chunkResult struct {
 	maxCnt  []int64 // maximal cliques found per item
 }
 
-// merger is the streaming k-way merge point for per-worker shard outputs:
-// chunk results arrive in any order, and each sub-list's outputs are
-// released as soon as every earlier sub-list of the level has been
-// released.  Emission order is therefore exactly the sequential
-// enumeration order, while only the out-of-order window is buffered —
-// not the whole level, as the barrier implementation must.
+// itemRef locates one sub-list's results inside a deposited chunk.
+type itemRef struct {
+	chunk *chunkResult
+	pos   int32
+}
+
+// merger is the streaming merge point for per-worker shard outputs:
+// chunk results arrive in any order and each sub-list's outputs are
+// released — through a sched.Sequencer, the in-order frontier shared
+// with the out-of-core shard merger — as soon as every earlier sub-list
+// of the level has been released.  Emission order is therefore exactly
+// the sequential enumeration order, while only the out-of-order window
+// is buffered — not the whole level, as the barrier implementation must.
 type merger struct {
-	mu     sync.Mutex
-	rep    clique.Reporter
-	chunks []*chunkResult
-	// loc maps item index -> (chunk, position), packed as
-	// (chunk+1)<<32 | pos; 0 means not yet deposited.  Released entries
-	// are re-zeroed as the frontier passes them, so the array is clean
-	// for the next level without a clearing pass.
-	loc     []int64
-	emit    int // next item index to release
+	rep     clique.Reporter
+	seq     *sched.Sequencer[itemRef]
 	next    *core.Level
 	homes   []int32
 	maximal int64
@@ -334,59 +333,46 @@ type merger struct {
 // reset prepares the merger for a level of `items` sub-lists producing
 // cliques of size nextK.
 func (m *merger) reset(items, nextK int) {
-	if cap(m.loc) < items {
-		m.loc = make([]int64, items)
+	if m.seq == nil {
+		m.seq = sched.NewSequencer(items, m.releaseItem)
+	} else {
+		m.seq.Reset(items)
 	}
-	m.loc = m.loc[:items]
-	for i := range m.chunks { // drop refs held by the backing array
-		m.chunks[i] = nil
-	}
-	m.chunks = m.chunks[:0]
-	m.emit = 0
 	m.next = &core.Level{K: nextK}
 	m.homes = nil
 	m.maximal = 0
 }
 
-// deposit files one chunk's results and releases every newly contiguous
-// prefix of the level.  The reporter runs under the merger lock:
-// emission is inherently serial (one ordered output stream), so the lock
-// adds no parallelism loss beyond that.
+// deposit files one chunk's results; the sequencer releases every newly
+// contiguous prefix of the level.  The reporter runs under the sequencer
+// lock: emission is inherently serial (one ordered output stream), so
+// the lock adds no parallelism loss beyond that.
 func (m *merger) deposit(c *chunkResult) {
-	m.mu.Lock()
-	c.pending = int32(len(c.items))
-	ci := int64(len(m.chunks) + 1)
-	m.chunks = append(m.chunks, c)
 	for p, item := range c.items {
-		m.loc[item] = ci<<32 | int64(p)
+		m.seq.Deposit(int(item), itemRef{c, int32(p)})
 	}
-	for m.emit < len(m.loc) && m.loc[m.emit] != 0 {
-		packed := m.loc[m.emit]
-		m.loc[m.emit] = 0
-		m.emit++
-		rc := m.chunks[packed>>32-1]
-		p := int32(packed)
-		// Maximal counts accrue on release, not deposit, so a canceled
-		// level's count matches the cliques actually delivered: the
-		// frontier stops at the first unprocessed sub-list, and
-		// everything deposited beyond it is discarded, not counted.
-		m.maximal += rc.maxCnt[p]
-		if m.rep != nil && rc.emitOff != nil {
-			for _, cl := range rc.emitted[rc.emitOff[p]:rc.emitOff[p+1]] {
-				m.rep.Emit(cl)
-			}
-		}
-		for _, s := range rc.next[rc.subOff[p]:rc.subOff[p+1]] {
-			m.next.Sub = append(m.next.Sub, s)
-			m.homes = append(m.homes, rc.worker)
-		}
-		// Fully released chunks are dropped immediately, so the level
-		// holds only the out-of-order window, not every emission.
-		if rc.pending--; rc.pending == 0 {
-			m.chunks[packed>>32-1] = nil
+}
+
+// releaseItem delivers one sub-list's outputs; the sequencer calls it in
+// exact item order and drops the itemRef afterwards, so a fully released
+// chunk becomes reclaimable as soon as its last item passes the
+// frontier — the level holds only the out-of-order window.  Maximal
+// counts accrue on release, not deposit, so a canceled level's count
+// matches the cliques actually delivered: the frontier stops at the
+// first unprocessed sub-list, and everything deposited beyond it is
+// discarded, not counted.
+func (m *merger) releaseItem(_ int, r itemRef) {
+	rc, p := r.chunk, r.pos
+	m.maximal += rc.maxCnt[p]
+	if m.rep != nil && rc.emitOff != nil {
+		for _, cl := range rc.emitted[rc.emitOff[p]:rc.emitOff[p+1]] {
+			m.rep.Emit(cl)
 		}
 	}
-	m.mu.Unlock()
+	for _, s := range rc.next[rc.subOff[p]:rc.subOff[p+1]] {
+		m.next.Sub = append(m.next.Sub, s)
+		m.homes = append(m.homes, rc.worker)
+	}
 }
 
 // estimateLoad predicts the generation cost of a sub-list before running

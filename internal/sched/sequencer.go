@@ -1,0 +1,92 @@
+package sched
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Sequencer is the streaming in-order release point shared by the
+// parallel enumerator's emission merger and the out-of-core engine's
+// shard merger: results for a level's items are deposited in any order
+// by concurrent workers, and each item's result is released — via the
+// callback, under the Sequencer's lock — as soon as every earlier item
+// of the level has been released.  The callback therefore observes
+// results in exact item order (the canonical sequential order both
+// backends promise), while only the out-of-order window is buffered,
+// never the whole level.
+//
+// A Sequencer is reusable: Reset prepares it for the next level without
+// reallocating the frontier bookkeeping.  Deposit is safe for concurrent
+// use; the release callback runs serially, in order, under the lock.
+type Sequencer[T any] struct {
+	mu      sync.Mutex
+	slots   []T
+	present []bool
+	emit    int // next item index to release
+	release func(item int, v T)
+}
+
+// NewSequencer returns a Sequencer over n items releasing through fn.
+func NewSequencer[T any](n int, fn func(item int, v T)) *Sequencer[T] {
+	s := &Sequencer[T]{release: fn}
+	s.Reset(n)
+	return s
+}
+
+// Reset prepares the sequencer for a new level of n items, reusing the
+// frontier arrays.  It must not race with Deposit.
+func (s *Sequencer[T]) Reset(n int) {
+	var zero T
+	if cap(s.slots) < n {
+		s.slots = make([]T, n)
+		s.present = make([]bool, n)
+	}
+	s.slots = s.slots[:n]
+	s.present = s.present[:n]
+	for i := range s.slots {
+		s.slots[i] = zero
+		s.present[i] = false
+	}
+	s.emit = 0
+}
+
+// Deposit files item's result and releases every newly contiguous prefix
+// of the level through the release callback.  Each item must be
+// deposited exactly once.
+func (s *Sequencer[T]) Deposit(item int, v T) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if item < 0 || item >= len(s.slots) {
+		panic(fmt.Sprintf("sched: sequencer item %d out of [0,%d)", item, len(s.slots)))
+	}
+	if s.present[item] {
+		panic(fmt.Sprintf("sched: sequencer item %d deposited twice", item))
+	}
+	s.slots[item] = v
+	s.present[item] = true
+	var zero T
+	for s.emit < len(s.slots) && s.present[s.emit] {
+		i := s.emit
+		v := s.slots[i]
+		// Drop the reference before the callback so a released result is
+		// reclaimable as soon as the callback returns — the sequencer
+		// holds only the out-of-order window.
+		s.slots[i] = zero
+		s.emit++
+		s.release(i, v)
+	}
+}
+
+// Released returns the number of items released so far (the frontier).
+func (s *Sequencer[T]) Released() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.emit
+}
+
+// Complete reports whether every item has been released.
+func (s *Sequencer[T]) Complete() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.emit == len(s.slots)
+}

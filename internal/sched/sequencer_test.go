@@ -1,0 +1,82 @@
+package sched
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// TestSequencerReleasesInOrder deposits items in random order from
+// concurrent goroutines and checks the release callback observes exact
+// item order, every item exactly once.
+func TestSequencerReleasesInOrder(t *testing.T) {
+	const n = 500
+	var released []int
+	s := NewSequencer(n, func(item int, v int) {
+		if v != item*3 {
+			t.Errorf("item %d released with value %d, want %d", item, v, item*3)
+		}
+		released = append(released, item)
+	})
+	perm := rand.New(rand.NewSource(1)).Perm(n)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < n; i += 4 {
+				s.Deposit(perm[i], perm[i]*3)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if !s.Complete() {
+		t.Fatalf("sequencer incomplete: released %d of %d", s.Released(), n)
+	}
+	if len(released) != n {
+		t.Fatalf("released %d items, want %d", len(released), n)
+	}
+	for i, item := range released {
+		if item != i {
+			t.Fatalf("release order violated at %d: got item %d", i, item)
+		}
+	}
+}
+
+// TestSequencerFrontierStopsAtGap: with one item missing, nothing past
+// it is released, and Reset clears the state for reuse.
+func TestSequencerFrontierStopsAtGap(t *testing.T) {
+	var released int
+	s := NewSequencer(5, func(int, string) { released++ })
+	s.Deposit(0, "a")
+	s.Deposit(2, "c") // gap at 1
+	s.Deposit(3, "d")
+	if released != 1 || s.Released() != 1 {
+		t.Fatalf("released %d items across a gap, want 1", released)
+	}
+	s.Deposit(1, "b")
+	if released != 4 {
+		t.Fatalf("released %d items after filling the gap, want 4", released)
+	}
+	s.Reset(2)
+	if s.Released() != 0 || s.Complete() {
+		t.Fatal("Reset did not clear the frontier")
+	}
+	s.Deposit(1, "y")
+	s.Deposit(0, "x")
+	if released != 6 || !s.Complete() {
+		t.Fatalf("reuse after Reset released %d total, want 6", released)
+	}
+}
+
+// TestSequencerDoubleDepositPanics pins the misuse contract.
+func TestSequencerDoubleDepositPanics(t *testing.T) {
+	s := NewSequencer(3, func(int, int) {})
+	s.Deposit(1, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double deposit did not panic")
+		}
+	}()
+	s.Deposit(1, 1)
+}
