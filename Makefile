@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build fmt fmt-fix vet test race race-repr bench bench-json bench-ooc-json smoke-resume examples ci
+.PHONY: all build fmt fmt-fix vet test race race-repr bench bench-json bench-ooc-json bench-hybrid-json smoke-resume smoke-spillover examples ci
 
 all: build
 
@@ -30,7 +30,7 @@ test:
 # package joins level shards on a worker pool with an in-order release
 # sequencer, so it races level state across goroutines too.
 race:
-	$(GO) test -race ./internal/parallel ./internal/sched ./internal/core ./internal/kclique ./internal/bitset ./internal/ooc
+	$(GO) test -race ./internal/parallel ./internal/sched ./internal/core ./internal/kclique ./internal/bitset ./internal/ooc ./internal/hybrid ./internal/membudget
 
 race-repr:
 	$(GO) test -race -run 'Representation' .
@@ -57,10 +57,23 @@ bench-json:
 bench-ooc-json:
 	$(GO) run ./cmd/benchooc -out BENCH_ooc.json
 
+# Machine-readable hybrid-spillover trajectory on the Table-1 graph:
+# the memory-governor budget swept from unlimited to one byte, with
+# governor peak, spill level, and wall clock per point.  CI uploads the
+# result as an artifact next to the other two BENCH files.
+bench-hybrid-json:
+	$(GO) run ./cmd/benchhybrid -out BENCH_hybrid.json
+
 # Resume-after-kill smoke test: checkpoint, kill by timeout, resume,
 # reconcile clique counts against an uninterrupted run.
 smoke-resume:
 	sh scripts/smoke_resume.sh
+
+# Adaptive-spillover smoke test: a budget sized to trip the governor
+# mid-run must spill, continue out-of-core, and print the
+# byte-identical clique stream of the unconstrained in-core run.
+smoke-spillover:
+	sh scripts/smoke_spillover.sh
 
 # Keep the migrated examples and the documented API snippets honest:
 # vet the example programs and run every doctest.
@@ -70,4 +83,4 @@ examples:
 
 check: fmt vet test
 
-ci: fmt vet build test race race-repr bench examples smoke-resume
+ci: fmt vet build test race race-repr bench examples smoke-resume smoke-spillover

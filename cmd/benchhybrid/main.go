@@ -1,0 +1,175 @@
+// Command benchhybrid measures the adaptive hybrid backend on the
+// paper's Table-1 graph (graph A, synthesized by the expt harness): the
+// memory-governor budget is swept from unlimited (pure in-core) through
+// fractions of the unconstrained peak down to one byte (effectively
+// pure out-of-core), and each run reports its wall clock, governor
+// peak, spill level, and disk traffic.  `make bench-hybrid-json` runs
+// it and pins the result as BENCH_hybrid.json — the spillover
+// perf-trajectory artifact CI uploads per commit, next to
+// BENCH_repr.json and BENCH_ooc.json.
+//
+// Every configuration must deliver the same maximal-clique count
+// (verified here); the summary derives the headline trade-off: the
+// governor-peak reduction of the spilled runs against their wall-clock
+// cost relative to unconstrained in-core.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/expt"
+	"repro/internal/graph"
+	"repro/internal/hybrid"
+	"repro/internal/membudget"
+)
+
+type runResult struct {
+	Name           string `json:"name"`
+	Budget         int64  `json:"budget"`
+	Workers        int    `json:"workers"`
+	WallNS         int64  `json:"wall_ns"`
+	MaximalCliques int64  `json:"maximal_cliques"`
+	SpilledAtLevel int    `json:"spilled_at_level"` // 0 = stayed in core
+	GovernorPeak   int64  `json:"governor_peak"`
+	SpillBytes     int64  `json:"spill_bytes"` // written + read
+}
+
+type report struct {
+	Schema          string      `json:"schema"`
+	Graph           string      `json:"graph"`
+	N               int         `json:"n"`
+	M               int         `json:"m"`
+	InCorePeak      int64       `json:"in_core_peak"` // unconstrained paper-formula peak
+	Runs            []runResult `json:"runs"`
+	PeakReduction   float64     `json:"peak_reduction"`   // unlimited peak / peak-at-quarter-budget
+	SpillSlowdown   float64     `json:"spill_slowdown"`   // quarter-budget wall / unlimited wall
+	ParallelSpeedup float64     `json:"parallel_speedup"` // quarter serial wall / quarter parallel wall
+}
+
+func main() {
+	out := flag.String("out", "BENCH_hybrid.json", "output JSON path")
+	scale := flag.Float64("scale", 1.0, "Table-1 (graph A) scale factor")
+	workers := flag.Int("workers", 4, "worker count of the parallel configuration")
+	seed := flag.Int64("seed", 1, "generator seed")
+	reps := flag.Int("reps", 3, "timed repetitions per configuration (best is kept)")
+	flag.Parse()
+
+	spec := expt.SpecA.Scale(*scale)
+	g := expt.Build(spec, *seed)
+	inCore, err := core.Enumerate(g, core.Options{})
+	if err != nil {
+		fatal(err)
+	}
+	rep := report{
+		Schema:     "repro/bench-hybrid/v1",
+		Graph:      spec.Name,
+		N:          g.N(),
+		M:          g.M(),
+		InCorePeak: inCore.PeakBytes,
+	}
+
+	configs := []struct {
+		name    string
+		budget  int64
+		workers int
+	}{
+		{"unlimited", 0, 1},
+		{"peak/2", inCore.PeakBytes / 2, 1},
+		{"peak/4", inCore.PeakBytes / 4, 1},
+		{fmt.Sprintf("peak/4-workers%d", *workers), inCore.PeakBytes / 4, *workers},
+		{"1-byte", 1, 1},
+	}
+	for _, c := range configs {
+		r, err := timedRun(g, c.budget, c.workers, *reps)
+		if err != nil {
+			fatal(err)
+		}
+		r.Name = c.name
+		if r.MaximalCliques != inCore.MaximalCliques {
+			fatal(fmt.Errorf("%s found %d maximal cliques, in-core baseline %d",
+				c.name, r.MaximalCliques, inCore.MaximalCliques))
+		}
+		rep.Runs = append(rep.Runs, r)
+	}
+	rep.PeakReduction = ratio(rep.Runs[0].GovernorPeak, rep.Runs[2].GovernorPeak)
+	rep.SpillSlowdown = ratio(rep.Runs[2].WallNS, rep.Runs[0].WallNS)
+	rep.ParallelSpeedup = ratio(rep.Runs[2].WallNS, rep.Runs[3].WallNS)
+
+	f, err := os.Create(*out)
+	if err != nil {
+		fatal(err)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("wrote %s\n%s: n=%d m=%d, %d maximal cliques, unconstrained peak %d bytes\n",
+		*out, rep.Graph, rep.N, rep.M, inCore.MaximalCliques, inCore.PeakBytes)
+	for _, r := range rep.Runs {
+		spilled := "stayed in core"
+		if r.SpilledAtLevel > 0 {
+			spilled = fmt.Sprintf("spilled at level %d", r.SpilledAtLevel)
+		}
+		fmt.Printf("  %-18s %8v  peak %10d bytes  %-20s %d spill bytes\n",
+			r.Name, time.Duration(r.WallNS).Round(time.Millisecond),
+			r.GovernorPeak, spilled, r.SpillBytes)
+	}
+	fmt.Printf("peak reduction at quarter budget: %.2fx   slowdown: %.2fx   parallel speedup: %.2fx\n",
+		rep.PeakReduction, rep.SpillSlowdown, rep.ParallelSpeedup)
+}
+
+func timedRun(g *graph.Graph, budget int64, workers, reps int) (runResult, error) {
+	var best runResult
+	for i := 0; i < reps; i++ {
+		dir, err := os.MkdirTemp("", "benchhybrid-*")
+		if err != nil {
+			return best, err
+		}
+		gov := membudget.New(budget)
+		start := time.Now()
+		res, err := hybrid.Enumerate(g, hybrid.Options{
+			Workers: workers,
+			Dir:     dir,
+			Gov:     gov,
+		})
+		wall := time.Since(start).Nanoseconds()
+		os.RemoveAll(dir)
+		if err != nil {
+			return best, err
+		}
+		if i == 0 || wall < best.WallNS {
+			best = runResult{
+				Budget:         budget,
+				Workers:        workers,
+				WallNS:         wall,
+				MaximalCliques: res.MaximalCliques,
+				SpilledAtLevel: res.SpilledAtLevel,
+				GovernorPeak:   gov.Peak(),
+				SpillBytes:     res.OOC.BytesWritten + res.OOC.BytesRead,
+			}
+		}
+	}
+	return best, nil
+}
+
+func ratio(a, b int64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return float64(a) / float64(b)
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "benchhybrid: %v\n", err)
+	os.Exit(1)
+}

@@ -20,6 +20,15 @@
 // and -ooc-checkpoint keeps a resumable manifest so a killed run can be
 // continued with -resume DIR (same graph file).
 //
+// -mem-budget BYTES arms the memory governor on any backend: a purely
+// in-core run (sequential, parallel, barrier) aborts with partial
+// statistics when the budget trips, while -mem-budget combined with
+// -ooc DIR selects the adaptive hybrid backend — the run starts in core
+// and transparently spills to DIR and continues out-of-core the moment
+// the governor trips, producing the identical clique stream either way.
+// The summary always reports the governor's peak resident bytes, and a
+// spilled run reports the level at which it left memory.
+//
 // Runs cancel cleanly: -timeout bounds the wall clock, and Ctrl-C
 // (SIGINT) aborts mid-level — either way the partial statistics gathered
 // so far are printed before exit, and a checkpointed out-of-core run
@@ -61,7 +70,9 @@ func main() {
 	oocCompress := flag.Bool("ooc-compress", false, "out-of-core: delta-varint encode level records")
 	oocCheckpoint := flag.Bool("ooc-checkpoint", false, "out-of-core: keep a resumable manifest in the -ooc directory (resume with -resume)")
 	resume := flag.String("resume", "", "continue the checkpointed out-of-core run in this directory (needs the same graph file)")
-	budget := flag.Int64("budget", 0, "abort if resident candidate bytes exceed this (0 = unlimited)")
+	var budget int64
+	flag.Int64Var(&budget, "mem-budget", 0, "memory governor budget in bytes, enforced on every backend (0 = unlimited; with -ooc the run spills over instead of aborting)")
+	flag.Int64Var(&budget, "budget", 0, "deprecated alias of -mem-budget")
 	spill := flag.Int64("spill-budget", 0, "out-of-core: abort if a level's files would exceed this many bytes (0 = unlimited)")
 	noBound := flag.Bool("no-bound", false, "skip the maximum clique upper-bound computation")
 	timeout := flag.Duration("timeout", 0, "abort the run after this duration (0 = none)")
@@ -89,7 +100,7 @@ func main() {
 		dimacs: *dimacs, recompute: *recompute, compress: *compress,
 		repr: *repr, oocDir: *oocDir, oocWorkers: *oocWorkers,
 		oocCompress: *oocCompress, oocCheckpoint: *oocCheckpoint,
-		resume: *resume, budget: *budget, spill: *spill,
+		resume: *resume, budget: budget, spill: *spill,
 		noBound: *noBound,
 	})
 	if err != nil {
@@ -215,13 +226,10 @@ func run(ctx context.Context, path string, o options) error {
 		}
 	}
 	if o.budget > 0 {
-		// The resident-byte budget is enforced by the sequential backend
-		// only (the facade rejects the other combinations).
-		if o.workers > 1 || o.oocDir != "" {
-			fmt.Fprintln(os.Stderr, "cliquer: ignoring -budget: only enforced on sequential runs (use -spill-budget out of core)")
-		} else {
-			opts = append(opts, repro.WithMemoryBudget(o.budget))
-		}
+		// The governor enforces the budget on every backend; together
+		// with -ooc it selects the hybrid backend, which spills over and
+		// keeps running instead of aborting.
+		opts = append(opts, repro.WithMemoryBudget(o.budget))
 	}
 	var st repro.Stats
 	opts = append(opts, repro.WithStats(&st))
@@ -258,24 +266,33 @@ func printSummary(w *os.File, state string, st *repro.Stats, o options) {
 	fmt.Fprintf(w, "%s (%s): %d maximal cliques in [%d,%d], max size %d, %d levels, %.3fs\n",
 		state, st.Backend, st.MaximalCliques, o.lo, o.hi, st.MaxCliqueSize,
 		len(st.Levels), st.Elapsed.Seconds())
-	switch st.Backend {
-	case "out-of-core":
-		resumed := ""
-		if st.Resumed {
-			resumed = " (resumed)"
+	switch {
+	case st.Backend == "out-of-core" || strings.HasPrefix(st.Backend, "hybrid("):
+		if st.SpilledAtLevel > 0 {
+			fmt.Fprintf(w, "  spillover: governor tripped generating level %d; continued out of core\n",
+				st.SpilledAtLevel)
 		}
-		fmt.Fprintf(w, "  spill%s: %d bytes written, %d read, peak level %d\n",
-			resumed, st.SpillBytesWritten, st.SpillBytesRead, st.PeakLevelFileBytes)
+		if st.SpillBytesWritten > 0 || st.Backend == "out-of-core" {
+			resumed := ""
+			if st.Resumed {
+				resumed = " (resumed)"
+			}
+			fmt.Fprintf(w, "  spill%s: %d bytes written, %d read, peak level %d\n",
+				resumed, st.SpillBytesWritten, st.SpillBytesRead, st.PeakLevelFileBytes)
+		}
 		if st.SpillRawBytesWritten > st.SpillBytesWritten {
 			fmt.Fprintf(w, "  encoding: %d raw bytes -> %d on disk (%.2fx smaller)\n",
 				st.SpillRawBytesWritten, st.SpillBytesWritten,
 				float64(st.SpillRawBytesWritten)/float64(st.SpillBytesWritten))
 		}
-	case "parallel", "parallel-barrier":
+	case st.Backend == "parallel" || st.Backend == "parallel-barrier":
 		fmt.Fprintf(w, "  pool: %d workers, %d transfers\n", len(st.WorkerBusy), st.Transfers)
-	default:
-		if st.PeakBytes > 0 {
-			fmt.Fprintf(w, "  peak candidate memory (paper formula): %d bytes\n", st.PeakBytes)
+	}
+	if st.PeakBytes > 0 {
+		budget := ""
+		if o.budget > 0 {
+			budget = fmt.Sprintf(" (budget %d)", o.budget)
 		}
+		fmt.Fprintf(w, "  governor peak: %d bytes resident%s\n", st.PeakBytes, budget)
 	}
 }

@@ -10,10 +10,18 @@ import (
 	"repro/internal/core"
 	"repro/internal/enumcfg"
 	"repro/internal/graph"
+	"repro/internal/hybrid"
+	"repro/internal/membudget"
 	"repro/internal/ooc"
 	"repro/internal/paraclique"
 	"repro/internal/parallel"
 )
+
+// ErrMemoryBudget is the sentinel wrapped by every backend's
+// budget-exceeded abort (WithMemoryBudget without a spill directory).
+// The hybrid backend never returns it: a tripped budget spills and
+// continues instead.
+var ErrMemoryBudget = membudget.ErrBudget
 
 // Strategy selects the parallel dispatch policy.
 type Strategy = enumcfg.Strategy
@@ -53,7 +61,10 @@ func NewCounter() *Counter { return clique.NewCounter() }
 // retained — this is what a Ctrl-C'd cliquer prints.
 type Stats struct {
 	// Backend names the execution regime that ran: "sequential",
-	// "parallel", "parallel-barrier", or "out-of-core".
+	// "parallel", "parallel-barrier", "out-of-core",
+	// "hybrid(sequential)" / "hybrid(parallel)" (annotated with
+	// "->out-of-core@k" once a hybrid run spills), or "paraclique" for
+	// Paracliques.
 	Backend string
 	// MaximalCliques counts the cliques delivered to the caller;
 	// MaxCliqueSize is the largest size among them.
@@ -61,9 +72,17 @@ type Stats struct {
 	MaxCliqueSize  int
 	// Levels holds one entry per generation step k -> k+1.
 	Levels []LevelStats
-	// PeakBytes is the largest paper-formula resident candidate storage
-	// (in-core backends).
+	// PeakBytes is the memory governor's high-water mark: the largest
+	// byte total the run ever declared resident across every layer —
+	// graph adjacency, paper-formula candidate storage, worker scratch,
+	// spill I/O buffers.  Reported by every backend, budgeted or not.
 	PeakBytes int64
+	// SpilledAtLevel is the clique size the hybrid backend was
+	// generating when its governor tripped and the run went out-of-core
+	// (0: never spilled, or not a hybrid run).
+	SpilledAtLevel int
+	// Paracliques counts the paracliques Paracliques extracted.
+	Paracliques int
 	// SpillBytesWritten / SpillBytesRead / PeakLevelFileBytes describe
 	// the out-of-core backend's I/O volume (encoded bytes actually
 	// moved).  SpillRawBytesWritten is the fixed-width-equivalent
@@ -202,7 +221,9 @@ func OOCCheckpoint() OutOfCoreOption {
 // removed, even on cancellation; with OOCCheckpoint the last completed
 // level is kept for WithResume instead.  The knobs select parallel
 // shard joins (OOCWorkers), compressed level records (OOCCompress) and
-// resumability (OOCCheckpoint).
+// resumability (OOCCheckpoint).  Combined with WithMemoryBudget this
+// selects the hybrid backend instead: in-core until the governor trips,
+// out-of-core after (see WithSpillover).
 func WithOutOfCore(dir string, levelBudget int64, knobs ...OutOfCoreOption) Option {
 	return func(e *Enumerator) {
 		e.cfg.Dir, e.cfg.SpillBudget = dir, levelBudget
@@ -226,11 +247,39 @@ func WithResume(dir string) Option {
 	return func(e *Enumerator) { e.cfg.Dir, e.cfg.Resume = dir, true }
 }
 
-// WithMemoryBudget bounds the paper-formula resident candidate bytes of
-// the sequential backend; exceeding it aborts with core.ErrMemoryBudget
-// — the in-library analogue of the paper's graph-B blow-up termination.
+// WithMemoryBudget sets the run's memory governor budget: the bound on
+// everything the run declares resident — the graph representation's
+// adjacency bytes, the paper-formula candidate storage, worker scratch,
+// and spill I/O buffers.  On the in-core backends (sequential, parallel,
+// barrier) exceeding it aborts with core.ErrMemoryBudget — the
+// in-library analogue of the paper's graph-B blow-up termination.
+// Combined with a spill directory (WithOutOfCore or WithSpillover) it
+// instead selects the hybrid backend, which transparently continues the
+// run out of core when the budget trips.
 func WithMemoryBudget(bytes int64) Option {
 	return func(e *Enumerator) { e.cfg.MemoryBudget = bytes }
+}
+
+// WithSpillover selects the adaptive hybrid backend explicitly: the run
+// starts in core (sequential, or the streaming pool with WithWorkers)
+// and, the moment the WithMemoryBudget governor trips, drains the level
+// being generated to run-aligned shard files under dir and continues on
+// the out-of-core engine — same byte-identical ordered clique stream
+// either way, memory-priced while the run fits, disk-priced only from
+// the level that stopped fitting.  Requires WithMemoryBudget.  The same
+// regime is selected implicitly when WithOutOfCore and WithMemoryBudget
+// are combined.  Of the knobs, OOCCompress encodes the spilled records
+// and OOCWorkers widens the post-spill shard joins (the in-core phase
+// already follows WithWorkers); OOCCheckpoint does not compose — a
+// manifest cannot replay the in-core prefix.
+func WithSpillover(dir string, knobs ...OutOfCoreOption) Option {
+	return func(e *Enumerator) {
+		e.cfg.Dir = dir
+		e.cfg.Spill = true
+		for _, k := range knobs {
+			k(&e.cfg)
+		}
+	}
 }
 
 // WithLowMemory switches to the paper's low-memory alternative: prefix
@@ -294,20 +343,28 @@ func (e *Enumerator) Run(ctx context.Context, g GraphInterface, r Reporter) (int
 	if g, err = e.prepareGraph(g); err != nil {
 		return 0, err
 	}
+	// One governor per run, charged by every layer; the first charge is
+	// the graph representation itself — the footprint the enumeration
+	// cannot run below.
+	gov := membudget.New(cfg.MemoryBudget)
+	gov.Charge(g.Bytes())
 	st := e.statsSink(cfg)
 	start := time.Now()
 	defer func() {
 		if st != nil {
 			st.Elapsed = time.Since(start)
+			st.PeakBytes = gov.Peak()
 		}
 	}()
 	switch cfg.Backend() {
+	case enumcfg.Hybrid:
+		return e.runHybrid(cfg, g, r, st, gov)
 	case enumcfg.OutOfCore:
-		return e.runOutOfCore(cfg, g, r, st)
+		return e.runOutOfCore(cfg, g, r, st, gov)
 	case enumcfg.Parallel, enumcfg.ParallelBarrier:
-		return e.runParallel(cfg, g, r, st)
+		return e.runParallel(cfg, g, r, st, gov)
 	}
-	return e.runSequential(cfg, g, r, st)
+	return e.runSequential(cfg, g, r, st, gov)
 }
 
 // Cliques returns a range-over-func iterator over the maximal cliques of
@@ -372,6 +429,23 @@ func (e *Enumerator) Paracliques(ctx context.Context, g GraphInterface, glom flo
 	if glom <= 0 || glom > 1 {
 		return nil, fmt.Errorf("repro: glom %v out of (0,1]", glom)
 	}
+	// The registered Stats sink is honored here like in Run: extraction
+	// is its own regime (maximum-clique seeds + glom growth, not the
+	// level machinery), so Backend says so, and the clique counters
+	// describe the seed cliques the paracliques grew from.
+	gov := membudget.New(0)
+	gov.Charge(g.Bytes())
+	st := e.statsSink(cfg)
+	if st != nil {
+		st.Backend = "paraclique"
+	}
+	start := time.Now()
+	defer func() {
+		if st != nil {
+			st.Elapsed = time.Since(start)
+			st.PeakBytes = gov.Peak()
+		}
+	}()
 	min := cfg.Lo
 	if min < 3 {
 		min = 3
@@ -381,6 +455,15 @@ func (e *Enumerator) Paracliques(ctx context.Context, g GraphInterface, glom flo
 		Glom:          glom,
 		MinCliqueSize: min,
 	})
+	if st != nil {
+		st.Paracliques = len(ps)
+		st.MaximalCliques = int64(len(ps))
+		for _, p := range ps {
+			if p.CoreSize > st.MaxCliqueSize {
+				st.MaxCliqueSize = p.CoreSize
+			}
+		}
+	}
 	if err := cfg.Context().Err(); err != nil {
 		return ps, fmt.Errorf("repro: paraclique extraction canceled: %w", err)
 	}
@@ -410,12 +493,24 @@ func (e *Enumerator) runConfig(ctx context.Context) (enumcfg.Config, error) {
 	return cfg, nil
 }
 
+// hybridMode names the in-core engine a hybrid config starts on.
+func hybridMode(cfg enumcfg.Config) string {
+	if cfg.Workers > 1 {
+		return "parallel"
+	}
+	return "sequential"
+}
+
 // statsSink resets and returns the registered Stats, if any.
 func (e *Enumerator) statsSink(cfg enumcfg.Config) *Stats {
 	if e.stats == nil {
 		return nil
 	}
-	*e.stats = Stats{Backend: cfg.Backend().String()}
+	name := cfg.Backend().String()
+	if cfg.Backend() == enumcfg.Hybrid {
+		name = "hybrid(" + hybridMode(cfg) + ")"
+	}
+	*e.stats = Stats{Backend: name}
 	return e.stats
 }
 
@@ -429,9 +524,10 @@ func (e *Enumerator) observe(st *Stats, ls LevelStats) {
 	}
 }
 
-func (e *Enumerator) runSequential(cfg enumcfg.Config, g GraphInterface, r Reporter, st *Stats) (int64, error) {
+func (e *Enumerator) runSequential(cfg enumcfg.Config, g GraphInterface, r Reporter, st *Stats, gov *membudget.Governor) (int64, error) {
 	opts := core.OptionsFromConfig(cfg)
 	opts.Reporter = r
+	opts.Gov = gov
 	if st != nil || e.onLevel != nil {
 		opts.OnLevel = func(ls core.LevelStats) {
 			e.observe(st, LevelStats{
@@ -450,14 +546,48 @@ func (e *Enumerator) runSequential(cfg enumcfg.Config, g GraphInterface, r Repor
 	if st != nil {
 		st.MaximalCliques = res.MaximalCliques
 		st.MaxCliqueSize = res.MaxCliqueSize
-		st.PeakBytes = res.PeakBytes
 	}
 	return res.MaximalCliques, err
 }
 
-func (e *Enumerator) runParallel(cfg enumcfg.Config, g GraphInterface, r Reporter, st *Stats) (int64, error) {
+func (e *Enumerator) runHybrid(cfg enumcfg.Config, g GraphInterface, r Reporter, st *Stats, gov *membudget.Governor) (int64, error) {
+	opts := hybrid.OptionsFromConfig(cfg)
+	opts.Reporter = r
+	opts.Gov = gov
+	if st != nil || e.onLevel != nil {
+		opts.OnLevel = func(ls hybrid.LevelStats) {
+			e.observe(st, LevelStats{
+				FromK:         ls.FromK,
+				Sublists:      ls.Sublists,
+				Cliques:       ls.Cliques,
+				Maximal:       ls.Maximal,
+				ResidentBytes: ls.ResidentBytes,
+			})
+		}
+	}
+	res, err := hybrid.Enumerate(g, opts)
+	if res == nil {
+		return 0, err
+	}
+	if st != nil {
+		st.MaximalCliques = res.MaximalCliques
+		st.MaxCliqueSize = res.MaxCliqueSize
+		st.SpilledAtLevel = res.SpilledAtLevel
+		st.SpillBytesWritten = res.OOC.BytesWritten
+		st.SpillRawBytesWritten = res.OOC.RawBytesWritten
+		st.SpillBytesRead = res.OOC.BytesRead
+		st.PeakLevelFileBytes = res.OOC.PeakLevelFile
+		if res.SpilledAtLevel > 0 {
+			st.Backend = fmt.Sprintf("hybrid(%s->out-of-core@%d)", hybridMode(cfg), res.SpilledAtLevel)
+		}
+	}
+	return res.MaximalCliques, err
+}
+
+func (e *Enumerator) runParallel(cfg enumcfg.Config, g GraphInterface, r Reporter, st *Stats, gov *membudget.Governor) (int64, error) {
 	opts := parallel.OptionsFromConfig(cfg)
 	opts.Reporter = r
+	opts.Gov = gov
 	if st != nil || e.onLevel != nil {
 		opts.OnLevel = func(ls parallel.LevelStats) {
 			e.observe(st, LevelStats{
@@ -485,8 +615,9 @@ func (e *Enumerator) runParallel(cfg enumcfg.Config, g GraphInterface, r Reporte
 	return res.MaximalCliques, err
 }
 
-func (e *Enumerator) runOutOfCore(cfg enumcfg.Config, g GraphInterface, r Reporter, st *Stats) (int64, error) {
+func (e *Enumerator) runOutOfCore(cfg enumcfg.Config, g GraphInterface, r Reporter, st *Stats, gov *membudget.Governor) (int64, error) {
 	opts := ooc.OptionsFromConfig(cfg)
+	opts.Gov = gov
 	// The backend reports every maximal clique of size >= 3; the facade
 	// applies the configured lower bound and counts what it delivers.
 	var count int64

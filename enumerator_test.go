@@ -290,11 +290,18 @@ func TestConfigErrors(t *testing.T) {
 		{"ooc+report-small", []repro.Option{repro.WithOutOfCore(t.TempDir(), 0), repro.WithReportSmall()}},
 		{"ooc+low-memory", []repro.Option{repro.WithOutOfCore(t.TempDir(), 0), repro.WithLowMemory()}},
 		{"ooc+barrier", []repro.Option{repro.WithOutOfCore(t.TempDir(), 0), repro.WithWorkers(4), repro.WithBarrier()}},
-		{"ooc+memory-budget", []repro.Option{repro.WithOutOfCore(t.TempDir(), 0), repro.WithMemoryBudget(1 << 20)}},
 		{"ooc-compress-without-dir", []repro.Option{repro.WithOutOfCore("", 0, repro.OOCCompress())}},
-		{"parallel+memory-budget", []repro.Option{repro.WithWorkers(4), repro.WithMemoryBudget(1 << 20)}},
 		{"parallel+report-small", []repro.Option{repro.WithWorkers(4), repro.WithReportSmall()}},
 		{"barrier-without-workers", []repro.Option{repro.WithBarrier()}},
+		{"negative-memory-budget", []repro.Option{repro.WithMemoryBudget(-1)}},
+		{"spillover-without-dir", []repro.Option{repro.WithSpillover(""), repro.WithMemoryBudget(1 << 20)}},
+		{"spillover-without-budget", []repro.Option{repro.WithSpillover(t.TempDir())}},
+		{"resume+spillover", []repro.Option{repro.WithResume(t.TempDir()), repro.WithSpillover(t.TempDir()), repro.WithMemoryBudget(1 << 20)}},
+		{"resume+memory-budget", []repro.Option{repro.WithResume(t.TempDir()), repro.WithMemoryBudget(1 << 20)}},
+		{"hybrid+barrier", []repro.Option{repro.WithSpillover(t.TempDir()), repro.WithMemoryBudget(1 << 20),
+			repro.WithWorkers(4), repro.WithBarrier()}},
+		{"hybrid+checkpoint", []repro.Option{repro.WithOutOfCore(t.TempDir(), 0, repro.OOCCheckpoint()),
+			repro.WithMemoryBudget(1 << 20)}},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {

@@ -2,7 +2,6 @@ package core
 
 import (
 	"context"
-	"errors"
 	"fmt"
 
 	"repro/internal/bitset"
@@ -10,14 +9,16 @@ import (
 	"repro/internal/enumcfg"
 	"repro/internal/graph"
 	"repro/internal/kclique"
+	"repro/internal/membudget"
 	"repro/internal/wah"
 )
 
-// ErrMemoryBudget is returned (wrapped) when enumeration exceeds
-// Options.MemoryBudget — the in-library analogue of the paper's graph-B
-// run that "consumed 607 GB ... and 404 GB ... when it was terminated
-// after 12 hours".
-var ErrMemoryBudget = errors.New("core: memory budget exceeded")
+// ErrMemoryBudget is returned (wrapped) when enumeration exceeds the
+// memory budget — the in-library analogue of the paper's graph-B run
+// that "consumed 607 GB ... and 404 GB ... when it was terminated after
+// 12 hours".  It aliases the governor's sentinel, so every backend's
+// budget abort satisfies the same errors.Is target.
+var ErrMemoryBudget = membudget.ErrBudget
 
 // Options configures Enumerate.
 type Options struct {
@@ -57,8 +58,17 @@ type Options struct {
 	CompressCN bool
 	// MemoryBudget, when positive, bounds the paper-formula byte total of
 	// the resident levels (consumed + produced); exceeding it aborts with
-	// ErrMemoryBudget.
+	// ErrMemoryBudget.  Ignored when Gov is set.
 	MemoryBudget int64
+	// Gov, when non-nil, is the run's shared memory governor: the seed
+	// level and every kept sub-list are charged against it, consumed
+	// levels are released at step boundaries, and enumeration aborts
+	// with ErrMemoryBudget once it reports Over.  Callers that charge
+	// other layers into the same governor (the facade charges the graph
+	// representation's adjacency bytes) thereby tighten the candidate
+	// headroom — one budget, one meaning of memory.  When nil, a private
+	// governor is derived from MemoryBudget.
+	Gov *membudget.Governor
 	// OnLevel, when non-nil, observes each generation step.
 	OnLevel func(LevelStats)
 }
@@ -137,23 +147,26 @@ func Enumerate(g graph.Interface, opts Options) (*Result, error) {
 		}
 	}
 
+	// The governor is the single accounting authority: the seed level is
+	// charged up front, each kept sub-list is charged as it is retained
+	// (Builder.keep), and a consumed level is released at its step
+	// boundary — so Used tracks the paper's resident formula (consumed +
+	// produced) continuously instead of being re-derived per step.
+	gov := opts.Gov
+	if gov == nil && opts.MemoryBudget > 0 {
+		gov = membudget.New(opts.MemoryBudget)
+	}
+	gov.Charge(lvl.Bytes(g.N()))
+
 	pool := bitset.NewPool(g.N())
 	b := NewBuilderMode(g, mode, pool)
 	b.Ctx = opts.Ctx
+	b.Gov = gov
+	b.TripOnOver = true
 	for len(lvl.Sub) > 0 && (opts.Hi == 0 || lvl.K+1 <= opts.Hi) {
 		if opts.Ctx != nil && opts.Ctx.Err() != nil {
 			return res, fmt.Errorf("core: canceled before level %d->%d: %w",
 				lvl.K, lvl.K+1, opts.Ctx.Err())
-		}
-		if opts.MemoryBudget > 0 {
-			// The builder's share of the budget is what remains after
-			// the resident (consumed) level; clamp to 1 so an already
-			// over-budget level aborts on its first sub-list.
-			remaining := opts.MemoryBudget - lvl.Bytes(g.N())
-			if remaining < 1 {
-				remaining = 1
-			}
-			b.Budget = remaining
 		}
 		next, st := Step(g, lvl, reporter, b)
 		if b.Canceled {
@@ -168,13 +181,22 @@ func Enumerate(g graph.Interface, opts Options) (*Result, error) {
 		if resident := st.Bytes + st.NextBytes; resident > res.PeakBytes {
 			res.PeakBytes = resident
 		}
-		if b.Exceeded || (opts.MemoryBudget > 0 && st.Bytes+st.NextBytes > opts.MemoryBudget) {
+		if b.Exceeded || gov.Over() {
 			return res, fmt.Errorf("%w: level %d->%d resident %d bytes > budget %d",
-				ErrMemoryBudget, lvl.K, lvl.K+1, st.Bytes+st.NextBytes, opts.MemoryBudget)
+				ErrMemoryBudget, lvl.K, lvl.K+1, gov.Used(), gov.Budget())
 		}
+		gov.Release(st.Bytes) // the consumed level is retired
 		lvl = next
 	}
+	gov.Release(lvl.Bytes(g.N())) // the final (empty or Hi-cut) level
 	return res, nil
+}
+
+// ReportSmallCliques emits the maximal 1- and 2-cliques reportSmall
+// covers — the ReportSmall entry for drivers (the hybrid backend) that
+// run the level machinery themselves instead of through Enumerate.
+func ReportSmallCliques(g graph.Interface, lo int, r clique.Reporter) {
+	reportSmall(g, lo, r)
 }
 
 // reportSmall emits maximal 1-cliques (when lo <= 1) and maximal

@@ -6,6 +6,7 @@ import (
 	"repro/internal/bitset"
 	"repro/internal/clique"
 	"repro/internal/graph"
+	"repro/internal/membudget"
 	"repro/internal/wah"
 )
 
@@ -49,12 +50,31 @@ type Builder struct {
 	Cost     Cost
 	NewBytes int64 // paper-formula bytes of Next
 
-	// Budget, when positive, caps NewBytes: once exceeded,
-	// ProcessSubList becomes a no-op and Exceeded is set.  This is how
-	// the enumeration reproduces the paper's mid-run termination of the
-	// graph-B blow-up (607 GB of (k+1)-cliques) without owning 2 TB.
-	Budget   int64
-	Exceeded bool
+	// Gov, when non-nil, is the run's memory governor: keep charges every
+	// retained sub-list's paper-formula bytes against it.  The governor
+	// may be shared by many builders; charges are atomic.
+	Gov *membudget.Governor
+	// TripOnOver additionally makes ProcessSubList a no-op (with
+	// Exceeded set) once the governor reports Over — the sequential
+	// backend's sub-list-granular abort, reproducing the paper's mid-run
+	// termination of the graph-B blow-up (607 GB of (k+1)-cliques)
+	// without owning 2 TB.  Worker pools leave it unset: a pool must
+	// complete every sub-list it deposits so the in-order frontier stays
+	// a consistent cut, and instead polls the governor between chunks.
+	TripOnOver bool
+	Exceeded   bool
+
+	// Spill, when non-nil, switches the builder to drain mode: surviving
+	// candidate sub-lists are not retained (and not charged) — each
+	// candidate is written through Spill as a sorted (k+1)-record
+	// (prefix, v, u), the on-disk level format of the out-of-core
+	// engine.  Maximal cliques still go to the reporter, in the same
+	// order, so a drained step's emissions are byte-identical to an
+	// in-core step's.  A Spill error latches in SpillErr and turns the
+	// remaining ProcessSubList calls into no-ops.
+	Spill    func(rec []uint32) error
+	SpillErr error
+	spillRec []uint32
 
 	// Ctx, when non-nil, lets Step abandon a level between sub-lists;
 	// Canceled records that it did (and is cleared by Reset).
@@ -122,6 +142,18 @@ func (b *Builder) Reset() {
 	b.NewBytes = 0
 	b.Exceeded = false
 	b.Canceled = false
+	b.SpillErr = nil
+}
+
+// ScratchBytes returns the resident footprint of the builder's private
+// scratch bitmaps — what a worker pool charges the memory governor per
+// builder, independent of any level's candidates.
+func (b *Builder) ScratchBytes() int64 {
+	n := 2 * int64(b.words) * 8 // scratch + recompu
+	if b.matRows {
+		n += int64(b.words) * 8 // rowScratch
+	}
+	return n
 }
 
 // prefixCN returns the common-neighbor bitmap of s.Prefix: the stored
@@ -161,7 +193,14 @@ func (b *Builder) prefixCN(s *SubList) *bitset.Bitset {
 //
 // Cost accounting and generation are exact regardless of Builder mode.
 func (b *Builder) ProcessSubList(s *SubList, r clique.Reporter) {
-	if b.Budget > 0 && b.NewBytes > b.Budget {
+	if b.SpillErr != nil {
+		if s.CN != nil {
+			b.pool.Put(s.CN)
+			s.CN = nil
+		}
+		return
+	}
+	if b.Spill == nil && b.TripOnOver && b.Gov.Over() {
 		b.Exceeded = true
 		if s.CN != nil {
 			b.pool.Put(s.CN)
@@ -281,6 +320,32 @@ func (b *Builder) emitMaximal(prefix []uint32, v, u int, r clique.Reporter) {
 func (b *Builder) keep(prefix []uint32, v int, newTails []uint32) {
 	switch {
 	case len(newTails) > 1:
+		if b.Spill != nil {
+			// Drain mode: the survivors leave as sorted on-disk records
+			// instead of resident sub-lists.  The |S| > 1 rule still
+			// applies — a spilled singleton run could never join — so the
+			// drained level holds exactly the cliques the in-core level
+			// would have.
+			if b.SpillErr != nil {
+				return
+			}
+			k := len(prefix) + 2
+			if cap(b.spillRec) < k {
+				b.spillRec = make([]uint32, k)
+			}
+			rec := b.spillRec[:k]
+			copy(rec, prefix)
+			rec[k-2] = uint32(v)
+			for _, u := range newTails {
+				rec[k-1] = u
+				if err := b.Spill(rec); err != nil {
+					b.SpillErr = err
+					return
+				}
+			}
+			b.Cands += int64(len(newTails))
+			return
+		}
 		ns := &SubList{
 			Prefix: appendPrefix(prefix, uint32(v)),
 			Tails:  newTails,
@@ -296,6 +361,7 @@ func (b *Builder) keep(prefix []uint32, v int, newTails []uint32) {
 		b.Next = append(b.Next, ns)
 		b.Cands += int64(len(newTails))
 		b.NewBytes += ns.bytes(b.cnBytes)
+		b.Gov.Charge(ns.bytes(b.cnBytes))
 	case len(newTails) == 1:
 		// A lone non-maximal clique cannot join with a sibling; the
 		// paper's |S_{k+1}| > 1 rule discards it.

@@ -57,6 +57,11 @@ const (
 	ParallelBarrier
 	// OutOfCore is the disk-spilling enumerator.
 	OutOfCore
+	// Hybrid starts in-core (sequential or the streaming pool per
+	// Workers) under the memory governor and spills the resident level
+	// to out-of-core shard files the moment the budget trips, continuing
+	// on the disk-backed engine — same ordered clique stream either way.
+	Hybrid
 )
 
 // String names the backend for stats and diagnostics.
@@ -70,6 +75,8 @@ func (b Backend) String() string {
 		return "parallel-barrier"
 	case OutOfCore:
 		return "out-of-core"
+	case Hybrid:
+		return "hybrid"
 	}
 	return fmt.Sprintf("backend(%d)", int(b))
 }
@@ -98,17 +105,28 @@ type Config struct {
 	// Mode is the common-neighbor bitmap policy.
 	Mode CNMode
 
-	// MemoryBudget, when positive, bounds the paper-formula resident
-	// bytes of the in-core backends; exceeding it aborts the run.
+	// MemoryBudget, when positive, is the memory governor's budget: the
+	// bound on everything the run declares resident (graph adjacency
+	// bytes, paper-formula candidate storage, worker scratch, spill I/O
+	// buffers).  On the purely in-core backends exceeding it aborts the
+	// run; combined with a spill Dir it selects the hybrid backend,
+	// which spills to disk and continues instead of aborting.
 	MemoryBudget int64
 
-	// Dir, when non-empty, selects the out-of-core backend, spilling
-	// level files inside Dir.  SpillBudget, when positive, aborts when a
-	// level's files would exceed that many bytes.  Workers > 1 joins the
-	// level shards concurrently (the output stream is identical at any
-	// worker count).
+	// Dir, when non-empty, selects the out-of-core backend (or, together
+	// with MemoryBudget, the hybrid backend), spilling level files
+	// inside Dir.  SpillBudget, when positive, aborts when a level's
+	// files would exceed that many bytes.  Workers > 1 joins the level
+	// shards concurrently (the output stream is identical at any worker
+	// count).
 	Dir         string
 	SpillBudget int64
+	// Spill records that the hybrid regime was requested explicitly
+	// (the facade's WithSpillover), so a missing Dir or MemoryBudget is
+	// a configuration error instead of a silent fallback to another
+	// backend.  It is implied — and set by Normalize — whenever both
+	// MemoryBudget and Dir are given on a non-resume run.
+	Spill bool
 	// OOCCompress delta-varint encodes out-of-core level records,
 	// cutting the disk I/O volume the paper identifies as the
 	// bottleneck.
@@ -134,9 +152,16 @@ func (c *Config) Context() context.Context {
 	return c.Ctx
 }
 
-// Backend resolves the execution regime the config selects.
+// Backend resolves the execution regime the config selects.  A spill Dir
+// plus a memory budget means hybrid — start in-core, spill on the
+// governor's trip — unless the run resumes a checkpoint, which is
+// out-of-core from its first record.
 func (c *Config) Backend() Backend {
 	switch {
+	case c.Resume:
+		return OutOfCore
+	case c.Spill, c.Dir != "" && c.MemoryBudget > 0:
+		return Hybrid
 	case c.Dir != "":
 		return OutOfCore
 	case c.Workers > 1 && c.Barrier:
@@ -160,7 +185,19 @@ func CheckBounds(lo, hi int) error {
 }
 
 // Normalize applies defaults and validates the config in place.
+//
+// The validation is regime-structured: the universal rules (bounds,
+// workers, mode, strategy) come first, then the knob-dependency rules
+// (out-of-core knobs need a Dir, spillover needs a Dir and a budget),
+// then one switch with the per-backend exclusions.  MemoryBudget is
+// accepted by every backend — the governor charges and enforces it on
+// the in-core pools and the hybrid regime observes it as the spill
+// trigger — except a resumed run, which is out-of-core from its first
+// record and has nothing in core to bound.
 func (c *Config) Normalize() error {
+	if c.MemoryBudget < 0 {
+		return fmt.Errorf("enumcfg: negative memory budget %d", c.MemoryBudget)
+	}
 	if c.Lo == 0 {
 		c.Lo = 2
 	}
@@ -188,7 +225,32 @@ func (c *Config) Normalize() error {
 	if c.Dir == "" && (c.OOCCompress || c.Checkpoint || c.Resume) {
 		return fmt.Errorf("enumcfg: the out-of-core compress/checkpoint/resume options require a spill Dir")
 	}
+	// Spillover dependencies: an explicit WithSpillover must name a spill
+	// directory and carry a budget for the governor to trip on; a
+	// resumed run never has an in-core phase to spill from.
+	if c.Spill {
+		if c.Dir == "" {
+			return fmt.Errorf("enumcfg: spillover requires a spill Dir")
+		}
+		if c.MemoryBudget <= 0 {
+			return fmt.Errorf("enumcfg: spillover requires a MemoryBudget for the governor to trip on")
+		}
+		if c.Resume {
+			return fmt.Errorf("enumcfg: a resumed run is out-of-core from the start; spillover does not apply")
+		}
+	}
 	switch c.Backend() {
+	case Hybrid:
+		c.Spill = true // latch the implied form (Dir + MemoryBudget)
+		if c.Barrier {
+			return fmt.Errorf("enumcfg: the barrier pool cannot spill over (no mid-level drain point); use the streaming pool")
+		}
+		if c.Checkpoint {
+			return fmt.Errorf("enumcfg: checkpointing requires an out-of-core run from the start; drop the memory budget or the checkpoint")
+		}
+		if c.ReportSmall && c.Workers > 1 {
+			return fmt.Errorf("enumcfg: ReportSmall is only supported by the sequential in-core phase")
+		}
 	case OutOfCore:
 		if c.ReportSmall {
 			return fmt.Errorf("enumcfg: ReportSmall is not supported out of core (sizes < 3 never spill)")
@@ -196,18 +258,15 @@ func (c *Config) Normalize() error {
 		if c.Mode != CNStore {
 			return fmt.Errorf("enumcfg: CN mode %d is meaningless out of core (no bitmaps are retained)", c.Mode)
 		}
-		if c.MemoryBudget > 0 {
-			return fmt.Errorf("enumcfg: the memory budget is in-core only; bound spills with SpillBudget instead")
-		}
 		if c.Barrier {
 			return fmt.Errorf("enumcfg: the barrier pool is in-core only")
 		}
-	case Parallel, ParallelBarrier:
-		// Reject rather than silently drop: neither pool enforces the
-		// resident-byte budget or the small-clique reports today.
-		if c.MemoryBudget > 0 {
-			return fmt.Errorf("enumcfg: the memory budget is only enforced by the sequential backend")
+		if c.Resume && c.MemoryBudget > 0 {
+			return fmt.Errorf("enumcfg: a resumed run is out-of-core from the start; the memory budget does not apply")
 		}
+	case Parallel, ParallelBarrier:
+		// The streaming and barrier pools enforce the governor's budget;
+		// only the small-clique reports remain sequential-only.
 		if c.ReportSmall {
 			return fmt.Errorf("enumcfg: ReportSmall is only supported by the sequential backend")
 		}

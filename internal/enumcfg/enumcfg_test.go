@@ -1,0 +1,121 @@
+package enumcfg
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestNormalizeMatrix is the table-driven accept/reject matrix over
+// every validation branch of Normalize, including the hybrid/spillover
+// rules.  Each reject case names a fragment the error must contain, so
+// a rule cannot silently start firing for the wrong reason.
+func TestNormalizeMatrix(t *testing.T) {
+	cases := []struct {
+		name    string
+		cfg     Config
+		wantErr string  // "" = accept
+		backend Backend // checked on accept
+	}{
+		// --- defaults and universal rules ---
+		{"zero value", Config{}, "", Sequential},
+		{"explicit bounds", Config{Lo: 3, Hi: 10}, "", Sequential},
+		{"lo below one", Config{Lo: -1}, "Lo", 0},
+		{"hi below lo", Config{Lo: 5, Hi: 3}, "Hi", 0},
+		{"negative workers", Config{Workers: -2}, "workers", 0},
+		{"unknown mode", Config{Mode: CNCompress + 1}, "CN mode", 0},
+		{"unknown strategy", Config{Strategy: Affinity + 1}, "strategy", 0},
+		{"negative memory budget", Config{MemoryBudget: -5}, "negative memory budget", 0},
+
+		// --- worker/barrier selection ---
+		{"parallel", Config{Workers: 4}, "", Parallel},
+		{"barrier", Config{Workers: 4, Barrier: true}, "", ParallelBarrier},
+		{"barrier without workers", Config{Barrier: true}, "barrier backend requires", 0},
+
+		// --- in-core budgets (governor-enforced everywhere) ---
+		{"sequential budget", Config{MemoryBudget: 1 << 20}, "", Sequential},
+		{"parallel budget", Config{Workers: 4, MemoryBudget: 1 << 20}, "", Parallel},
+		{"barrier budget", Config{Workers: 4, Barrier: true, MemoryBudget: 1 << 20}, "", ParallelBarrier},
+
+		// --- report-small ---
+		{"sequential report-small", Config{ReportSmall: true}, "", Sequential},
+		{"parallel report-small", Config{Workers: 2, ReportSmall: true}, "ReportSmall", 0},
+		{"ooc report-small", Config{Dir: "d", ReportSmall: true}, "ReportSmall", 0},
+
+		// --- out-of-core knob dependencies ---
+		{"ooc", Config{Dir: "d"}, "", OutOfCore},
+		{"ooc workers", Config{Dir: "d", Workers: 4}, "", OutOfCore},
+		{"ooc compress", Config{Dir: "d", OOCCompress: true}, "", OutOfCore},
+		{"ooc checkpoint", Config{Dir: "d", Checkpoint: true}, "", OutOfCore},
+		{"ooc resume", Config{Dir: "d", Resume: true}, "", OutOfCore},
+		{"compress without dir", Config{OOCCompress: true}, "require a spill Dir", 0},
+		{"checkpoint without dir", Config{Checkpoint: true}, "require a spill Dir", 0},
+		{"resume without dir", Config{Resume: true}, "require a spill Dir", 0},
+		{"ooc low-memory", Config{Dir: "d", Mode: CNRecompute}, "meaningless out of core", 0},
+		{"ooc compressed bitmaps", Config{Dir: "d", Mode: CNCompress}, "meaningless out of core", 0},
+		{"ooc barrier", Config{Dir: "d", Workers: 4, Barrier: true}, "in-core only", 0},
+
+		// --- hybrid / spillover ---
+		{"implied hybrid", Config{Dir: "d", MemoryBudget: 1 << 20}, "", Hybrid},
+		{"explicit spillover", Config{Dir: "d", Spill: true, MemoryBudget: 1 << 20}, "", Hybrid},
+		{"hybrid parallel", Config{Dir: "d", MemoryBudget: 1 << 20, Workers: 4}, "", Hybrid},
+		{"hybrid compress", Config{Dir: "d", MemoryBudget: 1 << 20, OOCCompress: true}, "", Hybrid},
+		{"hybrid low-memory", Config{Dir: "d", MemoryBudget: 1 << 20, Mode: CNRecompute}, "", Hybrid},
+		{"hybrid report-small sequential", Config{Dir: "d", MemoryBudget: 1 << 20, ReportSmall: true}, "", Hybrid},
+		{"hybrid report-small parallel", Config{Dir: "d", MemoryBudget: 1 << 20, Workers: 2, ReportSmall: true},
+			"sequential in-core phase", 0},
+		{"spillover without dir", Config{Spill: true, MemoryBudget: 1 << 20}, "requires a spill Dir", 0},
+		{"spillover without budget", Config{Dir: "d", Spill: true}, "requires a MemoryBudget", 0},
+		{"resume plus spillover", Config{Dir: "d", Spill: true, Resume: true, MemoryBudget: 1 << 20},
+			"spillover does not apply", 0},
+		{"resume plus budget", Config{Dir: "d", Resume: true, MemoryBudget: 1 << 20},
+			"budget does not apply", 0},
+		{"hybrid barrier", Config{Dir: "d", MemoryBudget: 1 << 20, Workers: 4, Barrier: true},
+			"cannot spill over", 0},
+		{"hybrid checkpoint", Config{Dir: "d", MemoryBudget: 1 << 20, Checkpoint: true},
+			"out-of-core run from the start", 0},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			cfg := c.cfg
+			err := cfg.Normalize()
+			if c.wantErr == "" {
+				if err != nil {
+					t.Fatalf("Normalize(%+v) = %v, want accept", c.cfg, err)
+				}
+				if got := cfg.Backend(); got != c.backend {
+					t.Fatalf("Backend() = %v, want %v", got, c.backend)
+				}
+				// Defaults must have been applied.
+				if cfg.Lo < 1 || cfg.Workers < 1 {
+					t.Fatalf("defaults not applied: %+v", cfg)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("Normalize(%+v) accepted, want error containing %q", c.cfg, c.wantErr)
+			}
+			if !strings.Contains(err.Error(), c.wantErr) {
+				t.Fatalf("Normalize error %q does not contain %q", err, c.wantErr)
+			}
+		})
+	}
+}
+
+// TestNormalizeLatchesImpliedSpill: the Dir+MemoryBudget shorthand
+// normalizes to the explicit Spill form, and resume implies checkpoint.
+func TestNormalizeLatchesImpliedSpill(t *testing.T) {
+	cfg := Config{Dir: "d", MemoryBudget: 1}
+	if err := cfg.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	if !cfg.Spill {
+		t.Error("implied hybrid did not latch Spill")
+	}
+	cfg = Config{Dir: "d", Resume: true}
+	if err := cfg.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	if !cfg.Checkpoint {
+		t.Error("Resume did not imply Checkpoint")
+	}
+}

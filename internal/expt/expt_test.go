@@ -262,7 +262,7 @@ func TestAblations(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(tables) != 5 {
+	if len(tables) != 6 {
 		t.Fatalf("got %d ablation tables", len(tables))
 	}
 	for _, tab := range tables {

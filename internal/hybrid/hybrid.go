@@ -1,0 +1,448 @@
+// Package hybrid is the adaptive in-core -> out-of-core enumerator: the
+// resolution of the paper's central tension.  The in-core Clique
+// Enumerator is fast but dies when candidate storage outgrows RAM (the
+// graph-B run that "consumed 607 GB ... when it was terminated after 12
+// hours"); the out-of-core engine survives any level but pays
+// "intensive disk I/O" from its first record.  The hybrid backend runs
+// the in-core machinery — sequential or the streaming worker pool —
+// under the memory governor (package membudget), and the moment the
+// governor trips it drains the level being generated to run-aligned
+// out-of-core shard files and hands the run to the disk-backed engine:
+// memory-priced while the run fits, disk-priced only from the level
+// that stopped fitting.
+//
+// The drained stream is byte-identical to a pure in-core run's:
+//
+//   - The in-core backends emit, and retain candidates, in canonical
+//     order, and outputs of input sub-list i sort strictly before
+//     outputs of input j > i.  A trip therefore yields a consistent cut:
+//     for some frontier f, everything for inputs < f has been emitted
+//     and retained; inputs >= f are untouched (the parallel pool's
+//     sched.Sequencer enforces exactly this, discarding any
+//     out-of-order window beyond the frontier).
+//   - The drain writes the retained sub-lists' records — the sorted head
+//     of the produced level — then joins the remaining inputs with a
+//     core.Builder in spill mode, which emits their maximal cliques in
+//     order and appends the surviving candidates to the same sorted
+//     record stream.
+//   - The produced level is then a complete, sorted, run-aligned level
+//     file, exactly what ooc.Continue expects; the out-of-core engine's
+//     own ordering invariant (DESIGN.md §0c) carries the stream to the
+//     end of the run.
+//
+// Governor accounting across the switch: retained head sub-lists are
+// released as their records leave for disk, discarded window results
+// are released by the pool, the consumed level is released when its
+// drain completes, and the out-of-core engine charges only its I/O
+// buffers — so Peak records the true high-water mark and Used falls
+// back under budget the moment the spill lands.
+package hybrid
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/bitset"
+	"repro/internal/clique"
+	"repro/internal/core"
+	"repro/internal/enumcfg"
+	"repro/internal/graph"
+	"repro/internal/kclique"
+	"repro/internal/membudget"
+	"repro/internal/ooc"
+	"repro/internal/parallel"
+)
+
+// Options configures Enumerate.
+type Options struct {
+	// Ctx, when non-nil, cancels the run at the usual backend
+	// cancellation points (per sub-list batch in core, per chunk in the
+	// pool, per record batch out of core).
+	Ctx context.Context
+	// Lo, Hi bound the clique sizes of interest, as in core.Options.
+	Lo, Hi int
+	// Mode is the common-neighbor bitmap policy of the in-core phase.
+	Mode core.CNMode
+	// Workers selects the in-core engine (1 = sequential, > 1 = the
+	// streaming pool) and is reused as the out-of-core join width after
+	// a spill.
+	Workers int
+	// Strategy is the pool dispatch policy (Workers > 1).
+	Strategy enumcfg.Strategy
+	// ReportSmall additionally reports maximal 1-/2-cliques (sequential
+	// in-core phase only; they are emitted before any level work, so a
+	// later spill never affects them).
+	ReportSmall bool
+	// Dir is the spill directory the out-of-core phase uses (required).
+	Dir string
+	// SpillBudget, when positive, bounds one out-of-core level's file
+	// bytes after a spill, as in ooc.Options.MaxLevelBytes.
+	SpillBudget int64
+	// Compress delta-varint encodes spilled level records.
+	Compress bool
+	// MemoryBudget seeds a private governor when Gov is nil.
+	MemoryBudget int64
+	// Gov is the run's shared memory governor; its budget is the spill
+	// trigger.  An unlimited governor (budget 0) never spills.
+	Gov *membudget.Governor
+	// Reporter receives every maximal clique, in the same ordered stream
+	// a pure in-core run delivers.
+	Reporter clique.Reporter
+	// OnLevel observes each generation step, in-core or spilled.
+	OnLevel func(LevelStats)
+}
+
+// LevelStats is one generation step of a hybrid run.
+type LevelStats struct {
+	FromK         int
+	Sublists      int   // in-core steps; 0 after the spill
+	Cliques       int64 // candidate cliques consumed
+	Maximal       int64 // maximal (FromK+1)-cliques reported
+	ResidentBytes int64 // in-core: paper-formula resident; spilled: level file bytes
+	Spilled       bool  // this step ran (at least partly) out of core
+}
+
+// Result summarizes a hybrid run.
+type Result struct {
+	MaximalCliques int64
+	MaxCliqueSize  int
+	// SpilledAtLevel is the clique size of the level that was being
+	// generated when the governor tripped — the size of the records the
+	// drain wrote.  0 means the whole run stayed in core.
+	SpilledAtLevel int
+	SeedStats      kclique.Stats
+	// OOC is the out-of-core engine's I/O accounting for the spilled
+	// phase (zero when the run never spilled).
+	OOC ooc.Stats
+}
+
+// OptionsFromConfig derives hybrid Options from the unified backend
+// config.  Reporter, OnLevel and Gov are left for the caller.
+func OptionsFromConfig(c enumcfg.Config) Options {
+	return Options{
+		Ctx:          c.Ctx,
+		Lo:           c.Lo,
+		Hi:           c.Hi,
+		Mode:         c.Mode,
+		Workers:      c.Workers,
+		Strategy:     c.Strategy,
+		ReportSmall:  c.ReportSmall,
+		Dir:          c.Dir,
+		SpillBudget:  c.SpillBudget,
+		Compress:     c.OOCCompress,
+		MemoryBudget: c.MemoryBudget,
+	}
+}
+
+// runner is one Enumerate invocation's state.
+type runner struct {
+	g    graph.Interface
+	opts Options
+	gov  *membudget.Governor
+	rep  clique.Reporter // counting wrapper around opts.Reporter
+	bits *bitset.Pool
+	res  *Result
+}
+
+// Enumerate runs the adaptive enumeration.  The emitted clique stream —
+// order included — is identical to the sequential in-core backend's for
+// any budget, worker count and trip point.
+func Enumerate(g graph.Interface, opts Options) (*Result, error) {
+	if opts.Dir == "" {
+		return nil, fmt.Errorf("hybrid: Dir is required")
+	}
+	if opts.Workers < 1 {
+		opts.Workers = 1
+	}
+	if opts.Lo == 0 {
+		opts.Lo = 2
+	}
+	if err := enumcfg.CheckBounds(opts.Lo, opts.Hi); err != nil {
+		return nil, fmt.Errorf("hybrid: %w", err)
+	}
+	if opts.Mode < core.CNStore || opts.Mode > core.CNCompress {
+		return nil, fmt.Errorf("hybrid: unknown CN mode %d", opts.Mode)
+	}
+	if opts.ReportSmall && opts.Workers > 1 {
+		return nil, fmt.Errorf("hybrid: ReportSmall requires the sequential in-core phase")
+	}
+	gov := opts.Gov
+	if gov == nil {
+		gov = membudget.New(opts.MemoryBudget)
+	}
+	h := &runner{
+		g:    g,
+		opts: opts,
+		gov:  gov,
+		bits: bitset.NewPool(g.N()),
+		res:  &Result{},
+	}
+	// Every emission — seed phase, in-core levels, drain join, and the
+	// out-of-core continuation — flows through one counting reporter, so
+	// the result's totals are exactly what the caller received.
+	h.rep = clique.ReporterFunc(func(c clique.Clique) {
+		h.res.MaximalCliques++
+		if len(c) > h.res.MaxCliqueSize {
+			h.res.MaxCliqueSize = len(c)
+		}
+		if h.opts.Reporter != nil {
+			h.opts.Reporter.Emit(c)
+		}
+	})
+	var err error
+	if opts.Workers > 1 {
+		err = h.runParallel()
+	} else {
+		err = h.runSequential()
+	}
+	return h.res, err
+}
+
+func (h *runner) ctx() context.Context {
+	if h.opts.Ctx == nil {
+		return context.Background()
+	}
+	return h.opts.Ctx
+}
+
+// runSequential is the Workers == 1 in-core phase: the core level loop
+// with a per-sub-list governor poll.
+func (h *runner) runSequential() error {
+	g, opts := h.g, h.opts
+	var lvl *core.Level
+	if opts.Lo <= 2 {
+		if opts.ReportSmall {
+			core.ReportSmallCliques(g, opts.Lo, h.rep)
+		}
+		lvl = core.SeedFromEdgesMode(g, opts.Mode)
+	} else {
+		var err error
+		lvl, h.res.SeedStats, err = core.SeedFromKMode(g, opts.Lo, opts.Mode, h.rep)
+		if err != nil {
+			return err
+		}
+	}
+	h.gov.Charge(lvl.Bytes(g.N()))
+
+	b := core.NewBuilderMode(g, opts.Mode, h.bits)
+	b.Ctx = opts.Ctx
+	b.Gov = h.gov
+	h.gov.Charge(b.ScratchBytes())
+	defer h.gov.Release(b.ScratchBytes())
+	for len(lvl.Sub) > 0 && (opts.Hi == 0 || lvl.K+1 <= opts.Hi) {
+		if err := h.ctx().Err(); err != nil {
+			return fmt.Errorf("hybrid: canceled before level %d->%d: %w", lvl.K, lvl.K+1, err)
+		}
+		lvlBytes := lvl.Bytes(g.N())
+		b.Reset()
+		tripAt := -1
+		for i, s := range lvl.Sub {
+			if i&63 == 0 && h.ctx().Err() != nil {
+				return fmt.Errorf("hybrid: canceled during level %d->%d: %w",
+					lvl.K, lvl.K+1, h.ctx().Err())
+			}
+			if h.gov.Over() {
+				tripAt = i
+				break
+			}
+			b.ProcessSubList(s, h.rep)
+		}
+		if tripAt >= 0 {
+			// The governor tripped at input tripAt: drain the head
+			// (outputs of inputs < tripAt, all retained and in order)
+			// plus the joined remainder, then continue out of core.
+			return h.drain(lvl, b.Next, lvl.Sub[tripAt:], b.Maximal, lvlBytes)
+		}
+		next := &core.Level{K: lvl.K + 1, Sub: b.Next}
+		h.observe(LevelStats{
+			FromK:         lvl.K,
+			Sublists:      len(lvl.Sub),
+			Cliques:       lvl.Cliques(),
+			Maximal:       b.Maximal,
+			ResidentBytes: lvlBytes + b.NewBytes,
+		})
+		h.gov.Release(lvlBytes)
+		lvl = next
+	}
+	h.gov.Release(lvl.Bytes(g.N()))
+	return nil
+}
+
+// runParallel is the Workers > 1 in-core phase: the streaming pool with
+// the governor as its per-chunk trip, and the sequencer's frontier as
+// the consistent cut the drain resumes from.
+func (h *runner) runParallel() error {
+	g, opts := h.g, h.opts
+	p, err := parallel.NewPool(g, parallel.Options{
+		Ctx:         opts.Ctx,
+		Workers:     opts.Workers,
+		Lo:          opts.Lo,
+		Hi:          opts.Hi,
+		RecomputeCN: opts.Mode == core.CNRecompute,
+		CompressCN:  opts.Mode == core.CNCompress,
+		Strategy:    opts.Strategy,
+		Gov:         h.gov,
+	})
+	if err != nil {
+		return fmt.Errorf("hybrid: %w", err)
+	}
+	defer p.Close()
+
+	var lvl *core.Level
+	var homes []int32
+	if opts.Lo <= 2 {
+		lvl, homes = core.SeedFromEdgesParallel(g, opts.Mode, opts.Workers)
+	} else {
+		lvl, homes, h.res.SeedStats, err = core.SeedFromKParallel(g, opts.Lo, opts.Mode, opts.Workers, h.rep)
+		if err != nil {
+			return err
+		}
+	}
+	h.gov.Charge(lvl.Bytes(g.N()))
+
+	for len(lvl.Sub) > 0 && (opts.Hi == 0 || lvl.K+1 <= opts.Hi) {
+		if err := h.ctx().Err(); err != nil {
+			return fmt.Errorf("hybrid: canceled before level %d->%d: %w", lvl.K, lvl.K+1, err)
+		}
+		lvlBytes := lvl.Bytes(g.N())
+		out := p.RunLevel(opts.Ctx, lvl, homes, h.rep, h.gov.Over)
+		if err := h.ctx().Err(); err != nil {
+			return fmt.Errorf("hybrid: canceled during level %d->%d: %w", lvl.K, lvl.K+1, err)
+		}
+		if out.Tripped {
+			// Outputs for inputs < Frontier were released in order (and
+			// emitted); the window beyond it was discarded by the pool.
+			// Close the pool before the serial drain so its workers'
+			// scratch leaves the accounting.
+			maximal := out.Stats.Maximal
+			p.Close()
+			return h.drain(lvl, out.Next.Sub, lvl.Sub[out.Frontier:], maximal, lvlBytes)
+		}
+		h.observe(LevelStats{
+			FromK:         lvl.K,
+			Sublists:      len(lvl.Sub),
+			Cliques:       lvl.Cliques(),
+			Maximal:       out.Stats.Maximal,
+			ResidentBytes: lvlBytes + out.Next.Bytes(g.N()),
+		})
+		h.gov.Release(lvlBytes)
+		lvl, homes = out.Next, out.Homes
+	}
+	h.gov.Release(lvl.Bytes(g.N()))
+	return nil
+}
+
+// drain switches the run out of core mid-step.  lvl is the consumed
+// level (size k); head holds the produced (k+1)-sub-lists retained for
+// inputs before the trip frontier, in canonical order; rest holds the
+// unjoined input sub-lists from the frontier on.  The produced level
+// leaves for disk as one sorted record stream — head records verbatim,
+// then the rest's surviving candidates via a spill-mode builder that
+// emits their maximal cliques in order — and ooc.Continue runs the level
+// loop from there.
+func (h *runner) drain(lvl *core.Level, head, rest []*core.SubList, stepMaximal int64, lvlBytes int64) error {
+	g, opts := h.g, h.opts
+	k := lvl.K + 1 // size of the records being drained
+	h.res.SpilledAtLevel = k
+
+	var headCliques int64
+	for _, s := range head {
+		headCliques += int64(len(s.Tails))
+	}
+	rawHint := (headCliques + lvl.Cliques()) * 4 * int64(k)
+
+	drainMaximal := stepMaximal
+	consumedReleased := false
+	oocOpts := ooc.Options{
+		Ctx:           opts.Ctx,
+		Dir:           opts.Dir,
+		Reporter:      h.rep,
+		MaxK:          opts.Hi,
+		MaxLevelBytes: opts.SpillBudget,
+		Workers:       opts.Workers,
+		Compress:      opts.Compress,
+		Gov:           h.gov,
+		OnLevel: func(ls ooc.LevelStats) {
+			h.observe(LevelStats{
+				FromK:         ls.FromK,
+				Cliques:       ls.Cliques,
+				Maximal:       ls.Maximal,
+				ResidentBytes: ls.FileBytes + ls.NextBytes,
+				Spilled:       true,
+			})
+		},
+	}
+	st, err := ooc.Continue(g, oocOpts, k, rawHint, func(write func(rec []uint32) error) error {
+		rec := make([]uint32, k)
+		for i, s := range head {
+			if i&63 == 0 && h.ctx().Err() != nil {
+				return fmt.Errorf("hybrid: canceled draining level %d: %w", k, h.ctx().Err())
+			}
+			copy(rec, s.Prefix)
+			for _, t := range s.Tails {
+				rec[k-1] = t
+				if err := write(rec); err != nil {
+					return err
+				}
+			}
+			// The head sub-list is on disk now; its resident charge goes.
+			h.gov.Release(s.MemBytes(g.N()))
+			if s.CN != nil {
+				h.bits.Put(s.CN)
+				s.CN = nil
+			}
+		}
+		// Join the un-drained inputs with a spill-mode builder: maximal
+		// cliques keep flowing to the reporter in canonical order, and
+		// survivors append to the same sorted record stream.  Inputs
+		// whose bitmaps were already consumed (a discarded parallel
+		// window) reconstruct their prefix CN from adjacency rows.
+		db := core.NewBuilderMode(g, opts.Mode, h.bits)
+		db.Ctx = opts.Ctx
+		db.Spill = write
+		for i, s := range rest {
+			if i&63 == 0 && h.ctx().Err() != nil {
+				return fmt.Errorf("hybrid: canceled draining level %d: %w", k, h.ctx().Err())
+			}
+			db.ProcessSubList(s, h.rep)
+			if db.SpillErr != nil {
+				return db.SpillErr
+			}
+		}
+		drainMaximal += db.Maximal
+		// The consumed level is fully joined and on disk: release it now,
+		// inside the feed, so the out-of-core phase runs with Used back
+		// under budget instead of carrying the spilled level's bytes to
+		// the end of the run.
+		h.gov.Release(lvlBytes)
+		consumedReleased = true
+		// The drained step k-1 -> k is complete here, before the
+		// out-of-core loop reports any later level, so observers see the
+		// steps in generation order.
+		h.observe(LevelStats{
+			FromK:         lvl.K,
+			Sublists:      len(lvl.Sub),
+			Cliques:       lvl.Cliques(),
+			Maximal:       drainMaximal,
+			ResidentBytes: lvlBytes,
+			Spilled:       true,
+		})
+		return nil
+	})
+	if !consumedReleased {
+		// The drain aborted mid-feed (cancellation, I/O error): the level
+		// is abandoned with the run, but the ledger still balances.
+		h.gov.Release(lvlBytes)
+	}
+	h.res.OOC = st
+	if err != nil {
+		return fmt.Errorf("hybrid: spilled at level %d: %w", k, err)
+	}
+	return nil
+}
+
+func (h *runner) observe(ls LevelStats) {
+	if h.opts.OnLevel != nil {
+		h.opts.OnLevel(ls)
+	}
+}

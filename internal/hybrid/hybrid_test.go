@@ -1,0 +1,230 @@
+package hybrid
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/clique"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/membudget"
+)
+
+// testGraph plants overlapping modules in a random graph so every run
+// has several generation levels to trip a budget inside.
+func testGraph(seed int64, n int, p float64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	g := graph.RandomGNP(rng, n, p)
+	graph.PlantClique(g, []int{0, 1, 2, 3, 4, 5, 6})
+	graph.PlantClique(g, []int{4, 5, 6, 7, 8})
+	graph.PlantClique(g, []int{n - 5, n - 4, n - 3, n - 2, n - 1})
+	return g
+}
+
+func keys(cs []clique.Clique) []string {
+	out := make([]string, len(cs))
+	for i, c := range cs {
+		out[i] = c.Key()
+	}
+	return out
+}
+
+func reference(t *testing.T, g graph.Interface, lo int) []string {
+	t.Helper()
+	col := &clique.Collector{}
+	if _, err := core.Enumerate(g, core.Options{Lo: lo, Reporter: col}); err != nil {
+		t.Fatalf("reference: %v", err)
+	}
+	return keys(col.Cliques)
+}
+
+// TestSpilloverParity is the package's acceptance property: for any
+// budget (never trips, trips mid-run, trips immediately), any worker
+// count, and either seeding mode, the hybrid stream is byte-identical
+// to the in-core reference.
+func TestSpilloverParity(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3} {
+		g := testGraph(seed, 80, 0.15)
+		want := reference(t, g, 3)
+		if len(want) == 0 {
+			t.Fatalf("seed %d: empty reference", seed)
+		}
+		// Resident candidate storage peaks at a few KB on this graph;
+		// the budgets below cover never / late / early / immediate trips.
+		for _, budget := range []int64{0, 1 << 30, 2 << 10, 1 << 10, 1} {
+			for _, workers := range []int{1, 3} {
+				gov := membudget.New(budget)
+				col := &clique.Collector{}
+				res, err := Enumerate(g, Options{
+					Lo:       3,
+					Workers:  workers,
+					Dir:      t.TempDir(),
+					Gov:      gov,
+					Reporter: col,
+				})
+				if err != nil {
+					t.Fatalf("seed %d budget %d workers %d: %v", seed, budget, workers, err)
+				}
+				got := keys(col.Cliques)
+				if len(got) != len(want) {
+					t.Fatalf("seed %d budget %d workers %d: %d cliques, want %d (spilled at %d)",
+						seed, budget, workers, len(got), len(want), res.SpilledAtLevel)
+				}
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("seed %d budget %d workers %d: stream diverges at %d: got {%s} want {%s}",
+							seed, budget, workers, i, got[i], want[i])
+					}
+				}
+				if res.MaximalCliques != int64(len(want)) {
+					t.Fatalf("Result.MaximalCliques = %d, want %d", res.MaximalCliques, len(want))
+				}
+				switch {
+				case budget == 0 || budget == 1<<30:
+					if res.SpilledAtLevel != 0 {
+						t.Errorf("budget %d spilled at level %d; should have stayed in core",
+							budget, res.SpilledAtLevel)
+					}
+				default:
+					if res.SpilledAtLevel == 0 {
+						t.Errorf("budget %d never spilled; the trip point is untested", budget)
+					}
+					// An immediate trip drains the whole run through the
+					// disk engine, so bytes must have moved; later trips
+					// may drain an empty final level.
+					if budget == 1 && res.OOC.BytesWritten == 0 {
+						t.Errorf("budget %d spilled but moved no bytes", budget)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSpilloverWithSeededBounds exercises the Lo >= 3 k-clique seeding
+// and an upper bound across the spill boundary.
+func TestSpilloverWithSeededBounds(t *testing.T) {
+	g := testGraph(7, 90, 0.18)
+	want := reference(t, g, 4)
+	if len(want) == 0 {
+		t.Skip("no size >= 4 cliques on this seed")
+	}
+	for _, workers := range []int{1, 2} {
+		col := &clique.Collector{}
+		res, err := Enumerate(g, Options{
+			Lo:       4,
+			Workers:  workers,
+			Dir:      t.TempDir(),
+			Gov:      membudget.New(16 << 10),
+			Reporter: col,
+		})
+		if err != nil {
+			t.Fatalf("workers %d: %v", workers, err)
+		}
+		got := keys(col.Cliques)
+		if len(got) != len(want) {
+			t.Fatalf("workers %d: %d cliques, want %d (spilled at %d)",
+				workers, len(got), len(want), res.SpilledAtLevel)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers %d: diverges at %d", workers, i)
+			}
+		}
+	}
+}
+
+// TestPeakStaysNearBudget pins the governor guarantee: a spilled run's
+// peak cannot exceed the budget by more than one level's drain
+// allowance — the level resident when the trip was detected, plus the
+// spill machinery's bounded I/O buffers.  The graph is sized so the
+// unconstrained peak (a few MB) dwarfs that allowance, making the bound
+// meaningful: an implementation that kept accumulating candidates after
+// the trip would blow straight through it.
+func TestPeakStaysNearBudget(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g := graph.RandomGNP(rng, 300, 0.3)
+	// Unconstrained run: measure the largest per-step resident bytes.
+	var maxStep int64
+	res, err := core.Enumerate(g, core.Options{Lo: 3, OnLevel: func(ls core.LevelStats) {
+		if r := ls.Bytes + ls.NextBytes; r > maxStep {
+			maxStep = r
+		}
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PeakBytes < 1<<20 {
+		t.Fatalf("reference peak %d too small to make the bound meaningful", res.PeakBytes)
+	}
+	budget := res.PeakBytes / 4
+	for _, workers := range []int{1, 4} {
+		gov := membudget.New(budget)
+		out, err := Enumerate(g, Options{Lo: 3, Workers: workers, Dir: t.TempDir(), Gov: gov})
+		if err != nil {
+			t.Fatalf("workers %d: %v", workers, err)
+		}
+		if out.SpilledAtLevel == 0 {
+			t.Fatalf("workers %d: budget %d (quarter of peak %d) did not trip",
+				workers, budget, res.PeakBytes)
+		}
+		// Drain allowance: one resident level plus the disk engine's
+		// in-flight buffers (one writer + one reader per worker, 32 KiB
+		// shard targets on a run this size, 1 MiB hard cap each).
+		allowance := maxStep + (2*int64(workers)+2)*(1<<20)
+		if gov.Peak() > budget+allowance {
+			t.Errorf("workers %d: governor peak %d exceeds budget %d + allowance %d",
+				workers, gov.Peak(), budget, allowance)
+		}
+		if gov.Peak() >= res.PeakBytes {
+			t.Errorf("workers %d: spilled peak %d not below the unconstrained peak %d",
+				workers, gov.Peak(), res.PeakBytes)
+		}
+		if gov.Used() != 0 {
+			t.Errorf("workers %d: %d bytes still charged after the run (leaked accounting)",
+				workers, gov.Used())
+		}
+	}
+}
+
+// TestCancellationDuringSpill cancels from inside the reporter after the
+// spill and checks the error and spill-dir cleanup behavior of the
+// out-of-core continuation.
+func TestCancellationDuringSpill(t *testing.T) {
+	g := testGraph(9, 150, 0.22)
+	want := reference(t, g, 3)
+	if len(want) < 50 {
+		t.Fatalf("only %d cliques; need a longer run", len(want))
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	seen := 0
+	res, err := Enumerate(g, Options{
+		Ctx:     ctx,
+		Lo:      3,
+		Workers: 1,
+		Dir:     t.TempDir(),
+		Gov:     membudget.New(1), // immediate spill
+		Reporter: clique.ReporterFunc(func(c clique.Clique) {
+			seen++
+			if seen == len(want)/2 {
+				cancel()
+			}
+		}),
+	})
+	if err == nil {
+		t.Fatal("run completed despite cancellation")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error %v does not wrap context.Canceled", err)
+	}
+	if res.SpilledAtLevel == 0 {
+		t.Fatal("budget 1 did not spill before the cancel")
+	}
+	// Delivered prefix must match the reference stream.
+	if seen < len(want)/2 {
+		t.Fatalf("delivered %d cliques before cancel, want >= %d", seen, len(want)/2)
+	}
+}

@@ -1,0 +1,105 @@
+package membudget
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+func TestChargeReleasePeak(t *testing.T) {
+	g := New(100)
+	g.Charge(40)
+	g.Charge(30)
+	if got := g.Used(); got != 70 {
+		t.Fatalf("Used = %d, want 70", got)
+	}
+	g.Release(50)
+	if got := g.Used(); got != 20 {
+		t.Fatalf("Used after release = %d, want 20", got)
+	}
+	if got := g.Peak(); got != 70 {
+		t.Fatalf("Peak = %d, want 70", got)
+	}
+	if g.Over() || g.Tripped() {
+		t.Fatal("under-budget governor reports Over/Tripped")
+	}
+}
+
+func TestTripLatches(t *testing.T) {
+	g := New(100)
+	g.Charge(90)
+	if g.Over() || g.Tripped() {
+		t.Fatal("Over/Tripped before crossing")
+	}
+	g.Charge(20) // crosses
+	if !g.Over() || !g.Tripped() {
+		t.Fatal("crossing did not set Over/Tripped")
+	}
+	g.Release(50) // back under budget
+	if g.Over() {
+		t.Fatal("Over after releasing back under budget")
+	}
+	if !g.Tripped() {
+		t.Fatal("Tripped did not latch across the release")
+	}
+	if !errors.Is(g.Err(), ErrBudget) {
+		t.Fatalf("Err %v does not wrap ErrBudget", g.Err())
+	}
+}
+
+func TestUnlimitedGovernorObservesOnly(t *testing.T) {
+	g := New(0)
+	g.Charge(1 << 40)
+	if g.Over() || g.Tripped() {
+		t.Fatal("unlimited governor tripped")
+	}
+	if g.Peak() != 1<<40 {
+		t.Fatalf("Peak = %d", g.Peak())
+	}
+}
+
+func TestNilGovernorIsSafe(t *testing.T) {
+	var g *Governor
+	g.Charge(10)
+	g.Release(10)
+	if g.Used() != 0 || g.Peak() != 0 || g.Over() || g.Tripped() || g.Budget() != 0 {
+		t.Fatal("nil governor leaked state")
+	}
+}
+
+func TestConcurrentChargesKeepPeakSane(t *testing.T) {
+	g := New(0)
+	const workers = 8
+	const per = 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				g.Charge(3)
+				g.Release(3)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := g.Used(); got != 0 {
+		t.Fatalf("Used after balanced charges = %d, want 0", got)
+	}
+	if p := g.Peak(); p < 3 || p > 3*workers {
+		t.Fatalf("Peak %d outside [3, %d]", p, 3*workers)
+	}
+}
+
+func TestReleaseClampsAtZero(t *testing.T) {
+	g := New(50)
+	g.Charge(10)
+	g.Release(100)
+	if g.Used() != 0 {
+		t.Fatalf("Used = %d, want clamp to 0", g.Used())
+	}
+	g.Charge(60)
+	if !g.Over() {
+		t.Fatal("clamped governor lost the budget")
+	}
+}

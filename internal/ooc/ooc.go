@@ -40,6 +40,7 @@ import (
 	"repro/internal/clique"
 	"repro/internal/enumcfg"
 	"repro/internal/graph"
+	"repro/internal/membudget"
 	"repro/internal/sched"
 )
 
@@ -88,6 +89,13 @@ type Options struct {
 	// clamped to [32 KiB, 32 MiB]).  Smaller shards mean finer dispatch
 	// granularity and a smaller in-order release window.
 	ShardBytes int64
+	// Gov, when non-nil, is the run's shared memory governor.  The
+	// out-of-core engine charges its resident buffers — per-worker
+	// bitmaps at pool start and each in-flight shard's I/O buffer while
+	// open — so a hybrid run's Peak stays meaningful after the spill.
+	// The engine never enforces the budget: disk is exactly where an
+	// over-budget run belongs.
+	Gov *membudget.Governor
 }
 
 // LevelStats describes one out-of-core generation step k -> k+1.
@@ -173,6 +181,52 @@ func Enumerate(g graph.Interface, opts Options) (Stats, error) {
 	return st, err
 }
 
+// Continue runs the out-of-core level loop starting from a level of
+// size-k candidate records supplied by feed instead of from the graph's
+// edges: the hybrid backend's in-core -> out-of-core handoff.  feed is
+// called once with the level writer's write function and must produce
+// the records in canonical sorted order (the run-aligned sharding
+// invariant rests on it); rawHint, when positive, estimates the level's
+// fixed-width bytes so the first level is sharded sensibly.  Everything
+// else matches a plain Enumerate run: the spill directory is a private
+// temporary directory inside opts.Dir, removed on the way out, and
+// checkpointing is not supported — the in-core prefix of a hybrid run
+// cannot be replayed from a manifest.
+func Continue(g graph.Interface, opts Options, k int, rawHint int64,
+	feed func(write func(rec []uint32) error) error) (Stats, error) {
+	if err := normalizeOptions(&opts); err != nil {
+		return Stats{}, err
+	}
+	if opts.Checkpoint {
+		return Stats{}, fmt.Errorf("ooc: Continue does not support checkpointed runs")
+	}
+	if k < 2 {
+		return Stats{}, fmt.Errorf("ooc: Continue from level %d (want >= 2)", k)
+	}
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return Stats{}, err
+	}
+	dir, err := os.MkdirTemp(opts.Dir, "ooc-run-*")
+	if err != nil {
+		return Stats{}, err
+	}
+	e := newEngine(g, opts, dir)
+	st, err := e.continueFrom(k, rawHint, feed)
+	if rerr := os.RemoveAll(dir); rerr != nil {
+		err = errors.Join(err, fmt.Errorf("ooc: removing spill dir: %w", rerr))
+	}
+	return st, err
+}
+
+func (e *engine) continueFrom(k int, rawHint int64,
+	feed func(write func(rec []uint32) error) error) (Stats, error) {
+	shards, err := e.spillLevel(k, rawHint, feed)
+	if err != nil {
+		return e.stats(), err
+	}
+	return e.run(shards, k)
+}
+
 // Resume continues a checkpointed run from the manifest in opts.Dir.
 // The graph must be the one the checkpoint was written for (verified by
 // fingerprint).  The record encoding and, when not overridden, MaxK are
@@ -255,8 +309,9 @@ type engine struct {
 	resumed     bool
 	checkpinned bool // a manifest has been committed
 
-	workers []*oocWorker
-	poolWG  sync.WaitGroup
+	workers       []*oocWorker
+	poolWG        sync.WaitGroup
+	scratchCharge int64 // governor charge for the workers' bitmaps
 }
 
 func newEngine(g graph.Interface, opts Options, dir string) *engine {
@@ -410,34 +465,45 @@ func (e *engine) shardTarget(consumedBytes int64) int64 {
 // spillEdges writes level 2 — every edge in canonical order — through
 // the sharding writer.
 func (e *engine) spillEdges() ([]shardMeta, error) {
+	return e.spillLevel(2, 8*int64(e.g.M()), func(write func(rec []uint32) error) error {
+		var rec [2]uint32
+		var werr error
+		cnt := 0
+		graph.ForEachEdge(e.g, func(u, v int) bool {
+			if cnt&4095 == 0 && e.ctx.Err() != nil {
+				werr = fmt.Errorf("ooc: canceled during edge spill: %w", e.ctx.Err())
+				return false
+			}
+			cnt++
+			rec[0], rec[1] = uint32(u), uint32(v)
+			werr = write(rec[:])
+			return werr == nil
+		})
+		return werr
+	})
+}
+
+// spillLevel writes one level's sorted record stream — produced by feed
+// in canonical order — through the sharding writer, with the engine's
+// usual accounting and abort cleanup.  rawHint estimates the level's
+// fixed-width bytes for shard-target sizing.
+func (e *engine) spillLevel(k int, rawHint int64,
+	feed func(write func(rec []uint32) error) error) ([]shardMeta, error) {
 	var levelOut atomic.Int64
 	var created []string
-	lw := newLevelWriter(e.dir, 2, e.opts.Compress, e.shardTarget(8*int64(e.g.M())),
+	lw := newLevelWriter(e.dir, k, e.opts.Compress, e.shardTarget(rawHint), e.opts.Gov,
 		func() (string, error) {
-			name := e.nextShardName(2)
+			name := e.nextShardName(k)
 			created = append(created, name)
 			return name, nil
 		},
-		e.accountWrite(&levelOut, 2))
-	var rec [2]uint32
-	var werr error
-	cnt := 0
-	graph.ForEachEdge(e.g, func(u, v int) bool {
-		if cnt&4095 == 0 && e.ctx.Err() != nil {
-			werr = fmt.Errorf("ooc: canceled during edge spill: %w", e.ctx.Err())
-			return false
-		}
-		cnt++
-		rec[0], rec[1] = uint32(u), uint32(v)
-		werr = lw.write(rec[:])
-		return werr == nil
-	})
-	if werr != nil {
+		e.accountWrite(&levelOut, k))
+	if werr := feed(lw.write); werr != nil {
 		e.aborted = true
 		errs := []error{werr, lw.abort()}
 		for _, name := range created {
 			if err := os.Remove(filepath.Join(e.dir, name)); err != nil {
-				errs = append(errs, fmt.Errorf("ooc: remove aborted edge spill: %w", err))
+				errs = append(errs, fmt.Errorf("ooc: remove aborted level spill: %w", err))
 			}
 		}
 		return nil, errors.Join(errs...)
@@ -617,6 +683,10 @@ func (e *engine) startPool() {
 		e.poolWG.Add(1)
 		go w.loop()
 	}
+	// Per-worker bitmap scratch is resident for the whole run; the
+	// governor hears about it like any other layer's footprint.
+	e.scratchCharge = int64(e.opts.Workers) * 2 * int64((n+63)/64) * 8
+	e.opts.Gov.Charge(e.scratchCharge)
 }
 
 func (e *engine) stopPool() {
@@ -624,6 +694,8 @@ func (e *engine) stopPool() {
 		close(w.jobs)
 	}
 	e.poolWG.Wait()
+	e.opts.Gov.Release(e.scratchCharge)
+	e.scratchCharge = 0
 }
 
 // oocWorker is one persistent pool thread.  Its bitmaps and record
@@ -677,7 +749,7 @@ func (w *oocWorker) runJob(job *levelJob) {
 func (w *oocWorker) processShard(job *levelJob, si int) (res *shardResult, err error) {
 	e := w.e
 	k := job.k
-	r, err := openShard(e.dir, job.shards[si], k, e.g.N(), e.opts.Compress)
+	r, err := openShard(e.dir, job.shards[si], k, e.g.N(), e.opts.Compress, e.opts.Gov)
 	if err != nil {
 		return nil, err
 	}
@@ -688,7 +760,7 @@ func (w *oocWorker) processShard(job *levelJob, si int) (res *shardResult, err e
 			res = nil
 		}
 	}()
-	out := newLevelWriter(e.dir, k+1, e.opts.Compress, job.target,
+	out := newLevelWriter(e.dir, k+1, e.opts.Compress, job.target, e.opts.Gov,
 		func() (string, error) {
 			name := e.nextShardName(k + 1)
 			job.addFile(name)

@@ -7,6 +7,8 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+
+	"repro/internal/membudget"
 )
 
 // A level is stored as an ordered list of shard files, each holding a
@@ -69,16 +71,19 @@ type levelWriter struct {
 	enc      *recordEncoder
 	newShard func() (string, error)
 	onWrite  func(encBytes, rawBytes int64) error
+	gov      *membudget.Governor // charged with the in-flight I/O buffer
 
-	shards []shardMeta
-	f      *os.File
-	bw     *bufio.Writer
-	cur    shardMeta
-	prev   []uint32
-	count  int64 // records written this level
+	shards  []shardMeta
+	f       *os.File
+	bw      *bufio.Writer
+	bufSize int64 // governor charge of the open shard's buffer
+	cur     shardMeta
+	prev    []uint32
+	count   int64 // records written this level
 }
 
 func newLevelWriter(dir string, k int, compress bool, target int64,
+	gov *membudget.Governor,
 	newShard func() (string, error), onWrite func(enc, raw int64) error) *levelWriter {
 	if target < 1 {
 		target = 1
@@ -90,6 +95,7 @@ func newLevelWriter(dir string, k int, compress bool, target int64,
 		enc:      newRecordEncoder(k, compress),
 		newShard: newShard,
 		onWrite:  onWrite,
+		gov:      gov,
 		prev:     make([]uint32, k),
 	}
 }
@@ -132,7 +138,10 @@ func (w *levelWriter) openShard() error {
 		return fmt.Errorf("ooc: create shard: %w", err)
 	}
 	w.f = f
-	w.bw = bufio.NewWriterSize(f, bufSize(w.target))
+	sz := bufSize(w.target)
+	w.bw = bufio.NewWriterSize(f, sz)
+	w.bufSize = int64(sz)
+	w.gov.Charge(w.bufSize)
 	w.cur = shardMeta{Path: name}
 	w.enc.reset()
 	hdr := shardHeader(w.k, w.enc.compress)
@@ -151,6 +160,8 @@ func (w *levelWriter) closeShard() error {
 	if cerr := w.f.Close(); err == nil {
 		err = cerr
 	}
+	w.gov.Release(w.bufSize)
+	w.bufSize = 0
 	if err != nil {
 		return fmt.Errorf("ooc: close shard %s: %w", w.cur.Path, err)
 	}
@@ -184,6 +195,8 @@ func (w *levelWriter) abort() error {
 	if err := w.f.Close(); err != nil {
 		errs = append(errs, fmt.Errorf("ooc: closing aborted shard %s: %w", w.cur.Path, err))
 	}
+	w.gov.Release(w.bufSize)
+	w.bufSize = 0
 	w.f, w.bw = nil, nil
 	return errors.Join(errs...)
 }
@@ -210,15 +223,18 @@ type shardReader struct {
 	meta    shardMeta
 	k       int
 	records int64
+	gov     *membudget.Governor
+	bufSize int64
 }
 
-func openShard(dir string, meta shardMeta, k, n int, compress bool) (*shardReader, error) {
+func openShard(dir string, meta shardMeta, k, n int, compress bool, gov *membudget.Governor) (*shardReader, error) {
 	f, err := os.Open(filepath.Join(dir, meta.Path))
 	if err != nil {
 		return nil, fmt.Errorf("ooc: open shard: %w", err)
 	}
 	cr := &countingReader{r: f}
-	br := bufio.NewReaderSize(cr, bufSize(meta.Bytes))
+	sz := bufSize(meta.Bytes)
+	br := bufio.NewReaderSize(cr, sz)
 	hdr := make([]byte, shardHeaderLen)
 	if _, err := io.ReadFull(br, hdr); err != nil {
 		f.Close()
@@ -241,10 +257,12 @@ func openShard(dir string, meta shardMeta, k, n int, compress bool) (*shardReade
 		f.Close()
 		return nil, corrupt("%s: clique size %d, level expects %d", meta.Path, hdr[6], k)
 	}
+	gov.Charge(int64(sz))
 	return &shardReader{
 		f: f, cr: cr, br: br,
 		dec:  newRecordDecoder(k, n, compress),
 		meta: meta, k: k,
+		gov: gov, bufSize: int64(sz),
 	}, nil
 }
 
@@ -274,6 +292,8 @@ func (r *shardReader) next(rec []uint32) error {
 func (r *shardReader) bytesRead() int64 { return r.cr.n }
 
 func (r *shardReader) close() error {
+	r.gov.Release(r.bufSize)
+	r.bufSize = 0
 	if err := r.f.Close(); err != nil {
 		return fmt.Errorf("ooc: close shard %s: %w", r.meta.Path, err)
 	}

@@ -58,13 +58,24 @@ func EnumerateBarrier(g graph.Interface, opts Options) (*Result, error) {
 	}
 	homes := make([]int32, len(lvl.Sub))
 
+	// Governor charging mirrors the streaming pool's: builder scratch up
+	// front, kept sub-lists at keep time, consumed levels at barriers.
+	// Enforcement is level-granular — the bulk-synchronous design has no
+	// mid-level drain point — so a tripped budget aborts at the next
+	// barrier rather than mid-level.
+	gov := opts.Gov
+	gov.Charge(lvl.Bytes(g.N()))
 	pool := bitset.NewPool(g.N())
 	workers := make([]*barrierWorker, opts.Workers)
+	var scratch int64
 	for w := range workers {
-		workers[w] = &barrierWorker{
-			builder: core.NewBuilderMode(g, mode, pool),
-		}
+		b := core.NewBuilderMode(g, mode, pool)
+		b.Gov = gov
+		scratch += b.ScratchBytes()
+		workers[w] = &barrierWorker{builder: b}
 	}
+	gov.Charge(scratch)
+	defer gov.Release(scratch)
 
 	words := int64((g.N() + 63) / 64)
 	for len(lvl.Sub) > 0 && (opts.Hi == 0 || lvl.K+1 <= opts.Hi) {
@@ -75,6 +86,7 @@ func EnumerateBarrier(g graph.Interface, opts Options) (*Result, error) {
 			return res, fmt.Errorf("parallel: canceled at level %d->%d: %w",
 				lvl.K, lvl.K+1, opts.Ctx.Err())
 		}
+		lvlBytes := lvl.Bytes(g.N())
 		loads := make([]int64, len(lvl.Sub))
 		for i, s := range lvl.Sub {
 			loads[i] = estimateLoad(s, words)
@@ -136,8 +148,14 @@ func EnumerateBarrier(g graph.Interface, opts Options) (*Result, error) {
 		if opts.OnLevel != nil {
 			opts.OnLevel(st)
 		}
+		if gov.Over() {
+			res.Elapsed = time.Since(start)
+			return res, fmt.Errorf("parallel: level %d->%d: %w", lvl.K, lvl.K+1, gov.Err())
+		}
+		gov.Release(lvlBytes)
 		lvl = next
 	}
+	gov.Release(lvl.Bytes(g.N()))
 	res.Elapsed = time.Since(start)
 	return res, nil
 }

@@ -30,6 +30,17 @@
 // while buffering only the out-of-order window rather than the whole
 // level.
 //
+// The pool charges the run's memory governor (package membudget) like
+// every other layer: per-worker builder scratch at pool start, each
+// retained sub-list at keep time (through core.Builder), and each
+// merge-window emission copy between deposit and in-order release.  A
+// configured budget is enforced — workers stop pulling chunks the moment
+// the governor trips, the in-flight window drains through the
+// sched.Sequencer, and Enumerate aborts with core.ErrMemoryBudget — and
+// the same trip-and-drain machinery is what the hybrid backend uses,
+// through Pool.RunLevel, to switch a live run out-of-core instead of
+// aborting it.
+//
 // EnumerateBarrier retains the previous bulk-synchronous implementation
 // (goroutines respawned per level, one static assignment per level,
 // emissions buffered until the barrier) as the reference baseline for
@@ -48,6 +59,7 @@ import (
 	"repro/internal/enumcfg"
 	"repro/internal/graph"
 	"repro/internal/kclique"
+	"repro/internal/membudget"
 	"repro/internal/sched"
 )
 
@@ -84,6 +96,15 @@ type Options struct {
 	// roughly Workers*ChunksPerWorker chunks by estimated load.  0 uses
 	// sched.DefaultChunksPerWorker.
 	ChunksPerWorker int
+	// MemoryBudget, when positive, bounds the governor-accounted
+	// resident bytes (seed level + retained candidates + worker scratch
+	// + merge-window copies); exceeding it aborts the run with an error
+	// wrapping core.ErrMemoryBudget.  Ignored when Gov is set.
+	MemoryBudget int64
+	// Gov, when non-nil, is the shared memory governor every layer of
+	// the run charges; when nil, a private one is derived from
+	// MemoryBudget.
+	Gov *membudget.Governor
 	// Reporter receives maximal cliques.  Enumerate delivers full
 	// canonical order (non-decreasing size; lexicographic within a
 	// size) with either strategy; EnumerateBarrier guarantees canonical
@@ -121,23 +142,26 @@ type Result struct {
 // part of the config and are left for the caller to fill.
 func OptionsFromConfig(c enumcfg.Config) Options {
 	return Options{
-		Ctx:         c.Ctx,
-		Workers:     c.Workers,
-		Lo:          c.Lo,
-		Hi:          c.Hi,
-		RecomputeCN: c.Mode == enumcfg.CNRecompute,
-		CompressCN:  c.Mode == enumcfg.CNCompress,
-		Strategy:    c.Strategy,
+		Ctx:          c.Ctx,
+		Workers:      c.Workers,
+		Lo:           c.Lo,
+		Hi:           c.Hi,
+		RecomputeCN:  c.Mode == enumcfg.CNRecompute,
+		CompressCN:   c.Mode == enumcfg.CNCompress,
+		Strategy:     c.Strategy,
+		MemoryBudget: c.MemoryBudget,
 	}
 }
 
 // Enumerate runs the multithreaded Clique Enumerator on a persistent
 // streaming worker pool, over any graph representation.
 func Enumerate(g graph.Interface, opts Options) (*Result, error) {
-	mode, err := checkOptions(&opts)
+	p, err := NewPool(g, opts)
 	if err != nil {
 		return nil, err
 	}
+	defer p.Close()
+	opts = p.opts // defaults applied
 	start := time.Now()
 	res := &Result{WorkerBusy: make([]float64, opts.Workers)}
 
@@ -155,74 +179,48 @@ func Enumerate(g graph.Interface, opts Options) (*Result, error) {
 	var lvl *core.Level
 	var homes []int32
 	if opts.Lo <= 2 {
-		lvl, homes = core.SeedFromEdgesParallel(g, mode, opts.Workers)
+		lvl, homes = core.SeedFromEdgesParallel(g, p.mode, opts.Workers)
 	} else {
-		lvl, homes, res.SeedStats, err = core.SeedFromKParallel(g, opts.Lo, mode, opts.Workers, seedRep)
+		lvl, homes, res.SeedStats, err = core.SeedFromKParallel(g, opts.Lo, p.mode, opts.Workers, seedRep)
 		if err != nil {
 			return nil, err
 		}
 	}
+	gov := p.Gov()
+	gov.Charge(lvl.Bytes(g.N()))
 
-	// Start the persistent pool: one builder per worker, reused across
-	// every level of the run.
-	pool := bitset.NewPool(g.N())
-	workers := make([]*worker, opts.Workers)
-	var wg sync.WaitGroup
-	for w := range workers {
-		workers[w] = &worker{
-			id:      w,
-			builder: core.NewBuilderMode(g, mode, pool),
-			jobs:    make(chan levelJob, 1),
-		}
-		wg.Add(1)
-		go workers[w].loop(&wg)
+	var trip func() bool
+	if gov.Budget() > 0 {
+		trip = gov.Over
 	}
-	defer func() {
-		for _, w := range workers {
-			close(w.jobs)
-		}
-		wg.Wait()
-	}()
-
-	words := int64((g.N() + 63) / 64)
-	m := &merger{rep: opts.Reporter} // scratch reused across levels
-	var loads []int64                // reused across levels; each level ends before reuse
 	for len(lvl.Sub) > 0 && (opts.Hi == 0 || lvl.K+1 <= opts.Hi) {
 		if opts.Ctx != nil && opts.Ctx.Err() != nil {
 			res.Elapsed = time.Since(start)
 			return res, fmt.Errorf("parallel: canceled at level %d->%d: %w",
 				lvl.K, lvl.K+1, opts.Ctx.Err())
 		}
-		if cap(loads) < len(lvl.Sub) {
-			loads = make([]int64, len(lvl.Sub))
-		}
-		loads = loads[:len(lvl.Sub)]
-		for i, s := range lvl.Sub {
-			loads[i] = estimateLoad(s, words)
-		}
-		grain := sched.ChunkGrain(loads, opts.Workers, opts.ChunksPerWorker)
-		var disp *sched.Dispatcher
-		if opts.Strategy == Affinity {
-			disp = sched.NewAffinityDispatcher(loads, homes, opts.Workers, opts.Policy, grain)
-		} else {
-			disp = sched.NewContiguousDispatcher(loads, opts.Workers, grain)
-		}
-
-		next, nextHomes, st := runLevel(opts.Ctx, lvl, disp, workers, m, opts.Reporter)
-		res.MaximalCliques += st.Maximal
-		if st.Maximal > 0 && lvl.K+1 > res.MaxCliqueSize {
+		lvlBytes := lvl.Bytes(g.N())
+		out := p.RunLevel(opts.Ctx, lvl, homes, opts.Reporter, trip)
+		res.MaximalCliques += out.Stats.Maximal
+		if out.Stats.Maximal > 0 && lvl.K+1 > res.MaxCliqueSize {
 			res.MaxCliqueSize = lvl.K + 1
 		}
-		res.Transfers += st.Transfers
-		for w, busy := range st.WorkerBusy {
+		res.Transfers += out.Stats.Transfers
+		for w, busy := range out.Stats.WorkerBusy {
 			res.WorkerBusy[w] += busy
 		}
-		res.Levels = append(res.Levels, st)
+		res.Levels = append(res.Levels, out.Stats)
 		if opts.OnLevel != nil {
-			opts.OnLevel(st)
+			opts.OnLevel(out.Stats)
 		}
-		lvl, homes = next, nextHomes
+		if out.Tripped {
+			res.Elapsed = time.Since(start)
+			return res, fmt.Errorf("parallel: level %d->%d: %w", lvl.K, lvl.K+1, gov.Err())
+		}
+		gov.Release(lvlBytes) // the consumed level is retired
+		lvl, homes = out.Next, out.Homes
 	}
+	gov.Release(lvl.Bytes(g.N()))
 	res.Elapsed = time.Since(start)
 	if opts.Ctx != nil && opts.Ctx.Err() != nil {
 		return res, fmt.Errorf("parallel: canceled: %w", opts.Ctx.Err())
@@ -245,6 +243,9 @@ func checkOptions(opts *Options) (core.CNMode, error) {
 	if opts.RecomputeCN && opts.CompressCN {
 		return 0, fmt.Errorf("parallel: RecomputeCN and CompressCN are mutually exclusive")
 	}
+	if opts.Gov == nil && opts.MemoryBudget > 0 {
+		opts.Gov = membudget.New(opts.MemoryBudget)
+	}
 	switch {
 	case opts.RecomputeCN:
 		return core.CNRecompute, nil
@@ -254,14 +255,101 @@ func checkOptions(opts *Options) (core.CNMode, error) {
 	return core.CNStore, nil
 }
 
-// runLevel drives one level through the pool: it hands every worker the
+// Pool is the persistent streaming worker pool with its level-merge
+// machinery, exported so the hybrid backend can drive levels one at a
+// time (and spill between them) through the exact engine Enumerate runs
+// on.  A Pool is bound to one graph; levels must be run one at a time.
+type Pool struct {
+	g       graph.Interface
+	opts    Options
+	mode    core.CNMode
+	bits    *bitset.Pool
+	workers []*worker
+	wg      sync.WaitGroup
+	m       *merger
+	words   int64
+	loads   []int64 // reused across levels; each level ends before reuse
+	scratch int64   // governor-charged builder scratch bytes
+	closed  bool
+}
+
+// NewPool validates opts, starts the workers, and charges the governor
+// with their builder scratch.  Close must be called to stop them.
+func NewPool(g graph.Interface, opts Options) (*Pool, error) {
+	mode, err := checkOptions(&opts)
+	if err != nil {
+		return nil, err
+	}
+	p := &Pool{
+		g:     g,
+		opts:  opts,
+		mode:  mode,
+		bits:  bitset.NewPool(g.N()),
+		words: int64((g.N() + 63) / 64),
+	}
+	p.m = &merger{gov: opts.Gov, bits: p.bits, n: g.N()}
+	p.workers = make([]*worker, opts.Workers)
+	for w := range p.workers {
+		b := core.NewBuilderMode(g, mode, p.bits)
+		b.Gov = opts.Gov
+		p.scratch += b.ScratchBytes()
+		p.workers[w] = &worker{
+			id:      w,
+			builder: b,
+			jobs:    make(chan levelJob, 1),
+		}
+		p.wg.Add(1)
+		go p.workers[w].loop(&p.wg)
+	}
+	opts.Gov.Charge(p.scratch)
+	return p, nil
+}
+
+// Gov returns the pool's governor (possibly nil).
+func (p *Pool) Gov() *membudget.Governor { return p.opts.Gov }
+
+// Close stops the workers and releases the governor's scratch charge.
+// Idempotent.
+func (p *Pool) Close() {
+	if p.closed {
+		return
+	}
+	p.closed = true
+	for _, w := range p.workers {
+		close(w.jobs)
+	}
+	p.wg.Wait()
+	p.opts.Gov.Release(p.scratch)
+}
+
+// LevelOutcome is one RunLevel's result.  When the level ran to
+// completion, Next/Homes describe the produced level and Frontier equals
+// the input sub-list count.  When the trip callback (or a context
+// cancellation) stopped it early, outputs were delivered in exact
+// canonical order for inputs [0, Frontier) only: Next holds precisely
+// their surviving sub-lists, every deposited-but-unreleased result
+// beyond the frontier has been discarded (and its governor charges
+// reconciled), and inputs [Frontier, n) are untouched input again — the
+// consistent cut the hybrid drain resumes from.
+type LevelOutcome struct {
+	Next     *core.Level
+	Homes    []int32
+	Stats    LevelStats
+	Frontier int
+	Tripped  bool
+}
+
+// RunLevel drives one level through the pool: it hands every worker the
 // level job, then sleeps until the level barrier.  Result merging is
 // decentralized — workers deposit chunk results straight into the shared
 // streaming merger — so the coordinator costs no CPU while the level
 // runs, which matters when workers already oversubscribe the cores.
-func runLevel(ctx context.Context, lvl *core.Level, disp *sched.Dispatcher, workers []*worker,
-	m *merger, rep clique.Reporter) (*core.Level, []int32, LevelStats) {
-	w := len(workers)
+// trip, when non-nil, is polled by workers between chunks; once it
+// returns true the level stops early with the consistent-cut semantics
+// documented on LevelOutcome.
+func (p *Pool) RunLevel(ctx context.Context, lvl *core.Level, homes []int32,
+	rep clique.Reporter, trip func() bool) LevelOutcome {
+	w := len(p.workers)
 	items := len(lvl.Sub)
 	st := LevelStats{
 		FromK:      lvl.K,
@@ -269,28 +357,65 @@ func runLevel(ctx context.Context, lvl *core.Level, disp *sched.Dispatcher, work
 		WorkerBusy: make([]float64, w),
 		WorkerCost: make([]int64, w),
 	}
-	m.reset(items, lvl.K+1)
+	if cap(p.loads) < items {
+		p.loads = make([]int64, items)
+	}
+	loads := p.loads[:items]
+	for i, s := range lvl.Sub {
+		loads[i] = estimateLoad(s, p.words)
+	}
+	grain := sched.ChunkGrain(loads, w, p.opts.ChunksPerWorker)
+	var disp *sched.Dispatcher
+	if p.opts.Strategy == Affinity {
+		disp = sched.NewAffinityDispatcher(loads, homes, w, p.opts.Policy, grain)
+	} else {
+		disp = sched.NewContiguousDispatcher(loads, w, grain)
+	}
+
+	p.m.reset(items, lvl.K+1, rep)
 	var wg sync.WaitGroup
 	wg.Add(w)
 	job := levelJob{
 		ctx:     ctx,
 		lvl:     lvl,
 		disp:    disp,
-		merger:  m,
+		merger:  p.m,
+		trip:    trip,
 		wg:      &wg,
 		busy:    st.WorkerBusy,
 		cost:    st.WorkerCost,
 		collect: rep != nil,
 	}
-	for _, wk := range workers {
+	for _, wk := range p.workers {
 		wk.jobs <- job
 	}
 	wg.Wait()
 
-	st.Maximal = m.maximal
+	st.Maximal = p.m.maximal
 	st.Transfers = disp.Transfers()
 	st.Chunks = disp.Chunks()
-	return m.next, m.homes, st
+	out := LevelOutcome{
+		Next:     p.m.next,
+		Homes:    p.m.homes,
+		Stats:    st,
+		Frontier: p.m.seq.Released(),
+	}
+	if out.Frontier < items {
+		// The level stopped early.  The only two ways that happens are a
+		// context cancellation and the trip predicate, so if the context
+		// is clean this WAS a trip — decided structurally, never by
+		// re-polling trip(): the discard below (and releases during the
+		// level) can flip an Over()-based predicate back under budget,
+		// and a tripped level misread as complete would silently drop
+		// every input at or beyond the frontier.
+		out.Tripped = trip != nil && (ctx == nil || ctx.Err() == nil)
+		// Reconcile the window: everything deposited beyond the frontier
+		// is discarded — those inputs will be re-joined (by the hybrid
+		// drain) or abandoned (abort paths), so their outputs must not
+		// linger in the accounting.
+		p.m.discardPending()
+	}
+	return out
 }
 
 // chunkResult is one processed chunk's outputs in compact offset form:
@@ -322,8 +447,13 @@ type itemRef struct {
 // of the level has been released.  Emission order is therefore exactly
 // the sequential enumeration order, while only the out-of-order window
 // is buffered — not the whole level, as the barrier implementation must.
+// The window's emission copies are governor-charged between deposit and
+// release, so "merge-window buffers" are part of what the budget means.
 type merger struct {
 	rep     clique.Reporter
+	gov     *membudget.Governor
+	bits    *bitset.Pool
+	n       int // graph universe (for sub-list byte accounting)
 	seq     *sched.Sequencer[itemRef]
 	next    *core.Level
 	homes   []int32
@@ -332,7 +462,8 @@ type merger struct {
 
 // reset prepares the merger for a level of `items` sub-lists producing
 // cliques of size nextK.
-func (m *merger) reset(items, nextK int) {
+func (m *merger) reset(items, nextK int, rep clique.Reporter) {
+	m.rep = rep
 	if m.seq == nil {
 		m.seq = sched.NewSequencer(items, m.releaseItem)
 	} else {
@@ -367,12 +498,37 @@ func (m *merger) releaseItem(_ int, r itemRef) {
 	if m.rep != nil && rc.emitOff != nil {
 		for _, cl := range rc.emitted[rc.emitOff[p]:rc.emitOff[p+1]] {
 			m.rep.Emit(cl)
+			m.gov.Release(8 * int64(len(cl)))
 		}
 	}
 	for _, s := range rc.next[rc.subOff[p]:rc.subOff[p+1]] {
 		m.next.Sub = append(m.next.Sub, s)
 		m.homes = append(m.homes, rc.worker)
 	}
+}
+
+// discardPending reconciles the governor and the bitmap pool for every
+// deposited-but-unreleased result of a level that stopped early: kept
+// sub-lists (charged at keep time) are released and their bitmaps
+// recycled, buffered emission copies are released.  The corresponding
+// inputs become plain input again — the builders already returned their
+// CN bitmaps, and prefixCN reconstruction covers a re-join.
+func (m *merger) discardPending() {
+	m.seq.DrainPending(func(_ int, r itemRef) {
+		rc, p := r.chunk, r.pos
+		if rc.emitOff != nil {
+			for _, cl := range rc.emitted[rc.emitOff[p]:rc.emitOff[p+1]] {
+				m.gov.Release(8 * int64(len(cl)))
+			}
+		}
+		for _, s := range rc.next[rc.subOff[p]:rc.subOff[p+1]] {
+			m.gov.Release(s.MemBytes(m.n))
+			if s.CN != nil {
+				m.bits.Put(s.CN)
+				s.CN = nil
+			}
+		}
+	})
 }
 
 // estimateLoad predicts the generation cost of a sub-list before running
@@ -388,6 +544,7 @@ type levelJob struct {
 	lvl     *core.Level
 	disp    *sched.Dispatcher
 	merger  *merger
+	trip    func() bool // nil = never trips
 	wg      *sync.WaitGroup
 	busy    []float64 // per-worker stat slots; each worker writes its own
 	cost    []int64
@@ -410,21 +567,28 @@ func (wk *worker) loop(wg *sync.WaitGroup) {
 	defer wg.Done()
 	for job := range wk.jobs {
 		wk.builder.Reset()
+		gov := job.merger.gov
 		var busy time.Duration
 		// One reporter closure per level: it copies borrowed cliques into
-		// the current chunk's emission buffer.
+		// the current chunk's emission buffer.  Copies are charged to the
+		// governor until their in-order release.
 		var emitted []clique.Clique
 		var rep clique.Reporter
 		if job.collect {
 			rep = clique.ReporterFunc(func(c clique.Clique) {
 				emitted = append(emitted, append(clique.Clique(nil), c...))
+				gov.Charge(8 * int64(len(c)))
 			})
 		}
 		for {
-			// Cancellation point: a canceled level stops being pulled,
-			// every worker falls through to the level barrier, and the
-			// pool stays reusable for a clean shutdown.
+			// Cancellation / governor-trip point: a stopped level is no
+			// longer pulled, every worker falls through to the level
+			// barrier, and the pool stays reusable — for a clean shutdown
+			// on cancel, for the out-of-core drain on a trip.
 			if job.ctx != nil && job.ctx.Err() != nil {
+				break
+			}
+			if job.trip != nil && job.trip() {
 				break
 			}
 			chunk, ok := job.disp.Next(wk.id)

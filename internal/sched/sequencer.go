@@ -77,6 +77,30 @@ func (s *Sequencer[T]) Deposit(item int, v T) {
 	}
 }
 
+// DrainPending removes every deposited-but-unreleased result without
+// advancing the frontier, passing each (in item order) to fn, which may
+// be nil to discard silently.  The abort and spillover paths use it to
+// reconcile side accounting (memory-governor charges, pooled bitmaps)
+// for work that is being thrown away: after DrainPending the released
+// prefix [0, Released()) is exactly the work that was delivered, and
+// everything at or beyond the frontier is untouched input again.
+func (s *Sequencer[T]) DrainPending(fn func(item int, v T)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var zero T
+	for i := s.emit; i < len(s.slots); i++ {
+		if !s.present[i] {
+			continue
+		}
+		v := s.slots[i]
+		s.slots[i] = zero
+		s.present[i] = false
+		if fn != nil {
+			fn(i, v)
+		}
+	}
+}
+
 // Released returns the number of items released so far (the frontier).
 func (s *Sequencer[T]) Released() int {
 	s.mu.Lock()
