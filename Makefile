@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build fmt fmt-fix vet test race race-repr bench bench-json bench-ooc-json bench-hybrid-json smoke-resume smoke-spillover examples ci
+.PHONY: all build fmt fmt-fix vet lint test race race-repr bench bench-json bench-ooc-json bench-hybrid-json smoke-resume smoke-spillover examples ci
 
 all: build
 
@@ -19,6 +19,13 @@ fmt-fix:
 
 vet:
 	$(GO) vet ./...
+
+# The repo's own invariant suite (internal/analysis via cmd/repolint):
+# memory-budget pairing, cancellation observation, hot-path allocation,
+# cleanup-error propagation, graph freeze/row lifecycle.  Tests are
+# analyzed too; exits nonzero on any finding.
+lint:
+	$(GO) run ./cmd/repolint ./...
 
 test:
 	$(GO) test ./...
@@ -81,6 +88,6 @@ examples:
 	$(GO) vet ./examples/...
 	$(GO) test -run Example ./...
 
-check: fmt vet test
+check: fmt vet lint test
 
-ci: fmt vet build test race race-repr bench examples smoke-resume smoke-spillover
+ci: fmt vet lint build test race race-repr bench examples smoke-resume smoke-spillover

@@ -143,7 +143,9 @@ func timedRun(g *graph.Graph, budget int64, workers, reps int) (runResult, error
 			Gov:     gov,
 		})
 		wall := time.Since(start).Nanoseconds()
-		os.RemoveAll(dir)
+		if rmErr := os.RemoveAll(dir); rmErr != nil && err == nil {
+			err = rmErr // leftover spill dirs skew every later trial
+		}
 		if err != nil {
 			return best, err
 		}

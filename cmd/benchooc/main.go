@@ -131,7 +131,9 @@ func timedRun(g *graph.Graph, workers int, compress bool, reps int) (runResult, 
 			Compress: compress,
 		})
 		wall := time.Since(start).Nanoseconds()
-		os.RemoveAll(dir)
+		if rmErr := os.RemoveAll(dir); rmErr != nil && err == nil {
+			err = rmErr // leftover spill dirs skew every later trial
+		}
 		if err != nil {
 			return best, err
 		}

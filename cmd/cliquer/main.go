@@ -145,12 +145,17 @@ func run(ctx context.Context, path string, o options) error {
 	if err != nil {
 		return err
 	}
-	defer f.Close()
 	var g repro.GraphInterface
 	if o.dimacs {
 		g, err = repro.ReadDIMACSRep(f, rep)
 	} else {
 		g, err = repro.ReadEdgeListRep(f, rep)
+	}
+	// The graph is fully materialized here; close eagerly and report a
+	// close failure (truncated read, I/O error surfacing late) rather
+	// than dropping it from a defer.
+	if cerr := f.Close(); cerr != nil && err == nil {
+		err = cerr
 	}
 	if err != nil {
 		return err

@@ -62,19 +62,27 @@ func main() {
 	}
 
 	w := os.Stdout
+	var outFile *os.File
 	if *out != "" {
 		f, err := os.Create(*out)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "graphgen: %v\n", err)
 			os.Exit(1)
 		}
-		defer f.Close()
+		outFile = f
 		w = f
 	}
 	if *dimacs {
 		err = graph.WriteDIMACS(w, g)
 	} else {
 		err = graph.WriteEdgeList(w, g)
+	}
+	// A failed Close on the output file is a failed write (buffered data
+	// may be lost); it must fail the command, not vanish in a defer.
+	if outFile != nil {
+		if cerr := outFile.Close(); err == nil {
+			err = cerr
+		}
 	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "graphgen: %v\n", err)

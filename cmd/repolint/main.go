@@ -1,0 +1,85 @@
+// Command repolint runs the repo's custom static-analysis suite (see
+// internal/analysis): the mechanical enforcement of the memory-budget,
+// cancellation, hot-path, cleanup-error and graph-lifecycle invariants
+// the enumeration engine depends on.
+//
+// Standalone:
+//
+//	repolint [-tests] [-list] [patterns...]   # default pattern ./...
+//
+// exits 0 when clean, 2 when it reports findings, 1 on internal error.
+//
+// As a vet tool (the go command drives the unitchecker protocol —
+// repolint answers -V=full with a stable fingerprint and accepts the
+// per-package vet.cfg argument):
+//
+//	go vet -vettool=$(which repolint) ./...
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/analysis/lintkit"
+	"repro/internal/analysis/repolint"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	suite := repolint.Analyzers()
+
+	// Vet-tool protocol first: `repolint -V=full` fingerprints the tool
+	// for the build cache; `repolint <pkg>.cfg` analyzes one package.
+	for _, arg := range os.Args[1:] {
+		if arg == "-V=full" || arg == "--V=full" {
+			lintkit.VetVersion(os.Args[0], suite)
+			return 0
+		}
+		if arg == "-flags" || arg == "--flags" {
+			// The go command enumerates the tool's analyzer flags before
+			// driving it; the suite exposes none.
+			fmt.Println("[]")
+			return 0
+		}
+	}
+	if n := len(os.Args); n > 1 && strings.HasSuffix(os.Args[n-1], ".cfg") {
+		return lintkit.VetMain(os.Args[n-1], suite)
+	}
+
+	tests := flag.Bool("tests", true, "also analyze _test.go files")
+	list := flag.Bool("list", false, "print the analyzers in the suite and exit")
+	flag.Parse()
+
+	if *list {
+		for _, a := range suite {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, fset, err := lintkit.Load(".", patterns, *tests)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "repolint: %v\n", err)
+		return 1
+	}
+	ds, err := lintkit.Run(fset, pkgs, suite)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "repolint: %v\n", err)
+		return 1
+	}
+	if len(ds) == 0 {
+		return 0
+	}
+	lintkit.Format(os.Stdout, fset, ds)
+	fmt.Fprintf(os.Stderr, "repolint: %d finding(s)\n", len(ds))
+	return 2
+}

@@ -71,7 +71,9 @@ func run(name string, cfg expt.Config) error {
 	case "maxclique":
 		t, err := expt.MaxCliqueBounds(cfg)
 		if t != nil {
-			_ = t.Fprint(os.Stdout)
+			if perr := t.Fprint(os.Stdout); err == nil {
+				err = perr
+			}
 		}
 		return err
 	case "table1":
@@ -124,7 +126,9 @@ func run(name string, cfg expt.Config) error {
 	case "ablate":
 		tables, err := expt.Ablations(cfg)
 		for _, t := range tables {
-			_ = t.Fprint(os.Stdout)
+			if perr := t.Fprint(os.Stdout); err == nil {
+				err = perr
+			}
 		}
 		return err
 	case "all":

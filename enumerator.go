@@ -348,6 +348,7 @@ func (e *Enumerator) Run(ctx context.Context, g GraphInterface, r Reporter) (int
 	// cannot run below.
 	gov := membudget.New(cfg.MemoryBudget)
 	gov.Charge(g.Bytes())
+	defer gov.Release(g.Bytes())
 	st := e.statsSink(cfg)
 	start := time.Now()
 	defer func() {
@@ -435,6 +436,7 @@ func (e *Enumerator) Paracliques(ctx context.Context, g GraphInterface, glom flo
 	// describe the seed cliques the paracliques grew from.
 	gov := membudget.New(0)
 	gov.Charge(g.Bytes())
+	defer gov.Release(g.Bytes())
 	st := e.statsSink(cfg)
 	if st != nil {
 		st.Backend = "paraclique"

@@ -507,7 +507,9 @@ func TestFacadeGraphIO(t *testing.T) {
 		if err := f.write(w, g); err != nil {
 			t.Fatal(err)
 		}
-		w.Close()
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
 		r, err := os.Open(path)
 		if err != nil {
 			t.Fatal(err)

@@ -1,0 +1,340 @@
+// Package budgetpair flow-checks the repo's memory-accounting
+// discipline: every byte charged to a membudget.Governor must be
+// released on every path out of the charging code, or its ownership
+// must demonstrably transfer to a type that releases it later.  This is
+// the PR 5 invariant ("one budget, one meaning of memory") that runtime
+// leak checks can only sample; the analyzer enforces it on every return
+// path mechanically.
+//
+// The check is intraprocedural with two ownership-escape rules that
+// encode the repo's legitimate cross-function patterns:
+//
+//   - receiver escape: a charge through a field of some named type T
+//     (e.g. w.gov.Charge(n) inside a *levelWriter method) is owned by T
+//     when any method of T in the same package performs a Release —
+//     the constructor/Close pairing of the ooc shard writers and the
+//     worker pools;
+//   - result escape: a charge inside a function returning a named type
+//     T whose methods Release (e.g. openShard charging a read buffer
+//     into the *shardReader it returns) transfers ownership to the
+//     returned value.
+//
+// Otherwise, every return statement lexically after the first Charge
+// must be covered by a deferred Release registered before it or a
+// Release call between the Charge and the return.  A deliberate
+// transfer the rules cannot see (core.Builder.keep charges sub-lists
+// the level loop later retires) is suppressed with
+// //nolint:budgetpair <reason>.
+//
+// When a function has exactly one Charge and none of its Releases
+// textually matches the charged expression, the analyzer additionally
+// reports a quantity mismatch — the charge/release amounts must track
+// the same bytes.
+package budgetpair
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis/lintkit"
+)
+
+// Analyzer is the budgetpair check.
+var Analyzer = &lintkit.Analyzer{
+	Name: "budgetpair",
+	Doc: "check that every membudget.Governor.Charge is paired with a Release on all return paths " +
+		"(or ownership provably transfers to a releasing type)",
+	Run: run,
+}
+
+// governorCall reports whether call is method `name` on a value whose
+// named type is membudget's Governor.  Matching is nominal (type name
+// "Governor", method Charge/Release) so analysis testdata can stub the
+// type without importing the real package.
+func governorCall(info *types.Info, call *ast.CallExpr, name string) (recv ast.Expr, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel || sel.Sel.Name != name || len(call.Args) != 1 {
+		return nil, false
+	}
+	tv, found := info.Types[sel.X]
+	if !found {
+		return nil, false
+	}
+	return sel.X, isNamed(tv.Type, "Governor")
+}
+
+// isNamed reports whether t (possibly behind pointers) is a named type
+// with the given name.
+func isNamed(t types.Type, name string) bool {
+	for {
+		switch v := t.(type) {
+		case *types.Pointer:
+			t = v.Elem()
+		case *types.Named:
+			return v.Obj().Name() == name
+		default:
+			return false
+		}
+	}
+}
+
+// namedTypeName returns the name of e's named type (behind pointers),
+// or "".
+func namedTypeName(info *types.Info, e ast.Expr) string {
+	tv, ok := info.Types[e]
+	if !ok {
+		return ""
+	}
+	t := tv.Type
+	for {
+		switch v := t.(type) {
+		case *types.Pointer:
+			t = v.Elem()
+		case *types.Named:
+			return v.Obj().Name()
+		default:
+			return ""
+		}
+	}
+}
+
+type charge struct {
+	pos     token.Pos
+	argText string
+	recv    ast.Expr
+}
+
+type release struct {
+	pos      token.Pos
+	argText  string
+	deferred bool
+	deferPos token.Pos
+}
+
+func run(pass *lintkit.Pass) error {
+	releasers := releasingTypes(pass)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, fd, releasers)
+		}
+	}
+	return nil
+}
+
+// releasingTypes collects the named receiver types that own a Release
+// somewhere in the package: any method whose body (closures included)
+// calls Governor.Release marks its receiver type as a releaser.
+func releasingTypes(pass *lintkit.Pass) map[string]bool {
+	out := make(map[string]bool)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || fd.Body == nil || len(fd.Recv.List) == 0 {
+				continue
+			}
+			recvName := ""
+			if t := fd.Recv.List[0].Type; t != nil {
+				e := t
+				if s, isStar := e.(*ast.StarExpr); isStar {
+					e = s.X
+				}
+				if id, isIdent := e.(*ast.Ident); isIdent {
+					recvName = id.Name
+				} else if idx, isIdx := e.(*ast.IndexExpr); isIdx {
+					if id, isIdent := idx.X.(*ast.Ident); isIdent {
+						recvName = id.Name
+					}
+				}
+			}
+			if recvName == "" || out[recvName] {
+				continue
+			}
+			found := false
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if found {
+					return false
+				}
+				if call, isCall := n.(*ast.CallExpr); isCall {
+					if _, isRel := governorCall(pass.TypesInfo, call, "Release"); isRel {
+						found = true
+						return false
+					}
+				}
+				return true
+			})
+			if found {
+				out[recvName] = true
+			}
+		}
+	}
+	return out
+}
+
+// checkFunc applies the pairing rules to one function declaration.
+// Function literals are not descended into (a closure is not a return
+// path of its enclosing function), except the immediate body of a
+// `defer func() { ... }()`, whose Releases count as deferred coverage.
+func checkFunc(pass *lintkit.Pass, fd *ast.FuncDecl, releasers map[string]bool) {
+	var charges []charge
+	var releases []release
+	var returns []*ast.ReturnStmt
+
+	var walk func(n ast.Node, deferPos token.Pos)
+	walk = func(root ast.Node, deferPos token.Pos) {
+		ast.Inspect(root, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncLit:
+				return false // separate function; see doc comment
+			case *ast.DeferStmt:
+				// Walk the deferred call (and a deferred closure's whole
+				// body) in deferred mode, then skip the normal descent.
+				if lit, ok := n.Call.Fun.(*ast.FuncLit); ok {
+					walk(lit.Body, n.Pos())
+				} else {
+					walk(n.Call, n.Pos())
+				}
+				return false
+			case *ast.ReturnStmt:
+				if deferPos == token.NoPos {
+					returns = append(returns, n)
+				}
+			case *ast.CallExpr:
+				if recv, ok := governorCall(pass.TypesInfo, n, "Charge"); ok {
+					charges = append(charges, charge{
+						pos:     n.Pos(),
+						argText: lintkit.ExprString(n.Args[0]),
+						recv:    recv,
+					})
+				}
+				if _, ok := governorCall(pass.TypesInfo, n, "Release"); ok {
+					releases = append(releases, release{
+						pos:      n.Pos(),
+						argText:  lintkit.ExprString(n.Args[0]),
+						deferred: deferPos != token.NoPos,
+						deferPos: deferPos,
+					})
+				}
+			}
+			return true
+		})
+	}
+	walk(fd.Body, token.NoPos)
+
+	if len(charges) == 0 {
+		return
+	}
+
+	// Receiver escape: the charge went through a field of a type whose
+	// methods release (w.gov.Charge inside a *levelWriter method).
+	allEscape := true
+	for _, c := range charges {
+		if !chargeEscapes(pass, c, fd, releasers) {
+			allEscape = false
+			break
+		}
+	}
+	if allEscape {
+		return
+	}
+
+	firstCharge := charges[0].pos
+	covered := func(ret token.Pos) bool {
+		for _, r := range releases {
+			if r.deferred && r.deferPos < ret {
+				return true
+			}
+			if !r.deferred && r.pos > firstCharge && r.pos < ret {
+				return true
+			}
+		}
+		return false
+	}
+
+	if len(releases) == 0 {
+		pass.Reportf(firstCharge,
+			"Charge(%s) has no matching Release in %s; release it on every path or transfer ownership (//nolint:budgetpair <reason>)",
+			charges[0].argText, fd.Name.Name)
+		return
+	}
+
+	for _, ret := range returns {
+		if ret.Pos() <= firstCharge {
+			continue
+		}
+		if !covered(ret.Pos()) {
+			pass.Reportf(ret.Pos(),
+				"return leaks the governor charge from line %d: no Release reaches this path (defer the Release or reconcile before returning)",
+				pass.Fset.Position(firstCharge).Line)
+		}
+	}
+	// A function body that can fall off the end is one more return path.
+	if n := len(fd.Body.List); n > 0 {
+		if _, endsInReturn := fd.Body.List[n-1].(*ast.ReturnStmt); !endsInReturn {
+			if !covered(fd.Body.End()) {
+				pass.Reportf(charges[0].pos,
+					"Charge(%s) is not Released before %s falls off the end of the function",
+					charges[0].argText, fd.Name.Name)
+			}
+		}
+	}
+
+	// Quantity check: a lone Charge whose releases all name a different
+	// amount is charging and releasing different bytes.
+	if len(charges) == 1 && charges[0].argText != "?" {
+		match := false
+		for _, r := range releases {
+			if r.argText == charges[0].argText || r.argText == "?" {
+				match = true
+				break
+			}
+		}
+		if !match {
+			pass.Reportf(charges[0].pos,
+				"Charge(%s) is never Released with the same quantity (releases: %s)",
+				charges[0].argText, releases[0].argText)
+		}
+	}
+}
+
+// chargeEscapes reports whether one charge's ownership provably leaves
+// the function: through the receiver chain (rule one) or through a
+// returned releasing type (rule two).
+func chargeEscapes(pass *lintkit.Pass, c charge, fd *ast.FuncDecl, releasers map[string]bool) bool {
+	// Rule one: recv is a selector chain rooted at a value of a named
+	// type whose methods release (w.gov, e.opts.Gov, ...).  A bare
+	// *Governor root (local or parameter) does not escape.
+	if root := lintkit.RootIdent(c.recv); root != nil {
+		if name := rootNamedType(pass.TypesInfo, c.recv); name != "" && name != "Governor" && releasers[name] {
+			return true
+		}
+	}
+	// Rule two: the function returns a named type whose methods release
+	// (constructors handing the charged resource to the caller).
+	if fd.Type.Results != nil {
+		for _, res := range fd.Type.Results.List {
+			e := res.Type
+			if s, ok := e.(*ast.StarExpr); ok {
+				e = s.X
+			}
+			if id, ok := e.(*ast.Ident); ok && releasers[id.Name] {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// rootNamedType returns the named type of the leftmost identifier of
+// recv's selector chain ("" when untyped or not named).
+func rootNamedType(info *types.Info, recv ast.Expr) string {
+	root := lintkit.RootIdent(recv)
+	if root == nil {
+		return ""
+	}
+	return namedTypeName(info, root)
+}

@@ -1,0 +1,13 @@
+package budgetpair_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/analysis/budgetpair"
+	"repro/internal/analysis/lintkit/testkit"
+)
+
+func TestBudgetpair(t *testing.T) {
+	testkit.Run(t, filepath.Join("testdata", "src", "a"), budgetpair.Analyzer)
+}

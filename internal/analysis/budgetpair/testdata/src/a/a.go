@@ -1,0 +1,87 @@
+// Package a is budgetpair analyzer testdata: a local Governor stub
+// (matched nominally) exercising the pairing, escape and quantity rules.
+package a
+
+import "errors"
+
+type Governor struct{ n int64 }
+
+func (g *Governor) Charge(n int64)  { g.n += n }
+func (g *Governor) Release(n int64) { g.n -= n }
+
+var errBoom = errors.New("boom")
+
+func leakNoRelease(g *Governor, n int64) {
+	g.Charge(n) // want `has no matching Release`
+}
+
+func leakEarlyReturn(g *Governor, n int64, bad bool) error {
+	g.Charge(n)
+	if bad {
+		return errBoom // want `return leaks the governor charge`
+	}
+	g.Release(n)
+	return nil
+}
+
+func okDefer(g *Governor, n int64, bad bool) error {
+	g.Charge(n)
+	defer g.Release(n)
+	if bad {
+		return errBoom
+	}
+	return nil
+}
+
+func okDeferClosure(g *Governor, n int64, bad bool) error {
+	g.Charge(n)
+	defer func() {
+		g.Release(n)
+	}()
+	if bad {
+		return errBoom
+	}
+	return nil
+}
+
+func leakWrongAmount(g *Governor, n int64) {
+	g.Charge(n) // want `never Released with the same quantity`
+	g.Release(8)
+}
+
+func leakFallOffEnd(g *Governor, n int64) {
+	g.Release(n)
+	g.Charge(n) // want `falls off the end`
+}
+
+// pool releases in stop what start charged: receiver escape, no finding.
+type pool struct{ gov *Governor }
+
+func (p *pool) start(n int64) {
+	p.gov.Charge(n)
+}
+
+func (p *pool) stop(n int64) {
+	p.gov.Release(n)
+}
+
+// reader releases in close what open charged into it: result escape.
+type reader struct {
+	gov *Governor
+	n   int64
+}
+
+func (r *reader) close() { r.gov.Release(r.n) }
+
+func open(g *Governor, n int64) *reader {
+	g.Charge(n)
+	return &reader{gov: g, n: n}
+}
+
+// keep transfers ownership to a caller the escape rules cannot see; the
+// justified suppression keeps it quiet.
+//
+//nolint:budgetpair the level loop retires these sub-lists in bulk
+func keep(g *Governor, n int64) {
+	g.Charge(n)
+}

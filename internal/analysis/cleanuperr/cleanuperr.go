@@ -1,0 +1,321 @@
+// Package cleanuperr enforces the cleanup-error discipline from PR 4:
+// errors from Close, Sync, Flush, Remove and friends on cleanup paths
+// must be returned, joined with errors.Join, or explicitly justified —
+// never silently dropped.  A swallowed Close on a shard file is how an
+// out-of-core run reports success after writing a truncated spill.
+//
+// Three shapes are flagged:
+//
+//   - bare `defer f.Close()` / `defer w.Sync()` when the value is
+//     write-side: an *os.File from os.Create or os.OpenFile with a
+//     writable flag, or any type whose method set satisfies io.Writer.
+//     Read-side closes are best-effort and left alone.
+//   - bare ExpressionStmt calls whose result includes an error —
+//     f.Close(), os.Remove(p), w.Flush() on a line of their own —
+//     same write-side rule for Close/Sync/Flush; Remove/RemoveAll are
+//     always flagged.
+//   - explicit discards `_ = f.Close()` (or `_, _ = ...`) of the
+//     cleanup-family calls {Close, Sync, Flush, Remove, RemoveAll,
+//     Fprint, Fprintf, Fprintln, Write, WriteString}.  An intentional
+//     discard is suppressed with //nolint:cleanuperr <reason>.
+package cleanuperr
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis/lintkit"
+)
+
+// Analyzer is the cleanuperr check.
+var Analyzer = &lintkit.Analyzer{
+	Name: "cleanuperr",
+	Doc:  "check that cleanup errors (Close/Sync/Flush/Remove) are propagated, not discarded",
+	Run:  run,
+}
+
+// closeFamily are methods whose error matters when the value is
+// write-side.
+var closeFamily = map[string]bool{"Close": true, "Sync": true, "Flush": true}
+
+// discardFamily are the callees whose explicitly-discarded errors are
+// flagged (`_ = ...`).
+var discardFamily = map[string]bool{
+	"Close": true, "Sync": true, "Flush": true,
+	"Remove": true, "RemoveAll": true,
+	"Fprint": true, "Fprintf": true, "Fprintln": true,
+	"Write": true, "WriteString": true,
+}
+
+func run(pass *lintkit.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			w := &walker{pass: pass, writable: writableOrigins(pass, fd.Body)}
+			ast.Inspect(fd.Body, w.visit)
+		}
+	}
+	return nil
+}
+
+type walker struct {
+	pass     *lintkit.Pass
+	writable map[types.Object]bool
+}
+
+func (w *walker) visit(n ast.Node) bool {
+	switch n := n.(type) {
+	case *ast.DeferStmt:
+		if w.flaggableCleanup(n.Call) {
+			w.pass.Reportf(n.Pos(),
+				"deferred %s discards its error on a write-side value; close explicitly and propagate (or errors.Join) the error",
+				callLabel(n.Call))
+		}
+		return true
+	case *ast.ExprStmt:
+		call, ok := n.X.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if w.flaggableCleanup(call) {
+			w.pass.Reportf(n.Pos(),
+				"%s error is silently dropped; check it (return, errors.Join, or //nolint:cleanuperr <reason>)",
+				callLabel(call))
+		} else if name := lintkit.CalleeName(call); (name == "Remove" || name == "RemoveAll") && isOsCall(w.pass.TypesInfo, call) {
+			w.pass.Reportf(n.Pos(),
+				"os.%s error is silently dropped; check it (return, errors.Join, or //nolint:cleanuperr <reason>)", name)
+		}
+		return true
+	case *ast.AssignStmt:
+		if n.Tok != token.ASSIGN && n.Tok != token.DEFINE {
+			return true
+		}
+		// `_ = call` / `x, _ := call`: every blank on the LHS positionally
+		// covering an error result of a cleanup-family call is a discard.
+		if len(n.Rhs) != 1 {
+			return true
+		}
+		call, ok := n.Rhs[0].(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		name := lintkit.CalleeName(call)
+		if !discardFamily[name] {
+			return true
+		}
+		if !errorDiscarded(w.pass.TypesInfo, n, call) {
+			return true
+		}
+		w.pass.Reportf(n.Pos(),
+			"error from %s is assigned to _; propagate it or justify with //nolint:cleanuperr <reason>", callLabel(call))
+		return true
+	}
+	return true
+}
+
+// flaggableCleanup reports whether call is a zero-arg Close/Sync/Flush
+// on a write-side value whose error result would be dropped.
+func (w *walker) flaggableCleanup(call *ast.CallExpr) bool {
+	name := lintkit.CalleeName(call)
+	if !closeFamily[name] || len(call.Args) != 0 {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	if !returnsError(w.pass.TypesInfo, call) {
+		return false
+	}
+	return w.isWriteSide(sel.X)
+}
+
+// isWriteSide reports whether e's value is one we require checked
+// cleanup for: an *os.File that this function opened writable, or any
+// non-file type that satisfies io.Writer.
+func (w *walker) isWriteSide(e ast.Expr) bool {
+	tv, ok := w.pass.TypesInfo.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	if isOsFile(tv.Type) {
+		root := lintkit.RootIdent(e)
+		if root == nil {
+			return true // can't prove read-side; err on the checked side
+		}
+		obj := w.pass.TypesInfo.Uses[root]
+		if obj == nil {
+			obj = w.pass.TypesInfo.Defs[root]
+		}
+		if obj == nil {
+			return true
+		}
+		known, tracked := w.writable[obj]
+		if !tracked {
+			return true // not locally opened (field, param): require the check
+		}
+		return known
+	}
+	return implementsWriter(tv.Type)
+}
+
+// writableOrigins scans a function body for `f, err := os.Open/Create/
+// OpenFile(...)` and records whether each assigned *os.File object is
+// write-side.  os.Open is the only provably read-only constructor;
+// OpenFile is write-side unless its flag argument is the literal
+// os.O_RDONLY.
+func writableOrigins(pass *lintkit.Pass, body *ast.BlockStmt) map[types.Object]bool {
+	out := make(map[types.Object]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok || len(assign.Rhs) != 1 || len(assign.Lhs) < 1 {
+			return true
+		}
+		call, ok := assign.Rhs[0].(*ast.CallExpr)
+		if !ok || !isOsCall(pass.TypesInfo, call) {
+			return true
+		}
+		var writable bool
+		switch lintkit.CalleeName(call) {
+		case "Open":
+			writable = false
+		case "Create", "CreateTemp":
+			writable = true
+		case "OpenFile":
+			writable = true
+			if len(call.Args) >= 2 {
+				if s := lintkit.ExprString(call.Args[1]); s == "os.O_RDONLY" || s == "O_RDONLY" {
+					writable = false
+				}
+			}
+		default:
+			return true
+		}
+		if id, ok := assign.Lhs[0].(*ast.Ident); ok {
+			obj := pass.TypesInfo.Defs[id]
+			if obj == nil {
+				obj = pass.TypesInfo.Uses[id]
+			}
+			if obj != nil {
+				out[obj] = writable
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// isOsFile reports whether t is *os.File (or os.File).
+func isOsFile(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "File" && obj.Pkg() != nil && obj.Pkg().Path() == "os"
+}
+
+// isOsCall reports whether call's callee is a function from package os.
+func isOsCall(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pkg, ok := info.Uses[id].(*types.PkgName)
+	return ok && pkg.Imported().Path() == "os"
+}
+
+// implementsWriter reports whether t (or *t) has a
+// Write([]byte) (int, error) method — the io.Writer shape, tested
+// structurally so stubs in testdata qualify without importing io.
+func implementsWriter(t types.Type) bool {
+	if _, isPtr := t.(*types.Pointer); !isPtr {
+		t = types.NewPointer(t)
+	}
+	ms := types.NewMethodSet(t)
+	for i := 0; i < ms.Len(); i++ {
+		fn, ok := ms.At(i).Obj().(*types.Func)
+		if !ok || fn.Name() != "Write" {
+			continue
+		}
+		sig, ok := fn.Type().(*types.Signature)
+		if !ok || sig.Params().Len() != 1 || sig.Results().Len() != 2 {
+			continue
+		}
+		if s, ok := sig.Params().At(0).Type().(*types.Slice); ok {
+			if b, ok := s.Elem().(*types.Basic); ok && b.Kind() == types.Uint8 {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// returnsError reports whether any of call's results is the error type.
+func returnsError(info *types.Info, call *ast.CallExpr) bool {
+	tv, ok := info.Types[call]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	switch t := tv.Type.(type) {
+	case *types.Tuple:
+		for i := 0; i < t.Len(); i++ {
+			if isErrorType(t.At(i).Type()) {
+				return true
+			}
+		}
+		return false
+	default:
+		return isErrorType(t)
+	}
+}
+
+func isErrorType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == "error" && named.Obj().Pkg() == nil
+}
+
+// errorDiscarded reports whether assign's blank identifiers cover an
+// error result of call.
+func errorDiscarded(info *types.Info, assign *ast.AssignStmt, call *ast.CallExpr) bool {
+	tv, ok := info.Types[call]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	var results []types.Type
+	if tuple, ok := tv.Type.(*types.Tuple); ok {
+		for i := 0; i < tuple.Len(); i++ {
+			results = append(results, tuple.At(i).Type())
+		}
+	} else {
+		results = []types.Type{tv.Type}
+	}
+	if len(assign.Lhs) != len(results) {
+		return false
+	}
+	for i, lhs := range assign.Lhs {
+		if id, ok := lhs.(*ast.Ident); ok && id.Name == "_" && isErrorType(results[i]) {
+			return true
+		}
+	}
+	return false
+}
+
+// callLabel renders a short receiver.Method() label for messages.
+func callLabel(call *ast.CallExpr) string {
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		return lintkit.ExprString(sel.X) + "." + sel.Sel.Name + "()"
+	}
+	return lintkit.CalleeName(call) + "()"
+}

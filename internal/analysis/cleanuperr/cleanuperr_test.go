@@ -1,0 +1,13 @@
+package cleanuperr_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/analysis/cleanuperr"
+	"repro/internal/analysis/lintkit/testkit"
+)
+
+func TestCleanuperr(t *testing.T) {
+	testkit.Run(t, filepath.Join("testdata", "src", "a"), cleanuperr.Analyzer)
+}

@@ -1,0 +1,92 @@
+// Package a is cleanuperr analyzer testdata.
+package a
+
+import "os"
+
+func badDeferCreate(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close() // want `discards its error on a write-side value`
+	_, err = f.WriteString("x")
+	return err
+}
+
+func okDeferOpen(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close() // read-side close is best-effort
+	var b [8]byte
+	_, err = f.Read(b[:])
+	return err
+}
+
+func badBareClose(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	f.Close() // want `error is silently dropped`
+	return nil
+}
+
+func okCheckedClose(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return nil
+}
+
+func badRemove(path string) {
+	os.Remove(path) // want `os.Remove error is silently dropped`
+}
+
+func badDiscard(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	_ = f.Close() // want `assigned to _`
+	return nil
+}
+
+func okJustifiedDiscard(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close() //nolint:cleanuperr the Sync failure is the error that matters
+		return err
+	}
+	return f.Close()
+}
+
+// sink is write-side by shape: its method set satisfies io.Writer.
+type sink struct{ n int }
+
+func (s *sink) Write(p []byte) (int, error) { s.n += len(p); return len(p), nil }
+func (s *sink) Close() error                { return nil }
+
+func badWriterClose(s *sink) {
+	defer s.Close() // want `discards its error on a write-side value`
+	if _, err := s.Write([]byte("x")); err != nil {
+		return
+	}
+}
+
+// roSeq's Close returns no error; nothing to check.
+type roSeq struct{}
+
+func (roSeq) Close() {}
+
+func okNoErrorClose(r roSeq) {
+	defer r.Close()
+}

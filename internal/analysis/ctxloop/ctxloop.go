@@ -1,0 +1,139 @@
+// Package ctxloop enforces the enumeration backends' long-running-loop
+// discipline: a function marked //repro:ctxloop must observe
+// cancellation in every outermost loop.  This is the PR 2 invariant —
+// level loops, sub-list scans and record streams all run for hours at
+// genome scale, and a loop that never consults its context turns
+// Ctrl-C, -timeout and client disconnects into hangs.
+//
+// A loop observes cancellation when its body (at any depth, nested
+// loops included) either
+//
+//   - calls Err or Done on a context.Context value (ctx.Err(),
+//     b.Ctx.Err(), h.ctx().Done(), a select on ctx.Done()), or
+//   - passes a context.Context value to a call — delegating the check
+//     to the callee, the way the level loops hand ctx to Step.
+//
+// Only outermost loops are checked: an inner tail scan inherits its
+// enclosing level loop's cancellation point.  The directive on a
+// function with no loops at all is reported as misplaced, so stale
+// markers cannot silently vouch for nothing.
+package ctxloop
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis/lintkit"
+)
+
+// Analyzer is the ctxloop check.
+var Analyzer = &lintkit.Analyzer{
+	Name: "ctxloop",
+	Doc:  "check that //repro:ctxloop functions observe context cancellation in every outermost loop",
+	Run:  run,
+}
+
+func run(pass *lintkit.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !lintkit.HasDirective(fd.Doc, "ctxloop") {
+				continue
+			}
+			checkFunc(pass, fd)
+		}
+	}
+	return nil
+}
+
+func checkFunc(pass *lintkit.Pass, fd *ast.FuncDecl) {
+	loops := outermostLoops(fd.Body)
+	if len(loops) == 0 {
+		pass.Reportf(fd.Pos(),
+			"//repro:ctxloop on %s, but the function has no loops; drop the directive or move it to the looping function",
+			fd.Name.Name)
+		return
+	}
+	for _, loop := range loops {
+		if !observesCancellation(pass.TypesInfo, loopBody(loop)) {
+			pass.Reportf(loop.Pos(),
+				"loop in //repro:ctxloop function %s never observes cancellation: check ctx.Err()/ctx.Done() or pass the context into the loop body",
+				fd.Name.Name)
+		}
+	}
+}
+
+// outermostLoops returns the for/range statements of body that are not
+// nested inside another loop (loops inside function literals are
+// closures with their own lifecycle and are skipped).
+func outermostLoops(body *ast.BlockStmt) []ast.Stmt {
+	var loops []ast.Stmt
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ForStmt:
+			loops = append(loops, n)
+			return false // inner loops inherit the outermost check
+		case *ast.RangeStmt:
+			loops = append(loops, n)
+			return false
+		case *ast.FuncLit:
+			return false
+		}
+		return true
+	})
+	return loops
+}
+
+func loopBody(s ast.Stmt) *ast.BlockStmt {
+	switch s := s.(type) {
+	case *ast.ForStmt:
+		return s.Body
+	case *ast.RangeStmt:
+		return s.Body
+	}
+	return nil
+}
+
+// isContext reports whether t is context.Context.
+func isContext(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}
+
+// observesCancellation reports whether the loop body contains a
+// cancellation touchpoint as defined in the package comment.
+func observesCancellation(info *types.Info, body *ast.BlockStmt) bool {
+	if body == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		// ctx.Err() / ctx.Done() on a context-typed receiver.
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok && (sel.Sel.Name == "Err" || sel.Sel.Name == "Done") {
+			if tv, ok := info.Types[sel.X]; ok && isContext(tv.Type) {
+				found = true
+				return false
+			}
+		}
+		// Delegation: a context value handed to any call.
+		for _, arg := range call.Args {
+			if tv, ok := info.Types[arg]; ok && isContext(tv.Type) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}

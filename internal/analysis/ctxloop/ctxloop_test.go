@@ -1,0 +1,13 @@
+package ctxloop_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/analysis/ctxloop"
+	"repro/internal/analysis/lintkit/testkit"
+)
+
+func TestCtxloop(t *testing.T) {
+	testkit.Run(t, filepath.Join("testdata", "src", "a"), ctxloop.Analyzer)
+}

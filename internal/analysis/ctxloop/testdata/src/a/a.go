@@ -1,0 +1,79 @@
+// Package a is ctxloop analyzer testdata.
+package a
+
+import "context"
+
+//repro:ctxloop
+func okDirect(ctx context.Context, items []int) error {
+	for range items {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+//repro:ctxloop
+func okDelegated(ctx context.Context, items []int) {
+	for _, it := range items {
+		process(ctx, it)
+	}
+}
+
+//repro:ctxloop
+func okSelect(ctx context.Context, ch chan int) {
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case v := <-ch:
+			process(ctx, v)
+		}
+	}
+}
+
+// okInnerInherits: only the outermost loop must observe cancellation;
+// the inner tail scan inherits it.
+//
+//repro:ctxloop
+func okInnerInherits(ctx context.Context, grid [][]int) error {
+	for _, row := range grid {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		for _, v := range row {
+			work(v)
+		}
+	}
+	return nil
+}
+
+//repro:ctxloop
+func badSilent(ctx context.Context, items []int) {
+	_ = ctx
+	for range items { // want `never observes cancellation`
+		work(0)
+	}
+}
+
+// badSecondLoop: each outermost loop needs its own touchpoint.
+//
+//repro:ctxloop
+func badSecondLoop(ctx context.Context, items []int) {
+	for range items {
+		process(ctx, 0)
+	}
+	for range items { // want `never observes cancellation`
+		work(0)
+	}
+}
+
+//repro:ctxloop
+func misplaced(ctx context.Context) int { // want `has no loops`
+	_ = ctx
+	return 1
+}
+
+func process(ctx context.Context, it int) {}
+
+func work(v int) {}

@@ -1,0 +1,13 @@
+package frozengraph_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/analysis/frozengraph"
+	"repro/internal/analysis/lintkit/testkit"
+)
+
+func TestFrozengraph(t *testing.T) {
+	testkit.Run(t, filepath.Join("testdata", "src", "a"), frozengraph.Analyzer)
+}

@@ -1,0 +1,84 @@
+// Package a is frozengraph analyzer testdata: a local Builder/graph
+// stub matched nominally by method names (Freeze, Row, AddEdge, ...).
+package a
+
+type Builder struct{ frozen bool }
+
+func (b *Builder) AddEdge(u, v int) {}
+func (b *Builder) SetName(s string) {}
+func (b *Builder) Freeze() *G       { b.frozen = true; return &G{} }
+
+type G struct{}
+
+func (g *G) Row(v int) *Row { return nil }
+
+type Row struct{ bits []uint64 }
+
+func badLateAddEdge() *G {
+	b := &Builder{}
+	b.AddEdge(1, 2)
+	g := b.Freeze()
+	b.AddEdge(2, 3) // want `after b.Freeze\(\) on line`
+	return g
+}
+
+func badLateSetName() {
+	b := &Builder{}
+	b.SetName("before")
+	_ = b.Freeze()
+	b.SetName("after") // want `after b.Freeze\(\)`
+}
+
+func okDistinctBuilders() {
+	b1 := &Builder{}
+	b2 := &Builder{}
+	_ = b1.Freeze()
+	b2.AddEdge(1, 2) // a different builder; still live
+	_ = b2.Freeze()
+}
+
+func badRetainAcrossIterations(g *G, n int) {
+	var last *Row
+	for v := 0; v < n; v++ {
+		last = g.Row(v) // want `outlives the loop iteration`
+	}
+	_ = last
+}
+
+func okRebindEachIteration(g *G, n int) {
+	for v := 0; v < n; v++ {
+		r := g.Row(v)
+		_ = r
+	}
+}
+
+func badAppendRow(g *G, n int) []*Row {
+	var rows []*Row
+	for v := 0; v < n; v++ {
+		rows = append(rows, g.Row(v)) // want `appended to a slice`
+	}
+	return rows
+}
+
+type holder struct{ r *Row }
+
+func badStoreField(g *G, h *holder, n int) {
+	for v := 0; v < n; v++ {
+		h.r = g.Row(v) // want `outlives the loop iteration`
+	}
+}
+
+type pair struct{ a *Row }
+
+func badCompositeCapture(g *G, n int) {
+	var p pair
+	for v := 0; v < n; v++ {
+		p = pair{a: g.Row(v)} // want `captured in a composite literal`
+	}
+	_ = p
+}
+
+func okRowOutsideLoop(g *G) *Row {
+	r := g.Row(0) // no loop: callers own the copy decision
+	return r
+}

@@ -1,0 +1,277 @@
+// Package hotalloc keeps the marked join kernels allocation-free: a
+// function carrying the //repro:hotpath directive may not contain any
+// construct that can allocate on the hot path.  It replaces the brittle
+// runtime alloc-count pins as the first line of defense — the pins
+// still run, but the analyzer points at the exact expression instead of
+// a drifted counter.
+//
+// Flagged constructs (intraprocedural — mark the leaves, not drivers
+// that call allocating helpers):
+//
+//   - make / new
+//   - append, except amortized self-append (x = append(x, ...)) into a
+//     buffer declared OUTSIDE the function (a parameter, receiver field
+//     or captured scratch slice — the repo's reuse idiom); growing a
+//     slice declared in the function body is an allocation
+//   - composite literals and function literals (closure capture)
+//   - go and defer statements
+//   - string concatenation
+//   - allocating conversions (to interface, string <-> []byte/[]rune)
+//   - implicit interface boxing of a non-pointer-shaped value at a call
+//     argument or return statement (pointers, maps, chans and funcs are
+//     already reference-shaped and box for free)
+package hotalloc
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis/lintkit"
+)
+
+// Analyzer is the hotalloc check.
+var Analyzer = &lintkit.Analyzer{
+	Name: "hotalloc",
+	Doc:  "forbid allocating constructs in functions marked //repro:hotpath",
+	Run:  run,
+}
+
+func run(pass *lintkit.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !lintkit.HasDirective(fd.Doc, "hotpath") {
+				continue
+			}
+			checkFunc(pass, fd)
+		}
+	}
+	return nil
+}
+
+func checkFunc(pass *lintkit.Pass, fd *ast.FuncDecl) {
+	info := pass.TypesInfo
+	body := fd.Body
+
+	// selfAppendOK reports whether an append call is the blessed
+	// amortized reuse form: x = append(x, ...) with x declared outside
+	// the function body.
+	selfAppendOK := func(assign *ast.AssignStmt, call *ast.CallExpr) bool {
+		if assign == nil || assign.Tok != token.ASSIGN || len(assign.Lhs) != 1 || len(assign.Rhs) != 1 {
+			return false
+		}
+		if assign.Rhs[0] != call || len(call.Args) == 0 {
+			return false
+		}
+		if lintkit.ExprString(assign.Lhs[0]) != lintkit.ExprString(call.Args[0]) {
+			return false
+		}
+		root := lintkit.RootIdent(call.Args[0])
+		if root == nil {
+			return false
+		}
+		obj := info.Uses[root]
+		if obj == nil {
+			obj = info.Defs[root]
+		}
+		if obj == nil {
+			return false
+		}
+		// Declared inside the body => a fresh slice whose growth is a
+		// real allocation.  Receivers and parameters sit outside Body.
+		return !(obj.Pos() >= body.Pos() && obj.Pos() < body.End())
+	}
+
+	var parentAssign *ast.AssignStmt
+	var walk func(n ast.Node)
+	walk = func(root ast.Node) {
+		ast.Inspect(root, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				// Track the immediate assignment so append can see its
+				// statement context; nested assigns replace it.
+				prev := parentAssign
+				parentAssign = n
+				for _, rhs := range n.Rhs {
+					walk(rhs)
+				}
+				parentAssign = prev
+				for _, lhs := range n.Lhs {
+					walk(lhs)
+				}
+				return false
+			case *ast.FuncLit:
+				pass.Reportf(n.Pos(), "hot path allocates: function literal (closure capture)")
+				return false
+			case *ast.CompositeLit:
+				pass.Reportf(n.Pos(), "hot path allocates: composite literal")
+			case *ast.GoStmt:
+				pass.Reportf(n.Pos(), "hot path allocates: go statement (new goroutine)")
+			case *ast.DeferStmt:
+				pass.Reportf(n.Pos(), "hot path allocates: defer statement")
+			case *ast.BinaryExpr:
+				if n.Op == token.ADD {
+					if tv, ok := info.Types[n]; ok && isString(tv.Type) {
+						pass.Reportf(n.Pos(), "hot path allocates: string concatenation")
+					}
+				}
+			case *ast.CallExpr:
+				checkCall(pass, fd, n, parentAssign, selfAppendOK)
+			case *ast.ReturnStmt:
+				checkReturnBoxing(pass, fd, n)
+			}
+			return true
+		})
+	}
+	walk(body)
+}
+
+func checkCall(pass *lintkit.Pass, fd *ast.FuncDecl, call *ast.CallExpr,
+	parentAssign *ast.AssignStmt, selfAppendOK func(*ast.AssignStmt, *ast.CallExpr) bool) {
+	info := pass.TypesInfo
+
+	// Builtins and conversions.
+	if id, ok := call.Fun.(*ast.Ident); ok {
+		if b, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin {
+			switch b.Name() {
+			case "make", "new":
+				pass.Reportf(call.Pos(), "hot path allocates: %s", b.Name())
+			case "append":
+				if !selfAppendOK(parentAssign, call) {
+					pass.Reportf(call.Pos(),
+						"hot path allocates: append may grow a function-local slice (reuse an outer scratch buffer: x = append(x, ...))")
+				}
+			}
+			return
+		}
+	}
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		// Conversion T(x).
+		target := tv.Type
+		if types.IsInterface(target.Underlying()) {
+			pass.Reportf(call.Pos(), "hot path allocates: conversion to interface type %s", target)
+		} else if len(call.Args) == 1 {
+			if src, ok := info.Types[call.Args[0]]; ok && allocatingConversion(src.Type, target) {
+				pass.Reportf(call.Pos(), "hot path allocates: conversion %s -> %s copies its data", src.Type, target)
+			}
+		}
+		return
+	}
+
+	// Implicit interface boxing at call arguments.
+	sig, ok := calleeSignature(info, call)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var param types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis != token.NoPos {
+				continue // forwarding an existing slice
+			}
+			param = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			param = params.At(i).Type()
+		default:
+			continue
+		}
+		if boxes(info, arg, param) {
+			pass.Reportf(arg.Pos(),
+				"hot path allocates: %s boxes into interface parameter %s", lintkit.ExprString(arg), param)
+		}
+	}
+}
+
+// checkReturnBoxing flags concrete non-pointer-shaped values returned
+// through interface result types.
+func checkReturnBoxing(pass *lintkit.Pass, fd *ast.FuncDecl, ret *ast.ReturnStmt) {
+	if fd.Type.Results == nil || len(ret.Results) == 0 {
+		return
+	}
+	var results []types.Type
+	for _, field := range fd.Type.Results.List {
+		tv, ok := pass.TypesInfo.Types[field.Type]
+		if !ok {
+			return
+		}
+		n := len(field.Names)
+		if n == 0 {
+			n = 1
+		}
+		for i := 0; i < n; i++ {
+			results = append(results, tv.Type)
+		}
+	}
+	if len(ret.Results) != len(results) {
+		return // multi-value call forwarding; out of scope
+	}
+	for i, e := range ret.Results {
+		if boxes(pass.TypesInfo, e, results[i]) {
+			pass.Reportf(e.Pos(),
+				"hot path allocates: return boxes %s into interface %s", lintkit.ExprString(e), results[i])
+		}
+	}
+}
+
+// boxes reports whether assigning arg to a target of type param
+// performs an allocating interface conversion.
+func boxes(info *types.Info, arg ast.Expr, param types.Type) bool {
+	if param == nil || !types.IsInterface(param.Underlying()) {
+		return false
+	}
+	tv, ok := info.Types[arg]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	t := tv.Type
+	if types.IsInterface(t.Underlying()) {
+		return false // interface-to-interface carries the existing box
+	}
+	if b, isBasic := t.Underlying().(*types.Basic); isBasic && b.Kind() == types.UntypedNil {
+		return false
+	}
+	return !pointerShaped(t)
+}
+
+// pointerShaped reports whether values of t fit an interface's data
+// word without an allocation.
+func pointerShaped(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Map, *types.Chan, *types.Signature:
+		return true
+	}
+	return false
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+// allocatingConversion reports the string <-> []byte/[]rune copies.
+func allocatingConversion(src, dst types.Type) bool {
+	return (isString(src) && isByteOrRuneSlice(dst)) || (isByteOrRuneSlice(src) && isString(dst))
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Uint8 || b.Kind() == types.Int32)
+}
+
+// calleeSignature returns the signature of call's callee when it is a
+// plain function or method call.
+func calleeSignature(info *types.Info, call *ast.CallExpr) (*types.Signature, bool) {
+	tv, ok := info.Types[call.Fun]
+	if !ok || tv.Type == nil {
+		return nil, false
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	return sig, ok
+}

@@ -1,0 +1,13 @@
+package hotalloc_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/analysis/hotalloc"
+	"repro/internal/analysis/lintkit/testkit"
+)
+
+func TestHotalloc(t *testing.T) {
+	testkit.Run(t, filepath.Join("testdata", "src", "a"), hotalloc.Analyzer)
+}

@@ -1,0 +1,97 @@
+// Package a is hotalloc analyzer testdata.
+package a
+
+type buf struct{ scratch []int }
+
+type iface interface{ m() }
+
+type impl struct{ v int }
+
+func (impl) m() {}
+
+type pimpl struct{ v int }
+
+func (*pimpl) m() {}
+
+func sink(v iface) {}
+
+//repro:hotpath
+func badMake(n int) []int {
+	s := make([]int, n) // want `hot path allocates: make`
+	return s
+}
+
+//repro:hotpath
+func badLocalAppend(xs []int) []int {
+	var out []int
+	for _, x := range xs {
+		out = append(out, x) // want `append may grow a function-local slice`
+	}
+	return out
+}
+
+//repro:hotpath
+func okSelfAppendField(b *buf, x int) {
+	b.scratch = append(b.scratch, x)
+}
+
+//repro:hotpath
+func okSelfAppendParam(dst []int, x int) []int {
+	dst = append(dst, x)
+	return dst
+}
+
+//repro:hotpath
+func badClosure(n int) func() int {
+	return func() int { return n } // want `function literal`
+}
+
+//repro:hotpath
+func badLit(x, y int) {
+	use(point{x, y}) // want `composite literal`
+}
+
+//repro:hotpath
+func badConcat(a, b string) string {
+	return a + b // want `string concatenation`
+}
+
+//repro:hotpath
+func badReturnBox(v impl) iface {
+	return v // want `return boxes`
+}
+
+//repro:hotpath
+func okPointerReturn(p *pimpl) iface {
+	return p
+}
+
+//repro:hotpath
+func badArgBox(v impl) {
+	sink(v) // want `boxes into interface parameter`
+}
+
+//repro:hotpath
+func okPointerArg(p *pimpl) {
+	sink(p)
+}
+
+//repro:hotpath
+func badBytesConv(s string) []byte {
+	return []byte(s) // want `copies its data`
+}
+
+//repro:hotpath
+func okKernel(a, b []uint64) int {
+	n := 0
+	for i := range a {
+		if a[i]&b[i] != 0 {
+			n++
+		}
+	}
+	return n
+}
+
+func use(p point) {}
+
+type point struct{ x, y int }

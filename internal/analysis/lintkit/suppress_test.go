@@ -1,0 +1,102 @@
+package lintkit
+
+import (
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func TestParseNolint(t *testing.T) {
+	cases := []struct {
+		text      string
+		ok, all   bool
+		names     []string
+		hasReason bool
+	}{
+		{"// ordinary comment", false, false, nil, false},
+		{"//nolint:budgetpair ownership transfers to the level loop", true, false, []string{"budgetpair"}, true},
+		{"//nolint:budgetpair,hotalloc shared scratch", true, false, []string{"budgetpair", "hotalloc"}, true},
+		{"//nolint:all generated file", true, true, nil, true},
+		{"//nolint:cleanuperr", true, false, []string{"cleanuperr"}, false},
+	}
+	for _, c := range cases {
+		names, all, hasReason, ok := parseNolint(c.text)
+		if ok != c.ok || all != c.all || hasReason != c.hasReason {
+			t.Errorf("parseNolint(%q) = ok %v all %v reason %v, want %v %v %v",
+				c.text, ok, all, hasReason, c.ok, c.all, c.hasReason)
+		}
+		for _, n := range c.names {
+			if !names[n] {
+				t.Errorf("parseNolint(%q): missing analyzer %q", c.text, n)
+			}
+		}
+	}
+}
+
+const suppressSrc = `package p
+
+// covered by a doc-comment suppression across the whole function
+//
+//nolint:budgetpair the caller retires the charge
+func f() {
+	g()
+	g()
+}
+
+func g() {
+	_ = 1 //nolint:hotalloc scratch is preallocated
+	_ = 2
+}
+
+func h() {
+	_ = 3 //nolint:cleanuperr
+}
+`
+
+func TestSuppressions(t *testing.T) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", suppressSrc, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sup := collectSuppressions(fset, f)
+
+	line := func(marker string) int {
+		idx := strings.Index(suppressSrc, marker)
+		if idx < 0 {
+			t.Fatalf("marker %q not found", marker)
+		}
+		return 1 + strings.Count(suppressSrc[:idx], "\n")
+	}
+
+	// Doc-comment nolint covers every line of f's declaration.
+	for _, l := range []int{line("func f()"), line("g()\n\tg()"), line("func f()") + 2} {
+		if !sup.suppresses("budgetpair", l) {
+			t.Errorf("line %d of f should be suppressed for budgetpair", l)
+		}
+	}
+	if sup.suppresses("ctxloop", line("func f()")) {
+		t.Error("doc nolint must only suppress the analyzers it names")
+	}
+
+	// Same-line nolint covers exactly its line.
+	if !sup.suppresses("hotalloc", line("_ = 1")) {
+		t.Error("same-line nolint should suppress its own line")
+	}
+	if sup.suppresses("hotalloc", line("_ = 2")) {
+		t.Error("same-line nolint must not leak to the next line")
+	}
+
+	// A reasonless nolint still suppresses but fails hygiene.
+	ds := sup.hygiene(fset.File(f.Pos()))
+	if len(ds) != 1 {
+		t.Fatalf("hygiene findings = %d, want 1 (the reasonless cleanuperr nolint)", len(ds))
+	}
+	if got := fset.Position(ds[0].Pos).Line; got != line("_ = 3") {
+		t.Errorf("hygiene finding on line %d, want %d", got, line("_ = 3"))
+	}
+	if !sup.suppresses("cleanuperr", line("_ = 3")) {
+		t.Error("reasonless nolint still suppresses; hygiene reports it separately")
+	}
+}

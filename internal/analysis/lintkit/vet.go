@@ -1,0 +1,136 @@
+package lintkit
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"strings"
+)
+
+// vetConfig is the per-package configuration file the go command hands a
+// -vettool (the x/tools "unitchecker" protocol): the compiled package's
+// file list plus maps resolving its imports to compiler export data.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// VetMain implements the `go vet -vettool` entry point: argv is the
+// single <pkg>.cfg argument the go command passes per package.  It runs
+// the analyzers over that one package, prints findings in vet's
+// file:line:col form, writes the (empty — repolint exchanges no facts)
+// .vetx output the protocol requires, and returns the process exit code:
+// 0 clean, 2 findings, 1 internal error.
+func VetMain(cfgPath string, analyzers []*Analyzer) int {
+	code, err := vetPackage(cfgPath, analyzers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "repolint: %v\n", err)
+		return 1
+	}
+	return code
+}
+
+func vetPackage(cfgPath string, analyzers []*Analyzer) (int, error) {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		return 0, err
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return 0, fmt.Errorf("parsing %s: %v", cfgPath, err)
+	}
+	// The go command always expects the facts file, even from a tool
+	// that produces none.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			return 0, err
+		}
+	}
+	if cfg.VetxOnly {
+		return 0, nil
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return 0, nil
+			}
+			return 0, err
+		}
+		files = append(files, f)
+	}
+	lookup := func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	info := newTypesInfo()
+	conf := types.Config{Importer: importer.ForCompiler(fset, cfg.Compiler, lookup)}
+	tpkg, err := conf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0, nil
+		}
+		return 0, fmt.Errorf("type-checking %s: %v", cfg.ImportPath, err)
+	}
+
+	pkg := &Package{
+		ImportPath: cfg.ImportPath,
+		Dir:        cfg.Dir,
+		Syntax:     files,
+		Types:      tpkg,
+		TypesInfo:  info,
+	}
+	ds, err := runPackage(fset, pkg, analyzers)
+	if err != nil {
+		return 0, err
+	}
+	if len(ds) == 0 {
+		return 0, nil
+	}
+	sortDiagnostics(fset, ds)
+	Format(os.Stderr, fset, ds)
+	return 2, nil
+}
+
+// VetVersion prints the -V=full banner the go command uses to fingerprint
+// a vet tool for build caching.  The final field must parse as a build
+// ID; a content hash of the analyzer names keeps it stable per suite.
+func VetVersion(progname string, analyzers []*Analyzer) {
+	var names []string
+	for _, a := range analyzers {
+		names = append(names, a.Name)
+	}
+	var sum uint64 = 1469598103934665603 // FNV-1a
+	for _, b := range []byte(strings.Join(names, ",")) {
+		sum ^= uint64(b)
+		sum *= 1099511628211
+	}
+	fmt.Printf("%s version repolint buildID=%016x\n", progname, sum)
+}

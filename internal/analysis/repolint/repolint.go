@@ -1,0 +1,25 @@
+// Package repolint is the registry binding the repo's analyzers into
+// one suite.  cmd/repolint and the smoke tests consume this list; add
+// new analyzers here and they are picked up by `make lint`, the vet
+// adapter and the CI gate with no further wiring.
+package repolint
+
+import (
+	"repro/internal/analysis/budgetpair"
+	"repro/internal/analysis/cleanuperr"
+	"repro/internal/analysis/ctxloop"
+	"repro/internal/analysis/frozengraph"
+	"repro/internal/analysis/hotalloc"
+	"repro/internal/analysis/lintkit"
+)
+
+// Analyzers returns the full suite in stable order.
+func Analyzers() []*lintkit.Analyzer {
+	return []*lintkit.Analyzer{
+		budgetpair.Analyzer,
+		cleanuperr.Analyzer,
+		ctxloop.Analyzer,
+		frozengraph.Analyzer,
+		hotalloc.Analyzer,
+	}
+}

@@ -87,6 +87,8 @@ func (b *Bitset) Flip(i int) {
 }
 
 // Test reports whether i is in the set.
+//
+//repro:hotpath
 func (b *Bitset) Test(i int) bool {
 	b.check(i)
 	return b.words[i>>wordShift]&(1<<uint(i&wordMask)) != 0
@@ -101,6 +103,8 @@ func (b *Bitset) check(i int) {
 // Any reports whether the set contains at least one element.  This is the
 // paper's BitOneExists operation: a non-empty common-neighbor bitmap means
 // the clique is non-maximal.
+//
+//repro:hotpath
 func (b *Bitset) Any() bool {
 	for _, w := range b.words {
 		if w != 0 {
@@ -114,6 +118,8 @@ func (b *Bitset) Any() bool {
 func (b *Bitset) None() bool { return !b.Any() }
 
 // Count returns the number of elements in the set (population count).
+//
+//repro:hotpath
 func (b *Bitset) Count() int {
 	c := 0
 	for _, w := range b.words {
@@ -169,6 +175,8 @@ func (b *Bitset) mustMatch(o *Bitset) {
 // may alias either operand.  This is the workhorse of the Clique
 // Enumerator: common neighbors of a (k+1)-clique are the AND of the common
 // neighbors of a k-clique and the neighborhood of the new vertex.
+//
+//repro:hotpath
 func (b *Bitset) And(x, y *Bitset) {
 	x.mustMatch(y)
 	b.mustMatch(x)
@@ -179,6 +187,8 @@ func (b *Bitset) And(x, y *Bitset) {
 
 // Or replaces the receiver with the union of x and y.  The receiver may
 // alias either operand.
+//
+//repro:hotpath
 func (b *Bitset) Or(x, y *Bitset) {
 	x.mustMatch(y)
 	b.mustMatch(x)
@@ -189,6 +199,8 @@ func (b *Bitset) Or(x, y *Bitset) {
 
 // AndNot replaces the receiver with x minus y (set difference).  The
 // receiver may alias either operand.
+//
+//repro:hotpath
 func (b *Bitset) AndNot(x, y *Bitset) {
 	x.mustMatch(y)
 	b.mustMatch(x)
@@ -199,6 +211,8 @@ func (b *Bitset) AndNot(x, y *Bitset) {
 
 // Xor replaces the receiver with the symmetric difference of x and y.  The
 // receiver may alias either operand.
+//
+//repro:hotpath
 func (b *Bitset) Xor(x, y *Bitset) {
 	x.mustMatch(y)
 	b.mustMatch(x)
@@ -209,6 +223,8 @@ func (b *Bitset) Xor(x, y *Bitset) {
 
 // Not replaces the receiver with the complement of x over the universe.
 // The receiver may alias x.
+//
+//repro:hotpath
 func (b *Bitset) Not(x *Bitset) {
 	b.mustMatch(x)
 	for i := range b.words {
@@ -221,6 +237,8 @@ func (b *Bitset) Not(x *Bitset) {
 // without materializing the intersection.  Equivalent to
 // BitOneExists(BitAND(b, o)) in the paper's pseudocode, fused into one
 // pass so the maximality test allocates nothing.
+//
+//repro:hotpath
 func (b *Bitset) IntersectsWith(o *Bitset) bool {
 	b.mustMatch(o)
 	for i, w := range b.words {
@@ -232,6 +250,8 @@ func (b *Bitset) IntersectsWith(o *Bitset) bool {
 }
 
 // AndCount returns |b ∩ o| without materializing the intersection.
+//
+//repro:hotpath
 func (b *Bitset) AndCount(o *Bitset) int {
 	b.mustMatch(o)
 	c := 0
@@ -242,6 +262,8 @@ func (b *Bitset) AndCount(o *Bitset) int {
 }
 
 // IsSubsetOf reports whether every element of the receiver is in o.
+//
+//repro:hotpath
 func (b *Bitset) IsSubsetOf(o *Bitset) bool {
 	b.mustMatch(o)
 	for i, w := range b.words {
@@ -254,6 +276,8 @@ func (b *Bitset) IsSubsetOf(o *Bitset) bool {
 
 // Equal reports whether the two sets contain exactly the same elements
 // over the same universe.
+//
+//repro:hotpath
 func (b *Bitset) Equal(o *Bitset) bool {
 	if b.n != o.n {
 		return false
@@ -268,6 +292,8 @@ func (b *Bitset) Equal(o *Bitset) bool {
 
 // NextSet returns the smallest element >= i in the set, and whether one
 // exists.  Passing i >= Len() returns (0, false).
+//
+//repro:hotpath
 func (b *Bitset) NextSet(i int) (int, bool) {
 	if i < 0 {
 		i = 0
@@ -305,6 +331,8 @@ func (b *Bitset) Max() (int, bool) {
 
 // ForEach calls fn for every element of the set in increasing order.  If
 // fn returns false, iteration stops early.
+//
+//repro:hotpath
 func (b *Bitset) ForEach(fn func(i int) bool) {
 	for wi, w := range b.words {
 		base := wi << wordShift

@@ -38,7 +38,11 @@ type Reader interface {
 var _ Reader = (*Bitset)(nil)
 
 // AndInto overwrites dst with b AND o (Reader form of And).
+//
+//repro:hotpath
 func (b *Bitset) AndInto(dst, o *Bitset) { dst.And(b, o) }
 
 // IntersectInto replaces dst with dst AND b, in place.
+//
+//repro:hotpath
 func (b *Bitset) IntersectInto(dst *Bitset) { dst.And(dst, b) }

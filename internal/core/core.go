@@ -103,6 +103,8 @@ func OptionsFromConfig(c enumcfg.Config) Options {
 // non-decreasing order of size; within a level, in canonical order.  The
 // dense representation keeps its historical allocation-identical fast
 // path; CSR and WAH graphs run through the generic row-access contract.
+//
+//repro:ctxloop
 func Enumerate(g graph.Interface, opts Options) (*Result, error) {
 	if opts.Lo == 0 {
 		opts.Lo = 2
@@ -165,11 +167,15 @@ func Enumerate(g graph.Interface, opts Options) (*Result, error) {
 	b.TripOnOver = true
 	for len(lvl.Sub) > 0 && (opts.Hi == 0 || lvl.K+1 <= opts.Hi) {
 		if opts.Ctx != nil && opts.Ctx.Err() != nil {
+			gov.Release(lvl.Bytes(g.N())) // retire the level before aborting
 			return res, fmt.Errorf("core: canceled before level %d->%d: %w",
 				lvl.K, lvl.K+1, opts.Ctx.Err())
 		}
 		next, st := Step(g, lvl, reporter, b)
 		if b.Canceled {
+			// The consumed level and the partial next level are both still
+			// charged; retire them so a shared governor stays balanced.
+			gov.Release(st.Bytes + st.NextBytes)
 			return res, fmt.Errorf("core: canceled during level %d->%d: %w",
 				lvl.K, lvl.K+1, opts.Ctx.Err())
 		}
@@ -182,8 +188,10 @@ func Enumerate(g graph.Interface, opts Options) (*Result, error) {
 			res.PeakBytes = resident
 		}
 		if b.Exceeded || gov.Over() {
-			return res, fmt.Errorf("%w: level %d->%d resident %d bytes > budget %d",
+			err := fmt.Errorf("%w: level %d->%d resident %d bytes > budget %d",
 				ErrMemoryBudget, lvl.K, lvl.K+1, gov.Used(), gov.Budget())
+			gov.Release(st.Bytes + st.NextBytes) // reconcile after formatting
+			return res, err
 		}
 		gov.Release(st.Bytes) // the consumed level is retired
 		lvl = next

@@ -160,6 +160,8 @@ func (b *Builder) ScratchBytes() int64 {
 // dense one, a decompression of the stored WAH form, or a reconstruction
 // by (k-2) ANDs over adjacency rows (the paper's memory-saving
 // alternative).
+//
+//repro:hotpath
 func (b *Builder) prefixCN(s *SubList) *bitset.Bitset {
 	if s.CN != nil {
 		return s.CN
@@ -302,6 +304,8 @@ func (b *Builder) processGeneric(s *SubList, prefixCN *bitset.Bitset, r clique.R
 }
 
 // emitMaximal reports the maximal clique prefix+v+u.
+//
+//repro:hotpath
 func (b *Builder) emitMaximal(prefix []uint32, v, u int, r clique.Reporter) {
 	b.Maximal++
 	if r != nil {
@@ -317,6 +321,8 @@ func (b *Builder) emitMaximal(prefix []uint32, v, u int, r clique.Reporter) {
 // keep retains the surviving candidate sub-list (prefix+v with the given
 // tails) whose common-neighbor bitmap is b.scratch, applying the paper's
 // |S_{k+1}| > 1 rule.
+//
+//nolint:budgetpair ownership of the charge transfers with the kept sub-list: the level loop releases it when the produced level is consumed (Enumerate's st.Bytes release) or aborted
 func (b *Builder) keep(prefix []uint32, v int, newTails []uint32) {
 	switch {
 	case len(newTails) > 1:

@@ -113,7 +113,9 @@ func ablateStorage(cfg Config) (*Table, error) {
 		m.opts.Dir = dir
 		start = time.Now()
 		st, err := ooc.Enumerate(g, m.opts)
-		os.RemoveAll(dir)
+		if rmErr := os.RemoveAll(dir); rmErr != nil && err == nil {
+			err = rmErr
+		}
 		if err != nil {
 			return nil, err
 		}

@@ -86,6 +86,6 @@ func (t *Table) Fprint(w io.Writer) error {
 // String renders the table to a string.
 func (t *Table) String() string {
 	var sb strings.Builder
-	_ = t.Fprint(&sb)
+	_ = t.Fprint(&sb) //nolint:cleanuperr strings.Builder writes cannot fail
 	return sb.String()
 }

@@ -64,12 +64,14 @@ func (g *CompressedGraph) M() int { return g.m }
 func (g *CompressedGraph) Degree(v int) int { return g.rows[v].deg }
 
 // HasEdge reports whether (u,v) is an edge, probing the compressed row.
+//
+//repro:hotpath
 func (g *CompressedGraph) HasEdge(u, v int) bool {
 	if u < 0 || u >= g.n {
-		panic(fmt.Sprintf("graph: vertex %d out of range [0,%d)", u, g.n))
+		panicVertexRange(u, g.n)
 	}
 	if v < 0 || v >= g.n {
-		panic(fmt.Sprintf("graph: vertex %d out of range [0,%d)", v, g.n))
+		panicVertexRange(v, g.n)
 	}
 	if u == v {
 		return false
@@ -86,6 +88,8 @@ func (g *CompressedGraph) Name(v int) string {
 }
 
 // Row returns the adjacency row of v as a read-only compressed view.
+//
+//repro:hotpath
 func (g *CompressedGraph) Row(v int) bitset.Reader { return &g.rows[v] }
 
 // WAHRow returns the compressed bitmap of v's row.  wah.Bitmap is
@@ -95,6 +99,8 @@ func (g *CompressedGraph) Row(v int) bitset.Reader { return &g.rows[v] }
 func (g *CompressedGraph) WAHRow(v int) *wah.Bitmap { return g.rows[v].bm }
 
 // Materialize overwrites dst with the neighbor set of v.
+//
+//repro:hotpath
 func (g *CompressedGraph) Materialize(v int, dst *bitset.Bitset) {
 	g.rows[v].bm.DecompressInto(dst)
 }

@@ -2,7 +2,6 @@ package graph
 
 import (
 	"fmt"
-	"sort"
 
 	"repro/internal/bitset"
 )
@@ -29,6 +28,15 @@ type CSRGraph struct {
 
 // newCSR assembles a CSRGraph from per-vertex sorted, deduplicated
 // neighbor lists.  adj is consumed.
+// panicVertexRange reports an out-of-range vertex index.  It lives out
+// of line so the bounds checks in the hot accessors carry no fmt
+// boxing and the accessors stay within the inlining budget; the message
+// matches the dense backend's check, so a caller bug fails identically
+// on every representation.
+func panicVertexRange(v, n int) {
+	panic(fmt.Sprintf("graph: vertex %d out of range [0,%d)", v, n))
+}
+
 func newCSR(n int, adj [][]uint32, names []string) (*CSRGraph, error) {
 	total := 0
 	for _, row := range adj {
@@ -68,12 +76,14 @@ func (g *CSRGraph) Degree(v int) int { return int(g.rowPtr[v+1] - g.rowPtr[v]) }
 
 // HasEdge reports whether (u,v) is an edge: a binary search of the
 // smaller endpoint's row.
+//
+//repro:hotpath
 func (g *CSRGraph) HasEdge(u, v int) bool {
 	if u < 0 || u >= g.n {
-		panic(fmt.Sprintf("graph: vertex %d out of range [0,%d)", u, g.n))
+		panicVertexRange(u, g.n)
 	}
 	if v < 0 || v >= g.n {
-		panic(fmt.Sprintf("graph: vertex %d out of range [0,%d)", v, g.n))
+		panicVertexRange(v, g.n)
 	}
 	if u == v {
 		return false
@@ -96,6 +106,8 @@ func (g *CSRGraph) Name(v int) string {
 func (g *CSRGraph) Row(v int) bitset.Reader { return &g.rows[v] }
 
 // Materialize overwrites dst with the neighbor set of v.
+//
+//repro:hotpath
 func (g *CSRGraph) Materialize(v int, dst *bitset.Bitset) {
 	dst.ClearAll()
 	for _, u := range g.rows[v].cols {
@@ -132,15 +144,29 @@ func (r *csrRow) Count() int { return len(r.cols) }
 // Test reports membership via binary search: O(log degree).  Out-of-
 // range indices panic with the same diagnostic as the dense and WAH
 // rows, so a caller bug fails identically on every backend.
+//
+//repro:hotpath
 func (r *csrRow) Test(i int) bool {
 	if i < 0 || i >= r.n {
-		panic(fmt.Sprintf("graph: vertex %d out of range [0,%d)", i, r.n))
+		panicVertexRange(i, r.n)
 	}
-	k := sort.Search(len(r.cols), func(j int) bool { return int(r.cols[j]) >= i })
-	return k < len(r.cols) && int(r.cols[k]) == i
+	// Hand-rolled binary search: sort.Search would cost a closure and an
+	// indirect call per probe on this hot path.
+	lo, hi := 0, len(r.cols)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if int(r.cols[mid]) < i {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo < len(r.cols) && int(r.cols[lo]) == i
 }
 
 // ForEach visits the neighbors in increasing order.
+//
+//repro:hotpath
 func (r *csrRow) ForEach(fn func(i int) bool) {
 	for _, u := range r.cols {
 		if !fn(int(u)) {
@@ -151,6 +177,8 @@ func (r *csrRow) ForEach(fn func(i int) bool) {
 
 // IntersectsWith probes the dense operand per neighbor: O(degree), which
 // on sparse graphs beats the dense word scan.
+//
+//repro:hotpath
 func (r *csrRow) IntersectsWith(o *bitset.Bitset) bool {
 	for _, u := range r.cols {
 		if o.Test(int(u)) {
@@ -161,6 +189,8 @@ func (r *csrRow) IntersectsWith(o *bitset.Bitset) bool {
 }
 
 // AndCount returns |row ∩ o| in O(degree).
+//
+//repro:hotpath
 func (r *csrRow) AndCount(o *bitset.Bitset) int {
 	c := 0
 	for _, u := range r.cols {
@@ -173,6 +203,8 @@ func (r *csrRow) AndCount(o *bitset.Bitset) int {
 
 // AndInto overwrites dst with row ∩ o: one clearing pass plus O(degree)
 // probes.  dst must not alias o.
+//
+//repro:hotpath
 func (r *csrRow) AndInto(dst, o *bitset.Bitset) {
 	dst.ClearAll()
 	for _, u := range r.cols {
@@ -185,6 +217,8 @@ func (r *csrRow) AndInto(dst, o *bitset.Bitset) {
 // IntersectInto replaces dst with dst ∩ row in place: a two-pointer walk
 // of dst's set bits against the sorted neighbor list, clearing members of
 // dst absent from the row.
+//
+//repro:hotpath
 func (r *csrRow) IntersectInto(dst *bitset.Bitset) {
 	k := 0
 	for v, ok := dst.NextSet(0); ok; v, ok = dst.NextSet(v + 1) {

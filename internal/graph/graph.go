@@ -89,6 +89,8 @@ func (g *Graph) RemoveEdge(u, v int) {
 }
 
 // HasEdge reports whether (u,v) is an edge.
+//
+//repro:hotpath
 func (g *Graph) HasEdge(u, v int) bool {
 	g.check(u)
 	g.check(v)
@@ -100,15 +102,21 @@ func (g *Graph) HasEdge(u, v int) bool {
 
 // Neighbors returns the adjacency bit string of v.  The returned set is
 // the graph's internal row: callers must not modify it.
+//
+//repro:hotpath
 func (g *Graph) Neighbors(v int) *bitset.Bitset { return g.adj[v] }
 
 // Row returns the adjacency row of v as a read-only view (the dense row
 // is its own bitset.Reader).  Part of the graph.Interface contract.
+//
+//repro:hotpath
 func (g *Graph) Row(v int) bitset.Reader { return g.adj[v] }
 
 // Materialize overwrites dst with the neighbor set of v.  Part of the
 // graph.Interface contract; for the dense representation it is one
 // word-level copy.
+//
+//repro:hotpath
 func (g *Graph) Materialize(v int, dst *bitset.Bitset) { dst.CopyFrom(g.adj[v]) }
 
 // Bytes returns the measured adjacency footprint: n rows of ceil(n/64)
@@ -289,6 +297,8 @@ func (g *Graph) IsClique(vertices []int) bool {
 // clique into dst: bit i is 1 iff i is outside the clique and adjacent to
 // every member.  dst must be a bitset over [0, N()).  This is the paper's
 // defining bitmap operation (Figure 2).
+//
+//repro:hotpath
 func (g *Graph) CommonNeighbors(dst *bitset.Bitset, clique []int) {
 	if len(clique) == 0 {
 		dst.SetAll()

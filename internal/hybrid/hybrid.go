@@ -207,6 +207,8 @@ func (h *runner) ctx() context.Context {
 
 // runSequential is the Workers == 1 in-core phase: the core level loop
 // with a per-sub-list governor poll.
+//
+//repro:ctxloop
 func (h *runner) runSequential() error {
 	g, opts := h.g, h.opts
 	var lvl *core.Level
@@ -231,6 +233,7 @@ func (h *runner) runSequential() error {
 	defer h.gov.Release(b.ScratchBytes())
 	for len(lvl.Sub) > 0 && (opts.Hi == 0 || lvl.K+1 <= opts.Hi) {
 		if err := h.ctx().Err(); err != nil {
+			h.gov.Release(lvl.Bytes(g.N())) // retire the level before aborting
 			return fmt.Errorf("hybrid: canceled before level %d->%d: %w", lvl.K, lvl.K+1, err)
 		}
 		lvlBytes := lvl.Bytes(g.N())
@@ -238,6 +241,10 @@ func (h *runner) runSequential() error {
 		tripAt := -1
 		for i, s := range lvl.Sub {
 			if i&63 == 0 && h.ctx().Err() != nil {
+				// The consumed level and the partial next level are both
+				// still charged; retire them so the shared governor stays
+				// balanced for the spillover bookkeeping.
+				h.gov.Release(lvlBytes + b.NewBytes)
 				return fmt.Errorf("hybrid: canceled during level %d->%d: %w",
 					lvl.K, lvl.K+1, h.ctx().Err())
 			}
@@ -271,6 +278,8 @@ func (h *runner) runSequential() error {
 // runParallel is the Workers > 1 in-core phase: the streaming pool with
 // the governor as its per-chunk trip, and the sequencer's frontier as
 // the consistent cut the drain resumes from.
+//
+//repro:ctxloop
 func (h *runner) runParallel() error {
 	g, opts := h.g, h.opts
 	p, err := parallel.NewPool(g, parallel.Options{
@@ -302,11 +311,15 @@ func (h *runner) runParallel() error {
 
 	for len(lvl.Sub) > 0 && (opts.Hi == 0 || lvl.K+1 <= opts.Hi) {
 		if err := h.ctx().Err(); err != nil {
+			h.gov.Release(lvl.Bytes(g.N())) // retire the level before aborting
 			return fmt.Errorf("hybrid: canceled before level %d->%d: %w", lvl.K, lvl.K+1, err)
 		}
 		lvlBytes := lvl.Bytes(g.N())
 		out := p.RunLevel(opts.Ctx, lvl, homes, h.rep, h.gov.Over)
 		if err := h.ctx().Err(); err != nil {
+			// The consumed level plus the head of the next level the pool
+			// retained below its frontier are still charged; retire both.
+			h.gov.Release(lvlBytes + out.Next.Bytes(g.N()))
 			return fmt.Errorf("hybrid: canceled during level %d->%d: %w", lvl.K, lvl.K+1, err)
 		}
 		if out.Tripped {

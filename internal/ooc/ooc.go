@@ -358,6 +358,8 @@ func (e *engine) enumerate() (Stats, error) {
 
 // run drives the level loop from the given level until no candidates
 // remain (or MaxK / cancellation / the spill budget stops it).
+//
+//repro:ctxloop
 func (e *engine) run(shards []shardMeta, k int) (Stats, error) {
 	e.startPool()
 	defer e.stopPool()
@@ -722,6 +724,8 @@ func (w *oocWorker) loop() {
 	}
 }
 
+//
+//repro:ctxloop
 func (w *oocWorker) runJob(job *levelJob) {
 	for {
 		if job.ctx.Err() != nil {

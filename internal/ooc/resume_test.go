@@ -272,7 +272,9 @@ func TestResumeRejectsCorruptCheckpoints(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		os.Remove(filepath.Join(dir, m.Shards[0].Path))
+		if err := os.Remove(filepath.Join(dir, m.Shards[0].Path)); err != nil {
+			t.Fatal(err)
+		}
 		if _, err := Resume(g, Options{Dir: dir}); err == nil ||
 			!strings.Contains(err.Error(), "missing") {
 			t.Fatalf("err = %v", err)

@@ -82,6 +82,7 @@ func EnumerateBarrier(g graph.Interface, opts Options) (*Result, error) {
 		// Cancellation is level-granular here: the bulk-synchronous
 		// design has no mid-level pull point to interrupt.
 		if opts.Ctx != nil && opts.Ctx.Err() != nil {
+			gov.Release(lvl.Bytes(g.N())) // retire the level before aborting
 			res.Elapsed = time.Since(start)
 			return res, fmt.Errorf("parallel: canceled at level %d->%d: %w",
 				lvl.K, lvl.K+1, opts.Ctx.Err())
@@ -149,6 +150,9 @@ func EnumerateBarrier(g graph.Interface, opts Options) (*Result, error) {
 			opts.OnLevel(st)
 		}
 		if gov.Over() {
+			// gov.Err() reports Peak, so reconciling the consumed level and
+			// the kept next level first does not distort the message.
+			gov.Release(lvlBytes + next.Bytes(g.N()))
 			res.Elapsed = time.Since(start)
 			return res, fmt.Errorf("parallel: level %d->%d: %w", lvl.K, lvl.K+1, gov.Err())
 		}

@@ -155,6 +155,8 @@ func OptionsFromConfig(c enumcfg.Config) Options {
 
 // Enumerate runs the multithreaded Clique Enumerator on a persistent
 // streaming worker pool, over any graph representation.
+//
+//repro:ctxloop
 func Enumerate(g graph.Interface, opts Options) (*Result, error) {
 	p, err := NewPool(g, opts)
 	if err != nil {
@@ -195,6 +197,7 @@ func Enumerate(g graph.Interface, opts Options) (*Result, error) {
 	}
 	for len(lvl.Sub) > 0 && (opts.Hi == 0 || lvl.K+1 <= opts.Hi) {
 		if opts.Ctx != nil && opts.Ctx.Err() != nil {
+			gov.Release(lvl.Bytes(g.N())) // retire the level before aborting
 			res.Elapsed = time.Since(start)
 			return res, fmt.Errorf("parallel: canceled at level %d->%d: %w",
 				lvl.K, lvl.K+1, opts.Ctx.Err())
@@ -214,6 +217,10 @@ func Enumerate(g graph.Interface, opts Options) (*Result, error) {
 			opts.OnLevel(out.Stats)
 		}
 		if out.Tripped {
+			// gov.Err() reports Peak, so retiring the consumed level first
+			// does not distort the message; pool-side charges for the
+			// partial next level were reconciled by the merger on trip.
+			gov.Release(lvlBytes)
 			res.Elapsed = time.Since(start)
 			return res, fmt.Errorf("parallel: level %d->%d: %w", lvl.K, lvl.K+1, gov.Err())
 		}
