@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build fmt fmt-fix vet lint test race race-repr bench bench-json bench-ooc-json bench-hybrid-json smoke-resume smoke-spillover examples ci
+.PHONY: all build fmt fmt-fix vet lint test race race-repr bench bench-json bench-ooc-json bench-hybrid-json smoke-resume smoke-spillover smoke-cliqued examples ci
 
 all: build
 
@@ -37,7 +37,8 @@ test:
 # package joins level shards on a worker pool with an in-order release
 # sequencer, so it races level state across goroutines too.
 race:
-	$(GO) test -race ./internal/parallel ./internal/sched ./internal/core ./internal/kclique ./internal/bitset ./internal/ooc ./internal/hybrid ./internal/membudget
+	$(GO) test -race ./internal/parallel ./internal/sched ./internal/core ./internal/kclique ./internal/bitset ./internal/ooc ./internal/hybrid ./internal/membudget ./internal/service
+	$(GO) test -race -run 'Governor' .
 
 race-repr:
 	$(GO) test -race -run 'Representation' .
@@ -82,6 +83,12 @@ smoke-resume:
 smoke-spillover:
 	sh scripts/smoke_spillover.sh
 
+# Query-service smoke test: boot cliqued, load a graph over HTTP, pin
+# stream/cliquer byte parity and the cached repeat, kill a client
+# mid-stream, and require the governor back at baseline.
+smoke-cliqued:
+	sh scripts/smoke_cliqued.sh
+
 # Keep the migrated examples and the documented API snippets honest:
 # vet the example programs and run every doctest.
 examples:
@@ -90,4 +97,4 @@ examples:
 
 check: fmt vet lint test
 
-ci: fmt vet lint build test race race-repr bench examples smoke-resume smoke-spillover
+ci: fmt vet lint build test race race-repr bench examples smoke-resume smoke-spillover smoke-cliqued

@@ -145,12 +145,14 @@ func run(ctx context.Context, path string, o options) error {
 	if err != nil {
 		return err
 	}
-	var g repro.GraphInterface
+	// Format auto-detection: -dimacs forces DIMACS, otherwise the reader
+	// sniffs the first meaningful line (c/p/e lines vs #-comments and
+	// bare vertex pairs).
+	format := repro.FormatAuto
 	if o.dimacs {
-		g, err = repro.ReadDIMACSRep(f, rep)
-	} else {
-		g, err = repro.ReadEdgeListRep(f, rep)
+		format = repro.FormatDIMACS
 	}
+	g, err := repro.ReadGraph(f, format, rep)
 	// The graph is fully materialized here; close eagerly and report a
 	// close failure (truncated read, I/O error surfacing late) rather
 	// than dropping it from a defer.

@@ -130,6 +130,7 @@ type Enumerator struct {
 	cfg     enumcfg.Config // template; each run copies it and adds its ctx
 	rep     Representation // requested graph representation
 	repSet  bool           // WithGraphRepresentation was given
+	gov     *membudget.Governor
 	stats   *Stats
 	onLevel func(LevelStats)
 }
@@ -282,6 +283,24 @@ func WithSpillover(dir string, knobs ...OutOfCoreOption) Option {
 	}
 }
 
+// WithGovernor runs against an externally owned memory governor instead
+// of a per-run one: every layer's charges (graph adjacency, candidate
+// storage, worker scratch, spill buffers) land on gov, the in-core
+// backends abort with ErrMemoryBudget once gov reports Over, and the
+// Stats PeakBytes reports gov's peak — which is shared with whatever
+// else charges it.  This is the multi-tenancy hook: a server carves a
+// membudget.Reservation out of one shared governor per admitted query
+// and hands the reservation's child governor to the run, so the sum of
+// all concurrent runs' residency is enforced against one budget.
+//
+// Mutually exclusive with WithMemoryBudget (the governor's own budget
+// is the run's budget); the first Run reports the conflict.  The
+// governor is not reset between runs — reuse a fresh one per run when
+// per-run Peak matters.
+func WithGovernor(gov *membudget.Governor) Option {
+	return func(e *Enumerator) { e.gov = gov }
+}
+
 // WithLowMemory switches to the paper's low-memory alternative: prefix
 // common-neighbor bitmaps are recomputed with k-2 extra ANDs instead of
 // stored.
@@ -345,8 +364,12 @@ func (e *Enumerator) Run(ctx context.Context, g GraphInterface, r Reporter) (int
 	}
 	// One governor per run, charged by every layer; the first charge is
 	// the graph representation itself — the footprint the enumeration
-	// cannot run below.
-	gov := membudget.New(cfg.MemoryBudget)
+	// cannot run below.  A caller-supplied governor (WithGovernor)
+	// replaces the per-run one so a shared budget sees the charges.
+	gov := e.gov
+	if gov == nil {
+		gov = membudget.New(cfg.MemoryBudget)
+	}
 	gov.Charge(g.Bytes())
 	defer gov.Release(g.Bytes())
 	st := e.statsSink(cfg)
@@ -434,7 +457,10 @@ func (e *Enumerator) Paracliques(ctx context.Context, g GraphInterface, glom flo
 	// is its own regime (maximum-clique seeds + glom growth, not the
 	// level machinery), so Backend says so, and the clique counters
 	// describe the seed cliques the paracliques grew from.
-	gov := membudget.New(0)
+	gov := e.gov
+	if gov == nil {
+		gov = membudget.New(0)
+	}
 	gov.Charge(g.Bytes())
 	defer gov.Release(g.Bytes())
 	st := e.statsSink(cfg)
@@ -489,6 +515,9 @@ func (e *Enumerator) prepareGraph(g GraphInterface) (GraphInterface, error) {
 func (e *Enumerator) runConfig(ctx context.Context) (enumcfg.Config, error) {
 	cfg := e.cfg
 	cfg.Ctx = ctx
+	if e.gov != nil && cfg.MemoryBudget > 0 {
+		return cfg, fmt.Errorf("repro: WithGovernor and WithMemoryBudget are mutually exclusive (the governor's own budget bounds the run)")
+	}
 	if err := cfg.Normalize(); err != nil {
 		return cfg, fmt.Errorf("repro: %w", err)
 	}

@@ -1,0 +1,114 @@
+package repro_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro"
+)
+
+// TestFingerprintMatchesOOCManifest cross-checks the promoted
+// repro.Fingerprint against the identity the out-of-core checkpoint
+// manifest stores: kill a checkpointed run mid-way, read graph_hash out
+// of ooc-manifest.json, and require the facade to compute the same
+// value.  This is the invariant that lets the query service and the
+// checkpoint layer agree on what "the same graph" means.
+func TestFingerprintMatchesOOCManifest(t *testing.T) {
+	g := testGraph(7, 60, 0.2)
+	fp := repro.Fingerprint(g)
+	if len(fp) != 16 {
+		t.Fatalf("fingerprint %q: want 16 hex digits", fp)
+	}
+	if fp != repro.Fingerprint(g) {
+		t.Fatal("fingerprint is not deterministic")
+	}
+
+	dir := t.TempDir()
+	e := repro.NewEnumerator(repro.WithOutOfCore(dir, 0, repro.OOCCheckpoint()))
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	seen := 0
+	_, err := e.Run(ctx, g, repro.ReporterFunc(func(repro.Clique) {
+		if seen++; seen == 3 {
+			cancel()
+		}
+	}))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("killed run error = %v, want context.Canceled", err)
+	}
+
+	data, err := os.ReadFile(filepath.Join(dir, "ooc-manifest.json"))
+	if err != nil {
+		t.Fatalf("no checkpoint manifest after the kill: %v", err)
+	}
+	var m struct {
+		GraphHash string `json:"graph_hash"`
+	}
+	if err := json.Unmarshal(data, &m); err != nil {
+		t.Fatal(err)
+	}
+	if m.GraphHash != fp {
+		t.Fatalf("manifest graph_hash %q != repro.Fingerprint %q", m.GraphHash, fp)
+	}
+}
+
+// TestFingerprintDistinguishesGraphs: different graphs, different
+// fingerprints (probabilistically certain for FNV at this scale, and a
+// regression guard against hashing only the header).
+func TestFingerprintDistinguishesGraphs(t *testing.T) {
+	a := testGraph(1, 40, 0.2)
+	b := testGraph(2, 40, 0.2)
+	if repro.Fingerprint(a) == repro.Fingerprint(b) {
+		t.Fatal("distinct graphs share a fingerprint")
+	}
+}
+
+// TestReadGraphAutoDetect exercises the io.Reader ingestion path: the
+// same graph serialized as an edge list and as DIMACS must auto-detect
+// to equal graphs with equal fingerprints, and explicit formats must
+// refuse nothing they accept under auto.
+func TestReadGraphAutoDetect(t *testing.T) {
+	g := testGraph(11, 40, 0.2)
+
+	var el, dim bytes.Buffer
+	if err := repro.WriteEdgeList(&el, g); err != nil {
+		t.Fatal(err)
+	}
+	if err := repro.WriteDIMACS(&dim, g); err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name   string
+		data   string
+		format repro.GraphFormat
+	}{
+		{"edgelist-auto", el.String(), repro.FormatAuto},
+		{"edgelist-explicit", el.String(), repro.FormatEdgeList},
+		{"dimacs-auto", dim.String(), repro.FormatAuto},
+		{"dimacs-explicit", dim.String(), repro.FormatDIMACS},
+	}
+	want := repro.Fingerprint(g)
+	for _, c := range cases {
+		got, err := repro.ReadGraph(strings.NewReader(c.data), c.format, repro.Auto)
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if repro.Fingerprint(got) != want {
+			t.Fatalf("%s: fingerprint %s, want %s", c.name, repro.Fingerprint(got), want)
+		}
+	}
+
+	if _, err := repro.ReadGraph(strings.NewReader(""), repro.FormatAuto, repro.Auto); err == nil {
+		t.Fatal("empty input: want an error")
+	}
+	if _, err := repro.ParseGraphFormat("yaml"); err == nil {
+		t.Fatal("ParseGraphFormat(yaml): want an error")
+	}
+}

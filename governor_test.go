@@ -1,0 +1,124 @@
+package repro_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro"
+	"repro/internal/membudget"
+)
+
+// TestConcurrentRunsSharedGovernor is the multi-tenancy acceptance
+// test: many Enumerator.Runs race on one parent Governor, each inside
+// its own Reservation, exactly as the query service admits them.  Under
+// -race this must hold:
+//
+//   - the parent's peak never exceeds the budget (reservations are the
+//     admission bound, and every run charges within its reservation);
+//   - each run's own peak stays within what it reserved;
+//   - when everything finishes, the parent is back to zero — no
+//     residual charges, no leaked reservations.
+func TestConcurrentRunsSharedGovernor(t *testing.T) {
+	g := testGraph(3, 60, 0.15)
+
+	// Size one tenant's reservation from a solo metered run.
+	solo := membudget.New(0)
+	if _, err := repro.NewEnumerator(repro.WithGovernor(solo)).Run(
+		context.Background(), g, repro.ReporterFunc(func(repro.Clique) {})); err != nil {
+		t.Fatal(err)
+	}
+	perRun := solo.Peak() + solo.Peak()/4 // solo peak + slack for run-to-run jitter
+	if perRun == 0 {
+		t.Fatal("solo run metered zero bytes; the test would assert nothing")
+	}
+
+	const tenants = 6
+	budget := perRun * 3 // only 3 of 6 fit at once: admission must gate
+	parent := membudget.New(budget)
+
+	var wg sync.WaitGroup
+	errs := make([]error, tenants)
+	for i := 0; i < tenants; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			// Retry admission until headroom appears, as the service's
+			// bounded queue does.
+			var res *membudget.Reservation
+			for {
+				var err error
+				if res, err = parent.Reserve(perRun); err == nil {
+					break
+				} else if !errors.Is(err, membudget.ErrNoHeadroom) {
+					errs[i] = err
+					return
+				}
+			}
+			child := res.Governor()
+			_, err := repro.NewEnumerator(repro.WithGovernor(child)).Run(
+				context.Background(), g, repro.ReporterFunc(func(repro.Clique) {}))
+			if err == nil && child.Peak() > perRun {
+				err = fmt.Errorf("tenant peak %d exceeds its reservation %d", child.Peak(), perRun)
+			}
+			if residual := res.Close(); residual != 0 && err == nil {
+				err = fmt.Errorf("run left %d residual bytes charged", residual)
+			}
+			errs[i] = err
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Errorf("tenant %d: %v", i, err)
+		}
+	}
+	if peak := parent.Peak(); peak > budget {
+		t.Errorf("parent peak %d exceeds budget %d", peak, budget)
+	}
+	if used := parent.Used(); used != 0 {
+		t.Errorf("parent still has %d bytes charged after all runs closed", used)
+	}
+	if reserved := parent.Reserved(); reserved != 0 {
+		t.Errorf("parent still has %d bytes reserved after all runs closed", reserved)
+	}
+	if parent.Peak() == 0 {
+		t.Error("parent peak is zero; charges never reached the shared governor")
+	}
+}
+
+// TestWithGovernorExclusivity: WithGovernor and WithMemoryBudget cannot
+// be combined — the governor's own budget is the limit.
+func TestWithGovernorExclusivity(t *testing.T) {
+	g := testGraph(4, 30, 0.2)
+	e := repro.NewEnumerator(
+		repro.WithGovernor(membudget.New(1<<20)), repro.WithMemoryBudget(1<<20))
+	if _, err := e.Run(context.Background(), g,
+		repro.ReporterFunc(func(repro.Clique) {})); err == nil {
+		t.Fatal("WithGovernor+WithMemoryBudget: want a config error")
+	}
+}
+
+// TestWithGovernorEnforces: a run under an external governor whose
+// budget cannot hold even the graph must abort with ErrMemoryBudget,
+// and close back to zero.
+func TestWithGovernorEnforces(t *testing.T) {
+	g := testGraph(5, 60, 0.2)
+	parent := membudget.New(g.Bytes() * 4)
+	res, err := parent.Reserve(1) // far below the graph's own bytes
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = repro.NewEnumerator(repro.WithGovernor(res.Governor())).Run(
+		context.Background(), g, repro.ReporterFunc(func(repro.Clique) {}))
+	if !errors.Is(err, repro.ErrMemoryBudget) {
+		t.Fatalf("error = %v, want ErrMemoryBudget", err)
+	}
+	res.Close()
+	if parent.Used() != 0 || parent.Reserved() != 0 {
+		t.Fatalf("parent not at baseline after aborted run: used=%d reserved=%d",
+			parent.Used(), parent.Reserved())
+	}
+}

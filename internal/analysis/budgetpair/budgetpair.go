@@ -1,30 +1,38 @@
 // Package budgetpair flow-checks the repo's memory-accounting
 // discipline: every byte charged to a membudget.Governor must be
-// released on every path out of the charging code, or its ownership
-// must demonstrably transfer to a type that releases it later.  This is
-// the PR 5 invariant ("one budget, one meaning of memory") that runtime
-// leak checks can only sample; the analyzer enforces it on every return
-// path mechanically.
+// released on every path out of the charging code, and every
+// reservation carved out of a shared governor (Governor.Reserve) must
+// be closed (Reservation.Close) on every path — or the resource's
+// ownership must demonstrably transfer to a type that releases/closes
+// it later.  This is the PR 5 invariant ("one budget, one meaning of
+// memory"), extended in the service PR to the reservation sub-budget
+// API multi-tenant admission is built on; runtime leak checks can only
+// sample it, the analyzer enforces it on every return path
+// mechanically.
 //
 // The check is intraprocedural with two ownership-escape rules that
 // encode the repo's legitimate cross-function patterns:
 //
-//   - receiver escape: a charge through a field of some named type T
+//   - receiver escape: an acquire through a field of some named type T
 //     (e.g. w.gov.Charge(n) inside a *levelWriter method) is owned by T
-//     when any method of T in the same package performs a Release —
-//     the constructor/Close pairing of the ooc shard writers and the
-//     worker pools;
-//   - result escape: a charge inside a function returning a named type
-//     T whose methods Release (e.g. openShard charging a read buffer
-//     into the *shardReader it returns) transfers ownership to the
-//     returned value.
+//     when any method of T in the same package performs the matching
+//     release — the constructor/Close pairing of the ooc shard writers,
+//     the worker pools, and the service registry's graph pins;
+//   - result escape: an acquire inside a function returning a named
+//     type T whose methods release (e.g. openShard charging a read
+//     buffer into the *shardReader it returns, or Admission.Acquire
+//     reserving into the *Lease it hands the caller) transfers
+//     ownership to the returned value.
 //
-// Otherwise, every return statement lexically after the first Charge
-// must be covered by a deferred Release registered before it or a
-// Release call between the Charge and the return.  A deliberate
-// transfer the rules cannot see (core.Builder.keep charges sub-lists
-// the level loop later retires) is suppressed with
-// //nolint:budgetpair <reason>.
+// Otherwise, every return statement lexically after the first acquire
+// must be covered by a deferred release registered before it or a
+// release call between the acquire and the return.  Two deliberate
+// exemptions: methods of the accounting types themselves (Governor,
+// Reservation) are skipped — their internal parent-forwarding mirrors
+// are the accounting mechanism, not acquisitions; and for the
+// two-result Reserve, returns inside a `!= nil`/`== nil` error check
+// are exempt — a failed Reserve leaves nothing to close.  A transfer
+// the rules cannot see is suppressed with //nolint:budgetpair <reason>.
 //
 // When a function has exactly one Charge and none of its Releases
 // textually matches the charged expression, the analyzer additionally
@@ -43,25 +51,54 @@ import (
 // Analyzer is the budgetpair check.
 var Analyzer = &lintkit.Analyzer{
 	Name: "budgetpair",
-	Doc: "check that every membudget.Governor.Charge is paired with a Release on all return paths " +
+	Doc: "check that every membudget Charge/Reserve is paired with a Release/Close on all return paths " +
 		"(or ownership provably transfers to a releasing type)",
 	Run: run,
 }
 
-// governorCall reports whether call is method `name` on a value whose
-// named type is membudget's Governor.  Matching is nominal (type name
-// "Governor", method Charge/Release) so analysis testdata can stub the
-// type without importing the real package.
-func governorCall(info *types.Info, call *ast.CallExpr, name string) (recv ast.Expr, ok bool) {
+// pairSpec is one acquire/release discipline the analyzer enforces.
+type pairSpec struct {
+	acquireType string // named receiver type of the acquire method
+	acquireName string
+	acquireArgs int
+	releaseType string // named receiver type of the release method
+	releaseName string
+	releaseArgs int
+	quantity    bool // apply the same-amount check (Charge/Release only)
+	errExempt   bool // acquire also returns an error; err-check returns owe nothing
+	what        string
+	fix         string
+}
+
+var specs = []pairSpec{
+	{
+		acquireType: "Governor", acquireName: "Charge", acquireArgs: 1,
+		releaseType: "Governor", releaseName: "Release", releaseArgs: 1,
+		quantity: true,
+		what:     "the governor charge", fix: "Release",
+	},
+	{
+		acquireType: "Governor", acquireName: "Reserve", acquireArgs: 1,
+		releaseType: "Reservation", releaseName: "Close", releaseArgs: 0,
+		errExempt: true,
+		what:      "the reservation", fix: "Close",
+	},
+}
+
+// methodCall reports whether call is method `name` with nargs arguments
+// on a value whose named type is typeName.  Matching is nominal so
+// analysis testdata can stub the types without importing the real
+// package.
+func methodCall(info *types.Info, call *ast.CallExpr, typeName, name string, nargs int) (recv ast.Expr, ok bool) {
 	sel, isSel := call.Fun.(*ast.SelectorExpr)
-	if !isSel || sel.Sel.Name != name || len(call.Args) != 1 {
+	if !isSel || sel.Sel.Name != name || len(call.Args) != nargs {
 		return nil, false
 	}
 	tv, found := info.Types[sel.X]
 	if !found {
 		return nil, false
 	}
-	return sel.X, isNamed(tv.Type, "Governor")
+	return sel.X, isNamed(tv.Type, typeName)
 }
 
 // isNamed reports whether t (possibly behind pointers) is a named type
@@ -99,7 +136,7 @@ func namedTypeName(info *types.Info, e ast.Expr) string {
 	}
 }
 
-type charge struct {
+type acquire struct {
 	pos     token.Pos
 	argText string
 	recv    ast.Expr
@@ -113,44 +150,56 @@ type release struct {
 }
 
 func run(pass *lintkit.Pass) error {
-	releasers := releasingTypes(pass)
-	for _, f := range pass.Files {
-		for _, decl := range f.Decls {
-			fd, ok := decl.(*ast.FuncDecl)
-			if !ok || fd.Body == nil {
-				continue
+	for _, spec := range specs {
+		owners := owningTypes(pass, spec)
+		for _, f := range pass.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				checkFunc(pass, fd, spec, owners)
 			}
-			checkFunc(pass, fd, releasers)
 		}
 	}
 	return nil
 }
 
-// releasingTypes collects the named receiver types that own a Release
-// somewhere in the package: any method whose body (closures included)
-// calls Governor.Release marks its receiver type as a releaser.
-func releasingTypes(pass *lintkit.Pass) map[string]bool {
-	out := make(map[string]bool)
+// recvTypeName returns the named type of fd's receiver ("" for plain
+// functions).
+func recvTypeName(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return ""
+	}
+	e := fd.Recv.List[0].Type
+	if s, isStar := e.(*ast.StarExpr); isStar {
+		e = s.X
+	}
+	switch v := e.(type) {
+	case *ast.Ident:
+		return v.Name
+	case *ast.IndexExpr:
+		if id, isIdent := v.X.(*ast.Ident); isIdent {
+			return id.Name
+		}
+	}
+	return ""
+}
+
+// owningTypes collects the named receiver types that own the spec's
+// release somewhere in the package: any method whose body (closures
+// included) calls it marks its receiver type as an owner.  The release
+// method's own receiver type is seeded in — a constructor returning a
+// *Reservation has transferred the close obligation to its caller.
+func owningTypes(pass *lintkit.Pass, spec pairSpec) map[string]bool {
+	out := map[string]bool{spec.releaseType: true}
 	for _, f := range pass.Files {
 		for _, decl := range f.Decls {
 			fd, ok := decl.(*ast.FuncDecl)
-			if !ok || fd.Recv == nil || fd.Body == nil || len(fd.Recv.List) == 0 {
+			if !ok || fd.Recv == nil || fd.Body == nil {
 				continue
 			}
-			recvName := ""
-			if t := fd.Recv.List[0].Type; t != nil {
-				e := t
-				if s, isStar := e.(*ast.StarExpr); isStar {
-					e = s.X
-				}
-				if id, isIdent := e.(*ast.Ident); isIdent {
-					recvName = id.Name
-				} else if idx, isIdx := e.(*ast.IndexExpr); isIdx {
-					if id, isIdent := idx.X.(*ast.Ident); isIdent {
-						recvName = id.Name
-					}
-				}
-			}
+			recvName := recvTypeName(fd)
 			if recvName == "" || out[recvName] {
 				continue
 			}
@@ -160,7 +209,7 @@ func releasingTypes(pass *lintkit.Pass) map[string]bool {
 					return false
 				}
 				if call, isCall := n.(*ast.CallExpr); isCall {
-					if _, isRel := governorCall(pass.TypesInfo, call, "Release"); isRel {
+					if _, isRel := methodCall(pass.TypesInfo, call, spec.releaseType, spec.releaseName, spec.releaseArgs); isRel {
 						found = true
 						return false
 					}
@@ -175,14 +224,23 @@ func releasingTypes(pass *lintkit.Pass) map[string]bool {
 	return out
 }
 
-// checkFunc applies the pairing rules to one function declaration.
-// Function literals are not descended into (a closure is not a return
-// path of its enclosing function), except the immediate body of a
-// `defer func() { ... }()`, whose Releases count as deferred coverage.
-func checkFunc(pass *lintkit.Pass, fd *ast.FuncDecl, releasers map[string]bool) {
-	var charges []charge
+// checkFunc applies one spec's pairing rules to one function
+// declaration.  Function literals are not descended into (a closure is
+// not a return path of its enclosing function), except the immediate
+// body of a `defer func() { ... }()`, whose releases count as deferred
+// coverage.
+func checkFunc(pass *lintkit.Pass, fd *ast.FuncDecl, spec pairSpec, owners map[string]bool) {
+	// The accounting types' own methods ARE the mechanism: Governor's
+	// parent-forwarding Charge/Release mirrors and Reservation's
+	// reconciling Close would all read as unpaired acquisitions.
+	if recv := recvTypeName(fd); recv == spec.acquireType || recv == spec.releaseType {
+		return
+	}
+
+	var acquires []acquire
 	var releases []release
 	var returns []*ast.ReturnStmt
+	var errRanges [][2]token.Pos // bodies of `if <x op nil>` blocks
 
 	var walk func(n ast.Node, deferPos token.Pos)
 	walk = func(root ast.Node, deferPos token.Pos) {
@@ -199,22 +257,30 @@ func checkFunc(pass *lintkit.Pass, fd *ast.FuncDecl, releasers map[string]bool) 
 					walk(n.Call, n.Pos())
 				}
 				return false
+			case *ast.IfStmt:
+				if spec.errExempt && isNilCheck(n.Cond) {
+					errRanges = append(errRanges, [2]token.Pos{n.Body.Pos(), n.Body.End()})
+				}
 			case *ast.ReturnStmt:
 				if deferPos == token.NoPos {
 					returns = append(returns, n)
 				}
 			case *ast.CallExpr:
-				if recv, ok := governorCall(pass.TypesInfo, n, "Charge"); ok {
-					charges = append(charges, charge{
+				if recv, ok := methodCall(pass.TypesInfo, n, spec.acquireType, spec.acquireName, spec.acquireArgs); ok {
+					acquires = append(acquires, acquire{
 						pos:     n.Pos(),
 						argText: lintkit.ExprString(n.Args[0]),
 						recv:    recv,
 					})
 				}
-				if _, ok := governorCall(pass.TypesInfo, n, "Release"); ok {
+				if _, ok := methodCall(pass.TypesInfo, n, spec.releaseType, spec.releaseName, spec.releaseArgs); ok {
+					argText := "?"
+					if len(n.Args) > 0 {
+						argText = lintkit.ExprString(n.Args[0])
+					}
 					releases = append(releases, release{
 						pos:      n.Pos(),
-						argText:  lintkit.ExprString(n.Args[0]),
+						argText:  argText,
 						deferred: deferPos != token.NoPos,
 						deferPos: deferPos,
 					})
@@ -225,15 +291,15 @@ func checkFunc(pass *lintkit.Pass, fd *ast.FuncDecl, releasers map[string]bool) 
 	}
 	walk(fd.Body, token.NoPos)
 
-	if len(charges) == 0 {
+	if len(acquires) == 0 {
 		return
 	}
 
-	// Receiver escape: the charge went through a field of a type whose
+	// Receiver escape: the acquire went through a field of a type whose
 	// methods release (w.gov.Charge inside a *levelWriter method).
 	allEscape := true
-	for _, c := range charges {
-		if !chargeEscapes(pass, c, fd, releasers) {
+	for _, a := range acquires {
+		if !acquireEscapes(pass, a, fd, spec, owners) {
 			allEscape = false
 			break
 		}
@@ -242,13 +308,21 @@ func checkFunc(pass *lintkit.Pass, fd *ast.FuncDecl, releasers map[string]bool) 
 		return
 	}
 
-	firstCharge := charges[0].pos
+	firstAcquire := acquires[0].pos
 	covered := func(ret token.Pos) bool {
 		for _, r := range releases {
 			if r.deferred && r.deferPos < ret {
 				return true
 			}
-			if !r.deferred && r.pos > firstCharge && r.pos < ret {
+			if !r.deferred && r.pos > firstAcquire && r.pos < ret {
+				return true
+			}
+		}
+		return false
+	}
+	inErrCheck := func(ret token.Pos) bool {
+		for _, rng := range errRanges {
+			if ret >= rng[0] && ret < rng[1] {
 				return true
 			}
 		}
@@ -256,72 +330,96 @@ func checkFunc(pass *lintkit.Pass, fd *ast.FuncDecl, releasers map[string]bool) 
 	}
 
 	if len(releases) == 0 {
-		pass.Reportf(firstCharge,
-			"Charge(%s) has no matching Release in %s; release it on every path or transfer ownership (//nolint:budgetpair <reason>)",
-			charges[0].argText, fd.Name.Name)
+		pass.Reportf(firstAcquire,
+			"%s(%s) has no matching %s in %s; %s it on every path or transfer ownership (//nolint:budgetpair <reason>)",
+			spec.acquireName, acquires[0].argText, spec.fix, fd.Name.Name, spec.fix)
 		return
 	}
 
 	for _, ret := range returns {
-		if ret.Pos() <= firstCharge {
+		if ret.Pos() <= firstAcquire {
 			continue
+		}
+		if inErrCheck(ret.Pos()) {
+			continue // a failed Reserve returned an error; nothing to close
 		}
 		if !covered(ret.Pos()) {
 			pass.Reportf(ret.Pos(),
-				"return leaks the governor charge from line %d: no Release reaches this path (defer the Release or reconcile before returning)",
-				pass.Fset.Position(firstCharge).Line)
+				"return leaks %s from line %d: no %s reaches this path (defer the %s or reconcile before returning)",
+				spec.what, pass.Fset.Position(firstAcquire).Line, spec.fix, spec.fix)
 		}
 	}
 	// A function body that can fall off the end is one more return path.
 	if n := len(fd.Body.List); n > 0 {
 		if _, endsInReturn := fd.Body.List[n-1].(*ast.ReturnStmt); !endsInReturn {
 			if !covered(fd.Body.End()) {
-				pass.Reportf(charges[0].pos,
-					"Charge(%s) is not Released before %s falls off the end of the function",
-					charges[0].argText, fd.Name.Name)
+				pass.Reportf(acquires[0].pos,
+					"%s(%s) is not %sd before %s falls off the end of the function",
+					spec.acquireName, acquires[0].argText, spec.fix, fd.Name.Name)
 			}
 		}
 	}
 
 	// Quantity check: a lone Charge whose releases all name a different
 	// amount is charging and releasing different bytes.
-	if len(charges) == 1 && charges[0].argText != "?" {
+	if spec.quantity && len(acquires) == 1 && acquires[0].argText != "?" {
 		match := false
 		for _, r := range releases {
-			if r.argText == charges[0].argText || r.argText == "?" {
+			if r.argText == acquires[0].argText || r.argText == "?" {
 				match = true
 				break
 			}
 		}
 		if !match {
-			pass.Reportf(charges[0].pos,
+			pass.Reportf(acquires[0].pos,
 				"Charge(%s) is never Released with the same quantity (releases: %s)",
-				charges[0].argText, releases[0].argText)
+				acquires[0].argText, releases[0].argText)
 		}
 	}
 }
 
-// chargeEscapes reports whether one charge's ownership provably leaves
-// the function: through the receiver chain (rule one) or through a
-// returned releasing type (rule two).
-func chargeEscapes(pass *lintkit.Pass, c charge, fd *ast.FuncDecl, releasers map[string]bool) bool {
+// isNilCheck reports whether cond contains a `x != nil` or `x == nil`
+// comparison — the shape of the error check after a two-result acquire.
+func isNilCheck(cond ast.Expr) bool {
+	found := false
+	ast.Inspect(cond, func(n ast.Node) bool {
+		if b, ok := n.(*ast.BinaryExpr); ok && (b.Op == token.NEQ || b.Op == token.EQL) {
+			if isNilIdent(b.X) || isNilIdent(b.Y) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+func isNilIdent(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "nil"
+}
+
+// acquireEscapes reports whether one acquire's ownership provably
+// leaves the function: through the receiver chain (rule one) or through
+// a returned owning type (rule two).
+func acquireEscapes(pass *lintkit.Pass, a acquire, fd *ast.FuncDecl, spec pairSpec, owners map[string]bool) bool {
 	// Rule one: recv is a selector chain rooted at a value of a named
 	// type whose methods release (w.gov, e.opts.Gov, ...).  A bare
 	// *Governor root (local or parameter) does not escape.
-	if root := lintkit.RootIdent(c.recv); root != nil {
-		if name := rootNamedType(pass.TypesInfo, c.recv); name != "" && name != "Governor" && releasers[name] {
+	if root := lintkit.RootIdent(a.recv); root != nil {
+		if name := rootNamedType(pass.TypesInfo, a.recv); name != "" && name != spec.acquireType && owners[name] {
 			return true
 		}
 	}
 	// Rule two: the function returns a named type whose methods release
-	// (constructors handing the charged resource to the caller).
+	// (constructors handing the acquired resource to the caller).
 	if fd.Type.Results != nil {
 		for _, res := range fd.Type.Results.List {
 			e := res.Type
 			if s, ok := e.(*ast.StarExpr); ok {
 				e = s.X
 			}
-			if id, ok := e.(*ast.Ident); ok && releasers[id.Name] {
+			if id, ok := e.(*ast.Ident); ok && owners[id.Name] {
 				return true
 			}
 		}

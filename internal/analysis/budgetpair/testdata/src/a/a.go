@@ -85,3 +85,95 @@ func open(g *Governor, n int64) *reader {
 func keep(g *Governor, n int64) {
 	g.Charge(n)
 }
+
+// ---- Reserve/Close pairing (the reservation sub-budget API) ----------
+
+// Reservation stubs the membudget sub-budget handle; Close is its
+// release method.
+type Reservation struct {
+	g *Governor
+	n int64
+}
+
+func (r *Reservation) Close() int64 { r.g.Release(r.n); return 0 }
+
+// Reserve stubs the acquire.  Its internal Charge is exempt: methods of
+// the accounting types are the mechanism, not acquisitions.
+func (g *Governor) Reserve(n int64) (*Reservation, error) {
+	g.Charge(n)
+	return &Reservation{g: g, n: n}, nil
+}
+
+func leakReserveNoClose(g *Governor, n int64) {
+	g.Reserve(n) // want `Reserve\(n\) has no matching Close`
+}
+
+func leakReserveEarlyReturn(g *Governor, n int64, bad bool) error {
+	res, err := g.Reserve(n)
+	if err != nil {
+		return err // exempt: a failed Reserve leaves nothing to close
+	}
+	if bad {
+		return errBoom // want `return leaks the reservation`
+	}
+	res.Close()
+	return nil
+}
+
+func okReserveDefer(g *Governor, n int64, bad bool) error {
+	res, err := g.Reserve(n)
+	if err != nil {
+		return err
+	}
+	defer res.Close()
+	if bad {
+		return errBoom
+	}
+	return nil
+}
+
+func leakReserveFallOffEnd(g *Governor, n int64) {
+	res, _ := g.Reserve(n)
+	_ = res
+	res2, _ := g.Reserve(n)
+	res2.Close()
+	res.Close()
+}
+
+func leakReserveFallOffEnd2(g *Governor, n int64) {
+	stale := &Reservation{g: g, n: n}
+	stale.Close()
+	g.Reserve(n) // want `Reserve\(n\) is not Closed before leakReserveFallOffEnd2 falls off the end`
+}
+
+// lease owns its reservation: Close on the lease closes it, so the
+// constructor's Reserve escapes by rule two.
+type lease struct{ res *Reservation }
+
+func (l *lease) Close() int64 { return l.res.Close() }
+
+func acquireLease(g *Governor, n int64) (*lease, error) {
+	res, err := g.Reserve(n)
+	if err != nil {
+		return nil, err
+	}
+	return &lease{res: res}, nil
+}
+
+// holder pins a reservation through a field: receiver escape via the
+// registry pattern (a method of holder closes it later).
+type holder struct {
+	gov *Governor
+	res *Reservation
+}
+
+func (h *holder) pin(n int64) error {
+	res, err := h.gov.Reserve(n)
+	if err != nil {
+		return err
+	}
+	h.res = res
+	return nil
+}
+
+func (h *holder) unpin() { h.res.Close() }

@@ -1,0 +1,34 @@
+package graph
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+)
+
+// Fingerprint hashes a graph's identity — vertex count, edge count, and
+// the canonical (increasing u < v, row-major) edge stream — with
+// FNV-1a.  It is representation-independent: a dense, CSR, or
+// WAH-compressed encoding of the same graph fingerprints identically.
+//
+// One identity serves three consumers that must agree: the out-of-core
+// checkpoint manifest (a resume refuses a different graph), the query
+// service's graph registry (uploads are keyed and deduplicated by
+// fingerprint), and its result cache (a cached stream is only valid for
+// the exact graph it was computed on).  The ooc manifest's historical
+// value is this function; TestFingerprintMatchesManifest pins the
+// cross-check.
+func Fingerprint(g Interface) string {
+	h := fnv.New64a()
+	var buf [8]byte
+	binary.LittleEndian.PutUint32(buf[:4], uint32(g.N()))
+	binary.LittleEndian.PutUint32(buf[4:], uint32(g.M()))
+	h.Write(buf[:])
+	ForEachEdge(g, func(u, v int) bool {
+		binary.LittleEndian.PutUint32(buf[:4], uint32(u))
+		binary.LittleEndian.PutUint32(buf[4:], uint32(v))
+		h.Write(buf[:])
+		return true
+	})
+	return fmt.Sprintf("%016x", h.Sum64())
+}

@@ -43,6 +43,14 @@ type Governor struct {
 	used   atomic.Int64
 	peak   atomic.Int64
 	trip   atomic.Bool // latched by the first over-budget Charge
+	// parent, when non-nil, receives a mirror of every Charge/Release:
+	// this governor is a Reservation's child and the parent's Used must
+	// remain the true resident total across all tenants.  Immutable
+	// after Reserve.
+	parent *Governor
+	// reserved is the sum of outstanding reservations carved out of
+	// this governor's budget (see Reserve).
+	reserved atomic.Int64
 }
 
 // New returns a Governor enforcing the given budget in bytes; budget <= 0
@@ -63,10 +71,13 @@ func (g *Governor) Budget() int64 {
 }
 
 // Charge declares n more bytes resident.  nil-safe; n <= 0 is a no-op.
+// A reservation's child governor forwards the charge to its parent, so
+// a shared server governor always sees the true resident total.
 func (g *Governor) Charge(n int64) {
 	if g == nil || n <= 0 {
 		return
 	}
+	g.parent.Charge(n)
 	used := g.used.Add(n)
 	// Peak is monotone; the CAS loop loses only to strictly larger peaks.
 	for {
@@ -97,6 +108,10 @@ func (g *Governor) Release(n int64) {
 			nu = 0
 		}
 		if g.used.CompareAndSwap(u, nu) {
+			// Forward only the bytes actually released: a clamped
+			// over-release must not erase another tenant's charge from
+			// the shared parent.
+			g.parent.Release(u - nu)
 			return
 		}
 	}

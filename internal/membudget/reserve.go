@@ -1,0 +1,126 @@
+package membudget
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+)
+
+// Reservations partition one Governor's budget across concurrent
+// dependent runs — the multi-tenancy primitive of the query service.
+// Reserve carves a fixed sub-budget out of the parent: admission
+// succeeds only while the sum of outstanding reservations fits the
+// parent's budget, and the returned Reservation owns a child Governor
+// (budget = the reserved amount) whose charges forward into the parent,
+// so the parent's Used/Peak remain the true resident-byte totals across
+// every tenant.  Close returns the reservation's headroom to the parent
+// and reconciles any bytes its run failed to release.
+//
+// The accounting laws (pinned by TestReservationAccounting and enforced
+// over internal/service by repolint's budgetpair):
+//
+//	admit:   sum(outstanding reservations) <= parent budget
+//	forward: child.Charge(n) => parent.Used += n (Release symmetric)
+//	close:   parent.Used -= child residual; outstanding -= amount
+//
+// A run that respects its child budget can therefore never push the
+// parent past its budget beyond the backends' documented trip
+// granularity (charges are polled at sub-list/chunk boundaries, so a
+// tripping run overshoots its reservation by at most one sub-list
+// before aborting).
+
+// ErrNoHeadroom is returned by Reserve when the parent's budget cannot
+// accommodate another reservation of the requested size.  Admission
+// controllers queue or shed load on it.
+var ErrNoHeadroom = errors.New("membudget: reservation exceeds remaining headroom")
+
+// Reservation is a sub-budget carved from a parent Governor by Reserve.
+// Its child Governor is handed to exactly one run (the facade's
+// WithGovernor); Close must be called when the run is over, on every
+// path — success, error, or client disconnect.
+type Reservation struct {
+	parent *Governor
+	child  *Governor
+	amount int64
+	closed atomic.Bool
+}
+
+// Reserve carves n bytes out of g's budget.  It fails with ErrNoHeadroom
+// (wrapped) when the outstanding reservations plus n would exceed the
+// budget; an unlimited governor (budget 0) admits everything.  Reserving
+// from a nil Governor returns a standalone observing reservation so
+// callers need not special-case an unbudgeted server.  n must be
+// positive.
+func (g *Governor) Reserve(n int64) (*Reservation, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("membudget: non-positive reservation %d", n)
+	}
+	if g == nil {
+		return &Reservation{child: New(n), amount: n}, nil
+	}
+	if g.budget > 0 {
+		for {
+			r := g.reserved.Load()
+			if r+n > g.budget {
+				return nil, fmt.Errorf("%w: %d requested, %d of %d already reserved",
+					ErrNoHeadroom, n, r, g.budget)
+			}
+			if g.reserved.CompareAndSwap(r, r+n) {
+				break
+			}
+		}
+	} else {
+		g.reserved.Add(n)
+	}
+	child := New(n)
+	child.parent = g
+	return &Reservation{parent: g, child: child, amount: n}, nil
+}
+
+// Reserved returns the sum of outstanding reservations.  nil-safe.
+func (g *Governor) Reserved() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.reserved.Load()
+}
+
+// Governor returns the reservation's child governor: budget = the
+// reserved amount, charges forwarded to the parent.  Hand it to the run
+// (repro.WithGovernor) so every layer's charges are visible to both the
+// run's own budget and the shared one.
+func (r *Reservation) Governor() *Governor {
+	if r == nil {
+		return nil
+	}
+	return r.child
+}
+
+// Amount returns the reserved byte count.
+func (r *Reservation) Amount() int64 {
+	if r == nil {
+		return 0
+	}
+	return r.amount
+}
+
+// Close returns the reservation to the parent: any bytes the run left
+// charged are reconciled (released from the parent so one tenant's leak
+// cannot shrink the server's budget forever) and the reserved amount
+// becomes available to waiting admissions again.  It returns the
+// residual byte count — 0 in a correct run; nonzero means the run
+// violated the budgetpair discipline and should be surfaced.  Close is
+// idempotent; only the first call reconciles.
+func (r *Reservation) Close() int64 {
+	if r == nil || !r.closed.CompareAndSwap(false, true) {
+		return 0
+	}
+	residual := r.child.used.Swap(0)
+	if r.parent != nil {
+		if residual > 0 {
+			r.parent.Release(residual)
+		}
+		r.parent.reserved.Add(-r.amount)
+	}
+	return residual
+}

@@ -1,0 +1,165 @@
+package membudget
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+// TestReservationAccounting pins the three reservation laws: admission
+// against the parent budget, charge forwarding, and close-time
+// reconciliation.
+func TestReservationAccounting(t *testing.T) {
+	parent := New(1000)
+
+	r1, err := parent.Reserve(600)
+	if err != nil {
+		t.Fatalf("first reservation: %v", err)
+	}
+	if got := parent.Reserved(); got != 600 {
+		t.Fatalf("Reserved = %d, want 600", got)
+	}
+
+	// Admission: 600 + 500 > 1000 must be refused with ErrNoHeadroom.
+	if _, err := parent.Reserve(500); !errors.Is(err, ErrNoHeadroom) {
+		t.Fatalf("over-admission error = %v, want ErrNoHeadroom", err)
+	}
+	r2, err := parent.Reserve(400)
+	if err != nil {
+		t.Fatalf("exact-fit reservation: %v", err)
+	}
+
+	// Forwarding: child charges are visible in the parent.
+	r1.Governor().Charge(100)
+	r2.Governor().Charge(50)
+	if got := parent.Used(); got != 150 {
+		t.Fatalf("parent Used = %d after child charges, want 150", got)
+	}
+	if got := r1.Governor().Used(); got != 100 {
+		t.Fatalf("child Used = %d, want 100", got)
+	}
+	r1.Governor().Release(100)
+	if got := parent.Used(); got != 50 {
+		t.Fatalf("parent Used = %d after child release, want 50", got)
+	}
+
+	// Child budget enforcement is local: r2 has budget 400.
+	r2.Governor().Charge(400)
+	if !r2.Governor().Over() {
+		t.Fatal("child not Over at 450/400")
+	}
+	if parent.Over() {
+		t.Fatal("parent Over though only 450 of 1000 used")
+	}
+
+	// Close reconciles the residual (r2 leaked 450) and frees headroom.
+	if resid := r1.Close(); resid != 0 {
+		t.Fatalf("clean close residual = %d, want 0", resid)
+	}
+	if resid := r2.Close(); resid != 450 {
+		t.Fatalf("leaky close residual = %d, want 450", resid)
+	}
+	if got := parent.Used(); got != 0 {
+		t.Fatalf("parent Used = %d after closes, want 0", got)
+	}
+	if got := parent.Reserved(); got != 0 {
+		t.Fatalf("parent Reserved = %d after closes, want 0", got)
+	}
+	// Idempotent: a second Close reconciles nothing.
+	if resid := r2.Close(); resid != 0 {
+		t.Fatalf("second close residual = %d, want 0", resid)
+	}
+
+	// Headroom is reusable after close.
+	r3, err := parent.Reserve(1000)
+	if err != nil {
+		t.Fatalf("post-close full-budget reservation: %v", err)
+	}
+	r3.Close()
+}
+
+// TestReserveEdgeCases: nil parents, unlimited parents, bad sizes.
+func TestReserveEdgeCases(t *testing.T) {
+	var nilGov *Governor
+	r, err := nilGov.Reserve(10)
+	if err != nil {
+		t.Fatalf("nil-governor Reserve: %v", err)
+	}
+	r.Governor().Charge(5)
+	if got := r.Governor().Used(); got != 5 {
+		t.Fatalf("standalone child Used = %d, want 5", got)
+	}
+	r.Close()
+
+	unlimited := New(0)
+	r, err = unlimited.Reserve(1 << 40)
+	if err != nil {
+		t.Fatalf("unlimited-governor Reserve: %v", err)
+	}
+	r.Governor().Charge(7)
+	if got := unlimited.Used(); got != 7 {
+		t.Fatalf("unlimited parent Used = %d, want 7", got)
+	}
+	if resid := r.Close(); resid != 7 {
+		t.Fatalf("residual = %d, want 7", resid)
+	}
+	if got := unlimited.Used(); got != 0 {
+		t.Fatalf("unlimited parent Used = %d after close, want 0", got)
+	}
+
+	if _, err := New(100).Reserve(0); err == nil {
+		t.Fatal("Reserve(0) accepted")
+	}
+	if _, err := New(100).Reserve(-5); err == nil {
+		t.Fatal("Reserve(-5) accepted")
+	}
+}
+
+// TestReservationConcurrent hammers Reserve/Charge/Release/Close from
+// many goroutines (run under -race): the parent must end at zero and
+// never exceed its budget by more than the tenants' own overshoot,
+// which is zero here because every tenant stays within its child
+// budget.
+func TestReservationConcurrent(t *testing.T) {
+	const (
+		tenants = 16
+		budget  = int64(tenants) * 100
+		rounds  = 200
+	)
+	parent := New(budget)
+	var wg sync.WaitGroup
+	for i := 0; i < tenants; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < rounds; j++ {
+				r, err := parent.Reserve(100)
+				if err != nil {
+					// Headroom contention: another tenant holds the
+					// slot; retry like an admission queue would.
+					j--
+					continue
+				}
+				g := r.Governor()
+				g.Charge(60)
+				g.Charge(40)
+				g.Release(40)
+				g.Release(60)
+				if resid := r.Close(); resid != 0 {
+					t.Errorf("residual %d on clean run", resid)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := parent.Used(); got != 0 {
+		t.Fatalf("parent Used = %d after all tenants closed, want 0", got)
+	}
+	if got := parent.Reserved(); got != 0 {
+		t.Fatalf("parent Reserved = %d after all tenants closed, want 0", got)
+	}
+	if peak := parent.Peak(); peak > budget {
+		t.Fatalf("parent Peak = %d exceeds budget %d though no tenant overshot", peak, budget)
+	}
+}

@@ -1,10 +1,8 @@
 package ooc
 
 import (
-	"encoding/binary"
 	"encoding/json"
 	"fmt"
-	"hash/fnv"
 	"os"
 	"path/filepath"
 	"strings"
@@ -44,20 +42,10 @@ type manifest struct {
 
 // Fingerprint hashes the graph's canonical edge stream; Resume refuses a
 // checkpoint whose fingerprint does not match the graph handed to it.
-func Fingerprint(g graph.Interface) string {
-	h := fnv.New64a()
-	var buf [8]byte
-	binary.LittleEndian.PutUint32(buf[:4], uint32(g.N()))
-	binary.LittleEndian.PutUint32(buf[4:], uint32(g.M()))
-	h.Write(buf[:])
-	graph.ForEachEdge(g, func(u, v int) bool {
-		binary.LittleEndian.PutUint32(buf[:4], uint32(u))
-		binary.LittleEndian.PutUint32(buf[4:], uint32(v))
-		h.Write(buf[:])
-		return true
-	})
-	return fmt.Sprintf("%016x", h.Sum64())
-}
+// The implementation is the promoted graph.Fingerprint — the one
+// identity the manifest, the service registry, and the result cache all
+// key on.
+func Fingerprint(g graph.Interface) string { return graph.Fingerprint(g) }
 
 // writeManifest atomically replaces the run directory's manifest.
 func writeManifest(dir string, m *manifest) error {

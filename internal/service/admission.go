@@ -1,0 +1,142 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/membudget"
+)
+
+// Admission is the query admission controller: every query reserves its
+// working memory from the shared governor before it runs.  When the
+// reservation does not fit, the query waits — bounded in depth and in
+// time — for running queries (or evicted graphs) to return headroom;
+// past the depth bound it is shed immediately so the queue can never
+// grow without limit.  Wakeups are broadcast: each Close replaces a
+// generation channel every waiter selects on, and waiters re-attempt
+// their reservation in arrival order is not guaranteed — the governor's
+// CAS decides — but the depth bound keeps the wait set small enough
+// that starvation is a non-issue at service scale.
+type Admission struct {
+	gov   *membudget.Governor
+	depth int
+	wait  time.Duration
+
+	mu      sync.Mutex
+	waiters int
+	gen     chan struct{} // closed + replaced on every release signal
+}
+
+// ErrQueueFull is returned when the admission wait queue is at depth;
+// the handler maps it to 503 + Retry-After.
+var ErrQueueFull = errors.New("service: admission queue full")
+
+// ErrQueueTimeout is returned when a queued query waited QueueWait
+// without headroom appearing.
+var ErrQueueTimeout = errors.New("service: timed out waiting for memory headroom")
+
+// ErrGraphBusy is returned by Registry.Remove while queries hold
+// references to the graph.
+var ErrGraphBusy = errors.New("service: graph has active queries")
+
+// NewAdmission builds the controller over the shared governor.
+func NewAdmission(gov *membudget.Governor, depth int, wait time.Duration) *Admission {
+	return &Admission{gov: gov, depth: depth, wait: wait, gen: make(chan struct{})}
+}
+
+// Queued returns the number of queries waiting for headroom.
+func (a *Admission) Queued() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.waiters
+}
+
+// Signal wakes every waiter to re-attempt its reservation; called
+// whenever headroom may have appeared (a lease closed, a graph was
+// evicted).
+func (a *Admission) Signal() {
+	a.mu.Lock()
+	close(a.gen)
+	a.gen = make(chan struct{})
+	a.mu.Unlock()
+}
+
+// Acquire reserves n bytes of the shared budget for one query, waiting
+// in the bounded queue when the budget is momentarily full.  The
+// returned Lease must be closed on every exit path of the query.
+func (a *Admission) Acquire(ctx context.Context, n int64) (*Lease, error) {
+	if res, err := a.gov.Reserve(n); err == nil {
+		return &Lease{res: res, a: a}, nil
+	} else if !errors.Is(err, membudget.ErrNoHeadroom) {
+		return nil, err
+	}
+	// A reservation that can never fit must not queue: it would wait
+	// the full timeout for headroom that cannot appear.
+	if b := a.gov.Budget(); b > 0 && n > b {
+		return nil, fmt.Errorf("%w: %d bytes exceed the whole budget %d",
+			membudget.ErrNoHeadroom, n, b)
+	}
+	a.mu.Lock()
+	if a.waiters >= a.depth {
+		a.mu.Unlock()
+		return nil, fmt.Errorf("%w: %d queries already waiting", ErrQueueFull, a.depth)
+	}
+	a.waiters++
+	gen := a.gen
+	a.mu.Unlock()
+	defer func() {
+		a.mu.Lock()
+		a.waiters--
+		a.mu.Unlock()
+	}()
+
+	timer := time.NewTimer(a.wait)
+	defer timer.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-timer.C:
+			return nil, ErrQueueTimeout
+		case <-gen:
+		}
+		res, err := a.gov.Reserve(n)
+		if err == nil {
+			return &Lease{res: res, a: a}, nil
+		}
+		if !errors.Is(err, membudget.ErrNoHeadroom) {
+			return nil, err
+		}
+		a.mu.Lock()
+		gen = a.gen
+		a.mu.Unlock()
+	}
+}
+
+// Lease is one admitted query's hold on the shared budget: a
+// membudget.Reservation plus the wakeup of the admission queue when it
+// closes.
+type Lease struct {
+	res *membudget.Reservation
+	a   *Admission
+}
+
+// Governor returns the lease's child governor; hand it to the run via
+// repro.WithGovernor.
+func (l *Lease) Governor() *membudget.Governor { return l.res.Governor() }
+
+// Amount returns the reserved bytes.
+func (l *Lease) Amount() int64 { return l.res.Amount() }
+
+// Close returns the reservation to the shared budget and wakes the
+// admission queue.  Idempotent (the underlying reservation reconciles
+// once); returns the residual bytes the run failed to release — 0 in a
+// correct run.
+func (l *Lease) Close() int64 {
+	residual := l.res.Close()
+	l.a.Signal()
+	return residual
+}

@@ -1,0 +1,170 @@
+package service_test
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/membudget"
+	"repro/internal/service"
+)
+
+func TestAdmissionImmediate(t *testing.T) {
+	a := service.NewAdmission(membudget.New(100), 4, time.Second)
+	lease, err := a.Acquire(context.Background(), 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lease.Amount() != 60 {
+		t.Fatalf("lease amount %d", lease.Amount())
+	}
+	if residual := lease.Close(); residual != 0 {
+		t.Fatalf("clean lease closed with residual %d", residual)
+	}
+	// Idempotent close.
+	if residual := lease.Close(); residual != 0 {
+		t.Fatalf("double close returned %d", residual)
+	}
+}
+
+func TestAdmissionNeverFits(t *testing.T) {
+	a := service.NewAdmission(membudget.New(100), 4, time.Minute)
+	start := time.Now()
+	_, err := a.Acquire(context.Background(), 101)
+	if !errors.Is(err, membudget.ErrNoHeadroom) {
+		t.Fatalf("error = %v, want ErrNoHeadroom", err)
+	}
+	if time.Since(start) > time.Second {
+		t.Fatal("an impossible reservation waited in the queue")
+	}
+}
+
+func TestAdmissionQueueFullAndTimeout(t *testing.T) {
+	gov := membudget.New(100)
+	a := service.NewAdmission(gov, 1, 80*time.Millisecond)
+	hold, err := a.Acquire(context.Background(), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// First excess query occupies the single queue slot and times out.
+	done := make(chan error, 1)
+	go func() {
+		_, err := a.Acquire(context.Background(), 50)
+		done <- err
+	}()
+	// Wait until it is queued, then a second one must be shed at once.
+	deadline := time.Now().Add(2 * time.Second)
+	for a.Queued() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("first query never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if _, err := a.Acquire(context.Background(), 50); !errors.Is(err, service.ErrQueueFull) {
+		t.Fatalf("second queued query: error = %v, want ErrQueueFull", err)
+	}
+	if err := <-done; !errors.Is(err, service.ErrQueueTimeout) {
+		t.Fatalf("queued query: error = %v, want ErrQueueTimeout", err)
+	}
+	hold.Close()
+}
+
+func TestAdmissionWakeupOnClose(t *testing.T) {
+	gov := membudget.New(100)
+	a := service.NewAdmission(gov, 4, 10*time.Second)
+	hold, err := a.Acquire(context.Background(), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type result struct {
+		lease *service.Lease
+		err   error
+	}
+	done := make(chan result, 1)
+	go func() {
+		l, err := a.Acquire(context.Background(), 40)
+		done <- result{l, err}
+	}()
+	deadline := time.Now().Add(2 * time.Second)
+	for a.Queued() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("query never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	hold.Close() // signals the queue
+	select {
+	case r := <-done:
+		if r.err != nil {
+			t.Fatalf("queued query after release: %v", r.err)
+		}
+		r.lease.Close()
+	case <-time.After(5 * time.Second):
+		t.Fatal("queued query was never woken by the lease close")
+	}
+}
+
+func TestAdmissionCancelWhileQueued(t *testing.T) {
+	gov := membudget.New(100)
+	a := service.NewAdmission(gov, 4, 10*time.Second)
+	hold, err := a.Acquire(context.Background(), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hold.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := a.Acquire(ctx, 40)
+		done <- err
+	}()
+	deadline := time.Now().Add(2 * time.Second)
+	for a.Queued() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("query never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled queued query: error = %v", err)
+	}
+	if a.Queued() != 0 {
+		t.Fatal("canceled query still counted as queued")
+	}
+}
+
+// TestAdmissionConcurrent hammers the controller: many goroutines
+// acquire-and-release; the governor must end at zero with peak within
+// budget, and nobody deadlocks.
+func TestAdmissionConcurrent(t *testing.T) {
+	gov := membudget.New(1000)
+	a := service.NewAdmission(gov, 64, 10*time.Second)
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				lease, err := a.Acquire(context.Background(), 100)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				lease.Governor().Charge(100)
+				lease.Governor().Release(100)
+				lease.Close()
+			}
+		}()
+	}
+	wg.Wait()
+	if gov.Used() != 0 || gov.Reserved() != 0 {
+		t.Fatalf("governor not at baseline: used=%d reserved=%d", gov.Used(), gov.Reserved())
+	}
+	if gov.Peak() > 1000 {
+		t.Fatalf("peak %d exceeds budget", gov.Peak())
+	}
+}

@@ -1,0 +1,138 @@
+package service
+
+import (
+	"container/list"
+	"sync"
+)
+
+// Cache is the LRU result cache: completed response bodies keyed by
+// (graph fingerprint, enumcfg.Config.Key(), stream format) — see
+// cacheKey in handlers.go.  Hits replay the exact bytes of the original
+// stream, so a cached repeat is indistinguishable from a re-enumeration
+// (pinned by TestStreamParity).  Entries larger than a quarter of the
+// capacity are not cached at all: one giant stream must not evict the
+// whole working set.  The cache's bytes are bounded by its own capacity
+// and deliberately NOT charged to the memory governor — the cache is
+// how the server trades a fixed, configured slice of memory for O(1)
+// hot-graph queries, and letting it compete with admissions would turn
+// every cache fill into a potential query rejection.
+type Cache struct {
+	mu      sync.Mutex
+	cap     int64
+	used    int64
+	ll      *list.List // front = most recently used
+	entries map[string]*list.Element
+
+	hits, misses int64 // guarded by mu
+}
+
+type centry struct {
+	key         string
+	contentType string
+	body        []byte
+}
+
+// CacheStats is the /healthz view of the cache.
+type CacheStats struct {
+	Entries  int   `json:"entries"`
+	Bytes    int64 `json:"bytes"`
+	Capacity int64 `json:"capacity"`
+	Hits     int64 `json:"hits"`
+	Misses   int64 `json:"misses"`
+}
+
+// NewCache returns an LRU cache bounded by capBytes (0 disables: every
+// Get misses and Put discards).
+func NewCache(capBytes int64) *Cache {
+	return &Cache{cap: capBytes, ll: list.New(), entries: make(map[string]*list.Element)}
+}
+
+// EntryLimit returns the largest body Put will accept (a quarter of the
+// capacity); handlers stop teeing a stream into a prospective entry the
+// moment it crosses this, so oversized streams cost no buffer memory.
+func (c *Cache) EntryLimit() int64 {
+	if c.cap <= 0 {
+		return 0
+	}
+	return c.cap / 4
+}
+
+// Get returns the cached body and content type for key, marking it most
+// recently used.  The returned slice is shared and must be treated as
+// read-only.
+func (c *Cache) Get(key string) (body []byte, contentType string, ok bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, found := c.entries[key]
+	if !found {
+		c.misses++
+		return nil, "", false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	e := el.Value.(*centry)
+	return e.body, e.contentType, true
+}
+
+// Put stores a completed response body, evicting least-recently-used
+// entries until it fits.  Oversized bodies (more than a quarter of the
+// capacity) are discarded.  The cache takes ownership of body.
+func (c *Cache) Put(key, contentType string, body []byte) {
+	n := int64(len(body))
+	if c.cap <= 0 || n == 0 || n > c.cap/4 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, found := c.entries[key]; found {
+		// Replace in place (a re-run of an uncached config after an
+		// eviction race); sizes may differ.
+		old := el.Value.(*centry)
+		c.used += n - int64(len(old.body))
+		old.body, old.contentType = body, contentType
+		c.ll.MoveToFront(el)
+	} else {
+		c.entries[key] = c.ll.PushFront(&centry{key: key, contentType: contentType, body: body})
+		c.used += n
+	}
+	for c.used > c.cap {
+		back := c.ll.Back()
+		if back == nil {
+			break
+		}
+		e := back.Value.(*centry)
+		c.ll.Remove(back)
+		delete(c.entries, e.key)
+		c.used -= int64(len(e.body))
+	}
+}
+
+// Invalidate drops every entry whose key begins with prefix — eviction
+// of a graph invalidates all of its cached streams.
+func (c *Cache) Invalidate(prefix string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for el := c.ll.Front(); el != nil; {
+		next := el.Next()
+		e := el.Value.(*centry)
+		if len(e.key) >= len(prefix) && e.key[:len(prefix)] == prefix {
+			c.ll.Remove(el)
+			delete(c.entries, e.key)
+			c.used -= int64(len(e.body))
+		}
+		el = next
+	}
+}
+
+// Stats snapshots the cache counters.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Entries:  len(c.entries),
+		Bytes:    c.used,
+		Capacity: c.cap,
+		Hits:     c.hits,
+		Misses:   c.misses,
+	}
+}

@@ -1,0 +1,100 @@
+package service_test
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"repro/internal/service"
+)
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := service.NewCache(100)
+	for i := 0; i < 4; i++ {
+		c.Put(fmt.Sprintf("k%d", i), "t", bytes.Repeat([]byte{byte(i)}, 25))
+	}
+	// Touch k0 so k1 is the LRU victim when k4 arrives.
+	if _, _, ok := c.Get("k0"); !ok {
+		t.Fatal("k0 missing")
+	}
+	c.Put("k4", "t", bytes.Repeat([]byte{4}, 25))
+	if _, _, ok := c.Get("k1"); ok {
+		t.Fatal("k1 should have been evicted as LRU")
+	}
+	for _, k := range []string{"k0", "k2", "k3", "k4"} {
+		if _, _, ok := c.Get(k); !ok {
+			t.Fatalf("%s evicted unexpectedly", k)
+		}
+	}
+	st := c.Stats()
+	if st.Entries != 4 || st.Bytes != 100 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestCacheOversizedAndDisabled(t *testing.T) {
+	c := service.NewCache(100)
+	if c.EntryLimit() != 25 {
+		t.Fatalf("entry limit %d", c.EntryLimit())
+	}
+	c.Put("big", "t", make([]byte, 26)) // over a quarter of capacity
+	if _, _, ok := c.Get("big"); ok {
+		t.Fatal("oversized body was cached")
+	}
+	off := service.NewCache(0)
+	if off.EntryLimit() != 0 {
+		t.Fatal("disabled cache has a nonzero entry limit")
+	}
+	off.Put("k", "t", []byte("x"))
+	if _, _, ok := off.Get("k"); ok {
+		t.Fatal("disabled cache stored a body")
+	}
+}
+
+func TestCacheReplaceAndInvalidate(t *testing.T) {
+	c := service.NewCache(1000)
+	c.Put("fp1|a", "t", []byte("one"))
+	c.Put("fp1|b", "t", []byte("two"))
+	c.Put("fp2|a", "t", []byte("three"))
+	c.Put("fp1|a", "t", []byte("replaced"))
+	if body, _, _ := c.Get("fp1|a"); string(body) != "replaced" {
+		t.Fatalf("replace failed: %q", body)
+	}
+	c.Invalidate("fp1|")
+	if _, _, ok := c.Get("fp1|a"); ok {
+		t.Fatal("fp1|a survived invalidation")
+	}
+	if _, _, ok := c.Get("fp1|b"); ok {
+		t.Fatal("fp1|b survived invalidation")
+	}
+	if _, _, ok := c.Get("fp2|a"); !ok {
+		t.Fatal("fp2|a was invalidated by another graph's prefix")
+	}
+	if st := c.Stats(); st.Entries != 1 || st.Bytes != 5 {
+		t.Fatalf("stats after invalidate: %+v", st)
+	}
+}
+
+func TestRegistryBusyAndRefcounts(t *testing.T) {
+	upload := testGraphBytes(t, 13, 30, 0.2)
+	srv, ts := newServer(t, service.Config{})
+	fp := loadGraph(t, ts, upload)
+
+	e, err := srv.Registry().Acquire(fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Registry().Remove(fp); err == nil {
+		t.Fatal("Remove succeeded while a query holds the graph")
+	}
+	srv.Registry().Release(e)
+	if err := srv.Registry().Remove(fp); err != nil {
+		t.Fatalf("Remove after release: %v", err)
+	}
+	if srv.Registry().Len() != 0 {
+		t.Fatal("registry not empty after remove")
+	}
+	if used := srv.Governor().Used(); used != 0 {
+		t.Fatalf("remove left %d bytes pinned", used)
+	}
+}

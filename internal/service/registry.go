@@ -1,0 +1,177 @@
+package service
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro"
+	"repro/internal/membudget"
+)
+
+// Registry holds the loaded graphs, keyed by fingerprint.  Each entry
+// pins its adjacency bytes under a membudget.Reservation carved from
+// the shared server governor, so loaded graphs and running queries
+// compete for the same budget and /healthz's governor numbers are the
+// true resident total.  Queries take a reference on their graph for the
+// duration of the run; eviction refuses while references are out.
+type Registry struct {
+	gov    *membudget.Governor
+	mu     sync.Mutex
+	graphs map[string]*GraphEntry
+}
+
+// GraphEntry is one loaded graph.  Immutable after Add except the
+// reference count, which the Registry guards.
+type GraphEntry struct {
+	Fingerprint string
+	Name        string
+	G           repro.GraphInterface
+	LoadedAt    time.Time
+
+	gov   *membudget.Governor // the pin reservation's child governor
+	res   *membudget.Reservation
+	bytes int64
+	refs  int // guarded by Registry.mu
+}
+
+// close releases the graph's pinned adjacency bytes and returns its
+// reservation to the server governor.
+func (e *GraphEntry) close() {
+	e.gov.Release(e.bytes)
+	e.res.Close()
+}
+
+// GraphInfo is the JSON view of a loaded graph.
+type GraphInfo struct {
+	Fingerprint    string  `json:"fingerprint"`
+	Name           string  `json:"name,omitempty"`
+	N              int     `json:"n"`
+	M              int     `json:"m"`
+	Density        float64 `json:"density"`
+	Representation string  `json:"representation"`
+	AdjacencyBytes int64   `json:"adjacency_bytes"`
+	LoadedAt       string  `json:"loaded_at"`
+	ActiveQueries  int     `json:"active_queries"`
+}
+
+// NewRegistry returns an empty registry pinning against gov.
+func NewRegistry(gov *membudget.Governor) *Registry {
+	return &Registry{gov: gov, graphs: make(map[string]*GraphEntry)}
+}
+
+// Add registers g under its fingerprint, pinning its adjacency bytes
+// against the server budget.  Loading the same graph twice is
+// idempotent: the existing entry is returned with loaded=false and no
+// additional memory is pinned.  Admission failure (the graph does not
+// fit the remaining budget) is returned as membudget.ErrNoHeadroom.
+func (r *Registry) Add(name string, g repro.GraphInterface) (e *GraphEntry, loaded bool, err error) {
+	fp := repro.Fingerprint(g)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e, ok := r.graphs[fp]; ok {
+		return e, false, nil
+	}
+	res, err := r.gov.Reserve(g.Bytes())
+	if err != nil {
+		return nil, false, fmt.Errorf("graph %s (%d adjacency bytes): %w", fp, g.Bytes(), err)
+	}
+	e = &GraphEntry{
+		Fingerprint: fp,
+		Name:        name,
+		G:           g,
+		LoadedAt:    time.Now(),
+		gov:         res.Governor(),
+		res:         res,
+		bytes:       g.Bytes(),
+	}
+	// The graph is resident from this moment: charge its bytes so the
+	// shared governor's Used is the truth, not just its Reserved.
+	// GraphEntry.close releases the pair.
+	e.gov.Charge(e.bytes)
+	r.graphs[fp] = e
+	return e, true, nil
+}
+
+// Acquire returns the entry for fp with a reference taken; callers must
+// Release it when their query ends.
+func (r *Registry) Acquire(fp string) (*GraphEntry, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.graphs[fp]
+	if !ok {
+		return nil, fmt.Errorf("no graph with fingerprint %s", fp)
+	}
+	e.refs++
+	return e, nil
+}
+
+// Release returns a reference taken by Acquire.
+func (r *Registry) Release(e *GraphEntry) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e.refs--
+}
+
+// Remove evicts the graph, releasing its pinned bytes.  It refuses
+// (ErrGraphBusy) while queries hold references.
+func (r *Registry) Remove(fp string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.graphs[fp]
+	if !ok {
+		return fmt.Errorf("no graph with fingerprint %s", fp)
+	}
+	if e.refs > 0 {
+		return fmt.Errorf("%w: %d active queries", ErrGraphBusy, e.refs)
+	}
+	delete(r.graphs, fp)
+	e.close()
+	return nil
+}
+
+// Len returns the number of loaded graphs.
+func (r *Registry) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.graphs)
+}
+
+// List returns the loaded graphs' info, fingerprint-sorted.
+func (r *Registry) List() []GraphInfo {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]GraphInfo, 0, len(r.graphs))
+	for _, e := range r.graphs {
+		out = append(out, e.info())
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Fingerprint < out[j].Fingerprint })
+	return out
+}
+
+// Info returns one graph's info.
+func (r *Registry) Info(fp string) (GraphInfo, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.graphs[fp]
+	if !ok {
+		return GraphInfo{}, false
+	}
+	return e.info(), true
+}
+
+// info builds the JSON view; callers hold Registry.mu.
+func (e *GraphEntry) info() GraphInfo {
+	return GraphInfo{
+		Fingerprint:    e.Fingerprint,
+		Name:           e.Name,
+		N:              e.G.N(),
+		M:              e.G.M(),
+		Density:        repro.Density(e.G),
+		Representation: e.G.Representation().String(),
+		AdjacencyBytes: e.bytes,
+		LoadedAt:       e.LoadedAt.UTC().Format(time.RFC3339),
+		ActiveQueries:  e.refs,
+	}
+}

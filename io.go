@@ -1,6 +1,9 @@
 package repro
 
 import (
+	"bufio"
+	"bytes"
+	"fmt"
 	"io"
 
 	"repro/internal/graph"
@@ -47,3 +50,101 @@ func WriteDIMACS(w io.Writer, g GraphInterface) error { return graph.WriteDIMACS
 // PlantClique adds every edge of the clique on the given vertices to g —
 // the building block of synthetic module graphs.
 func PlantClique(g *Graph, vertices []int) { graph.PlantClique(g, vertices) }
+
+// Fingerprint returns the FNV-1a hash of g's identity (vertex count,
+// edge count, canonical edge stream), independent of representation.
+// It is the one graph identity the toolchain agrees on: the out-of-core
+// checkpoint manifest stores it (WithResume refuses a different graph),
+// the query service's registry keys loaded graphs by it, and the
+// service's result cache scopes cached streams to it.
+func Fingerprint(g GraphInterface) string { return graph.Fingerprint(g) }
+
+// GraphFormat names a graph interchange format for ReadGraph.
+type GraphFormat int
+
+const (
+	// FormatAuto sniffs the format from the first significant line:
+	// DIMACS records start with 'c', 'p' or 'e'; everything else is
+	// read as an edge list.
+	FormatAuto GraphFormat = iota
+	// FormatEdgeList is the plain "n m" + "u v" format.
+	FormatEdgeList
+	// FormatDIMACS is the 1-based DIMACS clique format.
+	FormatDIMACS
+)
+
+// String names the format the way ParseGraphFormat spells it.
+func (f GraphFormat) String() string {
+	switch f {
+	case FormatAuto:
+		return "auto"
+	case FormatEdgeList:
+		return "edgelist"
+	case FormatDIMACS:
+		return "dimacs"
+	}
+	return fmt.Sprintf("format(%d)", int(f))
+}
+
+// ParseGraphFormat parses "auto", "edgelist" (alias "el") or "dimacs" —
+// the names the cliqued format parameter and cliquer flags speak.
+func ParseGraphFormat(s string) (GraphFormat, error) {
+	switch s {
+	case "", "auto":
+		return FormatAuto, nil
+	case "edgelist", "el":
+		return FormatEdgeList, nil
+	case "dimacs":
+		return FormatDIMACS, nil
+	}
+	return 0, fmt.Errorf("repro: unknown graph format %q (want auto, edgelist or dimacs)", s)
+}
+
+// ReadGraph parses a graph from r in the given format into the requested
+// representation, streaming — no temporary files, so a server can ingest
+// an uploaded graph body directly.  FormatAuto decides by peeking at the
+// first significant line, which never consumes more of r than the
+// parsers themselves.  Malformed input is an error, never a panic, for
+// every format and representation.
+func ReadGraph(r io.Reader, format GraphFormat, rep Representation) (GraphInterface, error) {
+	switch format {
+	case FormatEdgeList:
+		return graph.ReadEdgeListRep(r, rep)
+	case FormatDIMACS:
+		return graph.ReadDIMACSRep(r, rep)
+	case FormatAuto:
+		// Wrap once; the peeked bytes stay in the bufio.Reader, so the
+		// chosen parser sees the stream from its beginning.
+		br := bufio.NewReaderSize(r, 1<<16)
+		if sniffDIMACS(br) {
+			return graph.ReadDIMACSRep(br, rep)
+		}
+		return graph.ReadEdgeListRep(br, rep)
+	}
+	return nil, fmt.Errorf("repro: unknown graph format %v", format)
+}
+
+// sniffDIMACS reports whether the buffered stream looks like DIMACS: the
+// first non-blank line starts with a DIMACS record letter ('c' comment,
+// 'p' problem, 'e' edge) followed by a space or end of line.  Edge lists
+// start with a digit or a '#' comment, so one significant line decides.
+func sniffDIMACS(br *bufio.Reader) bool {
+	peek, _ := br.Peek(1 << 16)
+	for len(peek) > 0 {
+		line := peek
+		if i := bytes.IndexByte(peek, '\n'); i >= 0 {
+			line, peek = peek[:i], peek[i+1:]
+		} else {
+			peek = nil
+		}
+		line = bytes.TrimSpace(line)
+		if len(line) == 0 {
+			continue
+		}
+		if line[0] == 'c' || line[0] == 'p' || line[0] == 'e' {
+			return len(line) == 1 || line[1] == ' ' || line[1] == '\t'
+		}
+		return false
+	}
+	return false
+}
