@@ -51,6 +51,7 @@ func main() {
 	headroom := flag.Int64("query-headroom", 64<<20, "default per-query working-memory reservation above the graph's adjacency bytes")
 	cacheBytes := flag.Int64("cache-bytes", 64<<20, "result cache capacity in bytes (0 disables caching)")
 	maxBody := flag.Int64("max-body", 1<<30, "largest accepted graph upload in bytes")
+	maxWorkers := flag.Int("max-workers", 0, "cap on the workers= query parameter; larger requests are clamped (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	if err := run(*addr, service.Config{
@@ -60,6 +61,7 @@ func main() {
 		QueryHeadroom: *headroom,
 		CacheBytes:    cacheOrDisabled(*cacheBytes),
 		MaxBodyBytes:  *maxBody,
+		MaxWorkers:    *maxWorkers,
 	}, flag.Args()); err != nil {
 		fmt.Fprintln(os.Stderr, "cliqued:", err)
 		os.Exit(1)

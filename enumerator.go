@@ -127,12 +127,13 @@ type LevelStats struct {
 // any number of runs; runs sharing one Enumerator must not execute
 // concurrently when a Stats sink or OnLevel observer is registered.
 type Enumerator struct {
-	cfg     enumcfg.Config // template; each run copies it and adds its ctx
-	rep     Representation // requested graph representation
-	repSet  bool           // WithGraphRepresentation was given
-	gov     *membudget.Governor
-	stats   *Stats
-	onLevel func(LevelStats)
+	cfg          enumcfg.Config // template; each run copies it and adds its ctx
+	rep          Representation // requested graph representation
+	repSet       bool           // WithGraphRepresentation was given
+	gov          *membudget.Governor
+	graphCharged bool // WithGraphCharged: entry charge is the caller's
+	stats        *Stats
+	onLevel      func(LevelStats)
 }
 
 // Option configures an Enumerator.
@@ -301,6 +302,23 @@ func WithGovernor(gov *membudget.Governor) Option {
 	return func(e *Enumerator) { e.gov = gov }
 }
 
+// WithGraphCharged declares that the input graph's adjacency bytes are
+// already resident under the run's governor budget tree — charged by
+// the caller before the run (cliqued's registry pins every loaded
+// graph this way) — so the facade skips its own entry charge instead
+// of counting the same bytes twice.  With a shared parent governor
+// (WithGovernor over a membudget.Reservation child) this is what keeps
+// the parent's Used the true resident total: one charge per loaded
+// graph, not one more per active query.  A conversion requested with
+// WithGraphRepresentation is still charged — the converted copy is new
+// residency the caller's pin does not cover.  Stats.PeakBytes then
+// reports the run's working set without the pinned graph.  Without
+// this option (the default) the facade charges the graph itself, which
+// is correct whenever the governor is per-run.
+func WithGraphCharged() Option {
+	return func(e *Enumerator) { e.graphCharged = true }
+}
+
 // WithLowMemory switches to the paper's low-memory alternative: prefix
 // common-neighbor bitmaps are recomputed with k-2 extra ANDs instead of
 // stored.
@@ -359,6 +377,7 @@ func (e *Enumerator) Run(ctx context.Context, g GraphInterface, r Reporter) (int
 	if err != nil {
 		return 0, err
 	}
+	gin := g
 	if g, err = e.prepareGraph(g); err != nil {
 		return 0, err
 	}
@@ -366,12 +385,17 @@ func (e *Enumerator) Run(ctx context.Context, g GraphInterface, r Reporter) (int
 	// the graph representation itself — the footprint the enumeration
 	// cannot run below.  A caller-supplied governor (WithGovernor)
 	// replaces the per-run one so a shared budget sees the charges.
+	// WithGraphCharged skips the entry charge for a graph the caller
+	// already holds resident — unless prepareGraph converted it, in
+	// which case the copy is new residency regardless.
 	gov := e.gov
 	if gov == nil {
 		gov = membudget.New(cfg.MemoryBudget)
 	}
-	gov.Charge(g.Bytes())
-	defer gov.Release(g.Bytes())
+	if !e.graphCharged || g != gin {
+		gov.Charge(g.Bytes())
+		defer gov.Release(g.Bytes())
+	}
 	st := e.statsSink(cfg)
 	start := time.Now()
 	defer func() {
@@ -447,6 +471,7 @@ func (e *Enumerator) Paracliques(ctx context.Context, g GraphInterface, glom flo
 	if err != nil {
 		return nil, err
 	}
+	gin := g
 	if g, err = e.prepareGraph(g); err != nil {
 		return nil, err
 	}
@@ -461,8 +486,10 @@ func (e *Enumerator) Paracliques(ctx context.Context, g GraphInterface, glom flo
 	if gov == nil {
 		gov = membudget.New(0)
 	}
-	gov.Charge(g.Bytes())
-	defer gov.Release(g.Bytes())
+	if !e.graphCharged || g != gin {
+		gov.Charge(g.Bytes())
+		defer gov.Release(g.Bytes())
+	}
 	st := e.statsSink(cfg)
 	if st != nil {
 		st.Backend = "paraclique"

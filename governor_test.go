@@ -101,6 +101,68 @@ func TestWithGovernorExclusivity(t *testing.T) {
 	}
 }
 
+// TestWithGraphCharged pins the single-counting law behind the query
+// service's registry pins: a run told its graph is already resident
+// must not re-charge the adjacency bytes (its peak drops by exactly
+// g.Bytes()), a shared parent therefore sees each pinned graph once —
+// never once more per active run — and a requested representation
+// conversion is still charged, because the copy is residency the pin
+// does not cover.
+func TestWithGraphCharged(t *testing.T) {
+	g := testGraph(17, 60, 0.15)
+
+	peak := func(opts ...repro.Option) int64 {
+		gov := membudget.New(0)
+		opts = append(opts, repro.WithGovernor(gov))
+		if _, err := repro.NewEnumerator(opts...).Run(
+			context.Background(), g, repro.ReporterFunc(func(repro.Clique) {})); err != nil {
+			t.Fatal(err)
+		}
+		return gov.Peak()
+	}
+	base := peak()
+	pinned := peak(repro.WithGraphCharged())
+	if base-pinned != g.Bytes() {
+		t.Fatalf("entry charge not skipped: base peak %d, pinned peak %d, graph %d bytes",
+			base, pinned, g.Bytes())
+	}
+
+	// A conversion is new residency either way: with the input graph
+	// pinned or not, the converted copy is what gets charged, so the two
+	// runs meter identically.
+	conv := peak(repro.WithGraphRepresentation(repro.CSR))
+	convPinned := peak(repro.WithGraphCharged(), repro.WithGraphRepresentation(repro.CSR))
+	if conv != convPinned {
+		t.Fatalf("converted-copy charge diverges: %d without pin, %d with", conv, convPinned)
+	}
+
+	// The service shape end to end: pin on the parent, reserve, run the
+	// child with WithGraphCharged.  The parent's peak must be the pin
+	// plus the run's working set — not the pin plus the graph again.
+	parent := membudget.New(0)
+	parent.Charge(g.Bytes()) // the registry pin
+	res, err := parent.Reserve(g.Bytes() + 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	child := res.Governor()
+	if _, err := repro.NewEnumerator(repro.WithGovernor(child), repro.WithGraphCharged()).Run(
+		context.Background(), g, repro.ReporterFunc(func(repro.Clique) {})); err != nil {
+		t.Fatal(err)
+	}
+	if residual := res.Close(); residual != 0 {
+		t.Fatalf("run left %d residual bytes", residual)
+	}
+	if parent.Used() != g.Bytes() {
+		t.Fatalf("parent used %d after run, want the pin alone (%d)", parent.Used(), g.Bytes())
+	}
+	if parent.Peak() != g.Bytes()+child.Peak() {
+		t.Fatalf("parent peak %d = pin %d + child peak %d does not hold: graph bytes double-counted",
+			parent.Peak(), g.Bytes(), child.Peak())
+	}
+	parent.Release(g.Bytes())
+}
+
 // TestWithGovernorEnforces: a run under an external governor whose
 // budget cannot hold even the graph must abort with ErrMemoryBudget,
 // and close back to zero.

@@ -9,6 +9,8 @@
 package maxclique
 
 import (
+	"context"
+
 	"repro/internal/bitset"
 	"repro/internal/graph"
 )
@@ -18,6 +20,12 @@ type Stats struct {
 	Nodes  int64 // branch-and-bound nodes expanded
 	Cutoff int64 // nodes pruned by the coloring bound
 }
+
+// ctxCheckMask throttles cancellation polls to one per 1024 nodes
+// expanded: a branch-and-bound node is microseconds of row algebra, so
+// the poll granularity bounds post-cancellation work to ~milliseconds
+// while keeping the check off the hot path.
+const ctxCheckMask = 1<<10 - 1
 
 // Find returns a maximum clique of g in canonical vertex order.  Any
 // representation is accepted; non-dense graphs are densified at entry —
@@ -29,27 +37,52 @@ func Find(g graph.Interface) []int {
 
 // FindStats is Find with search statistics.
 func FindStats(gi graph.Interface) ([]int, Stats) {
+	c, st, _ := FindStatsContext(context.Background(), gi)
+	return c, st
+}
+
+// FindContext is Find with cancellation: the worst-case-exponential
+// search polls ctx between node expansions and unwinds when it is
+// done, returning ctx's error — the hook that lets a serving layer
+// abandon a search when its client disconnects instead of burning CPU
+// to completion.
+func FindContext(ctx context.Context, g graph.Interface) ([]int, error) {
+	c, _, err := FindStatsContext(ctx, g)
+	return c, err
+}
+
+// FindStatsContext is FindContext with search statistics (which count
+// the nodes actually expanded before the abort, if any).
+func FindStatsContext(ctx context.Context, gi graph.Interface) ([]int, Stats, error) {
 	g := graph.Densify(gi)
 	n := g.N()
-	s := &searcher{g: g, pool: bitset.NewPool(n)}
+	s := &searcher{g: g, pool: bitset.NewPool(n), ctx: ctx}
+	if err := ctx.Err(); err != nil {
+		return nil, s.stats, err
+	}
 	// Greedy seed: a good initial bound prunes most of the tree.
 	s.best = g.GreedyCliqueLowerBound()
 
 	cand := bitset.New(n)
 	cand.SetAll()
 	s.expand(cand, nil)
+	if s.stopped {
+		return nil, s.stats, ctx.Err()
+	}
 	sortInts(s.best)
-	return s.best, s.stats
+	return s.best, s.stats, nil
 }
 
 // Size returns ω(g).
 func Size(g graph.Interface) int { return len(Find(g)) }
 
 type searcher struct {
-	g     *graph.Graph
-	pool  *bitset.Pool
-	best  []int
-	stats Stats
+	g       *graph.Graph
+	ctx     context.Context
+	pool    *bitset.Pool
+	best    []int
+	stats   Stats
+	stopped bool // ctx canceled mid-search; unwind without branching
 }
 
 // expand grows the current clique over the candidate set, bounding with a
@@ -59,6 +92,12 @@ type searcher struct {
 // tighten the bound fastest (Tomita's MCQ ordering).
 func (s *searcher) expand(cand *bitset.Bitset, current []int) {
 	s.stats.Nodes++
+	if s.stats.Nodes&ctxCheckMask == 0 && s.ctx.Err() != nil {
+		s.stopped = true
+	}
+	if s.stopped {
+		return
+	}
 	if cand.None() {
 		if len(current) > len(s.best) {
 			s.best = append([]int(nil), current...)
@@ -76,6 +115,9 @@ func (s *searcher) expand(cand *bitset.Bitset, current []int) {
 		next.And(cand, s.g.Neighbors(v))
 		s.expand(next, append(current, v))
 		s.pool.Put(next)
+		if s.stopped {
+			return
+		}
 		cand.Clear(v)
 	}
 }

@@ -1,9 +1,12 @@
 package maxclique
 
 import (
+	"context"
+	"errors"
 	"math/rand"
 	"testing"
 	"testing/quick"
+	"time"
 
 	"repro/internal/clique"
 	"repro/internal/graph"
@@ -75,6 +78,49 @@ func TestPlantedCliqueRecovered(t *testing.T) {
 	}
 	if st.Nodes == 0 {
 		t.Error("no nodes recorded")
+	}
+}
+
+// TestFindContext covers the cancellable entry point: a live context
+// returns exactly what Find returns, a pre-canceled one is refused at
+// entry, and a cancellation mid-search unwinds the branch-and-bound
+// promptly instead of running the worst-case-exponential tree to
+// completion (the /maxclique disconnect path).
+func TestFindContext(t *testing.T) {
+	rng := rand.New(rand.NewSource(96))
+	small := graph.RandomGNP(rng, 20, 0.5)
+	got, err := FindContext(context.Background(), small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := Find(small); len(got) != len(want) {
+		t.Fatalf("FindContext ω=%d, Find ω=%d", len(got), len(want))
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := FindContext(ctx, small); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-canceled search: err = %v, want context.Canceled", err)
+	}
+
+	// A dense instance far too hard to finish in the allotted window:
+	// only the in-search cancellation poll can bring the call back.
+	hard := graph.RandomGNP(rng, 250, 0.85)
+	hctx, hcancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := FindContext(hctx, hard)
+		done <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	hcancel()
+	select {
+	case err := <-done:
+		if err != nil && !errors.Is(err, context.Canceled) {
+			t.Fatalf("canceled search: err = %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("search ignored cancellation")
 	}
 }
 

@@ -96,19 +96,24 @@ func (a *Admission) Acquire(ctx context.Context, n int64) (*Lease, error) {
 	timer := time.NewTimer(a.wait)
 	defer timer.Stop()
 	for {
-		select {
-		case <-ctx.Done():
-			return nil, ctx.Err()
-		case <-timer.C:
-			return nil, ErrQueueTimeout
-		case <-gen:
-		}
+		// Reserve only with gen already captured: a Signal landing after
+		// the capture closes this gen, so a release racing the failed
+		// attempt still wakes the select below instead of being lost
+		// (the waiter would otherwise sleep the full QueueWait beside
+		// free headroom).
 		res, err := a.gov.Reserve(n)
 		if err == nil {
 			return &Lease{res: res, a: a}, nil
 		}
 		if !errors.Is(err, membudget.ErrNoHeadroom) {
 			return nil, err
+		}
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-timer.C:
+			return nil, ErrQueueTimeout
+		case <-gen:
 		}
 		a.mu.Lock()
 		gen = a.gen

@@ -137,6 +137,42 @@ func TestAdmissionCancelWhileQueued(t *testing.T) {
 	}
 }
 
+// TestAdmissionSignalRacesReserve pins the lost-wakeup fix: a lease
+// that closes in the window between a waiter's failed Reserve and its
+// select must still wake the waiter.  The hold is closed without
+// waiting for the waiter to be queued, so the Signal often lands
+// exactly in that window; because the waiter captures the generation
+// channel *before* each Reserve attempt, the close is never missed and
+// every iteration must admit long before the (deliberately long) queue
+// timeout.
+func TestAdmissionSignalRacesReserve(t *testing.T) {
+	gov := membudget.New(100)
+	a := service.NewAdmission(gov, 4, 30*time.Second)
+	for i := 0; i < 200; i++ {
+		hold, err := a.Acquire(context.Background(), 100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		done := make(chan error, 1)
+		go func() {
+			l, err := a.Acquire(context.Background(), 100)
+			if err == nil {
+				l.Close()
+			}
+			done <- err
+		}()
+		hold.Close()
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatalf("iteration %d: %v", i, err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("iteration %d: waiter missed the close signal", i)
+		}
+	}
+}
+
 // TestAdmissionConcurrent hammers the controller: many goroutines
 // acquire-and-release; the governor must end at zero with peak within
 // budget, and nobody deadlocks.

@@ -126,8 +126,12 @@ type cliqueQuery struct {
 }
 
 // parseCliqueQuery decodes and validates the query parameters all
-// enumeration endpoints share.
-func parseCliqueQuery(r *http.Request) (q cliqueQuery, err error) {
+// enumeration endpoints share.  maxWorkers caps workers=: the parallel
+// pool allocates per-worker scratch before the governor sees a byte, so
+// an unbounded count would be an ungoverned allocation a single request
+// controls.  Requests above the cap are clamped — more workers than
+// the server allows cannot stream different bytes, only waste memory.
+func parseCliqueQuery(r *http.Request, maxWorkers int) (q cliqueQuery, err error) {
 	v := r.URL.Query()
 	if q.lo, err = intParam(v.Get("lo"), 3); err != nil {
 		return q, fmt.Errorf("lo: %v", err)
@@ -137,6 +141,12 @@ func parseCliqueQuery(r *http.Request) (q cliqueQuery, err error) {
 	}
 	if q.workers, err = intParam(v.Get("workers"), 1); err != nil {
 		return q, fmt.Errorf("workers: %v", err)
+	}
+	if q.workers < 0 {
+		return q, fmt.Errorf("workers: want a non-negative count, got %d", q.workers)
+	}
+	if q.workers > maxWorkers {
+		q.workers = maxWorkers
 	}
 	switch v.Get("strategy") {
 	case "", "contiguous":
@@ -209,9 +219,12 @@ func (q cliqueQuery) cacheKey(fp string) string {
 }
 
 // reservation sizes the query's admission reservation: the caller's
-// mem= if given, else the graph's adjacency bytes (which the facade
-// charges at entry — the floor below which no run can execute) plus the
-// configured working headroom.
+// mem= if given, else the graph's adjacency bytes plus the configured
+// working headroom.  The registry pin already holds the adjacency
+// bytes resident (the run itself does not re-charge them —
+// repro.WithGraphCharged), so the graph-sized share of the reservation
+// is pure working headroom: enough to cover a requested representation
+// conversion, which is the one per-query copy of graph-scale data.
 func (q cliqueQuery) reservation(graphBytes, headroom int64) int64 {
 	n := q.mem
 	if n == 0 {
@@ -225,7 +238,7 @@ func (q cliqueQuery) reservation(graphBytes, headroom int64) int64 {
 
 func (s *Server) handleCliques(w http.ResponseWriter, r *http.Request) {
 	fp := r.PathValue("fp")
-	q, err := parseCliqueQuery(r)
+	q, err := parseCliqueQuery(r, s.cfg.MaxWorkers)
 	if err != nil {
 		errorJSON(w, http.StatusBadRequest, "%v", err)
 		return
@@ -268,8 +281,12 @@ func (s *Server) handleCliques(w http.ResponseWriter, r *http.Request) {
 	}()
 
 	var st repro.Stats
+	// WithGraphCharged: the registry pin already charged the adjacency
+	// bytes to the shared governor; charging them again from this run's
+	// child would inflate the parent's Used by graphBytes per active
+	// query.
 	opts := append(q.options(),
-		repro.WithGovernor(lease.Governor()), repro.WithStats(&st))
+		repro.WithGovernor(lease.Governor()), repro.WithGraphCharged(), repro.WithStats(&st))
 	enum := repro.NewEnumerator(opts...)
 
 	w.Header().Set("Content-Type", contentType)
@@ -431,7 +448,14 @@ func (s *Server) handleMaxClique(w http.ResponseWriter, r *http.Request) {
 	}()
 
 	start := time.Now()
-	cliqueVerts := repro.MaxClique(e.G)
+	cliqueVerts, err := repro.MaxCliqueContext(r.Context(), e.G)
+	if err != nil {
+		// Client hung up mid-search: the branch-and-bound observed the
+		// context and exited, so the lease and graph reference the
+		// deferred cleanups release really are free now.  No response
+		// channel is left to report on.
+		return
+	}
 	body, err := json.Marshal(map[string]any{
 		"size":       len(cliqueVerts),
 		"vertices":   cliqueVerts,
@@ -452,7 +476,7 @@ func (s *Server) handleMaxClique(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleParacliques(w http.ResponseWriter, r *http.Request) {
 	fp := r.PathValue("fp")
-	q, err := parseCliqueQuery(r)
+	q, err := parseCliqueQuery(r, s.cfg.MaxWorkers)
 	if err != nil {
 		errorJSON(w, http.StatusBadRequest, "%v", err)
 		return
@@ -495,7 +519,8 @@ func (s *Server) handleParacliques(w http.ResponseWriter, r *http.Request) {
 	}()
 
 	enum := repro.NewEnumerator(
-		repro.WithBounds(q.lo, 0), repro.WithGovernor(lease.Governor()))
+		repro.WithBounds(q.lo, 0), repro.WithGovernor(lease.Governor()),
+		repro.WithGraphCharged())
 	ps, err := enum.Paracliques(r.Context(), e.G, glom)
 	if err != nil {
 		errorJSON(w, http.StatusInternalServerError, "%v", err)

@@ -88,7 +88,10 @@ func (r *Registry) Add(name string, g repro.GraphInterface) (e *GraphEntry, load
 	}
 	// The graph is resident from this moment: charge its bytes so the
 	// shared governor's Used is the truth, not just its Reserved.
-	// GraphEntry.close releases the pair.
+	// GraphEntry.close releases the pair.  This pin is the *only* charge
+	// the adjacency bytes ever get — queries on the graph run under
+	// repro.WithGraphCharged, so Used counts each loaded graph once,
+	// not once more per active query.
 	e.gov.Charge(e.bytes)
 	r.graphs[fp] = e
 	return e, true, nil

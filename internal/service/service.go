@@ -30,6 +30,7 @@ package service
 
 import (
 	"net/http"
+	"runtime"
 	"sync/atomic"
 	"time"
 
@@ -60,6 +61,14 @@ type Config struct {
 	CacheBytes int64
 	// MaxBodyBytes caps uploaded graph bodies.  Default 1 GiB.
 	MaxBodyBytes int64
+	// MaxWorkers caps the workers= query parameter; larger requests are
+	// clamped to it (negative ones are rejected with 400).  The parallel
+	// pool sizes per-worker scratch and result slices from this number
+	// before any of it is charged to the governor, so leaving it
+	// unbounded would let a single request allocate memory the admission
+	// budget never sees.  Default runtime.GOMAXPROCS(0) — more workers
+	// than cores cannot go faster anyway.
+	MaxWorkers int
 	// RetryAfter is the Retry-After hint returned with 503s.
 	// Default 2s.
 	RetryAfter time.Duration
@@ -83,6 +92,9 @@ func (c Config) defaults() Config {
 	}
 	if c.MaxBodyBytes == 0 {
 		c.MaxBodyBytes = 1 << 30
+	}
+	if c.MaxWorkers <= 0 {
+		c.MaxWorkers = runtime.GOMAXPROCS(0)
 	}
 	if c.RetryAfter == 0 {
 		c.RetryAfter = 2 * time.Second

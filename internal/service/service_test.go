@@ -496,6 +496,7 @@ func TestBadRequests(t *testing.T) {
 		{"/graphs/" + fp + "/cliques?format=xml", http.StatusBadRequest},
 		{"/graphs/" + fp + "/cliques?mode=turbo", http.StatusBadRequest},
 		{"/graphs/" + fp + "/cliques?mem=-3", http.StatusBadRequest},
+		{"/graphs/" + fp + "/cliques?workers=-2", http.StatusBadRequest},
 		{"/graphs/" + fp + "/paracliques?glom=1.5", http.StatusBadRequest},
 	} {
 		status, _, body := get(t, ts.URL+c.url)
@@ -512,6 +513,26 @@ func TestBadRequests(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusBadRequest {
 		t.Fatalf("garbage upload: status %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestWorkersClamped pins the ungoverned-allocation fix: the parallel
+// pool sizes per-worker scratch straight from workers= before the
+// governor sees a byte, so an absurd count must be clamped to the
+// configured maximum, not sized into allocations.  The request still
+// succeeds — with the clamped pool — and streams the same bytes as a
+// sequential run.
+func TestWorkersClamped(t *testing.T) {
+	upload := testGraphBytes(t, 11, 40, 0.2)
+	want := expectedText(t, upload, 3, 0)
+	_, ts := newServer(t, service.Config{CacheBytes: -1, MaxWorkers: 2})
+	fp := loadGraph(t, ts, upload)
+	status, _, body := get(t, ts.URL+"/graphs/"+fp+"/cliques?format=text&lo=3&workers=2000000000")
+	if status != http.StatusOK {
+		t.Fatalf("huge workers=: status %d body %s", status, body)
+	}
+	if string(body) != want {
+		t.Fatal("clamped parallel stream diverges from cliquer output")
 	}
 }
 

@@ -112,6 +112,16 @@ func NewGraph(n int) *Graph { return graph.New(n) }
 // graphs are densified for the search.
 func MaxClique(g GraphInterface) []int { return maxclique.Find(g) }
 
+// MaxCliqueContext is MaxClique with cancellation: the search polls ctx
+// between branch-and-bound node expansions and returns ctx's error when
+// it is canceled.  The search is worst-case exponential, so any caller
+// serving it to a client that can go away (cliqued's /maxclique) should
+// use this form — cancellation is what turns a disconnect into freed
+// CPU instead of a search that runs to completion unobserved.
+func MaxCliqueContext(ctx context.Context, g GraphInterface) ([]int, error) {
+	return maxclique.FindContext(ctx, g)
+}
+
 // MaxCliqueSize returns ω(g) — the upper bound the paper feeds to
 // WithBounds.
 func MaxCliqueSize(g GraphInterface) int { return maxclique.Size(g) }
