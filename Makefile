@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build fmt fmt-fix vet lint test race race-repr bench bench-json bench-ooc-json bench-hybrid-json smoke-resume smoke-spillover smoke-cliqued examples ci
+.PHONY: all build fmt fmt-fix vet lint test race race-repr bench bench-json bench-ooc-json bench-hybrid-json dist-parity smoke-resume smoke-spillover smoke-cliqued smoke-dist examples ci
 
 all: build
 
@@ -35,9 +35,11 @@ test:
 # cross-representation parity tests (pooled scratch bitsets inside the
 # CSR/WAH row readers are shared across worker goroutines).  The ooc
 # package joins level shards on a worker pool with an in-order release
-# sequencer, so it races level state across goroutines too.
+# sequencer, so it races level state across goroutines too.  The dist
+# package races the lease table, the sequencer release path, and the
+# coordinator's dispatcher/pump goroutines.
 race:
-	$(GO) test -race ./internal/parallel ./internal/sched ./internal/core ./internal/kclique ./internal/bitset ./internal/ooc ./internal/hybrid ./internal/membudget ./internal/service
+	$(GO) test -race ./internal/parallel ./internal/sched ./internal/core ./internal/kclique ./internal/bitset ./internal/ooc ./internal/hybrid ./internal/membudget ./internal/service ./internal/dist
 	$(GO) test -race -run 'Governor' .
 
 race-repr:
@@ -83,6 +85,20 @@ smoke-resume:
 smoke-spillover:
 	sh scripts/smoke_spillover.sh
 
+# Distributed stream-parity acceptance matrix: coordinator + N exec/pipe
+# workers for N in {1,2,4}, raw and compressed shards, must emit the
+# sequential backend's stream byte-for-byte — plus the kill-recovery
+# test (injected worker death mid-level, shard re-leased).
+dist-parity:
+	$(GO) test -run 'TestDistStreamParityMatrix|TestDistKillWorkerRecovery' -count=1 -v ./internal/dist
+
+# Distributed-enumeration smoke test: coordinator with 3 exec workers on
+# the Table-1 graph, SIGKILL one worker mid-level from outside, require
+# the stream byte-identical to the sequential reference and the run
+# report to show the re-leased shard.
+smoke-dist:
+	sh scripts/smoke_dist.sh
+
 # Query-service smoke test: boot cliqued, load a graph over HTTP, pin
 # stream/cliquer byte parity and the cached repeat, kill a client
 # mid-stream, and require the governor back at baseline.
@@ -97,4 +113,4 @@ examples:
 
 check: fmt vet lint test
 
-ci: fmt vet lint build test race race-repr bench examples smoke-resume smoke-spillover smoke-cliqued
+ci: fmt vet lint build test race race-repr bench examples smoke-resume smoke-spillover smoke-cliqued smoke-dist dist-parity

@@ -40,10 +40,18 @@ import (
 	"time"
 
 	"repro"
+	"repro/internal/dist"
 	"repro/internal/service"
 )
 
 func main() {
+	// A cliqued binary spawned by a distributed coordinator serves as an
+	// enumeration worker instead of a daemon: the environment marker
+	// routes it into the wire-protocol loop before flag parsing (the
+	// -worker flag is the human-visible argv marker).
+	if dist.WorkerEnabled() {
+		dist.WorkerMain()
+	}
 	addr := flag.String("addr", "127.0.0.1:7421", "listen address (use :0 for a kernel-chosen port)")
 	budget := flag.Int64("mem-budget", 0, "server-wide memory budget in bytes shared by loaded graphs and running queries (0 = unlimited)")
 	queueDepth := flag.Int("queue-depth", 16, "queries allowed to wait for memory headroom before new ones are shed with 503")
@@ -52,6 +60,7 @@ func main() {
 	cacheBytes := flag.Int64("cache-bytes", 64<<20, "result cache capacity in bytes (0 disables caching)")
 	maxBody := flag.Int64("max-body", 1<<30, "largest accepted graph upload in bytes")
 	maxWorkers := flag.Int("max-workers", 0, "cap on the workers= query parameter; larger requests are clamped (0 = GOMAXPROCS)")
+	flag.Bool("worker", false, "serve as a distributed enumeration worker over stdin/stdout (activated by the coordinator's environment; this flag is the argv marker)")
 	flag.Parse()
 
 	if err := run(*addr, service.Config{

@@ -29,6 +29,15 @@
 // The summary always reports the governor's peak resident bytes, and a
 // spilled run reports the level at which it left memory.
 //
+// -dist N runs the distributed coordinator instead: N worker processes
+// (spawned from this binary with -worker, or from -dist-worker-cmd) join
+// the level shards under the -ooc directory, which -dist requires as the
+// shared run directory.  -ooc-compress composes; -dist-lease-timeout
+// bounds one shard join before the shard is re-leased, and
+// -dist-shard-bytes overrides the lease granularity.  A worker that dies
+// is respawned and its in-flight shard re-leased — the emitted stream is
+// byte-identical to a sequential run regardless.
+//
 // Runs cancel cleanly: -timeout bounds the wall clock, and Ctrl-C
 // (SIGINT) aborts mid-level — either way the partial statistics gathered
 // so far are printed before exit, and a checkpointed out-of-core run
@@ -51,9 +60,17 @@ import (
 	"time"
 
 	"repro"
+	"repro/internal/dist"
 )
 
 func main() {
+	// A process spawned by a distributed coordinator is a worker, not a
+	// CLI: the environment marker routes it into the wire-protocol loop
+	// before any flag parsing (the -worker flag below is the human-visible
+	// marker in the argv; activation is by environment).
+	if dist.WorkerEnabled() {
+		dist.WorkerMain()
+	}
 	lo := flag.Int("lo", 3, "smallest clique size to report (Init_K)")
 	hi := flag.Int("hi", 0, "largest clique size (0: compute maximum clique and use it)")
 	workers := flag.Int("workers", 1, "worker threads (1 = sequential)")
@@ -70,6 +87,11 @@ func main() {
 	oocCompress := flag.Bool("ooc-compress", false, "out-of-core: delta-varint encode level records")
 	oocCheckpoint := flag.Bool("ooc-checkpoint", false, "out-of-core: keep a resumable manifest in the -ooc directory (resume with -resume)")
 	resume := flag.String("resume", "", "continue the checkpointed out-of-core run in this directory (needs the same graph file)")
+	distWorkers := flag.Int("dist", 0, "distributed: lease level shards to this many worker processes (requires -ooc DIR as the shared run directory)")
+	distWorkerCmd := flag.String("dist-worker-cmd", "", "distributed: worker command line (default: this binary with -worker)")
+	distLease := flag.Duration("dist-lease-timeout", 0, "distributed: revoke and re-lease a shard not joined within this duration (0 = 30s default)")
+	distShardBytes := flag.Int64("dist-shard-bytes", 0, "distributed: target shard size in bytes, the lease granularity (0 = auto)")
+	flag.Bool("worker", false, "serve as a distributed worker over stdin/stdout (activated by the coordinator's environment; this flag is the argv marker)")
 	var budget int64
 	flag.Int64Var(&budget, "mem-budget", 0, "memory governor budget in bytes, enforced on every backend (0 = unlimited; with -ooc the run spills over instead of aborting)")
 	flag.Int64Var(&budget, "budget", 0, "deprecated alias of -mem-budget")
@@ -102,6 +124,8 @@ func main() {
 		oocCompress: *oocCompress, oocCheckpoint: *oocCheckpoint,
 		resume: *resume, budget: budget, spill: *spill,
 		noBound: *noBound,
+		dist:    *distWorkers, distWorkerCmd: *distWorkerCmd,
+		distLease: *distLease, distShardBytes: *distShardBytes,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "cliquer: %v\n", err)
@@ -120,6 +144,10 @@ type options struct {
 	oocCompress, oocCheckpoint        bool
 	resume                            string
 	budget, spill                     int64
+	dist                              int
+	distWorkerCmd                     string
+	distLease                         time.Duration
+	distShardBytes                    int64
 }
 
 func parseStrategy(s string) (repro.Strategy, error) {
@@ -209,7 +237,31 @@ func run(ctx context.Context, path string, o options) error {
 	if o.compress {
 		opts = append(opts, repro.WithCompressedBitmaps())
 	}
-	if o.oocDir != "" || o.resume != "" {
+	if o.dist > 0 {
+		if o.oocDir == "" {
+			return fmt.Errorf("-dist requires -ooc DIR as the shared run directory")
+		}
+		if o.resume != "" || o.oocCheckpoint {
+			return fmt.Errorf("-dist manages its own per-level checkpoint; -resume and -ooc-checkpoint do not apply")
+		}
+		if o.oocWorkers > 0 {
+			fmt.Fprintln(os.Stderr, "cliquer: ignoring -ooc-workers: -dist leases shards to worker processes instead")
+		}
+		var knobs []repro.DistOption
+		if o.distWorkerCmd != "" {
+			knobs = append(knobs, repro.DistWorkerCommand(strings.Fields(o.distWorkerCmd)...))
+		}
+		if o.distLease > 0 {
+			knobs = append(knobs, repro.DistLeaseTimeout(o.distLease))
+		}
+		if o.distShardBytes > 0 {
+			knobs = append(knobs, repro.DistShardBytes(o.distShardBytes))
+		}
+		if o.oocCompress {
+			knobs = append(knobs, repro.DistCompress())
+		}
+		opts = append(opts, repro.WithDistributed(o.dist, o.oocDir, knobs...))
+	} else if o.oocDir != "" || o.resume != "" {
 		dir := o.oocDir
 		if o.resume != "" {
 			if o.oocDir != "" && o.oocDir != o.resume {
@@ -274,6 +326,16 @@ func printSummary(w *os.File, state string, st *repro.Stats, o options) {
 		state, st.Backend, st.MaximalCliques, o.lo, o.hi, st.MaxCliqueSize,
 		len(st.Levels), st.Elapsed.Seconds())
 	switch {
+	case st.Backend == "distributed":
+		fmt.Fprintf(w, "  dist: %d worker processes, %d re-leased shards, %d worker deaths\n",
+			st.DistWorkers, st.DistReleases, st.DistWorkerDeaths)
+		fmt.Fprintf(w, "  spill: %d bytes written, %d read\n",
+			st.SpillBytesWritten, st.SpillBytesRead)
+		if st.SpillRawBytesWritten > st.SpillBytesWritten {
+			fmt.Fprintf(w, "  encoding: %d raw bytes -> %d on disk (%.2fx smaller)\n",
+				st.SpillRawBytesWritten, st.SpillBytesWritten,
+				float64(st.SpillRawBytesWritten)/float64(st.SpillBytesWritten))
+		}
 	case st.Backend == "out-of-core" || strings.HasPrefix(st.Backend, "hybrid("):
 		if st.SpilledAtLevel > 0 {
 			fmt.Fprintf(w, "  spillover: governor tripped generating level %d; continued out of core\n",

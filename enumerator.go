@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/clique"
 	"repro/internal/core"
+	"repro/internal/dist"
 	"repro/internal/enumcfg"
 	"repro/internal/graph"
 	"repro/internal/hybrid"
@@ -100,6 +101,15 @@ type Stats struct {
 	// backends).
 	WorkerBusy []float64
 	Transfers  int
+	// DistWorkers / DistReleases / DistWorkerDeaths describe a
+	// distributed run: the worker-process count, the leases revoked
+	// (expiry or death) and re-run on another worker, and the worker
+	// processes that died and were respawned.  Zero outside the
+	// distributed backend; a fault-free run has zero releases and
+	// deaths.
+	DistWorkers      int
+	DistReleases     int
+	DistWorkerDeaths int
 	// Elapsed is the wall-clock run time measured by the facade.
 	Elapsed time.Duration
 }
@@ -247,6 +257,67 @@ func WithOutOfCore(dir string, levelBudget int64, knobs ...OutOfCoreOption) Opti
 // other out-of-core knobs (OOCWorkers may differ run to run).
 func WithResume(dir string) Option {
 	return func(e *Enumerator) { e.cfg.Dir, e.cfg.Resume = dir, true }
+}
+
+// DistOption tunes the distributed backend selected by
+// WithDistributed.
+type DistOption func(*enumcfg.Config)
+
+// DistWorkerCommand sets the argv the coordinator execs for each worker
+// slot (default: the current binary re-executed with -worker).  The
+// command must speak the worker side of the dist wire protocol on its
+// stdin/stdout — `cliquer -worker` and `cliqued -worker` both do.
+func DistWorkerCommand(argv ...string) DistOption {
+	return func(c *enumcfg.Config) { c.DistWorkerCmd = argv }
+}
+
+// DistLeaseTimeout bounds one shard join (default 30s): a lease overdue
+// by more than this is revoked, its worker killed, and the shard
+// re-leased to another worker.  Heartbeating workers extend their lease,
+// so only a hung or dead worker is ever swept.
+func DistLeaseTimeout(d time.Duration) DistOption {
+	return func(c *enumcfg.Config) { c.DistLeaseTimeout = d }
+}
+
+// DistCompress delta-varint encodes the level shards the coordinator
+// and workers exchange — the distributed spelling of OOCCompress
+// (workers adopt the coordinator's record encoding from their init
+// frame).
+func DistCompress() DistOption {
+	return func(c *enumcfg.Config) { c.OOCCompress = true }
+}
+
+// DistShardBytes overrides the target level-shard size (0 = auto-sized
+// from the consumed level and the worker count).  Smaller shards mean
+// finer-grained leases: more scheduling traffic, less work lost per
+// worker death.
+func DistShardBytes(n int64) DistOption {
+	return func(c *enumcfg.Config) { c.DistShardBytes = n }
+}
+
+// WithDistributed selects the distributed backend: a coordinator that
+// executes one enumeration level at a time by leasing the level's shard
+// files to n worker processes, each joining its shards against its own
+// copy of the graph.  dir is the shared run directory (graph file,
+// level shards, checkpoint manifest, and the final audit report all
+// live there); workers are spawned over the exec/pipe transport and
+// respawned if they die, with their in-flight shards re-leased — the
+// emitted clique stream is byte-identical to a sequential run at any
+// worker count, faults included.  OOCCompress composes (workers adopt
+// the coordinator's record encoding); WithWorkers, WithMemoryBudget,
+// and the checkpoint/resume knobs do not — the coordinator manages its
+// own per-level checkpoint, and the coordinator's governor is the run's
+// single accounting authority (worker scratch is held as child
+// reservations).  The backend reports maximal cliques of size >= 3;
+// smaller bounds are filtered like the out-of-core backend.
+func WithDistributed(workers int, dir string, knobs ...DistOption) Option {
+	return func(e *Enumerator) {
+		e.cfg.DistWorkers = workers
+		e.cfg.Dir = dir
+		for _, k := range knobs {
+			k(&e.cfg)
+		}
+	}
 }
 
 // WithMemoryBudget sets the run's memory governor budget: the bound on
@@ -409,6 +480,8 @@ func (e *Enumerator) Run(ctx context.Context, g GraphInterface, r Reporter) (int
 		return e.runHybrid(cfg, g, r, st, gov)
 	case enumcfg.OutOfCore:
 		return e.runOutOfCore(cfg, g, r, st, gov)
+	case enumcfg.Distributed:
+		return e.runDistributed(cfg, g, r, st, gov)
 	case enumcfg.Parallel, enumcfg.ParallelBarrier:
 		return e.runParallel(cfg, g, r, st, gov)
 	}
@@ -671,6 +744,65 @@ func (e *Enumerator) runParallel(cfg enumcfg.Config, g GraphInterface, r Reporte
 		st.Transfers = res.Transfers
 	}
 	return res.MaximalCliques, err
+}
+
+func (e *Enumerator) runDistributed(cfg enumcfg.Config, g GraphInterface, r Reporter, st *Stats, gov *membudget.Governor) (int64, error) {
+	// Like the out-of-core backend, the coordinator reports every
+	// maximal clique of size >= 3; the facade applies the configured
+	// lower bound and counts what it delivers.
+	var count int64
+	maxSize := 0
+	opts := dist.Options{
+		Ctx:          cfg.Ctx,
+		Dir:          cfg.Dir,
+		Workers:      cfg.DistWorkers,
+		WorkerCmd:    cfg.DistWorkerCmd,
+		LeaseTimeout: cfg.DistLeaseTimeout,
+		MaxK:         cfg.Hi,
+		Compress:     cfg.OOCCompress,
+		ShardBytes:   cfg.DistShardBytes,
+		Gov:          gov,
+		Reporter: ReporterFunc(func(c Clique) {
+			if len(c) < cfg.Lo {
+				return
+			}
+			count++
+			if len(c) > maxSize {
+				maxSize = len(c)
+			}
+			if r != nil {
+				r.Emit(c)
+			}
+		}),
+	}
+	if st != nil || e.onLevel != nil {
+		opts.OnLevel = func(ls ooc.LevelStats) {
+			// Same whole-level zeroing as runOutOfCore: a step FromK ->
+			// FromK+1 reports cliques of size exactly FromK+1.
+			maximal := ls.Maximal
+			if ls.FromK+1 < cfg.Lo {
+				maximal = 0
+			}
+			e.observe(st, LevelStats{
+				FromK:         ls.FromK,
+				Cliques:       ls.Cliques,
+				Maximal:       maximal,
+				ResidentBytes: ls.FileBytes + ls.NextBytes,
+			})
+		}
+	}
+	dst, err := dist.Enumerate(g, opts)
+	if st != nil {
+		st.MaximalCliques = count
+		st.MaxCliqueSize = maxSize
+		st.SpillBytesWritten = dst.BytesWritten
+		st.SpillRawBytesWritten = dst.RawBytesWritten
+		st.SpillBytesRead = dst.BytesRead
+		st.DistWorkers = dst.Workers
+		st.DistReleases = dst.Releases
+		st.DistWorkerDeaths = dst.WorkerDeaths
+	}
+	return count, err
 }
 
 func (e *Enumerator) runOutOfCore(cfg enumcfg.Config, g GraphInterface, r Reporter, st *Stats, gov *membudget.Governor) (int64, error) {

@@ -6,9 +6,12 @@
 // ownership must demonstrably transfer to a type that releases/closes
 // it later.  This is the PR 5 invariant ("one budget, one meaning of
 // memory"), extended in the service PR to the reservation sub-budget
-// API multi-tenant admission is built on; runtime leak checks can only
-// sample it, the analyzer enforces it on every return path
-// mechanically.
+// API multi-tenant admission is built on, and in the dist PR to the
+// shard-lease table: a lease taken with LeaseTable.Acquire must be
+// settled on every path — Complete (result landed), Release (worker
+// died), or Expire (deadline sweep); runtime leak checks can only
+// sample these disciplines, the analyzer enforces them on every return
+// path mechanically.
 //
 // The check is intraprocedural with two ownership-escape rules that
 // encode the repo's legitimate cross-function patterns:
@@ -56,16 +59,25 @@ var Analyzer = &lintkit.Analyzer{
 	Run: run,
 }
 
-// pairSpec is one acquire/release discipline the analyzer enforces.
+// relMethod is one method that settles an acquisition.
+type relMethod struct {
+	name string
+	args int
+}
+
+// pairSpec is one acquire/release discipline the analyzer enforces.  A
+// spec may accept several settling methods on the release type: the
+// dist lease table's Acquire is settled by Complete (result landed),
+// Release (worker died), or Expire (deadline sweep) alike.
 type pairSpec struct {
 	acquireType string // named receiver type of the acquire method
 	acquireName string
 	acquireArgs int
-	releaseType string // named receiver type of the release method
-	releaseName string
-	releaseArgs int
+	releaseType string // named receiver type of the settling methods
+	rels        []relMethod
 	quantity    bool // apply the same-amount check (Charge/Release only)
 	errExempt   bool // acquire also returns an error; err-check returns owe nothing
+	okExempt    bool // acquire also returns a bool; `if !ok` returns owe nothing
 	what        string
 	fix         string
 }
@@ -73,16 +85,32 @@ type pairSpec struct {
 var specs = []pairSpec{
 	{
 		acquireType: "Governor", acquireName: "Charge", acquireArgs: 1,
-		releaseType: "Governor", releaseName: "Release", releaseArgs: 1,
+		releaseType: "Governor", rels: []relMethod{{"Release", 1}},
 		quantity: true,
 		what:     "the governor charge", fix: "Release",
 	},
 	{
 		acquireType: "Governor", acquireName: "Reserve", acquireArgs: 1,
-		releaseType: "Reservation", releaseName: "Close", releaseArgs: 0,
+		releaseType: "Reservation", rels: []relMethod{{"Close", 0}},
 		errExempt: true,
 		what:      "the reservation", fix: "Close",
 	},
+	{
+		acquireType: "LeaseTable", acquireName: "Acquire", acquireArgs: 2,
+		releaseType: "LeaseTable", rels: []relMethod{{"Complete", 2}, {"Release", 3}, {"Expire", 1}},
+		okExempt: true,
+		what:     "the shard lease", fix: "Complete/Release",
+	},
+}
+
+// releaseCall reports whether call is any of spec's settling methods.
+func releaseCall(info *types.Info, call *ast.CallExpr, spec pairSpec) bool {
+	for _, r := range spec.rels {
+		if _, ok := methodCall(info, call, spec.releaseType, r.name, r.args); ok {
+			return true
+		}
+	}
+	return false
 }
 
 // methodCall reports whether call is method `name` with nargs arguments
@@ -209,7 +237,7 @@ func owningTypes(pass *lintkit.Pass, spec pairSpec) map[string]bool {
 					return false
 				}
 				if call, isCall := n.(*ast.CallExpr); isCall {
-					if _, isRel := methodCall(pass.TypesInfo, call, spec.releaseType, spec.releaseName, spec.releaseArgs); isRel {
+					if releaseCall(pass.TypesInfo, call, spec) {
 						found = true
 						return false
 					}
@@ -261,6 +289,9 @@ func checkFunc(pass *lintkit.Pass, fd *ast.FuncDecl, spec pairSpec, owners map[s
 				if spec.errExempt && isNilCheck(n.Cond) {
 					errRanges = append(errRanges, [2]token.Pos{n.Body.Pos(), n.Body.End()})
 				}
+				if spec.okExempt && isNotOkCheck(n.Cond) {
+					errRanges = append(errRanges, [2]token.Pos{n.Body.Pos(), n.Body.End()})
+				}
 			case *ast.ReturnStmt:
 				if deferPos == token.NoPos {
 					returns = append(returns, n)
@@ -273,7 +304,7 @@ func checkFunc(pass *lintkit.Pass, fd *ast.FuncDecl, spec pairSpec, owners map[s
 						recv:    recv,
 					})
 				}
-				if _, ok := methodCall(pass.TypesInfo, n, spec.releaseType, spec.releaseName, spec.releaseArgs); ok {
+				if releaseCall(pass.TypesInfo, n, spec) {
 					argText := "?"
 					if len(n.Args) > 0 {
 						argText = lintkit.ExprString(n.Args[0])
@@ -397,6 +428,18 @@ func isNilCheck(cond ast.Expr) bool {
 func isNilIdent(e ast.Expr) bool {
 	id, ok := e.(*ast.Ident)
 	return ok && id.Name == "nil"
+}
+
+// isNotOkCheck reports whether cond is a bare `!ident` — the shape of
+// the not-acquired check after a comma-ok acquire (`if !ok { return }`
+// owes no settlement: nothing was leased).
+func isNotOkCheck(cond ast.Expr) bool {
+	u, ok := cond.(*ast.UnaryExpr)
+	if !ok || u.Op != token.NOT {
+		return false
+	}
+	_, isIdent := u.X.(*ast.Ident)
+	return isIdent
 }
 
 // acquireEscapes reports whether one acquire's ownership provably

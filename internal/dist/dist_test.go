@@ -1,0 +1,224 @@
+package dist
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/clique"
+	"repro/internal/graph"
+	"repro/internal/membudget"
+	"repro/internal/ooc"
+)
+
+// TestMain lets this test binary serve as an exec/pipe worker: the
+// coordinator's default exec transport re-executes the running binary,
+// and the environment marker routes the child into WorkerMain before
+// any test runs.
+func TestMain(m *testing.M) {
+	if WorkerEnabled() {
+		WorkerMain()
+	}
+	os.Exit(m.Run())
+}
+
+// testGraph is the shared fixture: planted cliques with overlap on a
+// random background, dense enough to make several levels.
+func testGraph(t *testing.T) *graph.Graph {
+	t.Helper()
+	rng := rand.New(rand.NewSource(41))
+	return graph.PlantedGraph(rng, 48, []graph.PlantedCliqueSpec{
+		{Size: 9},
+		{Size: 7, Overlap: 3},
+		{Size: 6, Overlap: 2},
+	}, 140)
+}
+
+// orderedReporter records the exact emission sequence — parity checks
+// compare order, not just sets.
+type orderedReporter struct{ seq []clique.Clique }
+
+func (r *orderedReporter) Emit(c clique.Clique) { r.seq = append(r.seq, c.Clone()) }
+
+func sequentialStream(t *testing.T, g *graph.Graph, compress bool) []clique.Clique {
+	t.Helper()
+	var ref orderedReporter
+	if _, err := ooc.Enumerate(g, ooc.Options{
+		Dir:      t.TempDir(),
+		Reporter: &ref,
+		Compress: compress,
+	}); err != nil {
+		t.Fatalf("sequential reference: %v", err)
+	}
+	return ref.seq
+}
+
+func assertSameStream(t *testing.T, label string, got, want []clique.Clique) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d cliques, sequential emitted %d", label, len(got), len(want))
+	}
+	for i := range want {
+		if clique.Compare(got[i], want[i]) != 0 {
+			t.Fatalf("%s: clique %d = %v, sequential emitted %v (stream order diverged)",
+				label, i, got[i], want[i])
+		}
+	}
+}
+
+// TestDistStreamParityMatrix is the acceptance matrix: coordinator + N
+// exec/pipe workers must emit a stream identical (content AND order) to
+// the sequential backend, for N in {1,2,4}, raw and compressed shards.
+func TestDistStreamParityMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns worker processes")
+	}
+	g := testGraph(t)
+	for _, compress := range []bool{false, true} {
+		want := sequentialStream(t, g, compress)
+		if len(want) == 0 {
+			t.Fatal("reference stream is empty; fixture too sparse")
+		}
+		for _, workers := range []int{1, 2, 4} {
+			name := fmt.Sprintf("workers=%d/compress=%v", workers, compress)
+			t.Run(name, func(t *testing.T) {
+				var rep orderedReporter
+				st, err := Enumerate(g, Options{
+					Dir:        t.TempDir(),
+					Workers:    workers,
+					Compress:   compress,
+					ShardBytes: 256, // many shards per level: real leasing traffic
+					Reporter:   &rep,
+				})
+				if err != nil {
+					t.Fatalf("dist enumerate: %v", err)
+				}
+				assertSameStream(t, name, rep.seq, want)
+				if st.Maximal != int64(len(want)) {
+					t.Errorf("Stats.Maximal = %d, want %d", st.Maximal, len(want))
+				}
+				if st.Workers != workers {
+					t.Errorf("Stats.Workers = %d, want %d", st.Workers, workers)
+				}
+			})
+		}
+	}
+}
+
+// TestDistKillWorkerRecovery is the fault-tolerance half of the
+// acceptance criterion: one worker dies mid-level with a lease in
+// flight, the shard is re-leased, and the final stream is still
+// byte-identical — with the re-lease visible in the persisted report.
+func TestDistKillWorkerRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns worker processes")
+	}
+	g := testGraph(t)
+	want := sequentialStream(t, g, false)
+	dir := t.TempDir()
+	var rep orderedReporter
+	st, err := Enumerate(g, Options{
+		Dir:        dir,
+		Workers:    3,
+		ShardBytes: 256,
+		Reporter:   &rep,
+		Transport: &ExecTransport{Env: []string{
+			// Slot 1 crashes upon receiving its 2nd lease — once.
+			EnvDieAfter + "=1:2",
+			EnvDieOnce + "=" + filepath.Join(t.TempDir(), "died"),
+		}},
+	})
+	if err != nil {
+		t.Fatalf("dist enumerate with crash: %v", err)
+	}
+	assertSameStream(t, "after worker kill", rep.seq, want)
+	if st.WorkerDeaths == 0 {
+		t.Error("Stats.WorkerDeaths = 0; fault injection never fired")
+	}
+	if st.Releases == 0 {
+		t.Error("Stats.Releases = 0; the in-flight shard was never re-leased")
+	}
+	data, err := os.ReadFile(filepath.Join(dir, ReportName))
+	if err != nil {
+		t.Fatalf("run report: %v", err)
+	}
+	var report Report
+	if err := json.Unmarshal(data, &report); err != nil {
+		t.Fatalf("decode report: %v", err)
+	}
+	if len(report.Releases) == 0 {
+		t.Error("report shows no re-leased shard")
+	}
+	for _, r := range report.Releases {
+		if r.Shard == "" || r.Reason == "" {
+			t.Errorf("release record incomplete: %+v", r)
+		}
+	}
+	if report.WorkerDeaths != st.WorkerDeaths {
+		t.Errorf("report deaths %d != stats deaths %d", report.WorkerDeaths, st.WorkerDeaths)
+	}
+}
+
+// TestDistLoopbackParityAndAccounting runs the coordinator over the
+// in-process loopback transport — the configuration `make race`
+// exercises with the race detector watching both sides — and checks
+// the governor's zero-residual law: after the run every worker
+// reservation and every transient buffer has been returned.
+func TestDistLoopbackParityAndAccounting(t *testing.T) {
+	g := testGraph(t)
+	want := sequentialStream(t, g, true)
+	gov := membudget.New(0)
+	var rep orderedReporter
+	st, err := Enumerate(g, Options{
+		Dir:        t.TempDir(),
+		Workers:    3,
+		Compress:   true,
+		ShardBytes: 256,
+		Reporter:   &rep,
+		Transport:  &LoopbackTransport{},
+		Gov:        gov,
+	})
+	if err != nil {
+		t.Fatalf("loopback enumerate: %v", err)
+	}
+	assertSameStream(t, "loopback", rep.seq, want)
+	if st.Maximal != int64(len(want)) {
+		t.Errorf("Stats.Maximal = %d, want %d", st.Maximal, len(want))
+	}
+	if used := gov.Used(); used != 0 {
+		t.Errorf("governor residual after run: %d bytes (reservation leak)", used)
+	}
+	if gov.Peak() == 0 {
+		t.Error("governor peak is zero: worker scratch was never accounted")
+	}
+}
+
+// TestDistRunDirCleanup: a successful run leaves only the audit report
+// in the run directory — shards, manifest, and the shipped graph are
+// all retired.
+func TestDistRunDirCleanup(t *testing.T) {
+	g := testGraph(t)
+	dir := t.TempDir()
+	if _, err := Enumerate(g, Options{
+		Dir:       dir,
+		Workers:   2,
+		Transport: &LoopbackTransport{},
+	}); err != nil {
+		t.Fatalf("enumerate: %v", err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.Name() != ReportName {
+			t.Errorf("leftover file after successful run: %s", e.Name())
+		}
+	}
+	if ooc.HasManifest(dir) {
+		t.Error("checkpoint manifest survived a successful run")
+	}
+}

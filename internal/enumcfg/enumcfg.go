@@ -12,6 +12,7 @@ package enumcfg
 import (
 	"context"
 	"fmt"
+	"time"
 )
 
 // CNMode selects how sub-lists keep their prefix common-neighbor bitmaps.
@@ -62,6 +63,11 @@ const (
 	// to out-of-core shard files the moment the budget trips, continuing
 	// on the disk-backed engine — same ordered clique stream either way.
 	Hybrid
+	// Distributed is the coordinator/worker regime: level shards are
+	// leased to worker processes over a transport and the results merged
+	// in shard order — the same ordered clique stream as every other
+	// backend, at any worker count.
+	Distributed
 )
 
 // String names the backend for stats and diagnostics.
@@ -77,6 +83,8 @@ func (b Backend) String() string {
 		return "out-of-core"
 	case Hybrid:
 		return "hybrid"
+	case Distributed:
+		return "distributed"
 	}
 	return fmt.Sprintf("backend(%d)", int(b))
 }
@@ -139,6 +147,21 @@ type Config struct {
 	// lives in Dir instead of starting fresh.  Implies Checkpoint.
 	Resume bool
 
+	// DistWorkers, when > 0, selects the distributed coordinator/worker
+	// backend with that many worker processes leasing level shards from
+	// Dir.  Mutually exclusive with the in-process regimes' knobs; see
+	// Normalize.
+	DistWorkers int
+	// DistWorkerCmd is the worker argv for the exec/pipe transport
+	// (empty = re-execute this binary with -worker).
+	DistWorkerCmd []string
+	// DistLeaseTimeout bounds one shard join before the lease is
+	// revoked and the shard re-leased (0 = the coordinator's default).
+	DistLeaseTimeout time.Duration
+	// DistShardBytes overrides the distributed run's target shard size
+	// (0 = auto).
+	DistShardBytes int64
+
 	// ReportSmall additionally reports maximal 1- and 2-cliques
 	// (sequential backend only; the paper's experiments start at 3).
 	ReportSmall bool
@@ -158,6 +181,8 @@ func (c *Config) Context() context.Context {
 // out-of-core from its first record.
 func (c *Config) Backend() Backend {
 	switch {
+	case c.DistWorkers > 0:
+		return Distributed
 	case c.Resume:
 		return OutOfCore
 	case c.Spill, c.Dir != "" && c.MemoryBudget > 0:
@@ -240,6 +265,36 @@ func (c *Config) Normalize() error {
 		}
 	}
 	switch c.Backend() {
+	case Distributed:
+		if c.DistLeaseTimeout < 0 {
+			return fmt.Errorf("enumcfg: negative distributed lease timeout %v", c.DistLeaseTimeout)
+		}
+		if c.DistShardBytes < 0 {
+			return fmt.Errorf("enumcfg: negative distributed shard bytes %d", c.DistShardBytes)
+		}
+		if c.Dir == "" {
+			return fmt.Errorf("enumcfg: the distributed backend requires a run Dir shared with its workers")
+		}
+		if c.Workers > 1 {
+			return fmt.Errorf("enumcfg: choose one parallel regime: in-process Workers or DistWorkers, not both")
+		}
+		if c.Resume || c.Checkpoint {
+			return fmt.Errorf("enumcfg: the distributed coordinator manages its own checkpoint manifest; drop Checkpoint/Resume")
+		}
+		if c.Spill || c.MemoryBudget > 0 {
+			return fmt.Errorf("enumcfg: the distributed backend is out-of-core from the start; the in-core memory budget does not apply")
+		}
+		if c.SpillBudget > 0 {
+			return fmt.Errorf("enumcfg: SpillBudget is not supported by the distributed coordinator")
+		}
+		// Barrier needs Workers > 1 (universal rule above), and Workers
+		// > 1 with DistWorkers is already rejected — no separate rule.
+		if c.ReportSmall {
+			return fmt.Errorf("enumcfg: ReportSmall is not supported out of core (sizes < 3 never spill)")
+		}
+		if c.Mode != CNStore {
+			return fmt.Errorf("enumcfg: CN mode %d is meaningless out of core (no bitmaps are retained)", c.Mode)
+		}
 	case Hybrid:
 		c.Spill = true // latch the implied form (Dir + MemoryBudget)
 		if c.Barrier {

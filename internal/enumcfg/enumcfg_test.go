@@ -73,6 +73,32 @@ func TestNormalizeMatrix(t *testing.T) {
 			"cannot spill over", 0},
 		{"hybrid checkpoint", Config{Dir: "d", MemoryBudget: 1 << 20, Checkpoint: true},
 			"out-of-core run from the start", 0},
+
+		// --- distributed ---
+		{"distributed", Config{Dir: "d", DistWorkers: 4}, "", Distributed},
+		{"distributed one worker", Config{Dir: "d", DistWorkers: 1}, "", Distributed},
+		{"distributed compress", Config{Dir: "d", DistWorkers: 2, OOCCompress: true}, "", Distributed},
+		{"distributed knobs", Config{Dir: "d", DistWorkers: 2, DistLeaseTimeout: 1,
+			DistShardBytes: 1 << 16, DistWorkerCmd: []string{"cliqued", "-worker"}}, "", Distributed},
+		{"distributed without dir", Config{DistWorkers: 2}, "requires a run Dir", 0},
+		{"distributed negative lease timeout", Config{Dir: "d", DistWorkers: 2, DistLeaseTimeout: -1},
+			"negative distributed lease timeout", 0},
+		{"distributed negative shard bytes", Config{Dir: "d", DistWorkers: 2, DistShardBytes: -1},
+			"negative distributed shard bytes", 0},
+		{"distributed plus in-process workers", Config{Dir: "d", DistWorkers: 2, Workers: 4},
+			"not both", 0},
+		{"distributed plus checkpoint", Config{Dir: "d", DistWorkers: 2, Checkpoint: true},
+			"manages its own checkpoint", 0},
+		{"distributed plus resume", Config{Dir: "d", DistWorkers: 2, Resume: true},
+			"manages its own checkpoint", 0},
+		{"distributed plus memory budget", Config{Dir: "d", DistWorkers: 2, MemoryBudget: 1 << 20},
+			"memory budget does not apply", 0},
+		{"distributed plus spill budget", Config{Dir: "d", DistWorkers: 2, SpillBudget: 1 << 20},
+			"not supported by the distributed coordinator", 0},
+		{"distributed barrier", Config{Dir: "d", DistWorkers: 2, Workers: 4, Barrier: true}, "not both", 0},
+		{"distributed report-small", Config{Dir: "d", DistWorkers: 2, ReportSmall: true}, "ReportSmall", 0},
+		{"distributed low-memory mode", Config{Dir: "d", DistWorkers: 2, Mode: CNRecompute},
+			"meaningless out of core", 0},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {

@@ -1,0 +1,266 @@
+package ooc
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"repro/internal/bitset"
+	"repro/internal/graph"
+	"repro/internal/membudget"
+)
+
+// This file is the worker-side face of the out-of-core engine: the
+// pieces a remote (or merely out-of-process) worker needs to join one
+// leased shard exactly the way the single-machine pool does — stream
+// the shard's prefix runs, pairwise-test each run's tails against the
+// prefix common-neighbor bitmap, spill survivors as (k+1)-candidates
+// through a run-aligned LevelWriter, and buffer the maximal dead ends
+// for in-order emission.  internal/dist builds its workers on Joiner +
+// LevelWriter + OpenShard; the local pool in ooc.go uses the same
+// Joiner, so the distributed and single-machine joins cannot drift.
+
+// JoinStats is one shard join's output: the maximal cliques found (a
+// flat vertex arena, no per-clique allocation), and the I/O the join
+// performed.  The output shards are owned by the LevelWriter the caller
+// supplied; Finish it to collect them.
+type JoinStats struct {
+	Maximal   int64
+	EmitVerts []int
+	EmitOff   []int32
+	BytesRead int64
+}
+
+// Joiner owns the per-worker scratch of the shard join: the two dense
+// common-neighbor bitmaps and the record buffers.  It is not safe for
+// concurrent use; give each worker its own.
+type Joiner struct {
+	g          graph.Interface
+	cn, cnNext *bitset.Bitset
+	rec        []uint32
+	prefix     []uint32
+	tails      []uint32
+	rec2       []uint32
+	prefixInts []int
+}
+
+// NewJoiner returns a Joiner over g with freshly allocated scratch.
+func NewJoiner(g graph.Interface) *Joiner {
+	n := g.N()
+	return &Joiner{g: g, cn: bitset.New(n), cnNext: bitset.New(n)}
+}
+
+// ScratchBytes reports the joiner's resident bitmap footprint — what a
+// coordinator reserves against its governor on the worker's behalf, so
+// one budget authority still sees every process's scratch.
+func (j *Joiner) ScratchBytes() int64 {
+	return 2 * int64((j.g.N()+63)/64) * 8
+}
+
+// JoinShard streams one input shard of size-k records from dir, joining
+// its prefix runs and writing next-level candidates through out (which
+// the caller owns: Finish it for the output shard list, Abort it on
+// error).  collect buffers maximal-clique emissions in the returned
+// JoinStats; pass false when only counts are wanted.  The read buffer
+// is charged to gov while the shard is open.
+//
+//repro:ctxloop
+func (j *Joiner) JoinShard(ctx context.Context, dir string, in ShardMeta, k int,
+	compress bool, gov *membudget.Governor, out *LevelWriter, collect bool) (res JoinStats, err error) {
+	r, err := OpenShard(dir, in, k, j.g.N(), compress, gov)
+	if err != nil {
+		return JoinStats{}, err
+	}
+	defer func() {
+		res.BytesRead = r.BytesRead()
+		if cerr := r.Close(); cerr != nil {
+			err = errors.Join(err, cerr)
+		}
+	}()
+
+	rec := growU32(&j.rec, k)
+	prefix := growU32(&j.prefix, k-1)
+	tails := j.tails[:0]
+	defer func() { j.tails = tails[:0] }() // keep grown capacity for the next shard
+	for i := int64(0); ; i++ {
+		// Cancellation point: every 4096 records, so abort latency stays
+		// bounded even when one shard holds millions of cliques.
+		if i&4095 == 0 && ctx.Err() != nil {
+			return res, fmt.Errorf("ooc: canceled during level %d->%d: %w", k, k+1, ctx.Err())
+		}
+		err := r.Next(rec)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return res, err
+		}
+		if len(tails) > 0 && !equalPrefix(prefix, rec[:k-1]) {
+			if err := j.joinRun(&res, out, k, prefix, tails, collect); err != nil {
+				return res, err
+			}
+			tails = tails[:0]
+		}
+		copy(prefix, rec[:k-1])
+		tails = append(tails, rec[k-1])
+	}
+	if len(tails) > 0 {
+		if err := j.joinRun(&res, out, k, prefix, tails, collect); err != nil {
+			return res, err
+		}
+	}
+	return res, nil
+}
+
+// joinRun joins one prefix run: the current run's tails are pairwise
+// tested; survivors spill as (k+1)-candidates, dead ends of size >= 3
+// are maximal and buffered for in-order emission.  All scratch is
+// joiner-owned — the hot loop allocates only when an emission arena
+// grows.
+func (j *Joiner) joinRun(res *JoinStats, out *LevelWriter,
+	k int, prefix, tails []uint32, collect bool) error {
+	g := j.g
+	pi := j.prefixInts[:0]
+	for _, p := range prefix {
+		pi = append(pi, int(p))
+	}
+	j.prefixInts = pi
+	// CN of the shared prefix (k-1 ANDs over adjacency rows; for k=2 the
+	// "prefix" is one vertex).
+	graph.CommonNeighbors(g, j.cn, pi)
+	rec2 := growU32(&j.rec2, k+1)
+	copy(rec2, prefix)
+	for i := 0; i < len(tails)-1; i++ {
+		v := int(tails[i])
+		rv := g.Row(v)
+		rv.AndInto(j.cnNext, j.cn)
+		rec2[k-1] = tails[i]
+		for jj := i + 1; jj < len(tails); jj++ {
+			u := int(tails[jj])
+			if !rv.Test(u) {
+				continue
+			}
+			if g.Row(u).IntersectsWith(j.cnNext) {
+				// Non-maximal: spill as a next-level candidate.
+				rec2[k] = tails[jj]
+				if err := out.Write(rec2); err != nil {
+					return err
+				}
+			} else if k+1 >= 3 {
+				res.Maximal++
+				if collect {
+					for _, p := range prefix {
+						res.EmitVerts = append(res.EmitVerts, int(p))
+					}
+					res.EmitVerts = append(res.EmitVerts, v, u)
+					res.EmitOff = append(res.EmitOff, int32(len(res.EmitVerts)))
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func growU32(buf *[]uint32, n int) []uint32 {
+	if cap(*buf) < n {
+		*buf = make([]uint32, n)
+	}
+	*buf = (*buf)[:n]
+	return *buf
+}
+
+// WriteLevel writes one level's sorted record stream — produced by feed
+// in canonical order, the run-aligned sharding invariant — into dir as
+// shard files of roughly target encoded bytes.  nextName names each
+// shard file; onWrite observes every encoded/raw byte increment (and
+// may return an error to abort the level, e.g. a spill budget).  On a
+// feed or write error every shard file created so far is removed and
+// the error returned; on success the level's shard list is returned.
+// This is the level-materialization entry the distributed coordinator
+// (and the engine's own spill paths) write through.
+func WriteLevel(dir string, k int, compress bool, target int64,
+	gov *membudget.Governor, nextName func() (string, error),
+	onWrite func(enc, raw int64) error,
+	feed func(write func(rec []uint32) error) error) ([]ShardMeta, error) {
+	var created []string
+	lw := NewLevelWriter(dir, k, compress, target, gov,
+		func() (string, error) {
+			name, err := nextName()
+			if err == nil {
+				created = append(created, name)
+			}
+			return name, err
+		},
+		onWrite)
+	if werr := feed(lw.Write); werr != nil {
+		errs := []error{werr, lw.Abort()}
+		for _, name := range created {
+			if err := os.Remove(filepath.Join(dir, name)); err != nil {
+				errs = append(errs, fmt.Errorf("ooc: remove aborted level spill: %w", err))
+			}
+		}
+		return nil, errors.Join(errs...)
+	}
+	return lw.Finish()
+}
+
+// EdgeFeed adapts a graph's canonical edge stream to WriteLevel's feed
+// contract: every edge (u < v) in sorted order, as a 2-record — the
+// level-2 seed of the out-of-core loop.  ctx cancels between batches of
+// 4096 edges.
+func EdgeFeed(ctx context.Context, g graph.Interface) func(write func(rec []uint32) error) error {
+	return func(write func(rec []uint32) error) error {
+		var rec [2]uint32
+		var werr error
+		cnt := 0
+		graph.ForEachEdge(g, func(u, v int) bool {
+			if cnt&4095 == 0 && ctx.Err() != nil {
+				werr = fmt.Errorf("ooc: canceled during edge spill: %w", ctx.Err())
+				return false
+			}
+			cnt++
+			rec[0], rec[1] = uint32(u), uint32(v)
+			werr = write(rec[:])
+			return werr == nil
+		})
+		return werr
+	}
+}
+
+// DefaultShardTarget sizes a level's shards from the consumed level's
+// encoded bytes: about eight shards per worker, so the dispatcher (or
+// the distributed lease table) has slack to balance skewed shard costs,
+// clamped so tiny levels are not pulverized and huge ones are not
+// monolithic.
+func DefaultShardTarget(consumedBytes int64, workers int) int64 {
+	if workers < 1 {
+		workers = 1
+	}
+	t := consumedBytes / int64(8*workers)
+	const minTarget = 32 << 10
+	const maxTarget = 32 << 20
+	if t < minTarget {
+		t = minTarget
+	}
+	if t > maxTarget {
+		t = maxTarget
+	}
+	return t
+}
+
+// LevelRecords sums the record counts of a level's shard list.
+func LevelRecords(shards []ShardMeta) int64 { return levelRecords(shards) }
+
+// LevelBytes sums a level's encoded and fixed-width-equivalent bytes.
+func LevelBytes(shards []ShardMeta) (enc, raw int64) { return levelBytes(shards) }
+
+// ShardFileName builds the canonical shard file name for level k with a
+// distinguishing tag (the engine uses a global sequence; the
+// distributed coordinator embeds shard index and lease attempt so a
+// superseded worker's output can never collide with its replacement's).
+func ShardFileName(k int, tag string) string {
+	return fmt.Sprintf("l%03d-%s%s", k, tag, shardSuffix)
+}

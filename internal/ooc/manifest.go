@@ -18,26 +18,72 @@ import (
 // them, inputs deleted only after).
 const manifestName = "ooc-manifest.json"
 
-// manifestVersion guards the on-disk format (shard encoding + manifest
-// schema together).
-const manifestVersion = 1
+// ManifestVersion guards the on-disk format (shard encoding + manifest
+// schema together).  Version 2 added the Owner stamp: a manifest
+// records which process wrote it, and WriteManifest rejects a commit
+// whose owner does not match the manifest already on disk — the guard
+// that keeps a stale distributed worker's late commit from silently
+// clobbering the coordinator's checkpoint.
+const ManifestVersion = 2
 
-// manifest is the per-run checkpoint written at each level boundary: the
+// Owner identifies the process that owns a checkpoint directory: the
+// host and pid that wrote the manifest, plus a role tag ("ooc" for the
+// single-machine engine, "coordinator" for the distributed one, a
+// worker id for anything a remote worker might ever write).  The ooc
+// manifest write path used to assume same-process resume; with a
+// coordinator and N worker processes sharing one run directory, the
+// manifest itself must say whose commit it is.
+type Owner struct {
+	Host     string `json:"host"`
+	PID      int    `json:"pid"`
+	WorkerID string `json:"worker_id"`
+}
+
+// SelfOwner returns the calling process's Owner stamp with the given
+// role tag.
+func SelfOwner(workerID string) Owner {
+	host, err := os.Hostname()
+	if err != nil {
+		host = "unknown"
+	}
+	return Owner{Host: host, PID: os.Getpid(), WorkerID: workerID}
+}
+
+// ReleaseRecord documents one re-lease: a shard whose lease expired (or
+// whose worker died) and was handed to another worker.  The distributed
+// coordinator appends these to its manifest so an operator — and the
+// kill-a-worker smoke test — can see exactly which shards were
+// re-executed.
+type ReleaseRecord struct {
+	Level   int    `json:"level"`
+	Shard   string `json:"shard"`
+	Worker  int    `json:"worker"`
+	Attempt int    `json:"attempt"`
+	Reason  string `json:"reason"`
+}
+
+// Manifest is the per-run checkpoint written at each level boundary: the
 // next level to join, its shard files, the cumulative statistics through
 // that boundary, and the identity of the graph the level files were
-// derived from.
-type manifest struct {
+// derived from.  The distributed coordinator writes the same schema
+// (plus its release history), so ooc.Resume can finish an interrupted
+// distributed run on one machine.
+type Manifest struct {
 	Version  int         `json:"version"`
+	Owner    Owner       `json:"owner"`
 	Compress bool        `json:"compress"`
 	K        int         `json:"k"` // clique size of Shards' records (next join input)
 	MaxK     int         `json:"max_k,omitempty"`
-	Shards   []shardMeta `json:"shards"`
+	Shards   []ShardMeta `json:"shards"`
 	Stats    Stats       `json:"stats"`
 	GraphN   int         `json:"graph_n"`
 	GraphM   int         `json:"graph_m"`
 	// GraphHash fingerprints the canonical edge stream (FNV-1a), so a
 	// checkpoint cannot silently resume against a different graph.
 	GraphHash string `json:"graph_hash"`
+	// Releases is the distributed coordinator's re-lease history
+	// (empty for single-machine runs).
+	Releases []ReleaseRecord `json:"releases,omitempty"`
 }
 
 // Fingerprint hashes the graph's canonical edge stream; Resume refuses a
@@ -47,8 +93,8 @@ type manifest struct {
 // key on.
 func Fingerprint(g graph.Interface) string { return graph.Fingerprint(g) }
 
-// writeManifest atomically replaces the run directory's manifest.
-func writeManifest(dir string, m *manifest) error {
+// writeManifestRaw atomically replaces the run directory's manifest.
+func writeManifestRaw(dir string, m *Manifest) error {
 	data, err := json.MarshalIndent(m, "", "  ")
 	if err != nil {
 		return fmt.Errorf("ooc: encode manifest: %w", err)
@@ -63,18 +109,40 @@ func writeManifest(dir string, m *manifest) error {
 	return nil
 }
 
-// loadManifest reads and structurally validates a checkpoint manifest.
-func loadManifest(dir string) (*manifest, error) {
+// WriteManifest commits a checkpoint: m.Version is stamped and the
+// write replaces the directory's manifest atomically.  Unless takeover
+// is set, a manifest already on disk must carry the same Owner — a
+// commit from anyone else is rejected, so a stale worker (or a
+// superseded coordinator) that wakes up late cannot clobber the live
+// owner's checkpoint.  Takeover is for the two legitimate
+// ownership-transfer points: the first commit of a fresh run and a
+// Resume that has already validated the checkpoint it is adopting.
+func WriteManifest(dir string, m *Manifest, takeover bool) error {
+	m.Version = ManifestVersion
+	if !takeover {
+		if existing, err := LoadManifest(dir); err == nil && existing.Owner != (Owner{}) &&
+			existing.Owner != m.Owner {
+			return fmt.Errorf(
+				"ooc: stale manifest commit rejected: %s is owned by %s@%s pid %d, not %s@%s pid %d",
+				dir, existing.Owner.WorkerID, existing.Owner.Host, existing.Owner.PID,
+				m.Owner.WorkerID, m.Owner.Host, m.Owner.PID)
+		}
+	}
+	return writeManifestRaw(dir, m)
+}
+
+// LoadManifest reads and structurally validates a checkpoint manifest.
+func LoadManifest(dir string) (*Manifest, error) {
 	data, err := os.ReadFile(filepath.Join(dir, manifestName))
 	if err != nil {
 		return nil, fmt.Errorf("ooc: no resumable checkpoint in %s: %w", dir, err)
 	}
-	var m manifest
+	var m Manifest
 	if err := json.Unmarshal(data, &m); err != nil {
 		return nil, fmt.Errorf("ooc: corrupt manifest in %s: %w", dir, err)
 	}
-	if m.Version != manifestVersion {
-		return nil, fmt.Errorf("ooc: manifest version %d, this build reads %d", m.Version, manifestVersion)
+	if m.Version != ManifestVersion {
+		return nil, fmt.Errorf("ooc: manifest version %d, this build reads %d", m.Version, ManifestVersion)
 	}
 	if m.K < 2 {
 		return nil, fmt.Errorf("ooc: corrupt manifest: level size %d", m.K)
@@ -91,11 +159,26 @@ func loadManifest(dir string) (*manifest, error) {
 	return &m, nil
 }
 
+// HasManifest reports whether dir holds a checkpoint manifest.
+func HasManifest(dir string) bool {
+	_, err := os.Stat(filepath.Join(dir, manifestName))
+	return err == nil
+}
+
+// RemoveManifest retires a completed checkpoint.  A missing manifest is
+// not an error (the run may never have checkpointed).
+func RemoveManifest(dir string) error {
+	if err := os.Remove(filepath.Join(dir, manifestName)); err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("ooc: removing completed checkpoint: %w", err)
+	}
+	return nil
+}
+
 // verifyShards stats every shard the manifest names, confirming presence
 // and exact size — the cheap pre-flight that catches a truncated or
 // tampered checkpoint before any join starts (record-level validation
 // happens during the joins themselves).
-func verifyShards(dir string, shards []shardMeta) error {
+func verifyShards(dir string, shards []ShardMeta) error {
 	for _, s := range shards {
 		fi, err := os.Stat(filepath.Join(dir, s.Path))
 		if err != nil {
@@ -109,10 +192,11 @@ func verifyShards(dir string, shards []shardMeta) error {
 	return nil
 }
 
-// removeStaleShards deletes shard files in dir that the manifest does
-// not list — the partial outputs of the level that was interrupted.
-// Only files matching the engine's naming pattern are touched.
-func removeStaleShards(dir string, keep []shardMeta) error {
+// RemoveStaleShards deletes shard files in dir that keep does not list —
+// the partial outputs of an interrupted level, or the orphaned writes of
+// a worker whose lease expired.  Only files matching the engine's naming
+// pattern (the .ooc suffix) are touched.
+func RemoveStaleShards(dir string, keep []ShardMeta) error {
 	listed := make(map[string]bool, len(keep))
 	for _, s := range keep {
 		listed[s.Path] = true

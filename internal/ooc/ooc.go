@@ -30,13 +30,11 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"io"
 	"os"
 	"path/filepath"
 	"sync"
 	"sync/atomic"
 
-	"repro/internal/bitset"
 	"repro/internal/clique"
 	"repro/internal/enumcfg"
 	"repro/internal/graph"
@@ -240,7 +238,7 @@ func Resume(g graph.Interface, opts Options) (Stats, error) {
 	if err := normalizeOptions(&opts); err != nil {
 		return Stats{}, err
 	}
-	m, err := loadManifest(opts.Dir)
+	m, err := LoadManifest(opts.Dir)
 	if err != nil {
 		return Stats{}, err
 	}
@@ -255,7 +253,7 @@ func Resume(g graph.Interface, opts Options) (Stats, error) {
 	}
 	// Partial outputs of the interrupted level are discarded; the level
 	// re-runs from its durable input.
-	if err := removeStaleShards(opts.Dir, m.Shards); err != nil {
+	if err := RemoveStaleShards(opts.Dir, m.Shards); err != nil {
 		return Stats{}, err
 	}
 	opts.Compress = m.Compress
@@ -307,7 +305,9 @@ type engine struct {
 	peak        int64
 	aborted     bool
 	resumed     bool
-	checkpinned bool // a manifest has been committed
+	checkpinned bool  // a manifest has been committed
+	claimed     bool  // this process owns the checkpoint dir (first commit done)
+	owner       Owner // the stamp each commit carries
 
 	workers       []*oocWorker
 	poolWG        sync.WaitGroup
@@ -315,12 +315,12 @@ type engine struct {
 }
 
 func newEngine(g graph.Interface, opts Options, dir string) *engine {
-	return &engine{g: g, opts: opts, ctx: opts.Ctx, dir: dir}
+	return &engine{g: g, opts: opts, ctx: opts.Ctx, dir: dir, owner: SelfOwner("ooc")}
 }
 
 // restore loads the cumulative counters of a checkpoint, so the resumed
 // run's Stats continue where the interrupted run's boundary left off.
-func (e *engine) restore(m *manifest) {
+func (e *engine) restore(m *Manifest) {
 	e.maximal = m.Stats.Maximal
 	e.written.Store(m.Stats.BytesWritten)
 	e.rawWritten.Store(m.Stats.RawBytesWritten)
@@ -360,7 +360,7 @@ func (e *engine) enumerate() (Stats, error) {
 // remain (or MaxK / cancellation / the spill budget stops it).
 //
 //repro:ctxloop
-func (e *engine) run(shards []shardMeta, k int) (Stats, error) {
+func (e *engine) run(shards []ShardMeta, k int) (Stats, error) {
 	e.startPool()
 	defer e.stopPool()
 	if e.opts.Checkpoint && !e.checkpinned {
@@ -400,8 +400,8 @@ func (e *engine) run(shards []shardMeta, k int) (Stats, error) {
 	// leaves stray (unreferenced) shard files, never a manifest naming
 	// deleted ones — the checkpoint is always either resumable or gone.
 	if e.opts.Checkpoint {
-		if err := os.Remove(filepath.Join(e.dir, manifestName)); err != nil && !os.IsNotExist(err) {
-			return e.stats(), fmt.Errorf("ooc: removing completed checkpoint: %w", err)
+		if err := RemoveManifest(e.dir); err != nil {
+			return e.stats(), err
 		}
 	}
 	if err := e.removeShards(shards); err != nil {
@@ -410,11 +410,15 @@ func (e *engine) run(shards []shardMeta, k int) (Stats, error) {
 	return e.stats(), nil
 }
 
-func (e *engine) writeCheckpoint(shards []shardMeta, k int) error {
+func (e *engine) writeCheckpoint(shards []ShardMeta, k int) error {
 	st := e.stats()
 	st.Aborted = false
-	if err := writeManifest(e.dir, &manifest{
-		Version:   manifestVersion,
+	// The first commit claims the directory (a fresh run writes into an
+	// empty one; a Resume adopts the checkpoint it just validated); every
+	// later commit must match the owner already on disk — a stale
+	// process's late commit is rejected instead of silently accepted.
+	if err := WriteManifest(e.dir, &Manifest{
+		Owner:     e.owner,
 		Compress:  e.opts.Compress,
 		K:         k,
 		MaxK:      e.opts.MaxK,
@@ -423,14 +427,15 @@ func (e *engine) writeCheckpoint(shards []shardMeta, k int) error {
 		GraphN:    e.g.N(),
 		GraphM:    e.g.M(),
 		GraphHash: e.fp,
-	}); err != nil {
+	}, !e.claimed); err != nil {
 		return err
 	}
+	e.claimed = true
 	e.checkpinned = true
 	return nil
 }
 
-func (e *engine) removeShards(shards []shardMeta) error {
+func (e *engine) removeShards(shards []ShardMeta) error {
 	var errs []error
 	for _, s := range shards {
 		if err := os.Remove(filepath.Join(e.dir, s.Path)); err != nil {
@@ -452,66 +457,27 @@ func (e *engine) shardTarget(consumedBytes int64) int64 {
 	if e.opts.ShardBytes > 0 {
 		return e.opts.ShardBytes
 	}
-	t := consumedBytes / int64(8*e.opts.Workers)
-	const minTarget = 32 << 10
-	const maxTarget = 32 << 20
-	if t < minTarget {
-		t = minTarget
-	}
-	if t > maxTarget {
-		t = maxTarget
-	}
-	return t
+	return DefaultShardTarget(consumedBytes, e.opts.Workers)
 }
 
 // spillEdges writes level 2 — every edge in canonical order — through
 // the sharding writer.
-func (e *engine) spillEdges() ([]shardMeta, error) {
-	return e.spillLevel(2, 8*int64(e.g.M()), func(write func(rec []uint32) error) error {
-		var rec [2]uint32
-		var werr error
-		cnt := 0
-		graph.ForEachEdge(e.g, func(u, v int) bool {
-			if cnt&4095 == 0 && e.ctx.Err() != nil {
-				werr = fmt.Errorf("ooc: canceled during edge spill: %w", e.ctx.Err())
-				return false
-			}
-			cnt++
-			rec[0], rec[1] = uint32(u), uint32(v)
-			werr = write(rec[:])
-			return werr == nil
-		})
-		return werr
-	})
+func (e *engine) spillEdges() ([]ShardMeta, error) {
+	return e.spillLevel(2, 8*int64(e.g.M()), EdgeFeed(e.ctx, e.g))
 }
 
 // spillLevel writes one level's sorted record stream — produced by feed
-// in canonical order — through the sharding writer, with the engine's
-// usual accounting and abort cleanup.  rawHint estimates the level's
-// fixed-width bytes for shard-target sizing.
+// in canonical order — through the exported WriteLevel entry, with the
+// engine's usual accounting.  rawHint estimates the level's fixed-width
+// bytes for shard-target sizing.
 func (e *engine) spillLevel(k int, rawHint int64,
-	feed func(write func(rec []uint32) error) error) ([]shardMeta, error) {
+	feed func(write func(rec []uint32) error) error) ([]ShardMeta, error) {
 	var levelOut atomic.Int64
-	var created []string
-	lw := newLevelWriter(e.dir, k, e.opts.Compress, e.shardTarget(rawHint), e.opts.Gov,
-		func() (string, error) {
-			name := e.nextShardName(k)
-			created = append(created, name)
-			return name, nil
-		},
-		e.accountWrite(&levelOut, k))
-	if werr := feed(lw.write); werr != nil {
-		e.aborted = true
-		errs := []error{werr, lw.abort()}
-		for _, name := range created {
-			if err := os.Remove(filepath.Join(e.dir, name)); err != nil {
-				errs = append(errs, fmt.Errorf("ooc: remove aborted level spill: %w", err))
-			}
-		}
-		return nil, errors.Join(errs...)
-	}
-	shards, err := lw.finish()
+	shards, err := WriteLevel(e.dir, k, e.opts.Compress, e.shardTarget(rawHint), e.opts.Gov,
+		func() (string, error) { return e.nextShardName(k), nil },
+		e.accountWrite(&levelOut, k), feed)
 	if err != nil {
+		e.aborted = true
 		return nil, err
 	}
 	e.shardsTotal += int64(len(shards))
@@ -536,7 +502,7 @@ func (e *engine) accountWrite(levelOut *atomic.Int64, nextK int) func(enc, raw i
 // levelJob is one level's work order, broadcast to the pool.
 type levelJob struct {
 	k       int
-	shards  []shardMeta
+	shards  []ShardMeta
 	disp    *sched.Dispatcher
 	seq     *sched.Sequencer[*shardResult]
 	ctx     context.Context
@@ -573,7 +539,7 @@ func (j *levelJob) addFile(name string) {
 // wrote, its maximal-clique emissions (a flat vertex arena — no
 // per-clique allocation), and the count.
 type shardResult struct {
-	out       []shardMeta
+	out       []ShardMeta
 	maximal   int64
 	emitVerts []int
 	emitOff   []int32
@@ -581,7 +547,7 @@ type shardResult struct {
 
 // runLevel joins one level's shards on the pool and returns the next
 // level's shard list.
-func (e *engine) runLevel(shards []shardMeta, k int) ([]shardMeta, error) {
+func (e *engine) runLevel(shards []ShardMeta, k int) ([]ShardMeta, error) {
 	e.levels++
 	encB, rawB := levelBytes(shards)
 	if encB > e.peak {
@@ -613,7 +579,7 @@ func (e *engine) runLevel(shards []shardMeta, k int) ([]shardMeta, error) {
 		collect: e.opts.Reporter != nil,
 		onWrite: e.accountWrite(&levelOut, k+1),
 	}
-	var nextShards []shardMeta
+	var nextShards []ShardMeta
 	// Release in shard order: emission order is exactly the sequential
 	// order, and the next level's shard list is assembled in global run
 	// order.  Maximal counts accrue on release, so an aborted level
@@ -671,15 +637,13 @@ func (e *engine) startPool() {
 	if e.workers != nil {
 		return
 	}
-	n := e.g.N()
 	e.workers = make([]*oocWorker, e.opts.Workers)
 	for i := range e.workers {
 		w := &oocWorker{
-			id:     i,
-			e:      e,
-			jobs:   make(chan *levelJob, 1),
-			cn:     bitset.New(n),
-			cnNext: bitset.New(n),
+			id:   i,
+			e:    e,
+			jobs: make(chan *levelJob, 1),
+			join: NewJoiner(e.g),
 		}
 		e.workers[i] = w
 		e.poolWG.Add(1)
@@ -687,7 +651,7 @@ func (e *engine) startPool() {
 	}
 	// Per-worker bitmap scratch is resident for the whole run; the
 	// governor hears about it like any other layer's footprint.
-	e.scratchCharge = int64(e.opts.Workers) * 2 * int64((n+63)/64) * 8
+	e.scratchCharge = int64(e.opts.Workers) * e.workers[0].join.ScratchBytes()
 	e.opts.Gov.Charge(e.scratchCharge)
 }
 
@@ -700,20 +664,14 @@ func (e *engine) stopPool() {
 	e.scratchCharge = 0
 }
 
-// oocWorker is one persistent pool thread.  Its bitmaps and record
-// scratch live for the whole run, so the spill hot loop allocates
-// nothing per record (pinned by TestJoinHotLoopAllocs).
+// oocWorker is one persistent pool thread.  Its Joiner's bitmaps and
+// record scratch live for the whole run, so the spill hot loop
+// allocates nothing per record (pinned by TestJoinHotLoopAllocs).
 type oocWorker struct {
 	id   int
 	e    *engine
 	jobs chan *levelJob
-
-	cn, cnNext *bitset.Bitset
-	rec        []uint32
-	prefix     []uint32
-	tails      []uint32
-	rec2       []uint32 // spill record scratch (the old per-record rec2 allocation, hoisted)
-	prefixInts []int
+	join *Joiner
 }
 
 func (w *oocWorker) loop() {
@@ -746,132 +704,36 @@ func (w *oocWorker) runJob(job *levelJob) {
 	}
 }
 
-// processShard streams one input shard, joining its prefix runs and
+// processShard joins one input shard through the worker's Joiner,
 // writing next-level candidates through its own sharding writer (output
 // shards of consecutive input shards concatenate in order — the
-// run-aligned range-sharding invariant).
-func (w *oocWorker) processShard(job *levelJob, si int) (res *shardResult, err error) {
+// run-aligned range-sharding invariant).  The join itself lives in
+// Joiner.JoinShard, shared with the distributed worker path.
+func (w *oocWorker) processShard(job *levelJob, si int) (*shardResult, error) {
 	e := w.e
 	k := job.k
-	r, err := openShard(e.dir, job.shards[si], k, e.g.N(), e.opts.Compress, e.opts.Gov)
-	if err != nil {
-		return nil, err
-	}
-	defer func() {
-		e.read.Add(r.bytesRead())
-		if cerr := r.close(); cerr != nil {
-			err = errors.Join(err, cerr)
-			res = nil
-		}
-	}()
-	out := newLevelWriter(e.dir, k+1, e.opts.Compress, job.target, e.opts.Gov,
+	out := NewLevelWriter(e.dir, k+1, e.opts.Compress, job.target, e.opts.Gov,
 		func() (string, error) {
 			name := e.nextShardName(k + 1)
 			job.addFile(name)
 			return name, nil
 		},
 		job.onWrite)
-	defer func() {
-		if err != nil {
-			err = errors.Join(err, out.abort())
-		}
-	}()
-
-	res = &shardResult{}
-	rec := growU32(&w.rec, k)
-	prefix := growU32(&w.prefix, k-1)
-	tails := w.tails[:0]
-	defer func() { w.tails = tails[:0] }() // keep grown capacity for the next shard
-	for i := int64(0); ; i++ {
-		// Cancellation point: every 4096 records, so abort latency stays
-		// bounded even when one shard holds millions of cliques.
-		if i&4095 == 0 && job.ctx.Err() != nil {
-			return nil, fmt.Errorf("ooc: canceled during level %d->%d: %w", k, k+1, job.ctx.Err())
-		}
-		err := r.next(rec)
-		if err == io.EOF {
-			break
-		}
-		if err != nil {
-			return nil, err
-		}
-		if len(tails) > 0 && !equalPrefix(prefix, rec[:k-1]) {
-			if err := w.joinRun(job, res, out, k, prefix, tails); err != nil {
-				return nil, err
-			}
-			tails = tails[:0]
-		}
-		copy(prefix, rec[:k-1])
-		tails = append(tails, rec[k-1])
+	st, err := w.join.JoinShard(job.ctx, e.dir, job.shards[si], k, e.opts.Compress, e.opts.Gov, out, job.collect)
+	e.read.Add(st.BytesRead)
+	if err != nil {
+		return nil, errors.Join(err, out.Abort())
 	}
-	if len(tails) > 0 {
-		if err := w.joinRun(job, res, out, k, prefix, tails); err != nil {
-			return nil, err
-		}
-	}
-	metas, err := out.finish()
+	metas, err := out.Finish()
 	if err != nil {
 		return nil, err
 	}
-	res.out = metas
-	return res, nil
-}
-
-// joinRun joins one prefix run: the current run's tails are pairwise
-// tested; survivors spill as (k+1)-candidates, dead ends of size >= 3
-// are maximal and buffered for in-order emission.  All scratch is
-// worker-owned — the hot loop allocates only when an emission arena
-// grows.
-func (w *oocWorker) joinRun(job *levelJob, res *shardResult, out *levelWriter,
-	k int, prefix, tails []uint32) error {
-	g := w.e.g
-	pi := w.prefixInts[:0]
-	for _, p := range prefix {
-		pi = append(pi, int(p))
-	}
-	w.prefixInts = pi
-	// CN of the shared prefix (k-1 ANDs over adjacency rows; for k=2 the
-	// "prefix" is one vertex).
-	graph.CommonNeighbors(g, w.cn, pi)
-	rec2 := growU32(&w.rec2, k+1)
-	copy(rec2, prefix)
-	for i := 0; i < len(tails)-1; i++ {
-		v := int(tails[i])
-		rv := g.Row(v)
-		rv.AndInto(w.cnNext, w.cn)
-		rec2[k-1] = tails[i]
-		for j := i + 1; j < len(tails); j++ {
-			u := int(tails[j])
-			if !rv.Test(u) {
-				continue
-			}
-			if g.Row(u).IntersectsWith(w.cnNext) {
-				// Non-maximal: spill as a next-level candidate.
-				rec2[k] = tails[j]
-				if err := out.write(rec2); err != nil {
-					return err
-				}
-			} else if k+1 >= 3 {
-				res.maximal++
-				if job.collect {
-					for _, p := range prefix {
-						res.emitVerts = append(res.emitVerts, int(p))
-					}
-					res.emitVerts = append(res.emitVerts, v, u)
-					res.emitOff = append(res.emitOff, int32(len(res.emitVerts)))
-				}
-			}
-		}
-	}
-	return nil
-}
-
-func growU32(buf *[]uint32, n int) []uint32 {
-	if cap(*buf) < n {
-		*buf = make([]uint32, n)
-	}
-	*buf = (*buf)[:n]
-	return *buf
+	return &shardResult{
+		out:       metas,
+		maximal:   st.Maximal,
+		emitVerts: st.EmitVerts,
+		emitOff:   st.EmitOff,
+	}, nil
 }
 
 // SpillPath returns a default spill directory under the OS temp dir.

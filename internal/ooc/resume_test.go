@@ -159,7 +159,7 @@ func TestCheckpointLifecycle(t *testing.T) {
 		t.Fatalf("fresh run over a live checkpoint: err = %v", err)
 	}
 	// The kill left exactly the manifest plus the shards it lists.
-	m, err := loadManifest(dir)
+	m, err := LoadManifest(dir)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -240,7 +240,7 @@ func TestResumeRejectsCorruptCheckpoints(t *testing.T) {
 	})
 	t.Run("wrong version", func(t *testing.T) {
 		dir := freshKill(t)
-		m, err := loadManifest(dir)
+		m, err := LoadManifest(dir)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -254,7 +254,7 @@ func TestResumeRejectsCorruptCheckpoints(t *testing.T) {
 	})
 	t.Run("traversal shard path", func(t *testing.T) {
 		dir := freshKill(t)
-		m, err := loadManifest(dir)
+		m, err := LoadManifest(dir)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -268,7 +268,7 @@ func TestResumeRejectsCorruptCheckpoints(t *testing.T) {
 	})
 	t.Run("missing shard", func(t *testing.T) {
 		dir := freshKill(t)
-		m, err := loadManifest(dir)
+		m, err := LoadManifest(dir)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -282,7 +282,7 @@ func TestResumeRejectsCorruptCheckpoints(t *testing.T) {
 	})
 	t.Run("truncated shard", func(t *testing.T) {
 		dir := freshKill(t)
-		m, err := loadManifest(dir)
+		m, err := LoadManifest(dir)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -297,7 +297,7 @@ func TestResumeRejectsCorruptCheckpoints(t *testing.T) {
 	})
 	t.Run("corrupted shard body", func(t *testing.T) {
 		dir := freshKill(t)
-		m, err := loadManifest(dir)
+		m, err := LoadManifest(dir)
 		if err != nil {
 			t.Fatal(err)
 		}

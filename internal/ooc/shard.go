@@ -31,9 +31,9 @@ const (
 	shardHeaderLen = 7
 )
 
-// shardMeta describes one shard file; the level manifest persists these
-// for resume, and the in-memory level descriptor is just []shardMeta.
-type shardMeta struct {
+// ShardMeta describes one shard file; the level manifest persists these
+// for resume, and the in-memory level descriptor is just []ShardMeta.
+type ShardMeta struct {
 	Path     string `json:"path"` // relative to the run directory
 	Records  int64  `json:"records"`
 	Runs     int64  `json:"runs"`
@@ -41,7 +41,7 @@ type shardMeta struct {
 	RawBytes int64  `json:"raw_bytes"` // fixed-width-equivalent payload bytes (4k per record)
 }
 
-func levelRecords(shards []shardMeta) int64 {
+func levelRecords(shards []ShardMeta) int64 {
 	var t int64
 	for _, s := range shards {
 		t += s.Records
@@ -49,7 +49,7 @@ func levelRecords(shards []shardMeta) int64 {
 	return t
 }
 
-func levelBytes(shards []shardMeta) (enc, raw int64) {
+func levelBytes(shards []ShardMeta) (enc, raw int64) {
 	for _, s := range shards {
 		enc += s.Bytes
 		raw += s.RawBytes
@@ -57,14 +57,14 @@ func levelBytes(shards []shardMeta) (enc, raw int64) {
 	return
 }
 
-// levelWriter writes one level's sorted record stream, splitting it into
+// LevelWriter writes one level's sorted record stream, splitting it into
 // run-aligned shard files of roughly target encoded bytes.  newShard
 // names each file (and lets the engine register it for failure
 // cleanup); onWrite observes every encoded/raw byte increment as it
 // happens — the accounting hook that keeps Stats.BytesWritten truthful
 // even when the level aborts mid-shard — and may return an error (the
 // spill-budget abort) to stop the writer.
-type levelWriter struct {
+type LevelWriter struct {
 	dir      string
 	k        int
 	target   int64
@@ -73,22 +73,22 @@ type levelWriter struct {
 	onWrite  func(encBytes, rawBytes int64) error
 	gov      *membudget.Governor // charged with the in-flight I/O buffer
 
-	shards  []shardMeta
+	shards  []ShardMeta
 	f       *os.File
 	bw      *bufio.Writer
 	bufSize int64 // governor charge of the open shard's buffer
-	cur     shardMeta
+	cur     ShardMeta
 	prev    []uint32
 	count   int64 // records written this level
 }
 
-func newLevelWriter(dir string, k int, compress bool, target int64,
+func NewLevelWriter(dir string, k int, compress bool, target int64,
 	gov *membudget.Governor,
-	newShard func() (string, error), onWrite func(enc, raw int64) error) *levelWriter {
+	newShard func() (string, error), onWrite func(enc, raw int64) error) *LevelWriter {
 	if target < 1 {
 		target = 1
 	}
-	return &levelWriter{
+	return &LevelWriter{
 		dir:      dir,
 		k:        k,
 		target:   target,
@@ -101,7 +101,7 @@ func newLevelWriter(dir string, k int, compress bool, target int64,
 }
 
 // write appends one record (sorted order is the caller's invariant).
-func (w *levelWriter) write(rec []uint32) error {
+func (w *LevelWriter) Write(rec []uint32) error {
 	newRun := w.count == 0 || lcp(w.prev, rec) < w.k-1
 	if w.f != nil && newRun && w.cur.Bytes >= w.target {
 		if err := w.closeShard(); err != nil {
@@ -128,7 +128,7 @@ func (w *levelWriter) write(rec []uint32) error {
 	return w.onWrite(int64(len(buf)), int64(4*len(rec)))
 }
 
-func (w *levelWriter) openShard() error {
+func (w *LevelWriter) openShard() error {
 	name, err := w.newShard()
 	if err != nil {
 		return err
@@ -142,7 +142,7 @@ func (w *levelWriter) openShard() error {
 	w.bw = bufio.NewWriterSize(f, sz)
 	w.bufSize = int64(sz)
 	w.gov.Charge(w.bufSize)
-	w.cur = shardMeta{Path: name}
+	w.cur = ShardMeta{Path: name}
 	w.enc.reset()
 	hdr := shardHeader(w.k, w.enc.compress)
 	if _, err := w.bw.Write(hdr); err != nil {
@@ -152,7 +152,7 @@ func (w *levelWriter) openShard() error {
 	return w.onWrite(int64(len(hdr)), 0)
 }
 
-func (w *levelWriter) closeShard() error {
+func (w *LevelWriter) closeShard() error {
 	if w.f == nil {
 		return nil
 	}
@@ -171,7 +171,7 @@ func (w *levelWriter) closeShard() error {
 }
 
 // finish closes the current shard and returns the level's shard list.
-func (w *levelWriter) finish() ([]shardMeta, error) {
+func (w *LevelWriter) Finish() ([]ShardMeta, error) {
 	if err := w.closeShard(); err != nil {
 		return nil, err
 	}
@@ -184,7 +184,7 @@ func (w *levelWriter) finish() ([]shardMeta, error) {
 // level-failure cleanup; abort only guarantees no descriptor leaks and
 // surfaces — rather than swallows — close errors, annotated with the
 // abort context.
-func (w *levelWriter) abort() error {
+func (w *LevelWriter) Abort() error {
 	if w.f == nil {
 		return nil
 	}
@@ -212,22 +212,22 @@ func shardHeader(k int, compress bool) []byte {
 	return append(hdr, flags, byte(k))
 }
 
-// shardReader streams one shard file's records, counting consumed bytes
+// ShardReader streams one shard file's records, counting consumed bytes
 // and enforcing the record count recorded at write time, so truncation
 // and trailing garbage both surface as errors.
-type shardReader struct {
+type ShardReader struct {
 	f       *os.File
 	cr      *countingReader
 	br      *bufio.Reader
 	dec     *recordDecoder
-	meta    shardMeta
+	meta    ShardMeta
 	k       int
 	records int64
 	gov     *membudget.Governor
 	bufSize int64
 }
 
-func openShard(dir string, meta shardMeta, k, n int, compress bool, gov *membudget.Governor) (*shardReader, error) {
+func OpenShard(dir string, meta ShardMeta, k, n int, compress bool, gov *membudget.Governor) (*ShardReader, error) {
 	f, err := os.Open(filepath.Join(dir, meta.Path))
 	if err != nil {
 		return nil, fmt.Errorf("ooc: open shard: %w", err)
@@ -258,7 +258,7 @@ func openShard(dir string, meta shardMeta, k, n int, compress bool, gov *membudg
 		return nil, corrupt("%s: clique size %d, level expects %d", meta.Path, hdr[6], k)
 	}
 	gov.Charge(int64(sz))
-	return &shardReader{
+	return &ShardReader{
 		f: f, cr: cr, br: br,
 		dec:  newRecordDecoder(k, n, compress),
 		meta: meta, k: k,
@@ -268,7 +268,7 @@ func openShard(dir string, meta shardMeta, k, n int, compress bool, gov *membudg
 
 // next reads one record into rec (len k), reporting io.EOF after exactly
 // meta.Records records.
-func (r *shardReader) next(rec []uint32) error {
+func (r *ShardReader) Next(rec []uint32) error {
 	if r.records == r.meta.Records {
 		// The write-time count is exhausted: the file must end here.
 		if _, err := r.br.ReadByte(); err != io.EOF {
@@ -289,9 +289,9 @@ func (r *shardReader) next(rec []uint32) error {
 
 // bytesRead returns the encoded bytes pulled from the file so far
 // (buffered read-ahead included: it is real I/O).
-func (r *shardReader) bytesRead() int64 { return r.cr.n }
+func (r *ShardReader) BytesRead() int64 { return r.cr.n }
 
-func (r *shardReader) close() error {
+func (r *ShardReader) Close() error {
 	r.gov.Release(r.bufSize)
 	r.bufSize = 0
 	if err := r.f.Close(); err != nil {
