@@ -53,6 +53,8 @@ func run() int {
 
 	tests := flag.Bool("tests", true, "also analyze _test.go files")
 	list := flag.Bool("list", false, "print the analyzers in the suite and exit")
+	audit := flag.Bool("audit", false,
+		"list every //nolint suppression with its reason; exit nonzero on reasonless or unknown-analyzer suppressions")
 	flag.Parse()
 
 	if *list {
@@ -70,6 +72,15 @@ func run() int {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "repolint: %v\n", err)
 		return 1
+	}
+	if *audit {
+		sites, bad := lintkit.AuditNolints(fset, pkgs, suite)
+		lintkit.FormatAudit(os.Stdout, sites)
+		fmt.Fprintf(os.Stderr, "repolint: %d suppression(s), %d unhealthy\n", len(sites), bad)
+		if bad > 0 {
+			return 2
+		}
+		return 0
 	}
 	ds, err := lintkit.Run(fset, pkgs, suite)
 	if err != nil {

@@ -51,12 +51,26 @@ import (
 	"repro/internal/analysis/lintkit"
 )
 
+// ReleasesParamFact marks a function that calls Governor.Release on the
+// Governor passed as parameter Param: a call to it counts as a release
+// of unknown quantity in the caller's pairing check.
+type ReleasesParamFact struct{ Param int }
+
+func (*ReleasesParamFact) AFact() {}
+
+// ClosesParamFact marks a function that calls Reservation.Close on the
+// Reservation passed as parameter Param.
+type ClosesParamFact struct{ Param int }
+
+func (*ClosesParamFact) AFact() {}
+
 // Analyzer is the budgetpair check.
 var Analyzer = &lintkit.Analyzer{
 	Name: "budgetpair",
 	Doc: "check that every membudget Charge/Reserve is paired with a Release/Close on all return paths " +
 		"(or ownership provably transfers to a releasing type)",
-	Run: run,
+	Run:       run,
+	FactTypes: []lintkit.Fact{(*ReleasesParamFact)(nil), (*ClosesParamFact)(nil)},
 }
 
 // relMethod is one method that settles an acquisition.
@@ -178,7 +192,35 @@ type release struct {
 }
 
 func run(pass *lintkit.Pass) error {
+	relHelpers, closeHelpers := settlerHelpers(pass)
 	for _, spec := range specs {
+		// settlesVia resolves a callee to the parameter index it settles
+		// for this spec, through the local pre-pass or an imported fact.
+		var settlesVia func(*types.Func) (int, bool)
+		switch spec.acquireName {
+		case "Charge":
+			settlesVia = func(fn *types.Func) (int, bool) {
+				if i, ok := relHelpers[fn]; ok {
+					return i, true
+				}
+				var f ReleasesParamFact
+				if pass.ImportObjectFact(fn, &f) {
+					return f.Param, true
+				}
+				return 0, false
+			}
+		case "Reserve":
+			settlesVia = func(fn *types.Func) (int, bool) {
+				if i, ok := closeHelpers[fn]; ok {
+					return i, true
+				}
+				var f ClosesParamFact
+				if pass.ImportObjectFact(fn, &f) {
+					return f.Param, true
+				}
+				return 0, false
+			}
+		}
 		owners := owningTypes(pass, spec)
 		for _, f := range pass.Files {
 			for _, decl := range f.Decls {
@@ -186,11 +228,65 @@ func run(pass *lintkit.Pass) error {
 				if !ok || fd.Body == nil {
 					continue
 				}
-				checkFunc(pass, fd, spec, owners)
+				checkFunc(pass, fd, spec, owners, settlesVia)
 			}
 		}
 	}
 	return nil
+}
+
+// settlerHelpers summarizes which local functions release a Governor
+// parameter or close a Reservation parameter, and exports the matching
+// facts so importers see through the helpers too.
+func settlerHelpers(pass *lintkit.Pass) (rel, cls map[*types.Func]int) {
+	rel = make(map[*types.Func]int)
+	cls = make(map[*types.Func]int)
+	info := pass.TypesInfo
+	for fn, decl := range lintkit.LocalFuncs(pass.Files, info) {
+		sig, ok := fn.Type().(*types.Signature)
+		if !ok {
+			continue
+		}
+		for i := 0; i < sig.Params().Len(); i++ {
+			p := sig.Params().At(i)
+			var typeName, method string
+			var nargs int
+			switch {
+			case isNamed(p.Type(), "Governor"):
+				typeName, method, nargs = "Governor", "Release", 1
+			case isNamed(p.Type(), "Reservation"):
+				typeName, method, nargs = "Reservation", "Close", 0
+			default:
+				continue
+			}
+			found := false
+			ast.Inspect(decl.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if recv, ok := methodCall(info, call, typeName, method, nargs); ok {
+					if root := lintkit.RootIdent(recv); root != nil && info.ObjectOf(root) == p {
+						found = true
+						return false
+					}
+				}
+				return true
+			})
+			if !found {
+				continue
+			}
+			if typeName == "Governor" {
+				rel[fn] = i
+				pass.ExportObjectFact(fn, &ReleasesParamFact{Param: i})
+			} else {
+				cls[fn] = i
+				pass.ExportObjectFact(fn, &ClosesParamFact{Param: i})
+			}
+			break
+		}
+	}
+	return rel, cls
 }
 
 // recvTypeName returns the named type of fd's receiver ("" for plain
@@ -257,7 +353,8 @@ func owningTypes(pass *lintkit.Pass, spec pairSpec) map[string]bool {
 // not a return path of its enclosing function), except the immediate
 // body of a `defer func() { ... }()`, whose releases count as deferred
 // coverage.
-func checkFunc(pass *lintkit.Pass, fd *ast.FuncDecl, spec pairSpec, owners map[string]bool) {
+func checkFunc(pass *lintkit.Pass, fd *ast.FuncDecl, spec pairSpec, owners map[string]bool,
+	settlesVia func(*types.Func) (int, bool)) {
 	// The accounting types' own methods ARE the mechanism: Governor's
 	// parent-forwarding Charge/Release mirrors and Reservation's
 	// reconciling Close would all read as unpaired acquisitions.
@@ -315,6 +412,20 @@ func checkFunc(pass *lintkit.Pass, fd *ast.FuncDecl, spec pairSpec, owners map[s
 						deferred: deferPos != token.NoPos,
 						deferPos: deferPos,
 					})
+				} else if settlesVia != nil {
+					// A call into a helper that settles one of its
+					// parameters is a release of unknown quantity here.
+					callee := lintkit.CalleeFunc(pass.TypesInfo, n)
+					if callee != nil && callee != pass.TypesInfo.Defs[fd.Name] {
+						if pi, ok := settlesVia(callee); ok && pi < len(n.Args) {
+							releases = append(releases, release{
+								pos:      n.Pos(),
+								argText:  "?",
+								deferred: deferPos != token.NoPos,
+								deferPos: deferPos,
+							})
+						}
+					}
 				}
 			}
 			return true

@@ -2,7 +2,11 @@
 // (matched nominally) exercising the pairing, escape and quantity rules.
 package a
 
-import "errors"
+import (
+	"errors"
+
+	"repro/internal/analysis/budgetpair/testdata/src/a/gov"
+)
 
 type Governor struct{ n int64 }
 
@@ -241,3 +245,47 @@ func (d *dispatcher) grab() {
 }
 
 func (d *dispatcher) landed() { d.table.Complete(d.cur.ID, 2) }
+
+// ---- settlement through helpers (facts) ------------------------------
+
+// returnBudget settles its governor parameter; callers releasing
+// through it are paired (ReleasesParamFact).
+func returnBudget(g *Governor, n int64) {
+	g.Release(n)
+}
+
+func okHelperRelease(g *Governor, n int64, bad bool) error {
+	g.Charge(n)
+	defer returnBudget(g, n)
+	if bad {
+		return errBoom
+	}
+	return nil
+}
+
+func okCrossHelperRelease(g *gov.Governor, n int64) {
+	g.Charge(n)
+	gov.ReturnBudget(g, n)
+}
+
+func closeRes(r *Reservation) { r.Close() }
+
+func okHelperClose(g *Governor, n int64, bad bool) error {
+	res, err := g.Reserve(n)
+	if err != nil {
+		return err
+	}
+	defer closeRes(res)
+	if bad {
+		return errBoom
+	}
+	return nil
+}
+
+// peek merely reads the governor — not a settlement.
+func peek(g *Governor) int64 { return g.n }
+
+func leakHelperNoRelease(g *Governor, n int64) {
+	g.Charge(n) // want `has no matching Release`
+	peek(g)
+}

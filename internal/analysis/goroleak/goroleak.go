@@ -1,0 +1,235 @@
+// Package goroleak implements the repolint analyzer that requires every
+// goroutine launch to have a statically visible join or termination
+// path.  Long-running services (cliqued, the dist coordinator) turn a
+// forgotten goroutine into an unbounded leak; this analyzer makes "who
+// reaps this?" a question the launch site must answer.
+//
+// A launch passes when its body (the launched func literal, or the
+// declaration of a same-package function/method it calls) satisfies any
+// of:
+//
+//   - it observes a context.Context — uses a ctx-typed variable, which
+//     covers both `<-ctx.Done()` loops and delegating ctx to a callee;
+//   - it calls Done on a sync.WaitGroup (the launcher Waits);
+//   - it receives from a struct{} signal channel — the close-to-stop
+//     idiom;
+//   - it ranges over a channel — terminated by the producer's close;
+//   - it is straight-line (no loops) with no channel receives, and
+//     every channel send targets a channel the launching function
+//     itself receives from — the `go func() { errc <- serve() }()`
+//     idiom.
+//
+// Launches through values the analyzer cannot see into — interface
+// methods, function values, cross-package calls — are findings: wrap
+// them in a literal that proves termination, or justify a //nolint.
+package goroleak
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis/lintkit"
+)
+
+// Analyzer is the goroleak entry point.
+var Analyzer = &lintkit.Analyzer{
+	Name: "goroleak",
+	Doc: "report goroutine launches with no reachable join/termination path " +
+		"(ctx observation, WaitGroup.Done, signal-channel receive, channel range, " +
+		"or a parent-received result send)",
+	Run: run,
+}
+
+func run(pass *lintkit.Pass) error {
+	locals := lintkit.LocalFuncs(pass.Files, pass.TypesInfo)
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				g, ok := n.(*ast.GoStmt)
+				if !ok {
+					return true
+				}
+				checkLaunch(pass, locals, fd, g)
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// checkLaunch applies the termination rules to one go statement.
+func checkLaunch(pass *lintkit.Pass, locals map[*types.Func]*ast.FuncDecl, enclosing *ast.FuncDecl, g *ast.GoStmt) {
+	var body *ast.BlockStmt
+	switch fn := ast.Unparen(g.Call.Fun).(type) {
+	case *ast.FuncLit:
+		body = fn.Body
+	default:
+		callee := lintkit.CalleeFunc(pass.TypesInfo, g.Call)
+		if callee == nil {
+			pass.Reportf(g.Pos(), "goroutine launched through an interface method or function value; "+
+				"wrap it in a literal with a join/termination path")
+			return
+		}
+		decl, ok := locals[callee]
+		if !ok || decl.Body == nil {
+			pass.Reportf(g.Pos(), "goroutine body %s is outside this package; "+
+				"wrap the launch in a literal with a join/termination path", callee.Name())
+			return
+		}
+		body = decl.Body
+	}
+	if terminates(pass.TypesInfo, body) {
+		return
+	}
+	if straightLineAccounted(pass.TypesInfo, body, enclosing, g) {
+		return
+	}
+	pass.Reportf(g.Pos(), "goroutine has no reachable join/termination path "+
+		"(want ctx observation, WaitGroup.Done, signal-channel receive, channel range, "+
+		"or a parent-received result send)")
+}
+
+// terminates reports whether the body satisfies one of the direct
+// termination rules: ctx use, WaitGroup.Done, struct{}-channel receive,
+// or range over a channel.
+func terminates(info *types.Info, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.Ident:
+			if obj := info.Uses[n]; obj != nil && isContext(obj.Type()) {
+				found = true
+			}
+		case *ast.CallExpr:
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Done" {
+				if tv, ok := info.Types[sel.X]; ok && isWaitGroup(tv.Type) {
+					found = true
+				}
+			}
+		case *ast.UnaryExpr:
+			if n.Op.String() == "<-" && isSignalChan(info, n.X) {
+				found = true
+			}
+		case *ast.RangeStmt:
+			if tv, ok := info.Types[n.X]; ok {
+				if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+					found = true
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// straightLineAccounted reports whether the body is loop-free, receives
+// from nothing, and sends only on channels the enclosing function
+// receives from — the launch-collect idiom where the parent's receive
+// is the join.
+func straightLineAccounted(info *types.Info, body *ast.BlockStmt, enclosing *ast.FuncDecl, g *ast.GoStmt) bool {
+	simple := true
+	var sendChans []types.Object
+	ast.Inspect(body, func(n ast.Node) bool {
+		if !simple {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			simple = false
+		case *ast.UnaryExpr:
+			if n.Op.String() == "<-" {
+				simple = false
+			}
+		case *ast.SendStmt:
+			obj := chanObject(info, n.Chan)
+			if obj == nil {
+				simple = false
+			} else {
+				sendChans = append(sendChans, obj)
+			}
+		}
+		return simple
+	})
+	if !simple {
+		return false
+	}
+	for _, obj := range sendChans {
+		if !parentReceivesFrom(info, enclosing, g, obj) {
+			return false
+		}
+	}
+	return true
+}
+
+// parentReceivesFrom reports whether the enclosing function, outside
+// the launch itself, receives from the channel object.
+func parentReceivesFrom(info *types.Info, enclosing *ast.FuncDecl, g *ast.GoStmt, ch types.Object) bool {
+	found := false
+	ast.Inspect(enclosing.Body, func(n ast.Node) bool {
+		if found || n == g {
+			return !found && n != g
+		}
+		if u, ok := n.(*ast.UnaryExpr); ok && u.Op.String() == "<-" {
+			if chanObject(info, u.X) == ch {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// chanObject resolves a channel expression to the variable object at
+// its root, or nil when the channel is not a plain identifier.
+func chanObject(info *types.Info, e ast.Expr) types.Object {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	return info.ObjectOf(id)
+}
+
+// isContext reports whether t is context.Context.
+func isContext(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// isWaitGroup reports whether t is sync.WaitGroup or *sync.WaitGroup.
+func isWaitGroup(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" && obj.Name() == "WaitGroup"
+}
+
+// isSignalChan reports whether e has type <-chan struct{} (any
+// direction) — the close-to-broadcast termination idiom.
+func isSignalChan(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok {
+		return false
+	}
+	ch, ok := tv.Type.Underlying().(*types.Chan)
+	if !ok {
+		return false
+	}
+	st, ok := ch.Elem().Underlying().(*types.Struct)
+	return ok && st.NumFields() == 0
+}

@@ -1,0 +1,13 @@
+package goroleak_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/analysis/goroleak"
+	"repro/internal/analysis/lintkit/testkit"
+)
+
+func TestGoroleak(t *testing.T) {
+	testkit.Run(t, filepath.Join("testdata", "src", "a"), goroleak.Analyzer)
+}

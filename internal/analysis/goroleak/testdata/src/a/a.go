@@ -1,0 +1,138 @@
+// Package a is goroleak analyzer testdata: every `go` launch needs a
+// statically visible join or termination path.
+package a
+
+import (
+	"context"
+	"io"
+	"sync"
+)
+
+// okWaitGroup: the launcher Waits, the body Dones.
+func okWaitGroup(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			work()
+		}()
+	}
+	wg.Wait()
+}
+
+// okCtx: the body observes cancellation.
+func okCtx(ctx context.Context, ch chan int) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case v := <-ch:
+				sink(v)
+			}
+		}
+	}()
+}
+
+// okCtxDelegated: passing ctx onward counts as observing it.
+func okCtxDelegated(ctx context.Context) {
+	go func() {
+		runUntilCanceled(ctx)
+	}()
+}
+
+// okSignal: receive from a struct{} stop channel.
+func okSignal(stop chan struct{}, ch chan int) {
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			case v := <-ch:
+				sink(v)
+			}
+		}
+	}()
+}
+
+// okRange: the producer's close terminates the loop.
+func okRange(ch chan int) {
+	go func() {
+		for v := range ch {
+			sink(v)
+		}
+	}()
+}
+
+// okStraightLine: no loops, no channel ops — the body runs off its end.
+func okStraightLine() {
+	go func() {
+		work()
+	}()
+}
+
+// okParentReceives: the enclosing function's receive is the join.
+func okParentReceives() error {
+	errc := make(chan error, 1)
+	go func() { errc <- io.EOF }()
+	return <-errc
+}
+
+// okLocalCallee: launching a same-package method whose body ranges.
+func okLocalCallee(p *pool) {
+	go p.loop()
+}
+
+type pool struct{ jobs chan int }
+
+func (p *pool) loop() {
+	for j := range p.jobs {
+		sink(j)
+	}
+}
+
+// badEndless: an unbounded loop nobody can stop.
+func badEndless(ch chan int) {
+	go func() { // want `no reachable join/termination path`
+		for {
+			sink(<-ch)
+		}
+	}()
+}
+
+// badSendNoReceiver: the parent never collects, so the send can block
+// forever once the launcher returns.
+func badSendNoReceiver(ch chan int) {
+	go func() { // want `no reachable join/termination path`
+		ch <- 1
+	}()
+}
+
+// badInterface: the analyzer cannot see into an interface method.
+func badInterface(c io.Closer) {
+	go c.Close() // want `interface method or function value`
+}
+
+// badFuncValue: nor into a function value.
+func badFuncValue(f func()) {
+	go f() // want `interface method or function value`
+}
+
+// badCrossPackage: nor across package boundaries.
+func badCrossPackage(w io.Writer) {
+	go io.WriteString(w, "x") // want `outside this package`
+}
+
+// suppressed: a documented fire-and-forget.
+func suppressed() {
+	go func() { //nolint:goroleak corpus case: deliberate fire-and-forget
+		for {
+			work()
+		}
+	}()
+}
+
+func work()                            {}
+func sink(int)                         {}
+func runUntilCanceled(context.Context) {}

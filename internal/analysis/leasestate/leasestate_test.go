@@ -1,0 +1,13 @@
+package leasestate_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/analysis/leasestate"
+	"repro/internal/analysis/lintkit/testkit"
+)
+
+func TestLeasestate(t *testing.T) {
+	testkit.Run(t, filepath.Join("testdata", "src", "a"), leasestate.Analyzer)
+}

@@ -1,0 +1,129 @@
+// Package a is leasestate analyzer testdata: every acquired lease must
+// show a settlement, delegation, transfer, or settled-field escape.
+package a
+
+import (
+	"time"
+
+	"repro/internal/analysis/leasestate/testdata/src/a/helper"
+)
+
+// okLocal: settled directly on the table it came from.
+func okLocal(t *helper.LeaseTable, now time.Time) {
+	l, ok := t.Acquire(1, now)
+	if !ok {
+		return
+	}
+	t.Release(l.ID, "done", now)
+}
+
+// okSweep: an Expire sweep on the same table settles by deadline.
+func okSweep(t *helper.LeaseTable, now time.Time) {
+	l, ok := t.Acquire(1, now)
+	if ok {
+		record(l.Shard)
+	}
+	t.Expire(now.Add(time.Second))
+}
+
+// okDelegatedLocal: handed to a same-package helper that settles it.
+func okDelegatedLocal(t *helper.LeaseTable, now time.Time) {
+	l, ok := t.Acquire(1, now)
+	if !ok {
+		return
+	}
+	finish(t, l, now)
+}
+
+func finish(t *helper.LeaseTable, l helper.Lease, now time.Time) {
+	t.Complete(l.ID, now)
+}
+
+// okDelegatedCross: handed to an imported helper; the evidence is the
+// SettlesFact helper's package exported.
+func okDelegatedCross(t *helper.LeaseTable, now time.Time) {
+	l, ok := t.Acquire(1, now)
+	if !ok {
+		return
+	}
+	helper.Settle(t, l, now)
+}
+
+// okReturned: returning the lease transfers the obligation upward.
+func okReturned(t *helper.LeaseTable, now time.Time) (helper.Lease, bool) {
+	l, ok := t.Acquire(1, now)
+	return l, ok
+}
+
+// okField + reap: the coordinator pattern — the lease parks in a field
+// that another function in the package settles through.
+type workerState struct{ lease helper.Lease }
+
+type coord struct {
+	table *helper.LeaseTable
+	ws    *workerState
+}
+
+func (c *coord) okField(now time.Time) {
+	l, ok := c.table.Acquire(1, now)
+	if !ok {
+		return
+	}
+	c.ws.lease = l
+}
+
+func (c *coord) reap(now time.Time) {
+	c.table.Release(c.ws.lease.ID, "worker dead", now)
+}
+
+// badUnsettled: used but never settled.
+func badUnsettled(t *helper.LeaseTable, now time.Time) {
+	l, ok := t.Acquire(1, now) // want `neither settled`
+	if ok {
+		record(l.Shard)
+	}
+}
+
+// badDiscard: the blank identifier is never an evidence.
+func badDiscard(t *helper.LeaseTable, now time.Time) {
+	_, _ = t.Acquire(1, now) // want `lease from Acquire is discarded`
+}
+
+// badFieldNoSettle: parked in a field no function ever settles through.
+type parkedState struct{ slot helper.Lease }
+
+func badFieldNoSettle(t *helper.LeaseTable, p *parkedState, now time.Time) {
+	l, ok := t.Acquire(1, now) // want `neither settled`
+	if !ok {
+		return
+	}
+	p.slot = l
+}
+
+// badFromTransfer: helper.Take's TransfersFact makes this call an
+// acquisition — the obligation arrives with the return value.
+func badFromTransfer(t *helper.LeaseTable, now time.Time) {
+	l, ok := helper.Take(t, now) // want `neither settled`
+	if ok {
+		record(l.Shard)
+	}
+}
+
+// okFromTransfer: the transferred lease is settled here.
+func okFromTransfer(t *helper.LeaseTable, now time.Time) {
+	l, ok := helper.Take(t, now)
+	if !ok {
+		return
+	}
+	t.Release(l.ID, "done", now)
+}
+
+// suppressed: a documented parked lease.
+func suppressed(t *helper.LeaseTable, now time.Time) {
+	l, ok := t.Acquire(1, now) //nolint:leasestate corpus case: deliberately parked lease
+	if ok {
+		record(l.ID)
+	}
+}
+
+func record(int) {}

@@ -1,0 +1,30 @@
+// Package helper stubs the lease table for the leasestate corpus and
+// exports the two fact shapes: Settle settles its lease parameter
+// (SettlesFact), Take returns an acquired lease (TransfersFact).
+package helper
+
+import "time"
+
+type Lease struct {
+	ID    int
+	Shard int
+}
+
+type LeaseTable struct{}
+
+func (t *LeaseTable) Acquire(w int, now time.Time) (Lease, bool)        { return Lease{}, false }
+func (t *LeaseTable) Complete(id int, now time.Time) (int, int)         { return 0, 0 }
+func (t *LeaseTable) Release(id int, reason string, now time.Time) bool { return false }
+func (t *LeaseTable) Expire(now time.Time) []Lease                      { return nil }
+
+// Settle settles the lease passed as its second parameter.
+func Settle(t *LeaseTable, l Lease, now time.Time) {
+	t.Release(l.ID, "settled", now)
+}
+
+// Take acquires a lease and hands the settlement obligation to its
+// caller through the return value.
+func Take(t *LeaseTable, now time.Time) (Lease, bool) {
+	l, ok := t.Acquire(1, now)
+	return l, ok
+}

@@ -1,0 +1,111 @@
+package lintkit
+
+import (
+	"fmt"
+	"go/token"
+	"io"
+	"sort"
+	"strings"
+)
+
+// NolintSite is one //nolint suppression found by the audit: where it
+// is, what it silences, and why — plus any hygiene issues (no reason,
+// or an analyzer name the suite does not know, which means the
+// suppression silences nothing and is stale or a typo).
+type NolintSite struct {
+	Pos    token.Position
+	Names  []string // analyzers named; ["all"] for nolint:all
+	Reason string
+	Issues []string
+}
+
+// AuditNolints lists every nolint suppression in the loaded packages —
+// file:line, the analyzers it names, its reason — and returns the
+// sites together with the number of unhealthy ones.  The audit is the
+// inventory `repolint -audit` prints so suppressions stay justified:
+// each one is a hole in the invariant suite, and a hole nobody can
+// explain (or that names a nonexistent analyzer) fails the gate.
+func AuditNolints(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer) (sites []NolintSite, bad int) {
+	known := make(map[string]bool)
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	seen := make(map[string]bool) // test-augmented packages reparse files
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Syntax {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					if _, _, _, ok := parseNolint(c.Text); !ok {
+						continue
+					}
+					pos := fset.Position(c.Pos())
+					key := fmt.Sprintf("%s:%d:%d", pos.Filename, pos.Line, pos.Column)
+					if seen[key] {
+						continue
+					}
+					seen[key] = true
+					names, reason := splitNolint(c.Text)
+					site := NolintSite{Pos: pos, Names: names, Reason: reason}
+					if reason == "" {
+						site.Issues = append(site.Issues, "no reason given")
+					}
+					for _, n := range names {
+						if n != "all" && !known[n] {
+							site.Issues = append(site.Issues,
+								fmt.Sprintf("unknown analyzer %q", n))
+						}
+					}
+					sites = append(sites, site)
+				}
+			}
+		}
+	}
+	sort.Slice(sites, func(i, j int) bool {
+		if sites[i].Pos.Filename != sites[j].Pos.Filename {
+			return sites[i].Pos.Filename < sites[j].Pos.Filename
+		}
+		return sites[i].Pos.Line < sites[j].Pos.Line
+	})
+	for _, s := range sites {
+		if len(s.Issues) > 0 {
+			bad++
+		}
+	}
+	return sites, bad
+}
+
+// FormatAudit renders the audit listing, one site per line, with
+// hygiene issues flagged inline.
+func FormatAudit(w io.Writer, sites []NolintSite) {
+	for _, s := range sites {
+		line := fmt.Sprintf("%s:%d: %s", s.Pos.Filename, s.Pos.Line, strings.Join(s.Names, ","))
+		if s.Reason != "" {
+			line += " — " + s.Reason
+		}
+		for _, issue := range s.Issues {
+			line += fmt.Sprintf("  [AUDIT: %s]", issue)
+		}
+		fmt.Fprintln(w, line)
+	}
+}
+
+// splitNolint splits a nolint comment into its analyzer names and its
+// free-text reason (parseNolint validates; this extracts the text).
+func splitNolint(text string) (names []string, reason string) {
+	const marker = "//nolint:"
+	idx := strings.Index(text, marker)
+	if idx < 0 {
+		return nil, ""
+	}
+	rest := text[idx+len(marker):]
+	list := rest
+	if sp := strings.IndexAny(rest, " \t"); sp >= 0 {
+		list, reason = rest[:sp], strings.TrimSpace(rest[sp+1:])
+	}
+	for _, n := range strings.Split(list, ",") {
+		if n = strings.TrimSpace(n); n != "" {
+			names = append(names, n)
+		}
+	}
+	return names, reason
+}

@@ -1,0 +1,207 @@
+package lintkit
+
+import (
+	"encoding/gob"
+	"fmt"
+	"go/types"
+	"io"
+	"reflect"
+	"sort"
+)
+
+// The facts layer mirrors go/analysis Facts: an analyzer may attach a
+// typed fact to a package-level object (function, method, type, var) or
+// to a package as a whole, and analyzers running later — over packages
+// that import the exporter — can read it back.  Facts are what turn the
+// per-package analyzers into whole-program ones: budgetpair follows a
+// governor through an exported helper because the helper's package
+// exported a "calling me releases param 1" fact, and lockorder's
+// acquisition-order graph is the union of every package's exported edge
+// facts.
+//
+// Two carriers exist, matching the two driver modes:
+//
+//   - standalone (`repolint ./...`): one in-memory FactStore is threaded
+//     through the packages in import-dependency order (Run topo-sorts),
+//     so facts never touch disk;
+//   - vet (`go vet -vettool=repolint`): each package's facts are
+//     gob-serialized into the .vetx file the unitchecker protocol
+//     already exchanges, keyed by stable object paths, so incremental
+//     runs off the go build cache still see their dependencies' facts.
+//     A package's vetx output re-exports the facts it imported, which is
+//     what makes fact visibility transitive without any extra plumbing.
+//
+// A Fact implementation must be a pointer-to-struct, gob-serializable,
+// and listed in its Analyzer's FactTypes so the codec knows the
+// concrete types to register.
+
+// Fact is the marker interface for analyzer facts (go/analysis.Fact).
+type Fact interface{ AFact() }
+
+// factKey identifies one object fact: the object's stable path plus the
+// fact's concrete type (one fact of each type per object).
+type factKey struct {
+	obj string
+	typ reflect.Type
+}
+
+// pkgFactKey identifies one package fact.
+type pkgFactKey struct {
+	path string
+	typ  reflect.Type
+}
+
+// FactStore holds every fact visible to the current analysis unit:
+// facts decoded from dependencies plus facts exported so far.
+type FactStore struct {
+	objects map[factKey]Fact
+	pkgs    map[pkgFactKey]Fact
+}
+
+// NewFactStore returns an empty store.
+func NewFactStore() *FactStore {
+	return &FactStore{
+		objects: make(map[factKey]Fact),
+		pkgs:    make(map[pkgFactKey]Fact),
+	}
+}
+
+// ObjectKey renders the stable cross-package key for a package-level
+// object: pkgpath::Name for plain objects, pkgpath::Recv.Name for
+// methods.  Objects without a package (builtins, the blank identifier)
+// have no key and take no facts.
+func ObjectKey(obj types.Object) string {
+	if obj == nil || obj.Pkg() == nil {
+		return ""
+	}
+	name := obj.Name()
+	if fn, ok := obj.(*types.Func); ok {
+		if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+			rt := sig.Recv().Type()
+			if p, ok := rt.(*types.Pointer); ok {
+				rt = p.Elem()
+			}
+			if named, ok := rt.(*types.Named); ok {
+				name = named.Obj().Name() + "." + name
+			}
+		}
+	}
+	return obj.Pkg().Path() + "::" + name
+}
+
+func (s *FactStore) exportObject(obj types.Object, f Fact) {
+	key := ObjectKey(obj)
+	if key == "" {
+		return
+	}
+	s.objects[factKey{key, reflect.TypeOf(f)}] = f
+}
+
+// importObject copies a stored fact of f's type into f, reporting
+// whether one existed.
+func (s *FactStore) importObject(obj types.Object, f Fact) bool {
+	key := ObjectKey(obj)
+	if key == "" {
+		return false
+	}
+	got, ok := s.objects[factKey{key, reflect.TypeOf(f)}]
+	if !ok {
+		return false
+	}
+	reflect.ValueOf(f).Elem().Set(reflect.ValueOf(got).Elem())
+	return true
+}
+
+func (s *FactStore) exportPackage(path string, f Fact) {
+	s.pkgs[pkgFactKey{path, reflect.TypeOf(f)}] = f
+}
+
+func (s *FactStore) importPackage(path string, f Fact) bool {
+	got, ok := s.pkgs[pkgFactKey{path, reflect.TypeOf(f)}]
+	if !ok {
+		return false
+	}
+	reflect.ValueOf(f).Elem().Set(reflect.ValueOf(got).Elem())
+	return true
+}
+
+// allPackageFacts returns every package fact whose concrete type
+// matches example's, keyed by package path.  The returned facts are the
+// stored pointers: treat them as read-only.
+func (s *FactStore) allPackageFacts(example Fact) map[string]Fact {
+	want := reflect.TypeOf(example)
+	out := make(map[string]Fact)
+	for k, f := range s.pkgs {
+		if k.typ == want {
+			out[k.path] = f
+		}
+	}
+	return out
+}
+
+// ----------------------------------------------------------------------
+// Serialization (the vetx carrier)
+// ----------------------------------------------------------------------
+
+// wireFact is the gob wire form of one fact.  Object is "" for package
+// facts; Fact rides as a gob interface value, so every concrete fact
+// type must be registered (RegisterFactTypes) on both ends.
+type wireFact struct {
+	Object string // ObjectKey, or "" for a package fact
+	Pkg    string // package path (package facts only)
+	Fact   Fact
+}
+
+// RegisterFactTypes registers every analyzer's FactTypes with gob.
+// Call once per process before encoding or decoding fact files.
+func RegisterFactTypes(analyzers []*Analyzer) {
+	for _, a := range analyzers {
+		for _, f := range a.FactTypes {
+			gob.Register(f)
+		}
+	}
+}
+
+// Encode writes the store's facts to w in a deterministic order.
+func (s *FactStore) Encode(w io.Writer) error {
+	var facts []wireFact
+	for k, f := range s.objects {
+		facts = append(facts, wireFact{Object: k.obj, Fact: f})
+	}
+	for k, f := range s.pkgs {
+		facts = append(facts, wireFact{Pkg: k.path, Fact: f})
+	}
+	sort.Slice(facts, func(i, j int) bool {
+		if facts[i].Object != facts[j].Object {
+			return facts[i].Object < facts[j].Object
+		}
+		if facts[i].Pkg != facts[j].Pkg {
+			return facts[i].Pkg < facts[j].Pkg
+		}
+		return fmt.Sprintf("%T", facts[i].Fact) < fmt.Sprintf("%T", facts[j].Fact)
+	})
+	return gob.NewEncoder(w).Encode(facts)
+}
+
+// Decode merges facts from r into the store.  An empty stream (the
+// pre-facts suite wrote zero-byte vetx files) decodes as no facts.
+func (s *FactStore) Decode(r io.Reader) error {
+	var facts []wireFact
+	if err := gob.NewDecoder(r).Decode(&facts); err != nil {
+		if err == io.EOF {
+			return nil
+		}
+		return fmt.Errorf("lintkit: decoding facts: %v", err)
+	}
+	for _, wf := range facts {
+		if wf.Fact == nil {
+			continue
+		}
+		if wf.Object != "" {
+			s.objects[factKey{wf.Object, reflect.TypeOf(wf.Fact)}] = wf.Fact
+		} else if wf.Pkg != "" {
+			s.pkgs[pkgFactKey{wf.Pkg, reflect.TypeOf(wf.Fact)}] = wf.Fact
+		}
+	}
+	return nil
+}

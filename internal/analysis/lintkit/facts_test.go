@@ -1,0 +1,116 @@
+package lintkit
+
+import (
+	"bytes"
+	"encoding/gob"
+	"go/token"
+	"go/types"
+	"testing"
+)
+
+type testObjFact struct{ N int }
+
+func (*testObjFact) AFact() {}
+
+type testPkgFact struct{ Names []string }
+
+func (*testPkgFact) AFact() {}
+
+// TestFactsRoundTrip pins the vetx carrier: facts exported on one side
+// of the gob stream must import intact on the other, keyed by the
+// stable object path, for objects, methods and package facts alike.
+func TestFactsRoundTrip(t *testing.T) {
+	gob.Register(&testObjFact{})
+	gob.Register(&testPkgFact{})
+
+	pkg := types.NewPackage("example.com/p", "p")
+	v := types.NewVar(token.NoPos, pkg, "V", types.Typ[types.Int])
+	fn := types.NewFunc(token.NoPos, pkg, "F", types.NewSignatureType(nil, nil, nil, nil, nil, false))
+	recvType := types.NewNamed(types.NewTypeName(token.NoPos, pkg, "T", nil), types.NewStruct(nil, nil), nil)
+	recv := types.NewVar(token.NoPos, pkg, "t", types.NewPointer(recvType))
+	method := types.NewFunc(token.NoPos, pkg, "M",
+		types.NewSignatureType(recv, nil, nil, nil, nil, false))
+
+	src := NewFactStore()
+	src.exportObject(v, &testObjFact{N: 7})
+	src.exportObject(fn, &testObjFact{N: 9})
+	src.exportObject(method, &testObjFact{N: 11})
+	src.exportPackage(pkg.Path(), &testPkgFact{Names: []string{"a", "b"}})
+
+	if key := ObjectKey(method); key != "example.com/p::T.M" {
+		t.Fatalf("method key = %q, want example.com/p::T.M", key)
+	}
+
+	var buf bytes.Buffer
+	if err := src.Encode(&buf); err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+
+	// A fresh store on the "other end": only the gob stream crossed.
+	dst := NewFactStore()
+	if err := dst.Decode(&buf); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	for _, c := range []struct {
+		obj  types.Object
+		want int
+	}{{v, 7}, {fn, 9}, {method, 11}} {
+		var f testObjFact
+		if !dst.importObject(c.obj, &f) {
+			t.Fatalf("fact for %s did not survive the round trip", ObjectKey(c.obj))
+		}
+		if f.N != c.want {
+			t.Errorf("fact for %s = %d, want %d", ObjectKey(c.obj), f.N, c.want)
+		}
+	}
+	var pf testPkgFact
+	if !dst.importPackage(pkg.Path(), &pf) {
+		t.Fatal("package fact did not survive the round trip")
+	}
+	if len(pf.Names) != 2 || pf.Names[0] != "a" || pf.Names[1] != "b" {
+		t.Errorf("package fact = %+v", pf)
+	}
+	if all := dst.allPackageFacts((*testPkgFact)(nil)); len(all) != 1 || all[pkg.Path()] == nil {
+		t.Errorf("allPackageFacts = %v, want the one example.com/p entry", all)
+	}
+
+	// Importing a type never exported reports absence, not garbage.
+	var missing testPkgFact
+	if dst.importPackage("example.com/other", &missing) {
+		t.Error("import from an unexported package reported a fact")
+	}
+
+	// The pre-facts suite wrote zero-byte vetx files; they decode as
+	// "no facts", not as an error.
+	if err := NewFactStore().Decode(bytes.NewReader(nil)); err != nil {
+		t.Errorf("empty stream decode: %v", err)
+	}
+}
+
+// TestFactsEncodeDeterministic: the vetx bytes feed the build cache, so
+// identical stores must serialize identically regardless of map order.
+func TestFactsEncodeDeterministic(t *testing.T) {
+	gob.Register(&testObjFact{})
+	build := func() *FactStore {
+		pkg := types.NewPackage("example.com/p", "p")
+		s := NewFactStore()
+		for _, name := range []string{"C", "A", "B", "E", "D"} {
+			v := types.NewVar(token.NoPos, pkg, name, types.Typ[types.Int])
+			s.exportObject(v, &testObjFact{N: int(name[0])})
+		}
+		return s
+	}
+	var first bytes.Buffer
+	if err := build().Encode(&first); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		var again bytes.Buffer
+		if err := build().Encode(&again); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(first.Bytes(), again.Bytes()) {
+			t.Fatalf("encoding %d differs from the first", i)
+		}
+	}
+}

@@ -41,6 +41,10 @@ type Analyzer struct {
 	// through pass.Reportf.  A non-nil error aborts the whole run —
 	// reserve it for internal failures, not findings.
 	Run func(pass *Pass) error
+	// FactTypes lists one exemplar of each fact type the analyzer
+	// exports or imports (pointer-to-struct values).  Required for the
+	// gob codec that carries facts through the vetx files.
+	FactTypes []Fact
 }
 
 // A Pass is one analyzer's view of one type-checked package.
@@ -52,6 +56,47 @@ type Pass struct {
 	TypesInfo *types.Info
 
 	report func(Diagnostic)
+	facts  *FactStore
+}
+
+// ExportObjectFact attaches f to obj for analyzers of downstream
+// packages (and later functions of this one) to import.  obj should be
+// a package-level object of the current package.
+func (p *Pass) ExportObjectFact(obj types.Object, f Fact) {
+	if p.facts != nil {
+		p.facts.exportObject(obj, f)
+	}
+}
+
+// ImportObjectFact copies the fact of f's concrete type attached to obj
+// into f, reporting whether one exists.  obj may belong to any package
+// analyzed earlier in the run (or whose vetx facts were supplied).
+func (p *Pass) ImportObjectFact(obj types.Object, f Fact) bool {
+	return p.facts != nil && p.facts.importObject(obj, f)
+}
+
+// ExportPackageFact attaches f to the current package.
+func (p *Pass) ExportPackageFact(f Fact) {
+	if p.facts != nil && p.Pkg != nil {
+		p.facts.exportPackage(p.Pkg.Path(), f)
+	}
+}
+
+// ImportPackageFact copies the package fact of f's concrete type for
+// the package at path into f, reporting whether one exists.
+func (p *Pass) ImportPackageFact(path string, f Fact) bool {
+	return p.facts != nil && p.facts.importPackage(path, f)
+}
+
+// AllPackageFacts returns every visible package fact of example's
+// concrete type, keyed by package path — the aggregation lockorder uses
+// to assemble the whole-program acquisition graph.  The returned facts
+// are shared; treat them as read-only.
+func (p *Pass) AllPackageFacts(example Fact) map[string]Fact {
+	if p.facts == nil {
+		return nil
+	}
+	return p.facts.allPackageFacts(example)
 }
 
 // Reportf records a finding at pos.
@@ -136,9 +181,11 @@ type suppressions struct {
 }
 
 // collectSuppressions parses every nolint comment in the file.  A
-// comment suppresses findings on its own line; a comment that is part of
-// a declaration's doc group suppresses findings in the whole
-// declaration.
+// trailing comment suppresses findings on its own line; a comment alone
+// on its line additionally covers the next line, so a //nolint above a
+// multi-line statement reaches the finding reported at the statement's
+// first token; a comment that is part of a declaration's doc group
+// suppresses findings in the whole declaration.
 func collectSuppressions(fset *token.FileSet, f *ast.File) suppressions {
 	var sup suppressions
 	// Doc-comment suppressions cover their declaration's span.
@@ -160,6 +207,21 @@ func collectSuppressions(fset *token.FileSet, f *ast.File) suppressions {
 			docSpan[c] = [2]int{start, end}
 		}
 	}
+	// Lines that start a code token, to tell a trailing comment (code
+	// before it on the line — covers that line only) from an own-line
+	// comment (covers the statement starting below it too).
+	codeLines := make(map[int]bool)
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n.(type) {
+		case nil, *ast.Comment, *ast.CommentGroup:
+			return true
+		}
+		codeLines[fset.Position(n.Pos()).Line] = true
+		if end := n.End(); end.IsValid() {
+			codeLines[fset.Position(end-1).Line] = true
+		}
+		return true
+	})
 	for _, cg := range f.Comments {
 		for _, c := range cg.List {
 			names, all, hasReason, ok := parseNolint(c.Text)
@@ -173,6 +235,8 @@ func collectSuppressions(fset *token.FileSet, f *ast.File) suppressions {
 			}
 			if span, isDoc := docSpan[c]; isDoc {
 				nc.spanStart, nc.spanEnd = span[0], span[1]
+			} else if !codeLines[pos.Line] {
+				nc.spanEnd = pos.Line + 1
 			}
 			sup.comments = append(sup.comments, nc)
 		}

@@ -1,0 +1,70 @@
+package lintkit
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// This file is the "callgraph lite" layer the facts-based analyzers
+// share: enough call resolution to follow a value from a call site into
+// the callee's declaration (same package) or into the callee's exported
+// facts (other packages), without building a real whole-program
+// callgraph.
+
+// LocalFuncs indexes a package's function and method declarations by
+// their types.Func object, so an analyzer that meets a call to a
+// same-package function can walk straight into its body.  Bodyless
+// declarations (assembly- or linkname-backed) are omitted: every
+// returned decl has a non-nil Body.
+func LocalFuncs(files []*ast.File, info *types.Info) map[*types.Func]*ast.FuncDecl {
+	out := make(map[*types.Func]*ast.FuncDecl)
+	for _, f := range files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Name == nil || fd.Body == nil {
+				continue
+			}
+			if fn, ok := info.Defs[fd.Name].(*types.Func); ok {
+				out[fn] = fd
+			}
+		}
+	}
+	return out
+}
+
+// CalleeFunc resolves a call expression to the declared function or
+// method it invokes, or nil for calls through function values,
+// builtins, interface methods, and type conversions.
+func CalleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fn := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fn
+	case *ast.SelectorExpr:
+		// Interface method calls resolve to a *types.Func too, but its
+		// declaring scope is the interface — callers that need a body or
+		// a fact key on a concrete method must not treat those as
+		// followable.  Distinguish via the selection kind.
+		if sel, ok := info.Selections[fn]; ok && sel.Kind() == types.MethodVal {
+			if types.IsInterface(sel.Recv()) {
+				return nil
+			}
+		}
+		id = fn.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// ParamVar returns the i'th declared parameter of fn, or nil.  This is
+// how a caller-side analyzer names "the value I passed in position i"
+// when walking into a same-package callee's body.
+func ParamVar(fn *types.Func, i int) *types.Var {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || i < 0 || i >= sig.Params().Len() {
+		return nil
+	}
+	return sig.Params().At(i)
+}

@@ -100,3 +100,49 @@ func TestSuppressions(t *testing.T) {
 		t.Error("reasonless nolint still suppresses; hygiene reports it separately")
 	}
 }
+
+const ownLineSrc = `package p
+
+func q(ch chan int) {
+	_ = 4
+	//nolint:goroleak the pump drains when ch closes
+	go func() {
+		for range ch {
+		}
+	}()
+	_ = 5
+}
+`
+
+// TestOwnLineSuppression: a //nolint alone on the line above a
+// multi-line statement reaches the finding reported at the statement's
+// first token — without leaking past it.
+func TestOwnLineSuppression(t *testing.T) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "q.go", ownLineSrc, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sup := collectSuppressions(fset, f)
+
+	line := func(marker string) int {
+		idx := strings.Index(ownLineSrc, marker)
+		if idx < 0 {
+			t.Fatalf("marker %q not found", marker)
+		}
+		return 1 + strings.Count(ownLineSrc[:idx], "\n")
+	}
+
+	if !sup.suppresses("goroleak", line("go func()")) {
+		t.Error("own-line nolint should cover the statement starting on the next line")
+	}
+	if sup.suppresses("goroleak", line("_ = 4")) {
+		t.Error("own-line nolint must not reach the preceding line")
+	}
+	if sup.suppresses("goroleak", line("_ = 5")) {
+		t.Error("own-line nolint must not reach past the next line")
+	}
+	if sup.suppresses("ctxloop", line("go func()")) {
+		t.Error("own-line nolint must only suppress the analyzers it names")
+	}
+}

@@ -24,16 +24,19 @@ import (
 	"repro/internal/analysis/lintkit"
 )
 
-// Run loads the package rooted at dir (typically
+// Run loads the package tree rooted at dir (typically
 // filepath.Join("testdata", "src", "a")) and applies the analyzer,
-// comparing findings with the package's // want comments.
+// comparing findings with the packages' // want comments.  Loading
+// "./..." rather than "." lets a corpus keep helper subpackages (e.g.
+// testdata/src/a/helper) whose exported facts the root package's cases
+// depend on.
 func Run(t *testing.T, dir string, a *lintkit.Analyzer) {
 	t.Helper()
 	abs, err := filepath.Abs(dir)
 	if err != nil {
 		t.Fatalf("testkit: %v", err)
 	}
-	pkgs, fset, err := lintkit.Load(abs, []string{"."}, false)
+	pkgs, fset, err := lintkit.Load(abs, []string{"./..."}, false)
 	if err != nil {
 		t.Fatalf("testkit: loading %s: %v", dir, err)
 	}

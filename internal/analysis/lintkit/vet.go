@@ -1,6 +1,7 @@
 package lintkit
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"go/ast"
@@ -35,10 +36,13 @@ type vetConfig struct {
 
 // VetMain implements the `go vet -vettool` entry point: argv is the
 // single <pkg>.cfg argument the go command passes per package.  It runs
-// the analyzers over that one package, prints findings in vet's
-// file:line:col form, writes the (empty — repolint exchanges no facts)
-// .vetx output the protocol requires, and returns the process exit code:
-// 0 clean, 2 findings, 1 internal error.
+// the analyzers over that one package with its dependencies' facts
+// (decoded from the .vetx files named in PackageVetx), prints findings
+// in vet's file:line:col form, writes the package's own facts — its
+// exports plus a re-export of everything imported, which is what makes
+// fact visibility transitive — to the .vetx output the protocol
+// requires, and returns the process exit code: 0 clean, 2 findings,
+// 1 internal error.
 func VetMain(cfgPath string, analyzers []*Analyzer) int {
 	code, err := vetPackage(cfgPath, analyzers)
 	if err != nil {
@@ -57,15 +61,29 @@ func vetPackage(cfgPath string, analyzers []*Analyzer) (int, error) {
 	if err := json.Unmarshal(data, &cfg); err != nil {
 		return 0, fmt.Errorf("parsing %s: %v", cfgPath, err)
 	}
-	// The go command always expects the facts file, even from a tool
-	// that produces none.
+	// The go command always expects the facts file; guarantee one exists
+	// even when we bail out early (typecheck failure, parse error).
 	if cfg.VetxOutput != "" {
 		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
 			return 0, err
 		}
 	}
-	if cfg.VetxOnly {
-		return 0, nil
+
+	// Merge dependency facts.  Standard-library vetx files don't exist
+	// (vet isn't run over std for vettools), and pre-facts runs wrote
+	// zero-byte files — both decode as "no facts".
+	RegisterFactTypes(analyzers)
+	facts := NewFactStore()
+	for _, vetx := range cfg.PackageVetx {
+		f, err := os.Open(vetx)
+		if err != nil {
+			continue
+		}
+		derr := facts.Decode(f)
+		f.Close()
+		if derr != nil {
+			return 0, fmt.Errorf("reading facts %s: %v", vetx, derr)
+		}
 	}
 
 	fset := token.NewFileSet()
@@ -92,7 +110,7 @@ func vetPackage(cfgPath string, analyzers []*Analyzer) (int, error) {
 	}
 	info := newTypesInfo()
 	conf := types.Config{Importer: importer.ForCompiler(fset, cfg.Compiler, lookup)}
-	tpkg, err := conf.Check(cfg.ImportPath, fset, files, info)
+	tpkg, err := conf.Check(canonicalImportPath(cfg.ImportPath), fset, files, info)
 	if err != nil {
 		if cfg.SucceedOnTypecheckFailure {
 			return 0, nil
@@ -100,6 +118,9 @@ func vetPackage(cfgPath string, analyzers []*Analyzer) (int, error) {
 		return 0, fmt.Errorf("type-checking %s: %v", cfg.ImportPath, err)
 	}
 
+	// The analyzers must run even under VetxOnly — that mode means "this
+	// package is only a dependency of the requested targets", and its
+	// exported facts are exactly what downstream units need.
 	pkg := &Package{
 		ImportPath: cfg.ImportPath,
 		Dir:        cfg.Dir,
@@ -107,11 +128,20 @@ func vetPackage(cfgPath string, analyzers []*Analyzer) (int, error) {
 		Types:      tpkg,
 		TypesInfo:  info,
 	}
-	ds, err := runPackage(fset, pkg, analyzers)
+	ds, err := runPackage(fset, pkg, analyzers, facts)
 	if err != nil {
 		return 0, err
 	}
-	if len(ds) == 0 {
+	if cfg.VetxOutput != "" {
+		var buf bytes.Buffer
+		if err := facts.Encode(&buf); err != nil {
+			return 0, err
+		}
+		if err := os.WriteFile(cfg.VetxOutput, buf.Bytes(), 0o666); err != nil {
+			return 0, err
+		}
+	}
+	if cfg.VetxOnly || len(ds) == 0 {
 		return 0, nil
 	}
 	sortDiagnostics(fset, ds)
@@ -121,16 +151,32 @@ func vetPackage(cfgPath string, analyzers []*Analyzer) (int, error) {
 
 // VetVersion prints the -V=full banner the go command uses to fingerprint
 // a vet tool for build caching.  The final field must parse as a build
-// ID; a content hash of the analyzer names keeps it stable per suite.
+// ID.  Hashing the tool's own executable means any analyzer change (not
+// just a roster change) invalidates cached vet results; the analyzer
+// names are the fallback when the binary can't be read.
 func VetVersion(progname string, analyzers []*Analyzer) {
+	sum := fnv1a(executableBytes(analyzers))
+	fmt.Printf("%s version repolint buildID=%016x\n", progname, sum)
+}
+
+func executableBytes(analyzers []*Analyzer) []byte {
+	if exe, err := os.Executable(); err == nil {
+		if data, err := os.ReadFile(exe); err == nil {
+			return data
+		}
+	}
 	var names []string
 	for _, a := range analyzers {
 		names = append(names, a.Name)
 	}
-	var sum uint64 = 1469598103934665603 // FNV-1a
-	for _, b := range []byte(strings.Join(names, ",")) {
+	return []byte(strings.Join(names, ","))
+}
+
+func fnv1a(data []byte) uint64 {
+	var sum uint64 = 1469598103934665603
+	for _, b := range data {
 		sum ^= uint64(b)
 		sum *= 1099511628211
 	}
-	fmt.Printf("%s version repolint buildID=%016x\n", progname, sum)
+	return sum
 }

@@ -1,0 +1,13 @@
+package lockorder_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/analysis/lintkit/testkit"
+	"repro/internal/analysis/lockorder"
+)
+
+func TestLockorder(t *testing.T) {
+	testkit.Run(t, filepath.Join("testdata", "src", "a"), lockorder.Analyzer)
+}

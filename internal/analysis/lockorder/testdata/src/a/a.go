@@ -1,0 +1,89 @@
+// Package a is lockorder analyzer testdata: acquisition-order cycles
+// and inversions of the canonical registry ≺ lease ≺ governor order.
+package a
+
+import (
+	"sync"
+
+	"repro/internal/analysis/lockorder/testdata/src/a/dist"
+	"repro/internal/analysis/lockorder/testdata/src/a/membudget"
+	"repro/internal/analysis/lockorder/testdata/src/a/service"
+)
+
+type A struct{ mu sync.Mutex }
+
+type B struct{ mu sync.Mutex }
+
+type C struct{ mu sync.Mutex }
+
+// lockAB and lockBA form a two-class cycle; each contributes one edge
+// and each edge sees the other close the loop.
+func lockAB(a *A, b *B) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	b.mu.Lock() // want `lock order cycle`
+	defer b.mu.Unlock()
+}
+
+func lockBA(a *A, b *B) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	a.mu.Lock() // want `lock order cycle`
+	defer a.mu.Unlock()
+}
+
+// okOrder: A before C everywhere — including through a local helper —
+// is a consistent order, not a cycle.
+func okOrder(a *A, c *C) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	lockC(c)
+}
+
+func lockC(c *C) {
+	c.mu.Lock()
+	c.mu.Unlock()
+}
+
+// okCanonical: registry then lease follows the documented order.
+func okCanonical(r *service.Registry, tab *dist.LeaseTable) {
+	r.Mu.Lock()
+	tab.Mu.Lock()
+	tab.Mu.Unlock()
+	r.Mu.Unlock()
+}
+
+// badInversion: taking the registry lock under the governor lock is
+// against the canonical order even without a closing cycle.
+func badInversion(g *membudget.Gov, r *service.Registry) {
+	g.Mu.Lock()
+	defer g.Mu.Unlock()
+	r.Mu.Lock() // want `lock order inversion`
+	r.Mu.Unlock()
+}
+
+// badInversionViaHelper: the same inversion hidden behind an imported
+// helper — the edge arrives through service.LockedLen's LocksFact.
+func badInversionViaHelper(g *membudget.Gov, r *service.Registry) int {
+	g.Mu.Lock()
+	defer g.Mu.Unlock()
+	return service.LockedLen(r) // want `lock order inversion`
+}
+
+// suppressedInversion: the same edge again; per-site suppression must
+// silence exactly this occurrence.
+func suppressedInversion(g *membudget.Gov, r *service.Registry) {
+	g.Mu.Lock()
+	defer g.Mu.Unlock()
+	r.Mu.Lock() //nolint:lockorder corpus case: site-level suppression of a known inversion
+	r.Mu.Unlock()
+}
+
+// localOnly: a function-local mutex has no class and no obligations.
+func localOnly(a *A) {
+	var mu sync.Mutex
+	a.mu.Lock()
+	mu.Lock()
+	mu.Unlock()
+	a.mu.Unlock()
+}

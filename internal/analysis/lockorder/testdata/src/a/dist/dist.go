@@ -1,0 +1,9 @@
+// Package dist stubs the lease table for the lockorder corpus;
+// LeaseTable.Mu ranks second in the canonical order.
+package dist
+
+import "sync"
+
+type LeaseTable struct {
+	Mu sync.Mutex
+}

@@ -1,0 +1,9 @@
+// Package membudget stubs the governor for the lockorder corpus; any
+// class under this package ranks last in the canonical order.
+package membudget
+
+import "sync"
+
+type Gov struct {
+	Mu sync.Mutex
+}

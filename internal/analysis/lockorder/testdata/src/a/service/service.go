@@ -1,0 +1,19 @@
+// Package service stubs the serving-stack registry for the lockorder
+// corpus; its import path ends in "service" so the canonical-order
+// matcher ranks Registry.Mu first.
+package service
+
+import "sync"
+
+type Registry struct {
+	Mu sync.Mutex
+	n  int
+}
+
+// LockedLen acquires the registry lock; callers importing this helper
+// inherit the acquisition through the exported LocksFact.
+func LockedLen(r *Registry) int {
+	r.Mu.Lock()
+	defer r.Mu.Unlock()
+	return r.n
+}

@@ -9,8 +9,12 @@ import (
 	"repro/internal/analysis/cleanuperr"
 	"repro/internal/analysis/ctxloop"
 	"repro/internal/analysis/frozengraph"
+	"repro/internal/analysis/goroleak"
 	"repro/internal/analysis/hotalloc"
+	"repro/internal/analysis/leasestate"
 	"repro/internal/analysis/lintkit"
+	"repro/internal/analysis/lockorder"
+	"repro/internal/analysis/sendctx"
 )
 
 // Analyzers returns the full suite in stable order.
@@ -20,6 +24,10 @@ func Analyzers() []*lintkit.Analyzer {
 		cleanuperr.Analyzer,
 		ctxloop.Analyzer,
 		frozengraph.Analyzer,
+		goroleak.Analyzer,
 		hotalloc.Analyzer,
+		leasestate.Analyzer,
+		lockorder.Analyzer,
+		sendctx.Analyzer,
 	}
 }

@@ -12,7 +12,8 @@ import (
 // the tree without registering it here would silently exempt the repo
 // from its check.
 func TestSuiteIsRegistered(t *testing.T) {
-	want := []string{"budgetpair", "cleanuperr", "ctxloop", "frozengraph", "hotalloc"}
+	want := []string{"budgetpair", "cleanuperr", "ctxloop", "frozengraph", "goroleak",
+		"hotalloc", "leasestate", "lockorder", "sendctx"}
 	got := Analyzers()
 	if len(got) != len(want) {
 		t.Fatalf("Analyzers() has %d entries, want %d", len(got), len(want))

@@ -1,0 +1,158 @@
+// Package sendctx implements the repolint analyzer that makes the
+// PR 7 lost-wakeup bug structurally impossible: inside a function
+// marked //repro:ctxloop, every channel send and receive must sit in a
+// select that also observes a liveness case — ctx.Done() or a struct{}
+// signal/generation channel — so no blocking channel operation can
+// outlive its cancellation signal.
+//
+// Three shapes are accepted:
+//
+//   - an op that is a comm case of a select with a liveness case (a
+//     `case <-ctx.Done():` or a receive from a chan struct{}) or with a
+//     default clause (the select cannot block);
+//   - a bare receive that *is* the liveness signal: `<-ctx.Done()` or a
+//     receive from a struct{} channel;
+//   - nothing else: a bare send, or a bare receive from a data channel,
+//     is a finding even when it "obviously" completes today.
+package sendctx
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis/lintkit"
+)
+
+// Analyzer is the sendctx entry point.
+var Analyzer = &lintkit.Analyzer{
+	Name: "sendctx",
+	Doc: "in //repro:ctxloop functions, every channel send/receive must sit in a " +
+		"select observing ctx.Done or a struct{} signal channel",
+	Run: run,
+}
+
+func run(pass *lintkit.Pass) error {
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !lintkit.HasDirective(fd.Doc, "ctxloop") {
+				continue
+			}
+			checkFunc(pass, fd)
+		}
+	}
+	return nil
+}
+
+func checkFunc(pass *lintkit.Pass, fd *ast.FuncDecl) {
+	// Map each comm-clause op node to its select, then demand every
+	// channel op in the body either belongs to a live select or is
+	// itself a liveness receive.
+	inSelect := make(map[ast.Node]*ast.SelectStmt)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectStmt)
+		if !ok {
+			return true
+		}
+		for _, clause := range sel.Body.List {
+			comm := clause.(*ast.CommClause).Comm
+			switch c := comm.(type) {
+			case *ast.SendStmt:
+				inSelect[c] = sel
+			case *ast.ExprStmt:
+				inSelect[ast.Unparen(c.X)] = sel
+			case *ast.AssignStmt:
+				if len(c.Rhs) == 1 {
+					inSelect[ast.Unparen(c.Rhs[0])] = sel
+				}
+			}
+		}
+		return true
+	})
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			if sel := inSelect[ast.Node(n)]; sel != nil && selectIsLive(pass.TypesInfo, sel) {
+				return true
+			}
+			pass.Reportf(n.Pos(), "channel send in a //repro:ctxloop function must sit in a "+
+				"select observing ctx.Done or a signal channel")
+		case *ast.UnaryExpr:
+			if n.Op.String() != "<-" {
+				return true
+			}
+			if sel := inSelect[ast.Node(n)]; sel != nil && selectIsLive(pass.TypesInfo, sel) {
+				return true
+			}
+			if isLivenessRecv(pass.TypesInfo, n.X) {
+				return true
+			}
+			pass.Reportf(n.Pos(), "channel receive in a //repro:ctxloop function must sit in a "+
+				"select observing ctx.Done or a signal channel")
+		}
+		return true
+	})
+}
+
+// selectIsLive reports whether the select can always make progress on
+// cancellation: it has a default clause, or a comm case receiving the
+// liveness signal.
+func selectIsLive(info *types.Info, sel *ast.SelectStmt) bool {
+	for _, clause := range sel.Body.List {
+		comm := clause.(*ast.CommClause).Comm
+		if comm == nil {
+			return true // default: the select cannot block
+		}
+		var recv ast.Expr
+		switch c := comm.(type) {
+		case *ast.ExprStmt:
+			if u, ok := ast.Unparen(c.X).(*ast.UnaryExpr); ok && u.Op.String() == "<-" {
+				recv = u.X
+			}
+		case *ast.AssignStmt:
+			if len(c.Rhs) == 1 {
+				if u, ok := ast.Unparen(c.Rhs[0]).(*ast.UnaryExpr); ok && u.Op.String() == "<-" {
+					recv = u.X
+				}
+			}
+		}
+		if recv != nil && isLivenessRecv(info, recv) {
+			return true
+		}
+	}
+	return false
+}
+
+// isLivenessRecv reports whether receiving from e observes the
+// cancellation signal: e is ctx.Done() on a context.Context, or e is a
+// struct{} channel (the generation/stop idiom).
+func isLivenessRecv(info *types.Info, e ast.Expr) bool {
+	e = ast.Unparen(e)
+	if call, ok := e.(*ast.CallExpr); ok {
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Done" {
+			if tv, ok := info.Types[sel.X]; ok && isContext(tv.Type) {
+				return true
+			}
+		}
+	}
+	tv, ok := info.Types[e]
+	if !ok {
+		return false
+	}
+	ch, ok := tv.Type.Underlying().(*types.Chan)
+	if !ok {
+		return false
+	}
+	st, ok := ch.Elem().Underlying().(*types.Struct)
+	return ok && st.NumFields() == 0
+}
+
+// isContext reports whether t is context.Context.
+func isContext(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}

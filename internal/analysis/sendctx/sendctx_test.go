@@ -1,0 +1,13 @@
+package sendctx_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/analysis/lintkit/testkit"
+	"repro/internal/analysis/sendctx"
+)
+
+func TestSendctx(t *testing.T) {
+	testkit.Run(t, filepath.Join("testdata", "src", "a"), sendctx.Analyzer)
+}

@@ -1,0 +1,99 @@
+// Package a is sendctx analyzer testdata: in a //repro:ctxloop
+// function every channel op must sit in a select with a liveness path.
+package a
+
+import "context"
+
+// okSelect: both ops live inside a ctx-observing select.
+//
+//repro:ctxloop pump loop
+func okSelect(ctx context.Context, in, out chan int) {
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case v := <-in:
+			select {
+			case <-ctx.Done():
+				return
+			case out <- v:
+			}
+		}
+	}
+}
+
+// okSignalSelect: a struct{} stop channel is an accepted liveness case.
+//
+//repro:ctxloop stop-channel pump
+func okSignalSelect(stop chan struct{}, out chan int) {
+	for {
+		select {
+		case <-stop:
+			return
+		case out <- 1:
+		}
+	}
+}
+
+// okDefault: a select with a default clause can never block.
+//
+//repro:ctxloop non-blocking probe
+func okDefault(out chan int) {
+	select {
+	case out <- 1:
+	default:
+	}
+}
+
+// okBareLiveness: a bare receive that IS the liveness observation.
+//
+//repro:ctxloop drains ctx only
+func okBareLiveness(ctx context.Context, stop chan struct{}) {
+	<-ctx.Done()
+	<-stop
+}
+
+// badBareSend: an unguarded send can wedge the loop forever.
+//
+//repro:ctxloop bad pump
+func badBareSend(out chan int) {
+	for {
+		out <- 1 // want `channel send in a //repro:ctxloop function must sit in a select`
+	}
+}
+
+// badBareRecv: an unguarded data receive, same hazard.
+//
+//repro:ctxloop bad drain
+func badBareRecv(in chan int) {
+	for {
+		v := <-in // want `channel receive in a //repro:ctxloop function must sit in a select`
+		sink(v)
+	}
+}
+
+// badDeadSelect: a select with no liveness case is as wedgeable as a
+// bare op — every comm clause is reported.
+//
+//repro:ctxloop dead select
+func badDeadSelect(in, out chan int) {
+	select {
+	case v := <-in: // want `channel receive in a //repro:ctxloop function must sit in a select`
+		sink(v)
+	case out <- 1: // want `channel send in a //repro:ctxloop function must sit in a select`
+	}
+}
+
+// unmarked functions are out of scope no matter what they do.
+func unmarked(in, out chan int) {
+	out <- <-in
+}
+
+// suppressed: the annotation is deliberate and documented.
+//
+//repro:ctxloop suppressed corpus case
+func suppressed(out chan int) {
+	out <- 1 //nolint:sendctx corpus case: send guarded by construction
+}
+
+func sink(int) {}

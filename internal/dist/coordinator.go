@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sync"
 	"time"
 
 	"repro/internal/clique"
@@ -158,7 +159,8 @@ type coordinator struct {
 	owner  ooc.Owner
 	fp     string
 	events chan event
-	done   chan struct{} // closed at run end; unblocks parked pumps
+	done   chan struct{}  // closed at run end; unblocks parked pumps
+	reaps  sync.WaitGroup // in-flight async conn closes; joined at run end
 	ws     []*workerState
 	gens   []int // per-slot dial generation, monotonic across respawns
 
@@ -226,6 +228,7 @@ func (c *coordinator) stats() Stats {
 
 func (c *coordinator) run() (Stats, error) {
 	defer close(c.done) // parked pumps exit once the run is over
+	defer c.reaps.Wait()
 	defer c.shutdownWorkers()
 
 	// Ship the graph: exec workers share the host filesystem, so bulk
@@ -562,7 +565,14 @@ func (c *coordinator) handleEvent(ev event) error {
 // reservation, and respawns the slot.
 func (c *coordinator) handleDeath(ws *workerState, reason string) error {
 	c.deaths++
-	go ws.conn.Close() // exec close reaps the child; don't block dispatch
+	// Exec close reaps the child without blocking dispatch; the run
+	// joins these before returning so no close outlives the coordinator.
+	c.reaps.Add(1)
+	conn := ws.conn
+	go func() {
+		defer c.reaps.Done()
+		_ = conn.Close() //nolint:cleanuperr the worker is already dead; the close exists to reap it
+	}()
 	if ws.res != nil {
 		ws.res.Close()
 		ws.res = nil

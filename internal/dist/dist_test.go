@@ -6,7 +6,9 @@ import (
 	"math/rand"
 	"os"
 	"path/filepath"
+	"runtime"
 	"testing"
+	"time"
 
 	"repro/internal/clique"
 	"repro/internal/graph"
@@ -220,5 +222,41 @@ func TestDistRunDirCleanup(t *testing.T) {
 	}
 	if ooc.HasManifest(dir) {
 		t.Error("checkpoint manifest survived a successful run")
+	}
+}
+
+// TestDistNoGoroutineLeakAfterDeaths pins the handleDeath reaper join:
+// every asynchronous connection close spawned for a dead worker is
+// awaited before Enumerate returns, so crash-recovery runs leave no
+// straggler goroutines behind — the invariant goroleak enforces
+// statically at the launch site.
+func TestDistNoGoroutineLeakAfterDeaths(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns worker processes")
+	}
+	g := testGraph(t)
+	before := runtime.NumGoroutine()
+	for i := 0; i < 2; i++ {
+		if _, err := Enumerate(g, Options{
+			Dir:        t.TempDir(),
+			Workers:    3,
+			ShardBytes: 256,
+			Transport: &ExecTransport{Env: []string{
+				EnvDieAfter + "=1:2",
+				EnvDieOnce + "=" + filepath.Join(t.TempDir(), "died"),
+			}},
+		}); err != nil {
+			t.Fatalf("run %d with crash: %v", i, err)
+		}
+	}
+	// Pump goroutines unwind asynchronously after run() closes c.done;
+	// only a bounded settling window is acceptable, not a leak per run.
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before {
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutine leak: %d before the runs, %d after settling",
+				before, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
 	}
 }

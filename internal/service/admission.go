@@ -67,6 +67,8 @@ func (a *Admission) Signal() {
 // Acquire reserves n bytes of the shared budget for one query, waiting
 // in the bounded queue when the budget is momentarily full.  The
 // returned Lease must be closed on every exit path of the query.
+//
+//repro:ctxloop waiters block only in the select observing ctx/timer/generation
 func (a *Admission) Acquire(ctx context.Context, n int64) (*Lease, error) {
 	if res, err := a.gov.Reserve(n); err == nil {
 		return &Lease{res: res, a: a}, nil
