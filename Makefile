@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build fmt fmt-fix vet lint lint-audit lint-vet test race race-repr bench bench-json bench-ooc-json bench-hybrid-json dist-parity smoke-resume smoke-spillover smoke-cliqued smoke-dist examples ci
+.PHONY: all build fmt fmt-fix vet lint lint-audit lint-vet test race race-repr bench bench-all bench-check bench-json bench-ooc-json bench-hybrid-json dist-parity smoke-resume smoke-spillover smoke-cliqued smoke-dist examples ci
 
 all: build
 
@@ -73,23 +73,35 @@ race-all:
 bench:
 	$(GO) test -run xxx -bench 'EnumerateStreaming|EnumerateBarrier|SeedFromK|Representations' -benchtime 5x .
 
-# Machine-readable representation trajectory: peak adjacency bytes and
-# enumeration time per representation on a sparse (n=100k, avg deg 32)
-# and a dense synthetic graph.  CI uploads the result as an artifact.
+# The unified benchmark trajectory: kernel microbenchmarks plus the
+# representation / out-of-core / hybrid enumeration scenarios, appended
+# as one history entry to the committed BENCH_all.json.  Run it when a
+# perf-relevant change lands and commit the new entry — the file is the
+# repo's own perf record.
+bench-all:
+	$(GO) run ./cmd/benchall -out BENCH_all.json
+
+# The regression gate over that record: compares the last two entries of
+# BENCH_all.json per scenario and fails on a >10% slowdown.  For an
+# intentional regression (a correctness fix that costs speed), set
+# BENCH_ALLOW_REGRESSION=<short reason> — the check then reports the
+# regressions, prints the reason into the log, and exits zero.
+bench-check:
+	$(GO) run ./cmd/benchall -check -out BENCH_all.json
+
+# DEPRECATED: superseded by bench-all — BENCH_all.json carries the same
+# representation scenarios in the unified trajectory.  Kept one release
+# for dashboards pinned to BENCH_repr.json; will be removed.
 bench-json:
 	$(GO) run ./cmd/benchrepr -out BENCH_repr.json
 
-# Machine-readable out-of-core trajectory on the Table-1 graph:
-# serial/parallel x raw/compressed wall clock and level-file bytes,
-# with the derived compression ratio and 4-worker speedup.  CI uploads
-# the result as an artifact next to BENCH_repr.json.
+# DEPRECATED: superseded by bench-all (see bench-json).  Kept one
+# release for dashboards pinned to BENCH_ooc.json; will be removed.
 bench-ooc-json:
 	$(GO) run ./cmd/benchooc -out BENCH_ooc.json
 
-# Machine-readable hybrid-spillover trajectory on the Table-1 graph:
-# the memory-governor budget swept from unlimited to one byte, with
-# governor peak, spill level, and wall clock per point.  CI uploads the
-# result as an artifact next to the other two BENCH files.
+# DEPRECATED: superseded by bench-all (see bench-json).  Kept one
+# release for dashboards pinned to BENCH_hybrid.json; will be removed.
 bench-hybrid-json:
 	$(GO) run ./cmd/benchhybrid -out BENCH_hybrid.json
 
@@ -132,4 +144,4 @@ examples:
 
 check: fmt vet lint test
 
-ci: fmt vet lint lint-audit build test race race-repr bench examples smoke-resume smoke-spillover smoke-cliqued smoke-dist dist-parity
+ci: fmt vet lint lint-audit build test race race-repr bench bench-check examples smoke-resume smoke-spillover smoke-cliqued smoke-dist dist-parity

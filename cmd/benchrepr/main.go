@@ -24,13 +24,17 @@ import (
 	"repro/internal/graph"
 )
 
+// A skipped entry (dense formula-only measurement) has no build,
+// enumeration, or clique numbers: those fields are omitted rather than
+// encoded as zeros a downstream trajectory plot would mistake for
+// "instant".  Hence the pointer fields.
 type repResult struct {
 	Representation string `json:"representation"`
 	AdjacencyBytes int64  `json:"adjacency_bytes"`
 	VsDense        string `json:"vs_dense"`
-	BuildNS        int64  `json:"build_ns"`
-	EnumerateNS    int64  `json:"enumerate_ns"`
-	MaximalCliques int64  `json:"maximal_cliques"`
+	BuildNS        *int64 `json:"build_ns,omitempty"`
+	EnumerateNS    *int64 `json:"enumerate_ns,omitempty"`
+	MaximalCliques *int64 `json:"maximal_cliques,omitempty"`
 	Skipped        bool   `json:"skipped,omitempty"`
 }
 
@@ -56,7 +60,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "generator seed")
 	flag.Parse()
 
-	rep := report{Schema: "repro/bench-repr/v1"}
+	rep := report{Schema: "repro/bench-repr/v2"}
 
 	sparse, err := runScenario(sparseScenario(*sparseN, *sparseDeg, *seed), *denseCap)
 	if err != nil {
@@ -86,13 +90,15 @@ func main() {
 	for _, sc := range rep.Scenarios {
 		fmt.Printf("%s: n=%d m=%d\n", sc.Name, sc.N, sc.M)
 		for _, r := range sc.Representations {
-			state := ""
+			enumerate, state := "-", ""
+			if r.EnumerateNS != nil {
+				enumerate = time.Duration(*r.EnumerateNS).String()
+			}
 			if r.Skipped {
 				state = " (enumeration skipped: over -dense-cap)"
 			}
-			fmt.Printf("  %-5s %12d bytes (%s of dense)  enumerate %v%s\n",
-				r.Representation, r.AdjacencyBytes, r.VsDense,
-				time.Duration(r.EnumerateNS), state)
+			fmt.Printf("  %-5s %12d bytes (%s of dense)  enumerate %s%s\n",
+				r.Representation, r.AdjacencyBytes, r.VsDense, enumerate, state)
 		}
 	}
 }
@@ -167,7 +173,8 @@ func runScenario(sp spec, denseCap int64) (scenario, error) {
 		if err != nil {
 			return sc, err
 		}
-		res.BuildNS = time.Since(start).Nanoseconds()
+		buildNS := time.Since(start).Nanoseconds()
+		res.BuildNS = &buildNS
 		sc.M = g.M()
 		sc.DensityPct = 100 * float64(g.M()) / (float64(sp.n) * float64(sp.n-1) / 2)
 		res.AdjacencyBytes = g.Bytes()
@@ -178,8 +185,9 @@ func runScenario(sp spec, denseCap int64) (scenario, error) {
 		if err != nil {
 			return sc, err
 		}
-		res.EnumerateNS = time.Since(start).Nanoseconds()
-		res.MaximalCliques = count
+		enumNS := time.Since(start).Nanoseconds()
+		res.EnumerateNS = &enumNS
+		res.MaximalCliques = &count
 		sc.Representations = append(sc.Representations, res)
 	}
 	return sc, nil

@@ -25,6 +25,12 @@ type Reader interface {
 	// IntersectsWith reports whether the row shares any bit with o — the
 	// paper's fused BitAND + BitOneExists maximality probe.
 	IntersectsWith(o *Bitset) bool
+	// AndAnyWith reports whether row ∩ x ∩ o is non-empty: the join's
+	// maximality probe with the candidate-intersection materialize fused
+	// away.  Where a caller would compute tmp = x AND o and then ask
+	// row.IntersectsWith(tmp), AndAnyWith answers in one pass over the
+	// row's native encoding and early-exits on the first witness.
+	AndAnyWith(x, o *Bitset) bool
 	// AndCount returns the size of the intersection with o.
 	AndCount(o *Bitset) int
 	// AndInto overwrites dst with row AND o.  dst must share the
@@ -36,6 +42,12 @@ type Reader interface {
 
 // Compile-time check: a dense Bitset is its own Reader.
 var _ Reader = (*Bitset)(nil)
+
+// AndAnyWith reports whether b ∩ x ∩ o is non-empty (Reader form of the
+// fused three-way probe).
+//
+//repro:hotpath
+func (b *Bitset) AndAnyWith(x, o *Bitset) bool { return AndAny3(b, x, o) }
 
 // AndInto overwrites dst with b AND o (Reader form of And).
 //

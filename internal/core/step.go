@@ -93,6 +93,18 @@ type Builder struct {
 	scratch *bitset.Bitset // CN of the current k-clique being extended
 	recompu *bitset.Bitset // prefix CN reconstruction in recompute mode
 	emitBuf clique.Clique
+
+	// Level storage arenas (see arena.go): prefix/tail slices and
+	// SubList headers are bump-allocated per generation and recycled two
+	// Resets later, when the level they back is provably dead.  The
+	// survivors of one join accumulate in tailScratch and are copied
+	// exact-size into the arena only if the sub-list is retained, so the
+	// hot loop never grows a fresh slice.  retNext recycles the Next
+	// backing arrays on the same two-generation lag.
+	u32s        arena[uint32]
+	subs        arena[SubList]
+	tailScratch []uint32
+	retNext     [2][]*SubList
 }
 
 // NewBuilder returns a Builder generating into graph g's universe.
@@ -124,6 +136,11 @@ func NewBuilderMode(g graph.Interface, mode CNMode, pool *bitset.Pool) *Builder 
 		cnBytes: words * 8,
 		scratch: bitset.New(g.N()),
 		recompu: bitset.New(g.N()),
+		// Block schedules double from a few KiB up to a cap, so tiny
+		// graphs carry tiny arenas while genome-scale levels settle on a
+		// handful of 32 KiB blocks per generation.
+		u32s: arena[uint32]{minLen: 1 << 9, maxLen: 1 << 13},
+		subs: arena[SubList]{minLen: 1 << 5, maxLen: 1 << 10},
 	}
 	if b.matRows {
 		b.rowScratch = bitset.New(g.N())
@@ -132,9 +149,19 @@ func NewBuilderMode(g graph.Interface, mode CNMode, pool *bitset.Pool) *Builder 
 }
 
 // Reset clears the builder for a new level, retaining scratch storage and
-// the budget setting.
+// the budget setting.  It is also the arena generation boundary: level
+// storage handed out two Resets ago backed a level that has since been
+// consumed, so its blocks (and the Next backing array of that
+// generation) are recycled here.  Callers that hold a produced Level
+// must therefore consume it within one further Reset — the discipline
+// every driver's at-most-two-levels-resident loop already follows.
 func (b *Builder) Reset() {
-	b.Next = nil
+	b.u32s.flip()
+	b.subs.flip()
+	old := b.retNext[1]
+	b.retNext[1] = b.retNext[0]
+	b.retNext[0] = b.Next
+	b.Next = old[:0]
 	b.Maximal = 0
 	b.Cands = 0
 	b.Dropped = 0
@@ -222,19 +249,25 @@ func (b *Builder) ProcessSubList(s *SubList, r clique.Reporter) {
 	}
 }
 
-// processDense is the historical allocation-identical inner loop over the
-// dense bitmap backend: direct row pointers, word-parallel AND and fused
-// AND-any probes.
+// processDense is the inner loop over the dense bitmap backend: direct
+// row pointers, word-parallel AND and fused AND-any probes.  Survivors
+// accumulate in the builder's tail scratch; keep copies them into arena
+// storage only when the sub-list is retained.
+//
+//repro:hotpath
 func (b *Builder) processDense(s *SubList, prefixCN *bitset.Bitset, r clique.Reporter) {
 	tails := s.Tails
 	for i := 0; i < len(tails)-1; i++ {
 		v := int(tails[i])
 		nv := b.dense.Neighbors(v)
-		// Common neighbors of the k-clique prefix+v.
-		b.scratch.And(prefixCN, nv)
+		// CN(prefix+v) is needed only if this sub-list survives into the
+		// next level: the maximality probes run fused over (prefixCN, nv,
+		// N(u)) without it, so the materialize is deferred to keepLazy.
+		// The cost model still charges the AND — it is the work the
+		// paper's abstract machine performs for this join.
 		b.Cost.ANDWords += int64(b.words)
 
-		var newTails []uint32
+		b.tailScratch = b.tailScratch[:0]
 		for j := i + 1; j < len(tails); j++ {
 			u := int(tails[j])
 			b.Cost.Pairs++
@@ -245,13 +278,13 @@ func (b *Builder) processDense(s *SubList, prefixCN *bitset.Bitset, r clique.Rep
 			// CN(prefix+v) ∩ N(u) is empty.
 			b.Cost.Probes += int64(b.words)
 			b.Cost.Generated++
-			if b.scratch.IntersectsWith(b.dense.Neighbors(u)) {
-				newTails = append(newTails, uint32(u))
+			if bitset.AndAny3(prefixCN, nv, b.dense.Neighbors(u)) {
+				b.tailScratch = append(b.tailScratch, uint32(u))
 			} else {
 				b.emitMaximal(s.Prefix, v, u, r)
 			}
 		}
-		b.keep(s.Prefix, v, newTails)
+		b.keepLazy(s.Prefix, v, b.tailScratch, prefixCN, nv)
 	}
 }
 
@@ -259,6 +292,8 @@ func (b *Builder) processDense(s *SubList, prefixCN *bitset.Bitset, r clique.Rep
 // row contract: adjacency tests and maximality probes run on the rows'
 // native encodings (CSR: neighbor-list walks and binary searches; WAH:
 // compressed-stream walks), so no graph row is densified per pair.
+//
+//repro:hotpath
 func (b *Builder) processGeneric(s *SubList, prefixCN *bitset.Bitset, r clique.Reporter) {
 	tails := s.Tails
 	for i := 0; i < len(tails)-1; i++ {
@@ -270,17 +305,19 @@ func (b *Builder) processGeneric(s *SubList, prefixCN *bitset.Bitset, r clique.R
 			// densify N(v) once so the per-pair adjacency probe is O(1)
 			// instead of a compressed-stream walk per pair.  Short tail
 			// runs stay on the direct probe — one decompression would
-			// cost more than the few probes it saves.
+			// cost more than the few probes it saves.  CN(prefix+v) is
+			// not materialized here: the probes run fused over
+			// (prefixCN, nv) against u's compressed row, and keepLazy
+			// materializes only if the sub-list survives.
 			b.g.Materialize(v, b.rowScratch)
 			nv = b.rowScratch
-			b.scratch.And(prefixCN, nv)
 		} else {
 			// Common neighbors of the k-clique prefix+v.
 			rv.AndInto(b.scratch, prefixCN)
 		}
 		b.Cost.ANDWords += int64(b.words)
 
-		var newTails []uint32
+		b.tailScratch = b.tailScratch[:0]
 		for j := i + 1; j < len(tails); j++ {
 			u := int(tails[j])
 			b.Cost.Pairs++
@@ -293,13 +330,23 @@ func (b *Builder) processGeneric(s *SubList, prefixCN *bitset.Bitset, r clique.R
 			}
 			b.Cost.Probes += int64(b.words)
 			b.Cost.Generated++
-			if b.g.Row(u).IntersectsWith(b.scratch) {
-				newTails = append(newTails, uint32(u))
+			var alive bool
+			if nv != nil {
+				alive = b.g.Row(u).AndAnyWith(prefixCN, nv)
+			} else {
+				alive = b.g.Row(u).IntersectsWith(b.scratch)
+			}
+			if alive {
+				b.tailScratch = append(b.tailScratch, uint32(u))
 			} else {
 				b.emitMaximal(s.Prefix, v, u, r)
 			}
 		}
-		b.keep(s.Prefix, v, newTails)
+		if nv != nil {
+			b.keepLazy(s.Prefix, v, b.tailScratch, prefixCN, nv)
+		} else {
+			b.keep(s.Prefix, v, b.tailScratch)
+		}
 	}
 }
 
@@ -318,11 +365,28 @@ func (b *Builder) emitMaximal(prefix []uint32, v, u int, r clique.Reporter) {
 	}
 }
 
+// keepLazy is keep for the fused join paths, which skip the CN(prefix+v)
+// materialize during probing: it performs the deferred scratch = prefixCN
+// AND nv only when keep will actually consume scratch — a retained
+// sub-list in a CN-carrying mode.  Drain mode and recompute mode never
+// touch scratch, and the |S| <= 1 cases retain nothing, so most joins
+// never pay the materialize at all.
+//
+//repro:hotpath
+func (b *Builder) keepLazy(prefix []uint32, v int, newTails []uint32, prefixCN, nv *bitset.Bitset) {
+	if len(newTails) > 1 && b.Spill == nil && b.mode != CNRecompute {
+		b.scratch.And(prefixCN, nv)
+	}
+	b.keep(prefix, v, newTails)
+}
+
 // keep retains the surviving candidate sub-list (prefix+v with the given
 // tails) whose common-neighbor bitmap is b.scratch, applying the paper's
-// |S_{k+1}| > 1 rule.
+// |S_{k+1}| > 1 rule.  newTails may alias the builder's tail scratch: a
+// retained sub-list copies it exact-size into arena storage.
 //
 //nolint:budgetpair ownership of the charge transfers with the kept sub-list: the level loop releases it when the produced level is consumed (Enumerate's st.Bytes release) or aborted
+//repro:hotpath
 func (b *Builder) keep(prefix []uint32, v int, newTails []uint32) {
 	switch {
 	case len(newTails) > 1:
@@ -336,10 +400,7 @@ func (b *Builder) keep(prefix []uint32, v int, newTails []uint32) {
 				return
 			}
 			k := len(prefix) + 2
-			if cap(b.spillRec) < k {
-				b.spillRec = make([]uint32, k)
-			}
-			rec := b.spillRec[:k]
+			rec := growRec(&b.spillRec, k)
 			copy(rec, prefix)
 			rec[k-2] = uint32(v)
 			for _, u := range newTails {
@@ -352,10 +413,14 @@ func (b *Builder) keep(prefix []uint32, v int, newTails []uint32) {
 			b.Cands += int64(len(newTails))
 			return
 		}
-		ns := &SubList{
-			Prefix: appendPrefix(prefix, uint32(v)),
-			Tails:  newTails,
-		}
+		ns := b.newSubList()
+		p := b.u32s.alloc(len(prefix) + 1)
+		copy(p, prefix)
+		p[len(prefix)] = uint32(v)
+		ns.Prefix = p
+		t := b.u32s.alloc(len(newTails))
+		copy(t, newTails)
+		ns.Tails = t
 		switch b.mode {
 		case CNStore:
 			cn := b.pool.GetNoClear()
@@ -375,10 +440,21 @@ func (b *Builder) keep(prefix []uint32, v int, newTails []uint32) {
 	}
 }
 
-func appendPrefix(prefix []uint32, v uint32) []uint32 {
-	out := make([]uint32, 0, len(prefix)+1)
-	out = append(out, prefix...)
-	return append(out, v)
+// newSubList returns a zeroed SubList header from the slab arena.
+func (b *Builder) newSubList() *SubList {
+	s := b.subs.alloc(1)
+	s[0] = SubList{}
+	return &s[0]
+}
+
+// growRec resizes the spill record buffer; out of line so keep's rare
+// growth stays off the hotalloc-pinned path.
+func growRec(buf *[]uint32, n int) []uint32 {
+	if cap(*buf) < n {
+		*buf = make([]uint32, n)
+	}
+	*buf = (*buf)[:n]
+	return *buf
 }
 
 // LevelStats summarizes one generation step k -> k+1.

@@ -137,17 +137,20 @@ func (r *wahRow) Test(i int) bool { return r.bm.Test(i) }
 // stream.
 func (r *wahRow) ForEach(fn func(i int) bool) { r.bm.ForEach(fn) }
 
-// IntersectsWith probes the dense operand per set bit of the row.
+// IntersectsWith walks the compressed stream against the dense operand
+// group-by-group, no decode and no per-bit closure.
+//
+//repro:hotpath
 func (r *wahRow) IntersectsWith(o *bitset.Bitset) bool {
-	found := false
-	r.bm.ForEach(func(i int) bool {
-		if o.Test(i) {
-			found = true
-			return false
-		}
-		return true
-	})
-	return found
+	return r.bm.AndAnyDense(o)
+}
+
+// AndAnyWith reports whether row ∩ x ∩ o is non-empty on the compressed
+// stream: the fused three-way maximality probe.
+//
+//repro:hotpath
+func (r *wahRow) AndAnyWith(x, o *bitset.Bitset) bool {
+	return r.bm.AndAnyDense2(x, o)
 }
 
 // AndCount returns |row ∩ o| by walking the compressed stream.

@@ -175,13 +175,42 @@ func (r *csrRow) ForEach(fn func(i int) bool) {
 	}
 }
 
+// mustMatchUniverse panics unless the dense operand spans the row's
+// universe; the hot probes below index operand words directly off the
+// neighbor list, so the single up-front check replaces a per-neighbor
+// range test.
+func (r *csrRow) mustMatchUniverse(o *bitset.Bitset) {
+	if o.Len() != r.n {
+		panic(fmt.Sprintf("graph: operand universe %d, want %d", o.Len(), r.n))
+	}
+}
+
 // IntersectsWith probes the dense operand per neighbor: O(degree), which
-// on sparse graphs beats the dense word scan.
+// on sparse graphs beats the dense word scan.  The probe indexes the
+// operand's backing word directly — the sorted neighbor list guarantees
+// in-range indices once the universes match.
 //
 //repro:hotpath
 func (r *csrRow) IntersectsWith(o *bitset.Bitset) bool {
+	r.mustMatchUniverse(o)
 	for _, u := range r.cols {
-		if o.Test(int(u)) {
+		if o.WordAt(int(u)>>6)&(1<<(u&63)) != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// AndAnyWith reports whether row ∩ x ∩ o is non-empty: a merged walk of
+// the neighbor list against both dense operands, one word probe each,
+// early-exiting on the first common member.
+//
+//repro:hotpath
+func (r *csrRow) AndAnyWith(x, o *bitset.Bitset) bool {
+	r.mustMatchUniverse(x)
+	r.mustMatchUniverse(o)
+	for _, u := range r.cols {
+		if x.WordAt(int(u)>>6)&o.WordAt(int(u)>>6)&(1<<(u&63)) != 0 {
 			return true
 		}
 	}
@@ -192,11 +221,10 @@ func (r *csrRow) IntersectsWith(o *bitset.Bitset) bool {
 //
 //repro:hotpath
 func (r *csrRow) AndCount(o *bitset.Bitset) int {
+	r.mustMatchUniverse(o)
 	c := 0
 	for _, u := range r.cols {
-		if o.Test(int(u)) {
-			c++
-		}
+		c += int(o.WordAt(int(u)>>6) >> (u & 63) & 1)
 	}
 	return c
 }

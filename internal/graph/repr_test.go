@@ -82,6 +82,10 @@ func checkParity(t *testing.T, ref *Graph, g Interface) {
 	for v := 0; v < n; v += 7 {
 		probe.Set(v)
 	}
+	probe2 := bitset.New(n)
+	for v := 0; v < n; v += 3 {
+		probe2.Set(v)
+	}
 	scratchA := bitset.New(n)
 	scratchB := bitset.New(n)
 	want := bitset.New(n)
@@ -126,6 +130,13 @@ func checkParity(t *testing.T, ref *Graph, g Interface) {
 		}
 		if row.AndCount(probe) != refRow.AndCount(probe) {
 			t.Fatalf("%v: AndCount(%d) mismatch", g.Representation(), v)
+		}
+		// Fused three-way probe vs the unfused dense composition
+		// (materialize probe ∩ probe2, then intersect with the row).
+		want.And(probe, probe2)
+		if got := row.AndAnyWith(probe, probe2); got != refRow.IntersectsWith(want) {
+			t.Fatalf("%v: AndAnyWith(%d) = %v, dense composition %v",
+				g.Representation(), v, got, refRow.IntersectsWith(want))
 		}
 		row.AndInto(scratchA, probe)
 		want.And(refRow, probe)

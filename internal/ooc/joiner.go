@@ -39,6 +39,7 @@ type JoinStats struct {
 // concurrent use; give each worker its own.
 type Joiner struct {
 	g          graph.Interface
+	dense      *graph.Graph // non-nil when g is the dense backend (fused fast path)
 	cn, cnNext *bitset.Bitset
 	rec        []uint32
 	prefix     []uint32
@@ -50,7 +51,8 @@ type Joiner struct {
 // NewJoiner returns a Joiner over g with freshly allocated scratch.
 func NewJoiner(g graph.Interface) *Joiner {
 	n := g.N()
-	return &Joiner{g: g, cn: bitset.New(n), cnNext: bitset.New(n)}
+	dense, _ := g.(*graph.Graph)
+	return &Joiner{g: g, dense: dense, cn: bitset.New(n), cnNext: bitset.New(n)}
 }
 
 // ScratchBytes reports the joiner's resident bitmap footprint — what a
@@ -66,14 +68,35 @@ func (j *Joiner) ScratchBytes() int64 {
 // error).  collect buffers maximal-clique emissions in the returned
 // JoinStats; pass false when only counts are wanted.  The read buffer
 // is charged to gov while the shard is open.
-//
-//repro:ctxloop
 func (j *Joiner) JoinShard(ctx context.Context, dir string, in ShardMeta, k int,
-	compress bool, gov *membudget.Governor, out *LevelWriter, collect bool) (res JoinStats, err error) {
+	compress bool, gov *membudget.Governor, out *LevelWriter, collect bool) (JoinStats, error) {
 	r, err := OpenShard(dir, in, k, j.g.N(), compress, gov)
 	if err != nil {
 		return JoinStats{}, err
 	}
+	return j.joinFrom(ctx, r, k, out, collect)
+}
+
+// JoinShardBytes is JoinShard over an in-memory copy of the shard's
+// encoded file — the engine's read-ahead path.  The caller owns data and
+// its governor charge; the join is byte-for-byte the same as the
+// file-backed one, so the output stream cannot depend on which path a
+// shard took.
+func (j *Joiner) JoinShardBytes(ctx context.Context, data []byte, in ShardMeta, k int,
+	compress bool, out *LevelWriter, collect bool) (JoinStats, error) {
+	r, err := OpenShardBytes(data, in, k, j.g.N(), compress)
+	if err != nil {
+		return JoinStats{}, err
+	}
+	return j.joinFrom(ctx, r, k, out, collect)
+}
+
+// joinFrom streams the opened shard's prefix runs through joinRun,
+// closing the reader on every path.
+//
+//repro:ctxloop
+func (j *Joiner) joinFrom(ctx context.Context, r *ShardReader, k int,
+	out *LevelWriter, collect bool) (res JoinStats, err error) {
 	defer func() {
 		res.BytesRead = r.BytesRead()
 		if cerr := r.Close(); cerr != nil {
@@ -135,6 +158,36 @@ func (j *Joiner) joinRun(res *JoinStats, out *LevelWriter,
 	copy(rec2, prefix)
 	for i := 0; i < len(tails)-1; i++ {
 		v := int(tails[i])
+		if j.dense != nil {
+			// Dense fast path: the join never retains CN(prefix+v) — it
+			// only asks maximality — so the cnNext materialize is fused
+			// away entirely and each probe runs three-way over
+			// (prefix CN, N(v), N(u)) with first-witness early exit.
+			nv := j.dense.Neighbors(v)
+			rec2[k-1] = tails[i]
+			for jj := i + 1; jj < len(tails); jj++ {
+				u := int(tails[jj])
+				if !nv.Test(u) {
+					continue
+				}
+				if bitset.AndAny3(j.cn, nv, j.dense.Neighbors(u)) {
+					rec2[k] = tails[jj]
+					if err := out.Write(rec2); err != nil {
+						return err
+					}
+				} else if k+1 >= 3 {
+					res.Maximal++
+					if collect {
+						for _, p := range prefix {
+							res.EmitVerts = append(res.EmitVerts, int(p))
+						}
+						res.EmitVerts = append(res.EmitVerts, v, u)
+						res.EmitOff = append(res.EmitOff, int32(len(res.EmitVerts)))
+					}
+				}
+			}
+			continue
+		}
 		rv := g.Row(v)
 		rv.AndInto(j.cnNext, j.cn)
 		rec2[k-1] = tails[i]

@@ -89,11 +89,19 @@ type Options struct {
 	ShardBytes int64
 	// Gov, when non-nil, is the run's shared memory governor.  The
 	// out-of-core engine charges its resident buffers — per-worker
-	// bitmaps at pool start and each in-flight shard's I/O buffer while
-	// open — so a hybrid run's Peak stays meaningful after the spill.
-	// The engine never enforces the budget: disk is exactly where an
-	// over-budget run belongs.
+	// bitmaps at pool start, each in-flight shard's I/O buffer while
+	// open, and each read-ahead buffer while in flight — so a hybrid
+	// run's Peak stays meaningful after the spill.  The engine never
+	// enforces the budget: disk is exactly where an over-budget run
+	// belongs.
 	Gov *membudget.Governor
+	// DisablePrefetch turns off the double-buffered shard read-ahead.
+	// By default each worker leases its next shard early and reads its
+	// file in the background while joining the current one, overlapping
+	// level I/O with the CPU-bound join; the in-flight buffer is charged
+	// to Gov, and results still release in shard order through the
+	// sequencer, so the clique stream is byte-identical either way.
+	DisablePrefetch bool
 }
 
 // LevelStats describes one out-of-core generation step k -> k+1.
@@ -682,34 +690,120 @@ func (w *oocWorker) loop() {
 	}
 }
 
+// runJob drains the dispatcher with one shard of read-ahead: the worker
+// flattens its leased chunks into a local queue and, before joining a
+// shard, starts a background read of the next queued shard's file — the
+// double buffer that overlaps the level's I/O with the CPU-bound join.
+// The deposit order into the sequencer is unchanged (the queue preserves
+// lease order and results still release in shard order), so the clique
+// stream is byte-identical with read-ahead on or off.  Every exit path
+// drains the in-flight read first: its goroutine and its governor-
+// charged buffer must not outlive the level.
 //
 //repro:ctxloop
 func (w *oocWorker) runJob(job *levelJob) {
+	prefetch := !w.e.opts.DisablePrefetch
+	var queue []int
+	var next *prefetched
+	defer func() {
+		if next != nil {
+			next.await()
+			w.e.opts.Gov.Release(job.shards[next.si].Bytes)
+		}
+	}()
 	for {
 		if job.ctx.Err() != nil {
 			return
 		}
-		chunk, ok := job.disp.Next(w.id)
-		if !ok {
-			return
+		if len(queue) == 0 {
+			chunk, ok := job.disp.Next(w.id)
+			if !ok {
+				return
+			}
+			queue = append(queue, chunk.Items...)
 		}
-		for _, si := range chunk.Items {
-			res, err := w.processShard(job, si)
+		si := queue[0]
+		queue = queue[1:]
+		var data []byte
+		if next != nil && next.si == si {
+			d, err := next.await()
+			next = nil
 			if err != nil {
+				w.e.opts.Gov.Release(job.shards[si].Bytes)
+				if job.ctx.Err() != nil {
+					return // level canceled; the driver reports it
+				}
 				job.fail(err)
 				return
 			}
-			job.seq.Deposit(si, res)
+			data = d
 		}
+		// Lease ahead so the successor's read overlaps this shard's
+		// join; the dispatcher stays the single source of assignment.
+		if len(queue) == 0 {
+			if chunk, ok := job.disp.Next(w.id); ok {
+				queue = append(queue, chunk.Items...)
+			}
+		}
+		if prefetch && next == nil && len(queue) > 0 {
+			next = w.startPrefetch(job, queue[0])
+		}
+		res, err := w.processShard(job, si, data)
+		if data != nil {
+			w.e.opts.Gov.Release(job.shards[si].Bytes)
+		}
+		if err != nil {
+			job.fail(err)
+			return
+		}
+		job.seq.Deposit(si, res)
 	}
+}
+
+// prefetched is one shard's encoded file, read ahead of its join by a
+// background goroutine.  await joins that goroutine; the shard's
+// meta.Bytes stay charged to the governor from startPrefetch until the
+// consumer (or the job's abandon path) releases them.
+type prefetched struct {
+	si   int
+	data []byte
+	err  error
+	done chan struct{}
+}
+
+func (p *prefetched) await() ([]byte, error) {
+	<-p.done
+	return p.data, p.err
+}
+
+// startPrefetch charges the shard's encoded size to the governor and
+// begins reading its file in the background.
+func (w *oocWorker) startPrefetch(job *levelJob, si int) *prefetched {
+	meta := job.shards[si]
+	w.e.opts.Gov.Charge(meta.Bytes)
+	p := &prefetched{si: si, done: make(chan struct{})}
+	go func() {
+		defer close(p.done)
+		if err := job.ctx.Err(); err != nil {
+			p.err = err
+			return
+		}
+		data, err := os.ReadFile(filepath.Join(w.e.dir, meta.Path))
+		if err == nil && int64(len(data)) != meta.Bytes {
+			err = corrupt("%s: size %d, manifest expects %d", meta.Path, len(data), meta.Bytes)
+		}
+		p.data, p.err = data, err
+	}()
+	return p
 }
 
 // processShard joins one input shard through the worker's Joiner,
 // writing next-level candidates through its own sharding writer (output
 // shards of consecutive input shards concatenate in order — the
 // run-aligned range-sharding invariant).  The join itself lives in
-// Joiner.JoinShard, shared with the distributed worker path.
-func (w *oocWorker) processShard(job *levelJob, si int) (*shardResult, error) {
+// Joiner.JoinShard / JoinShardBytes, shared with the distributed worker
+// path; data, when non-nil, is the shard's prefetched encoded file.
+func (w *oocWorker) processShard(job *levelJob, si int, data []byte) (*shardResult, error) {
 	e := w.e
 	k := job.k
 	out := NewLevelWriter(e.dir, k+1, e.opts.Compress, job.target, e.opts.Gov,
@@ -719,7 +813,13 @@ func (w *oocWorker) processShard(job *levelJob, si int) (*shardResult, error) {
 			return name, nil
 		},
 		job.onWrite)
-	st, err := w.join.JoinShard(job.ctx, e.dir, job.shards[si], k, e.opts.Compress, e.opts.Gov, out, job.collect)
+	var st JoinStats
+	var err error
+	if data != nil {
+		st, err = w.join.JoinShardBytes(job.ctx, data, job.shards[si], k, e.opts.Compress, out, job.collect)
+	} else {
+		st, err = w.join.JoinShard(job.ctx, e.dir, job.shards[si], k, e.opts.Compress, e.opts.Gov, out, job.collect)
+	}
 	e.read.Add(st.BytesRead)
 	if err != nil {
 		return nil, errors.Join(err, out.Abort())

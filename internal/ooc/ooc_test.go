@@ -10,6 +10,7 @@ import (
 	"repro/internal/clique"
 	"repro/internal/core"
 	"repro/internal/graph"
+	"repro/internal/membudget"
 )
 
 func run(t *testing.T, g *graph.Graph, opts Options) (*clique.Collector, Stats) {
@@ -230,6 +231,83 @@ func TestRepresentationParity(t *testing.T) {
 				}
 			}
 		}
+	}
+}
+
+// TestPrefetchParity pins the read-ahead contract: the double-buffered
+// shard prefetch changes when a shard's bytes leave the disk, never
+// what the join emits — the clique stream is byte-identical with
+// prefetch on and off, at every worker count, and the governor's ledger
+// (which carries each in-flight read-ahead buffer) returns to zero.
+func TestPrefetchParity(t *testing.T) {
+	rng := rand.New(rand.NewSource(133))
+	g := graph.PlantedGraph(rng, 90, []graph.PlantedCliqueSpec{
+		{Size: 10}, {Size: 7, Overlap: 3}, {Size: 6},
+	}, 200)
+	want, _ := orderedKeys(t, g, Options{DisablePrefetch: true})
+	if len(want) == 0 {
+		t.Fatal("reference run found no cliques")
+	}
+	for _, workers := range []int{1, 4} {
+		for _, compress := range []bool{false, true} {
+			gov := membudget.New(0)
+			got, st := orderedKeys(t, g, Options{
+				Workers:    workers,
+				Compress:   compress,
+				ShardBytes: 256, // many shards: every worker prefetches repeatedly
+				Gov:        gov,
+			})
+			if len(got) != len(want) {
+				t.Fatalf("workers=%d compress=%v: %d cliques, want %d", workers, compress, len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("workers=%d compress=%v: stream diverges at %d: got {%s}, want {%s}",
+						workers, compress, i, got[i], want[i])
+				}
+			}
+			if st.BytesRead == 0 {
+				t.Errorf("workers=%d compress=%v: prefetched run reports no bytes read", workers, compress)
+			}
+			if used := gov.Used(); used != 0 {
+				t.Errorf("workers=%d compress=%v: governor ledger unbalanced after run: %d", workers, compress, used)
+			}
+		}
+	}
+}
+
+// TestPrefetchCancellation pins the abandon path: canceling mid-run with
+// read-ahead in flight must drain the prefetch goroutines, release their
+// buffer charges, and still clean the spill directory.
+func TestPrefetchCancellation(t *testing.T) {
+	rng := rand.New(rand.NewSource(134))
+	g := graph.PlantedGraph(rng, 110, []graph.PlantedCliqueSpec{{Size: 11}, {Size: 9, Overlap: 2}}, 260)
+	gov := membudget.New(0)
+	ctx, cancel := context.WithCancel(context.Background())
+	n := 0
+	rep := clique.ReporterFunc(func(clique.Clique) {
+		n++
+		if n == 5 {
+			cancel()
+		}
+	})
+	dir := t.TempDir()
+	_, err := Enumerate(g, Options{
+		Ctx: ctx, Dir: dir, Reporter: rep,
+		Workers: 4, ShardBytes: 128, Gov: gov,
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if used := gov.Used(); used != 0 {
+		t.Errorf("governor ledger unbalanced after canceled run: %d", used)
+	}
+	entries, derr := os.ReadDir(dir)
+	if derr != nil {
+		t.Fatal(derr)
+	}
+	if len(entries) != 0 {
+		t.Errorf("spill dir not cleaned after cancel: %d entries", len(entries))
 	}
 }
 

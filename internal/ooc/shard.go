@@ -2,6 +2,7 @@ package ooc
 
 import (
 	"bufio"
+	"bytes"
 	"errors"
 	"fmt"
 	"io"
@@ -234,35 +235,54 @@ func OpenShard(dir string, meta ShardMeta, k, n int, compress bool, gov *membudg
 	}
 	cr := &countingReader{r: f}
 	sz := bufSize(meta.Bytes)
-	br := bufio.NewReaderSize(cr, sz)
+	r, err := newShardReader(cr, bufio.NewReaderSize(cr, sz), meta, k, n, compress)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	r.f = f
+	gov.Charge(int64(sz))
+	r.gov, r.bufSize = gov, int64(sz)
+	return r, nil
+}
+
+// OpenShardBytes reads a shard from an in-memory copy of its encoded
+// file — the read-ahead path, where a prefetch goroutine has already
+// pulled the bytes off disk.  The caller owns data (and its governor
+// charge); Close closes no file and releases nothing.
+func OpenShardBytes(data []byte, meta ShardMeta, k, n int, compress bool) (*ShardReader, error) {
+	cr := &countingReader{r: bytes.NewReader(data)}
+	// A small relay buffer: decode pulls bytes one at a time, and the
+	// data already lives in memory, so a big window would only copy it
+	// a second time for nothing.
+	return newShardReader(cr, bufio.NewReaderSize(cr, 8<<10), meta, k, n, compress)
+}
+
+// newShardReader validates the shard preamble on br and assembles the
+// reader; the caller attaches the file handle and governor charge (if
+// any) on success.
+func newShardReader(cr *countingReader, br *bufio.Reader, meta ShardMeta, k, n int, compress bool) (*ShardReader, error) {
 	hdr := make([]byte, shardHeaderLen)
 	if _, err := io.ReadFull(br, hdr); err != nil {
-		f.Close()
 		return nil, corrupt("%s: short header: %v", meta.Path, err)
 	}
 	if string(hdr[:4]) != shardMagic {
-		f.Close()
 		return nil, corrupt("%s: bad magic %q", meta.Path, hdr[:4])
 	}
 	if hdr[4] != shardVersion {
-		f.Close()
 		return nil, corrupt("%s: unsupported format version %d", meta.Path, hdr[4])
 	}
 	if gotCompress := hdr[5]&1 != 0; gotCompress != compress {
-		f.Close()
 		return nil, corrupt("%s: encoding mismatch (compressed=%v, run expects %v)",
 			meta.Path, gotCompress, compress)
 	}
 	if int(hdr[6]) != k {
-		f.Close()
 		return nil, corrupt("%s: clique size %d, level expects %d", meta.Path, hdr[6], k)
 	}
-	gov.Charge(int64(sz))
 	return &ShardReader{
-		f: f, cr: cr, br: br,
+		cr: cr, br: br,
 		dec:  newRecordDecoder(k, n, compress),
 		meta: meta, k: k,
-		gov: gov, bufSize: int64(sz),
 	}, nil
 }
 
@@ -294,6 +314,9 @@ func (r *ShardReader) BytesRead() int64 { return r.cr.n }
 func (r *ShardReader) Close() error {
 	r.gov.Release(r.bufSize)
 	r.bufSize = 0
+	if r.f == nil {
+		return nil // in-memory source: nothing to close
+	}
 	if err := r.f.Close(); err != nil {
 		return fmt.Errorf("ooc: close shard %s: %w", r.meta.Path, err)
 	}

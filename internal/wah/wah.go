@@ -283,6 +283,65 @@ func (b *Bitmap) Any() bool {
 	return false
 }
 
+// AndAnyDense reports whether b ∩ o is non-empty, walking the compressed
+// stream directly against the dense operand: fill-0 runs are skipped
+// outright, fill-1 runs reduce to a ranged any-probe of o, and literal
+// groups AND against the matching 63-bit window of o.  No decode buffer
+// is touched.
+//
+//repro:hotpath
+func (b *Bitmap) AndAnyDense(o *bitset.Bitset) bool {
+	if o.Len() != b.n {
+		panicOperandUniverse(o.Len(), b.n)
+	}
+	gi := 0
+	for _, w := range b.words {
+		if w&flagBit != 0 {
+			run := int(w & countMask)
+			if w&fillBit != 0 && bitset.RangeAndAny(o, o, gi*groupBits, (gi+run)*groupBits) {
+				return true
+			}
+			gi += run
+			continue
+		}
+		if w&litMask&extractGroup(o, gi) != 0 {
+			return true
+		}
+		gi++
+	}
+	return false
+}
+
+// AndAnyDense2 reports whether b ∩ x ∩ o is non-empty in one pass over
+// the compressed stream — the three-way maximality probe with both the
+// decode and the candidate-intersection materialize fused away.
+//
+//repro:hotpath
+func (b *Bitmap) AndAnyDense2(x, o *bitset.Bitset) bool {
+	if x.Len() != b.n {
+		panicOperandUniverse(x.Len(), b.n)
+	}
+	if o.Len() != b.n {
+		panicOperandUniverse(o.Len(), b.n)
+	}
+	gi := 0
+	for _, w := range b.words {
+		if w&flagBit != 0 {
+			run := int(w & countMask)
+			if w&fillBit != 0 && bitset.RangeAndAny(x, o, gi*groupBits, (gi+run)*groupBits) {
+				return true
+			}
+			gi += run
+			continue
+		}
+		if w&litMask&extractGroup(x, gi)&extractGroup(o, gi) != 0 {
+			return true
+		}
+		gi++
+	}
+	return false
+}
+
 // decoder walks a WAH word stream group-by-group without materializing.
 type decoder struct {
 	words []uint64
@@ -310,6 +369,13 @@ func (d *decoder) next() uint64 {
 		return d.fill
 	}
 	return w & litMask
+}
+
+// panicOperandUniverse reports a dense operand whose universe does not
+// match the bitmap's.  It lives out of line so the fused probes carry no
+// fmt boxing on their hotalloc-pinned paths.
+func panicOperandUniverse(got, want int) {
+	panic(fmt.Sprintf("wah: operand universe %d, want %d", got, want))
 }
 
 // And intersects two compressed bitmaps directly in compressed space and
